@@ -1,0 +1,434 @@
+// Benchmarks regenerating the paper's evaluation through `go test -bench`.
+// One benchmark family per table/figure; cmd/silo-bench runs the same
+// experiments with full parameter sweeps and paper-style output. These
+// testing.B variants are operation-driven (b.N transactions split across
+// workers) rather than duration-driven, so -benchmem attribution works.
+package silo_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/kvstore"
+	"silo/internal/tid"
+	"silo/internal/wal"
+	"silo/internal/workload/tpcc"
+	"silo/internal/workload/ycsb"
+)
+
+const benchKeys = 100000
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// runParallel splits b.N operations across nworkers goroutines, each
+// executing fn(workerID, opIndex).
+func runParallel(b *testing.B, nworkers int, fn func(wid, i int)) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// ---- Figure 4: YCSB variant ----
+
+func BenchmarkFig4_KeyValue(b *testing.B) {
+	cfg := ycsb.DefaultConfig(benchKeys)
+	kv := kvstore.New()
+	ycsb.LoadKV(kv, cfg)
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			gens := makeGens(cfg, workers)
+			bufs := make([][2][]byte, workers)
+			runParallel(b, workers, func(wid, _ int) {
+				op := gens[wid].Next()
+				bufs[wid][0], bufs[wid][1] = ycsb.RunKVOp(kv, op, bufs[wid][0], bufs[wid][1])
+			})
+		})
+	}
+}
+
+func BenchmarkFig4_MemSilo(b *testing.B)          { benchFig4Silo(b, false) }
+func BenchmarkFig4_MemSiloGlobalTID(b *testing.B) { benchFig4Silo(b, true) }
+
+func benchFig4Silo(b *testing.B, globalTID bool) {
+	cfg := ycsb.DefaultConfig(benchKeys)
+	for _, workers := range workerCounts {
+		opts := core.DefaultOptions(workers)
+		opts.GlobalTID = globalTID
+		s := core.NewStore(opts)
+		tbl := ycsb.LoadSilo(s, cfg)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			gens := makeGens(cfg, workers)
+			keys := make([][]byte, workers)
+			var aborts atomic.Uint64
+			runParallel(b, workers, func(wid, _ int) {
+				var ok bool
+				ok, keys[wid] = ycsb.RunSiloOp(s.Worker(wid), tbl, gens[wid].Next(), keys[wid])
+				if !ok {
+					aborts.Add(1)
+				}
+			})
+			b.ReportMetric(float64(aborts.Load()), "aborts")
+		})
+		s.Close()
+	}
+}
+
+func makeGens(cfg ycsb.Config, workers int) []*ycsb.Generator {
+	gens := make([]*ycsb.Generator, workers)
+	for i := range gens {
+		gens[i] = ycsb.NewGenerator(cfg, uint64(i)+1)
+	}
+	return gens
+}
+
+// ---- Figures 5 & 6: TPC-C scalability, with and without persistence ----
+
+func BenchmarkFig5_TPCC_MemSilo(b *testing.B) { benchTPCC(b, false) }
+func BenchmarkFig5_TPCC_Silo(b *testing.B)    { benchTPCC(b, true) }
+
+func benchTPCC(b *testing.B, durable bool) {
+	for _, workers := range workerCounts {
+		sc := tpcc.DefaultScale(workers)
+		s := core.NewStore(core.DefaultOptions(workers))
+		var m *wal.Manager
+		if durable {
+			var err error
+			m, err = wal.Attach(s, wal.Config{Dir: b.TempDir(), Loggers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tables := tpcc.Load(s, sc)
+		if m != nil {
+			m.Start()
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			clients := make([]*tpcc.Client, workers)
+			for w := 0; w < workers; w++ {
+				clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%sc.Warehouses+1, tpcc.StandardConfig(), uint64(w)*7+5)
+			}
+			var aborts atomic.Uint64
+			runParallel(b, workers, func(wid, _ int) {
+				cl := clients[wid]
+				tt := cl.NextType()
+				for {
+					err := cl.RunOnce(tt)
+					if err == core.ErrConflict {
+						aborts.Add(1)
+						continue
+					}
+					return
+				}
+			})
+			b.ReportMetric(float64(aborts.Load()), "aborts")
+		})
+		if m != nil {
+			m.Stop()
+		}
+		s.Close()
+	}
+}
+
+// ---- Figure 7: latency to durability ----
+
+func BenchmarkFig7_DurableLatency(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		inMemory bool
+	}{{"Silo", false}, {"Silo+tmpfs", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const workers = 2
+			sc := tpcc.DefaultScale(workers)
+			opts := core.DefaultOptions(workers)
+			opts.EpochInterval = 10 * time.Millisecond
+			s := core.NewStore(opts)
+			m, err := wal.Attach(s, wal.Config{Dir: b.TempDir(), Loggers: 1, InMemory: mode.inMemory})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tables := tpcc.Load(s, sc)
+			m.Start()
+			cl := tpcc.NewClient(tables, sc, s.Worker(0), 1, tpcc.StandardConfig(), 3)
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				for {
+					if err := cl.RunOnce(cl.NextType()); err != core.ErrConflict {
+						break
+					}
+				}
+				m.WorkerLog(0).Heartbeat()
+				m.WaitDurable(tid.Word(s.Worker(0).LastCommitTID()).Epoch())
+				total += time.Since(start)
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N), "µs/txn-to-durable")
+			}
+			m.Stop()
+			s.Close()
+		})
+	}
+}
+
+// ---- Figure 8: cross-partition new-order ----
+
+func BenchmarkFig8_CrossPartition(b *testing.B) {
+	const workers = 4
+	sc := tpcc.DefaultScale(workers)
+	for _, remotePct := range []int{0, 10, 30, 60} {
+		cfg := tpcc.StandardConfig()
+		cfg.RemoteItemPct = remotePct
+
+		ps := tpcc.LoadPartitioned(sc)
+		b.Run(fmt.Sprintf("PartitionedStore/remote=%d", remotePct), func(b *testing.B) {
+			clients := make([]*tpcc.PartClient, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewPartClient(ps, sc, w%sc.Warehouses+1, cfg, uint64(w)+3)
+			}
+			runParallel(b, workers, func(wid, _ int) { clients[wid].NewOrder() })
+		})
+
+		s := core.NewStore(core.DefaultOptions(workers))
+		tables := tpcc.Load(s, sc)
+		b.Run(fmt.Sprintf("MemSilo/remote=%d", remotePct), func(b *testing.B) {
+			clients := make([]*tpcc.Client, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%sc.Warehouses+1, cfg, uint64(w)+9)
+			}
+			runParallel(b, workers, func(wid, _ int) {
+				for {
+					if err := clients[wid].RunOnce(tpcc.TxnNewOrder); err != core.ErrConflict {
+						return
+					}
+				}
+			})
+		})
+		s.Close()
+	}
+}
+
+// ---- Figure 9: skewed (hotspot) workload ----
+
+func BenchmarkFig9_Skew(b *testing.B) {
+	const warehouses = 4
+	sc := tpcc.DefaultScale(warehouses)
+	cfg := tpcc.StandardConfig()
+	cfg.RemoteItemPct = 0
+	for _, workers := range workerCounts {
+		ps := tpcc.LoadSinglePartition(sc)
+		b.Run(fmt.Sprintf("PartitionedStore/workers=%d", workers), func(b *testing.B) {
+			clients := make([]*tpcc.PartClient, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewPartClient(ps, sc, w%warehouses+1, cfg, uint64(w)+1)
+				clients[w].SinglePartition = true
+			}
+			runParallel(b, workers, func(wid, _ int) { clients[wid].NewOrder() })
+		})
+
+		for _, variant := range []struct {
+			name    string
+			fastIDs bool
+		}{{"MemSilo", false}, {"MemSiloFastIds", true}} {
+			s := core.NewStore(core.DefaultOptions(workers))
+			tables := tpcc.Load(s, sc)
+			vcfg := cfg
+			vcfg.FastIDs = variant.fastIDs
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				clients := make([]*tpcc.Client, workers)
+				for w := range clients {
+					clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%warehouses+1, vcfg, uint64(w)+7)
+				}
+				var aborts atomic.Uint64
+				runParallel(b, workers, func(wid, _ int) {
+					for {
+						err := clients[wid].RunOnce(tpcc.TxnNewOrder)
+						if err == core.ErrConflict {
+							aborts.Add(1)
+							continue
+						}
+						return
+					}
+				})
+				b.ReportMetric(float64(aborts.Load()), "aborts")
+			})
+			s.Close()
+		}
+	}
+}
+
+// ---- Figure 10: snapshot transactions ----
+
+func BenchmarkFig10_Snapshots(b *testing.B) {
+	const (
+		warehouses = 4
+		workers    = 8
+	)
+	sc := tpcc.DefaultScale(warehouses)
+	for _, variant := range []struct {
+		name     string
+		snapshot bool
+	}{{"MemSilo", true}, {"MemSiloNoSS", false}} {
+		opts := core.DefaultOptions(workers)
+		opts.EpochInterval = 5 * time.Millisecond
+		opts.SnapshotK = 5
+		s := core.NewStore(opts)
+		tables := tpcc.Load(s, sc)
+		time.Sleep(100 * time.Millisecond) // form a snapshot covering the load
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := tpcc.StandardConfig()
+			cfg.SnapshotStockLevel = variant.snapshot
+			clients := make([]*tpcc.Client, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%warehouses+1, cfg, uint64(w)+11)
+			}
+			var aborts atomic.Uint64
+			runParallel(b, workers, func(wid, i int) {
+				cl := clients[wid]
+				tt := tpcc.TxnNewOrder
+				if i%2 == 0 {
+					tt = tpcc.TxnStockLevel
+				}
+				for {
+					err := cl.RunOnce(tt)
+					if err == core.ErrConflict {
+						aborts.Add(1)
+						continue
+					}
+					return
+				}
+			})
+			b.ReportMetric(float64(aborts.Load()), "aborts")
+		})
+		s.Close()
+	}
+}
+
+// ---- Figure 11: factor analysis ----
+
+func BenchmarkFig11_Factors(b *testing.B) {
+	const workers = 4
+	sc := tpcc.DefaultScale(workers)
+	factors := []struct {
+		name   string
+		mutate func(*core.Options)
+	}{
+		{"Simple", func(o *core.Options) { o.Arena = false; o.Overwrites = false }},
+		{"Allocator", func(o *core.Options) { o.Overwrites = false }},
+		{"Overwrites", func(o *core.Options) {}},
+		{"NoSnapshots", func(o *core.Options) { o.Snapshots = false }},
+		{"NoGC", func(o *core.Options) { o.Snapshots = false; o.GC = false }},
+	}
+	for _, f := range factors {
+		opts := core.DefaultOptions(workers)
+		f.mutate(&opts)
+		s := core.NewStore(opts)
+		tables := tpcc.Load(s, sc)
+		b.Run(f.name, func(b *testing.B) {
+			clients := make([]*tpcc.Client, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%sc.Warehouses+1, tpcc.StandardConfig(), uint64(w)+13)
+			}
+			runParallel(b, workers, func(wid, _ int) {
+				cl := clients[wid]
+				tt := cl.NextType()
+				for {
+					if err := cl.RunOnce(tt); err != core.ErrConflict {
+						return
+					}
+				}
+			})
+		})
+		s.Close()
+	}
+
+	pfactors := []struct {
+		name string
+		cfg  *wal.Config
+	}{
+		{"Persist/MemSilo", nil},
+		{"Persist/SmallRecs", &wal.Config{Mode: wal.ModeTIDOnly}},
+		{"Persist/FullRecs", &wal.Config{Mode: wal.ModeFull}},
+		{"Persist/Compress", &wal.Config{Mode: wal.ModeFull, Compress: true}},
+	}
+	for _, f := range pfactors {
+		s := core.NewStore(core.DefaultOptions(workers))
+		var m *wal.Manager
+		if f.cfg != nil {
+			w := *f.cfg
+			w.Dir = b.TempDir()
+			var err error
+			m, err = wal.Attach(s, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tables := tpcc.Load(s, sc)
+		if m != nil {
+			m.Start()
+		}
+		b.Run(f.name, func(b *testing.B) {
+			clients := make([]*tpcc.Client, workers)
+			for w := range clients {
+				clients[w] = tpcc.NewClient(tables, sc, s.Worker(w), w%sc.Warehouses+1, tpcc.StandardConfig(), uint64(w)+17)
+			}
+			runParallel(b, workers, func(wid, _ int) {
+				cl := clients[wid]
+				tt := cl.NextType()
+				for {
+					if err := cl.RunOnce(tt); err != core.ErrConflict {
+						return
+					}
+				}
+			})
+		})
+		if m != nil {
+			m.Stop()
+		}
+		s.Close()
+	}
+}
+
+// ---- §5.6: snapshot space overhead ----
+
+func BenchmarkSpaceOverhead(b *testing.B) {
+	cfg := ycsb.DefaultConfig(benchKeys)
+	cfg.ReadPct = 0 // 100% read-modify-write
+	const workers = 4
+	opts := core.DefaultOptions(workers)
+	opts.EpochInterval = 5 * time.Millisecond
+	s := core.NewStore(opts)
+	tbl := ycsb.LoadSilo(s, cfg)
+	gens := makeGens(cfg, workers)
+	keys := make([][]byte, workers)
+	b.ResetTimer()
+	runParallel(b, workers, func(wid, _ int) {
+		_, keys[wid] = ycsb.RunSiloOp(s.Worker(wid), tbl, gens[wid].Next(), keys[wid])
+	})
+	b.StopTimer()
+	st := s.Stats()
+	base := float64(cfg.Keys * (cfg.ValueSize + 32))
+	b.ReportMetric(100*float64(st.SnapshotBytesRetained)/base, "%snapshot-overhead")
+	s.Close()
+}

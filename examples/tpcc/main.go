@@ -1,0 +1,103 @@
+// TPC-C: load a scaled database, run the standard transaction mix on
+// several workers with durability enabled, verify the TPC-C consistency
+// conditions, and report throughput — a miniature of the paper's §5.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"silo"
+	"silo/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		warehouses = flag.Int("warehouses", 2, "warehouse count (= workers)")
+		seconds    = flag.Float64("seconds", 2, "run duration")
+		durable    = flag.Bool("durable", true, "enable redo logging")
+	)
+	flag.Parse()
+
+	var dopts *silo.DurabilityOptions
+	dir := ""
+	if *durable {
+		var err error
+		dir, err = os.MkdirTemp("", "silo-tpcc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		dopts = &silo.DurabilityOptions{Dir: dir, Loggers: 1}
+	}
+
+	db, err := silo.Open(silo.Options{
+		Workers:       *warehouses,
+		EpochInterval: 10 * time.Millisecond,
+		Durability:    dopts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	sc := tpcc.DefaultScale(*warehouses)
+	fmt.Printf("loading %d warehouses (%d items, %d customers/district)...\n",
+		sc.Warehouses, sc.Items, sc.CustomersPerDist)
+	tables := tpcc.Load(db.Store(), sc)
+
+	fmt.Printf("running standard mix on %d workers for %.1fs...\n", *warehouses, *seconds)
+	stopAt := time.Now().Add(time.Duration(*seconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	clients := make([]*tpcc.Client, *warehouses)
+	for w := 0; w < *warehouses; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := tpcc.StandardConfig()
+			cfg.SnapshotStockLevel = true
+			cl := tpcc.NewClient(tables, sc, db.Store().Worker(w), w+1, cfg, uint64(w)+1)
+			clients[w] = cl
+			for time.Now().Before(stopAt) {
+				if err := cl.RunMix(); err != nil && err != tpcc.ErrRollback {
+					log.Printf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var commits, conflicts uint64
+	for _, cl := range clients {
+		commits += cl.Stats.Total()
+		for _, c := range cl.Stats.Conflicts {
+			conflicts += c
+		}
+	}
+	fmt.Printf("committed %d transactions (%.0f/sec), %d conflict aborts (retried)\n",
+		commits, float64(commits) / *seconds, conflicts)
+	for tt := tpcc.TxnNewOrder; tt <= tpcc.TxnStockLevel; tt++ {
+		var n uint64
+		for _, cl := range clients {
+			n += cl.Stats.Commits[tt]
+		}
+		fmt.Printf("  %-13s %d\n", tt, n)
+	}
+	if dopts != nil {
+		fmt.Printf("durable epoch D=%d (current epoch %d)\n", db.DurableEpoch(), db.Epoch())
+	}
+
+	fmt.Print("checking TPC-C consistency conditions... ")
+	if err := tpcc.CheckConsistency(db.Store(), tables, sc); err != nil {
+		log.Fatalf("FAILED: %v", err)
+	}
+	if err := tpcc.CheckMoney(db.Store(), tables, sc); err != nil {
+		log.Fatalf("FAILED: %v", err)
+	}
+	fmt.Println("OK")
+}

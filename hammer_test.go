@@ -1,0 +1,202 @@
+package silo_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"silo"
+)
+
+// TestHammerDurableConcurrent drives the full public API the way an
+// application would: several worker goroutines doing conflicting
+// read-modify-writes, inserts, deletes, scans, and snapshot reads with
+// durability on — then recovers the log into a fresh database and checks
+// the invariant survived end to end.
+func TestHammerDurableConcurrent(t *testing.T) {
+	const (
+		workers  = 4
+		accounts = 32
+		rounds   = 400
+		initial  = 1000
+	)
+	dir := t.TempDir()
+	db, err := silo.Open(silo.Options{
+		Workers:       workers,
+		EpochInterval: time.Millisecond,
+		SnapshotK:     2,
+		Durability:    &silo.DurabilityOptions{Dir: dir, Loggers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("accounts")
+	audit := db.CreateTable("audit")
+
+	key := func(i int) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(i))
+		return b
+	}
+	if err := db.Run(0, func(tx *silo.Tx) error {
+		for i := 0; i < accounts; i++ {
+			v := make([]byte, 8)
+			binary.BigEndian.PutUint64(v, initial)
+			if err := tx.Insert(tbl, key(i), v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := uint64(wid)*2654435761 + 17
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int((rng >> 33) % uint64(n))
+			}
+			for r := 0; r < rounds; r++ {
+				switch next(10) {
+				case 0, 1, 2, 3, 4, 5: // transfer
+					from, to := next(accounts), next(accounts)
+					if from == to {
+						continue
+					}
+					amt := uint64(next(20))
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						fv, err := tx.Get(tbl, key(from))
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Get(tbl, key(to))
+						if err != nil {
+							return err
+						}
+						f := binary.BigEndian.Uint64(fv)
+						g := binary.BigEndian.Uint64(tv)
+						if f < amt {
+							return nil
+						}
+						binary.BigEndian.PutUint64(fv, f-amt)
+						binary.BigEndian.PutUint64(tv, g+amt)
+						if err := tx.Put(tbl, key(from), fv); err != nil {
+							return err
+						}
+						return tx.Put(tbl, key(to), tv)
+					}); err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				case 6: // audit-table insert + delete churn
+					k := []byte(fmt.Sprintf("a-%d-%d", wid, r))
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						return tx.Insert(audit, k, []byte("x"))
+					}); err != nil {
+						t.Errorf("audit insert: %v", err)
+						return
+					}
+					if r%2 == 0 {
+						if err := db.Run(wid, func(tx *silo.Tx) error {
+							return tx.Delete(audit, k)
+						}); err != nil {
+							t.Errorf("audit delete: %v", err)
+							return
+						}
+					}
+				case 7: // full-scan invariant check (serializable)
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						var total uint64
+						if err := tx.Scan(tbl, key(0), nil, func(_, v []byte) bool {
+							total += binary.BigEndian.Uint64(v)
+							return true
+						}); err != nil {
+							return err
+						}
+						if total != accounts*initial {
+							t.Errorf("serializable scan total=%d", total)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+				case 8: // snapshot invariant check (never aborts)
+					if err := db.RunSnapshot(wid, func(stx *silo.SnapTx) error {
+						var total uint64
+						n := 0
+						if err := stx.Scan(tbl, key(0), nil, func(_, v []byte) bool {
+							total += binary.BigEndian.Uint64(v)
+							n++
+							return true
+						}); err != nil {
+							return err
+						}
+						if n == accounts && total != accounts*initial {
+							t.Errorf("snapshot scan total=%d (n=%d)", total, n)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				case 9: // durable commit
+					if err := db.RunDurable(wid, func(tx *silo.Tx) error {
+						v, err := tx.Get(tbl, key(next(accounts)))
+						_ = v
+						return err
+					}); err != nil {
+						t.Errorf("durable: %v", err)
+						return
+					}
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	// Make everything durable, then recover into a fresh DB and re-check.
+	if err := db.RunDurable(0, func(tx *silo.Tx) error {
+		_, err := tx.Get(tbl, key(0))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := silo.Open(silo.Options{
+		Durability: &silo.DurabilityOptions{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.CreateTable("accounts")
+	db2.CreateTable("audit")
+	if _, err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	n := 0
+	if err := db2.Run(0, func(tx *silo.Tx) error {
+		total, n = 0, 0
+		return tx.Scan(tbl2, key(0), key(accounts), func(_, v []byte) bool {
+			total += binary.BigEndian.Uint64(v)
+			n++
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != accounts || total != accounts*initial {
+		t.Fatalf("recovered %d accounts totalling %d; want %d totalling %d",
+			n, total, accounts, accounts*initial)
+	}
+}

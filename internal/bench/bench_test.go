@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Fatalf("p50=%v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Microsecond || p99 > 1200*time.Microsecond {
+		t.Fatalf("p99=%v", p99)
+	}
+	if m := h.Mean(); m < 400*time.Microsecond || m > 650*time.Microsecond {
+		t.Fatalf("mean=%v", m)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram nonzero")
+	}
+	h.Record(0)                 // below 1µs clamps to bucket 0
+	h.Record(100 * time.Second) // above range clamps to the top bucket
+	if h.Count() != 2 {
+		t.Fatal("count")
+	}
+	if h.Quantile(0) == 0 && h.Quantile(1.0) == 0 {
+		t.Fatal("quantiles collapsed")
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	r := Run("test", 2, 10*time.Millisecond, 50*time.Millisecond,
+		func(wid int, stop *atomic.Bool, ops, aborts *atomic.Uint64) {
+			for !stop.Load() {
+				ops.Add(1)
+				if wid == 1 {
+					aborts.Add(1)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	if r.Ops == 0 {
+		t.Fatal("no ops counted")
+	}
+	if r.Aborts == 0 {
+		t.Fatal("no aborts counted")
+	}
+	if r.TPS() <= 0 || r.PerCore() <= 0 {
+		t.Fatal("rates non-positive")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMedianPicksMiddle(t *testing.T) {
+	i := 0
+	tps := []uint64{100, 300, 200}
+	r := Median(3, func() Result {
+		res := Result{Ops: tps[i], Duration: time.Second}
+		i++
+		return res
+	})
+	if r.Ops != 200 {
+		t.Fatalf("median ops=%d", r.Ops)
+	}
+	one := Median(1, func() Result { return Result{Ops: 7, Duration: time.Second} })
+	if one.Ops != 7 {
+		t.Fatal("n=1 short-circuit")
+	}
+}

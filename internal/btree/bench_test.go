@@ -1,0 +1,81 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"silo/internal/record"
+	"silo/internal/tid"
+)
+
+func benchKey(i int, buf []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return append(buf[:0], b[:]...)
+}
+
+func loadedTree(n int) *Tree {
+	tr := New()
+	var kb []byte
+	for i := 0; i < n; i++ {
+		kb = benchKey(i, kb)
+		tr.InsertIfAbsent(kb, record.New(tid.Make(1, 1).WithLatest(true), []byte{1}))
+	}
+	return tr
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	for _, n := range []int{1000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			tr := loadedTree(n)
+			var kb []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kb = benchKey(i%n, kb)
+				tr.Get(kb)
+			}
+		})
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := New()
+	var kb []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kb = benchKey(i, kb)
+		tr.InsertIfAbsent(kb, record.New(tid.Make(1, 1).WithLatest(true), []byte{1}))
+	}
+}
+
+func BenchmarkTreeScan100(b *testing.B) {
+	tr := loadedTree(100000)
+	var lo, hi []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 997) % 99900
+		lo = benchKey(start, lo)
+		hi = benchKey(start+100, hi)
+		cnt := 0
+		tr.Scan(lo, hi, nil, func(_ []byte, _ *record.Record) bool {
+			cnt++
+			return true
+		})
+	}
+}
+
+// BenchmarkTreeGetParallel measures read scaling: readers never write
+// shared memory, so added goroutines should not slow each other down.
+func BenchmarkTreeGetParallel(b *testing.B) {
+	tr := loadedTree(100000)
+	b.RunParallel(func(pb *testing.PB) {
+		var kb []byte
+		i := 0
+		for pb.Next() {
+			kb = benchKey(i%100000, kb)
+			tr.Get(kb)
+			i += 7919
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silo/internal/record"
+)
+
+// Binary-safety tests: keys containing 0x00 and 0xFF bytes, keys that are
+// prefixes of one another, and keys at exactly MaxKeyLen must order and
+// retrieve correctly (TPC-C's big-endian composite keys are full of 0x00).
+func TestBinaryKeys(t *testing.T) {
+	tr := New()
+	keys := [][]byte{
+		{0x00},
+		{0x00, 0x00},
+		{0x00, 0x00, 0x01},
+		{0x00, 0x01},
+		{0x01},
+		{0x01, 0x00},
+		{0xFE, 0xFF, 0xFF},
+		{0xFF},
+		{0xFF, 0x00},
+		{0xFF, 0xFF},
+		bytes.Repeat([]byte{0xAB}, MaxKeyLen), // max length
+		bytes.Repeat([]byte{0x00}, MaxKeyLen), // max length, all zero... almost
+	}
+	// Make the all-zero max-length key distinct from {0x00}: it already is
+	// (longer sorts after).
+	for i, k := range keys {
+		if _, inserted, _ := tr.InsertIfAbsent(k, mkrec(byte(i))); !inserted {
+			t.Fatalf("key %x not inserted", k)
+		}
+	}
+	for i, k := range keys {
+		rec, _, _ := tr.Get(k)
+		if rec == nil || rec.DataUnsafe()[0] != byte(i) {
+			t.Fatalf("key %x lookup failed", k)
+		}
+	}
+	// Scan order must equal bytes.Compare order.
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+	i := 0
+	tr.Scan([]byte{0x00}, nil, nil, func(k []byte, _ *record.Record) bool {
+		if !bytes.Equal(k, sorted[i]) {
+			t.Fatalf("scan pos %d: %x want %x", i, k, sorted[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan saw %d keys", i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixKeyFamilies inserts dense families of prefix-related binary
+// keys and verifies model equivalence.
+func TestPrefixKeyFamilies(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(5))
+	model := map[string]bool{}
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(10)
+		k := make([]byte, n)
+		for j := range k {
+			k[j] = byte(rng.Intn(3)) // tiny alphabet → many shared prefixes
+		}
+		_, inserted, _ := tr.InsertIfAbsent(k, mkrec(1))
+		if inserted != !model[string(k)] {
+			t.Fatalf("insert %x: inserted=%v model=%v", k, inserted, model[string(k)])
+		}
+		model[string(k)] = true
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", tr.Len(), len(model))
+	}
+	var want []string
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	i := 0
+	tr.Scan([]byte{0x00}, nil, nil, func(k []byte, _ *record.Record) bool {
+		if string(k) != want[i] {
+			t.Fatalf("pos %d: %x want %x", i, k, want[i])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("scan saw %d of %d", i, len(want))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,730 @@
+// Package btree implements the Masstree-inspired concurrent B+-tree
+// underlying every Silo index (§3, §4.6 of the paper).
+//
+// Design, following Masstree [Mao et al., Eurosys 2012]:
+//
+//   - Read operations never write to shared memory. Readers coordinate with
+//     writers using per-node version numbers and fence-based synchronization:
+//     a reader samples a node's version (spinning while the lock bit is set),
+//     reads the node's contents, and re-checks the version; a change forces a
+//     retry. Descent re-validates the parent after capturing the child's
+//     version, so a reader can never act on a stale routing decision.
+//
+//   - Writers lock individual nodes (the version word's lock bit). Inserts
+//     take an optimistic fast path (upgrade the leaf's observed version to a
+//     lock with one CAS); splits fall back to top-down hand-over-hand
+//     latching that releases ancestors as soon as a child is split-safe.
+//
+//   - Structural modification bumps the version of every node involved,
+//     which is exactly the property Silo's node-set validation (§4.6) relies
+//     on to detect phantoms: a committed scan re-checks the versions of all
+//     leaves it observed.
+//
+//   - Leaves are chained for range scans. Nodes are never merged on
+//     underflow (Masstree practice); deletion leaves empty leaves in place.
+//     Because splits never retire nodes and merges never happen, tree nodes
+//     themselves generate no garbage; record versions are the only garbage,
+//     handled by the epoch GC in internal/core.
+//
+// Keys are byte strings up to MaxKeyLen bytes, stored inline in fixed-size
+// slots so that racy (validated-after) readers can never tear a pointer.
+// Values are *record.Record pointers stored with atomic loads/stores.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"silo/internal/record"
+)
+
+const (
+	// MaxKeyLen is the largest supported key, chosen so a key slot plus its
+	// length fills one cache line. The paper treats all keys as strings;
+	// TPC-C's widest composite key is well under this.
+	MaxKeyLen = 62
+
+	// fanout is the maximum number of keys per node (~4 cache lines of key
+	// slots, following the paper's node sizing).
+	fanout = 16
+)
+
+// Version-word layout: bit 0 is the lock bit; the remaining bits form a
+// modification counter incremented by every structural change.
+const (
+	lockBit    uint64 = 1
+	versionInc uint64 = 2
+)
+
+// node is the header shared by inner nodes and leaves.
+type node struct {
+	version atomic.Uint64
+	nkeys   atomic.Int32
+	level   int32 // 0 for leaves; immutable after creation
+}
+
+// Node is the opaque handle exposed for node-set tracking. The pointer
+// identifies the node; Version samples its current version word.
+type Node = node
+
+// Version returns the node's current version word, including the lock bit
+// if a writer holds it. Silo's Phase 2 treats a locked node like a changed
+// one, so comparing this raw value against a stable version recorded during
+// execution is exactly the paper's check.
+func (n *node) Version() uint64 { return n.version.Load() }
+
+// stable spins until the node is unlocked and returns the version.
+func (n *node) stable() uint64 {
+	for spins := 0; ; spins++ {
+		v := n.version.Load()
+		if v&lockBit == 0 {
+			return v
+		}
+		backoff(spins)
+	}
+}
+
+// tryUpgrade atomically converts an observed stable version into a lock,
+// failing if the node changed or is locked.
+func (n *node) tryUpgrade(v uint64) bool {
+	return n.version.CompareAndSwap(v, v|lockBit)
+}
+
+// lock spins until it owns the node's lock bit.
+func (n *node) lock() {
+	for spins := 0; ; spins++ {
+		v := n.version.Load()
+		if v&lockBit == 0 && n.version.CompareAndSwap(v, v|lockBit) {
+			return
+		}
+		backoff(spins)
+	}
+}
+
+// unlockBump releases the lock and increments the version counter,
+// signalling a structural modification to concurrent readers and to
+// transactions validating node-sets.
+func (n *node) unlockBump() {
+	n.version.Store((n.version.Load() + versionInc) &^ lockBit)
+}
+
+// unlock releases the lock without changing the version (no modification).
+func (n *node) unlock() {
+	n.version.Store(n.version.Load() &^ lockBit)
+}
+
+// ikey is an inline key slot. Fixed-size storage means racy readers copy
+// bytes, never pointers; a torn copy is caught by version validation and is
+// always memory-safe (the slice below is clamped to the array bounds).
+type ikey struct {
+	n uint16
+	b [MaxKeyLen]byte
+}
+
+func (k *ikey) set(key []byte) {
+	k.n = uint16(len(key))
+	copy(k.b[:], key)
+}
+
+func (k *ikey) get() []byte {
+	n := int(k.n)
+	if n > MaxKeyLen {
+		n = MaxKeyLen // torn read; validation will force a retry
+	}
+	return k.b[:n]
+}
+
+type inner struct {
+	node
+	keys     [fanout]ikey
+	children [fanout + 1]unsafe.Pointer // *node
+}
+
+type leaf struct {
+	node
+	keys [fanout]ikey
+	vals [fanout]unsafe.Pointer // *record.Record
+	next unsafe.Pointer         // *leaf
+}
+
+func (in *inner) child(i int) *node {
+	return (*node)(atomic.LoadPointer(&in.children[i]))
+}
+
+func (lf *leaf) val(i int) *record.Record {
+	return (*record.Record)(atomic.LoadPointer(&lf.vals[i]))
+}
+
+func (lf *leaf) nextLeaf() *leaf {
+	return (*leaf)(atomic.LoadPointer(&lf.next))
+}
+
+// clampKeys bounds a racily-read key count to the node's capacity.
+func clampKeys(n int32) int {
+	if n < 0 {
+		return 0
+	}
+	if n > fanout {
+		return fanout
+	}
+	return int(n)
+}
+
+// search returns the child index to descend for key: the number of
+// separators ≤ key (children[i] covers [keys[i-1], keys[i])).
+func (in *inner) search(key []byte) int {
+	nk := clampKeys(in.nkeys.Load())
+	i := 0
+	for i < nk && bytes.Compare(in.keys[i].get(), key) <= 0 {
+		i++
+	}
+	return i
+}
+
+// search returns the position of the first slot ≥ key and whether it equals
+// key.
+func (lf *leaf) search(key []byte) (int, bool) {
+	nk := clampKeys(lf.nkeys.Load())
+	for i := 0; i < nk; i++ {
+		switch bytes.Compare(lf.keys[i].get(), key) {
+		case 0:
+			return i, true
+		case 1:
+			return i, false
+		}
+	}
+	return clampKeys(lf.nkeys.Load()), false
+}
+
+// VersionChange describes a node whose version was bumped by an insert, so
+// the transaction layer can implement §4.6's node-set maintenance: an insert
+// by the current transaction updates matching node-set entries from Old to
+// New rather than causing an abort; Created nodes must be added to the
+// node-set so the scanned key range stays covered after a split.
+type VersionChange struct {
+	Node    *Node
+	Old     uint64
+	New     uint64
+	Created bool
+}
+
+// Tree is a concurrent B+-tree mapping byte-string keys to records.
+type Tree struct {
+	root  unsafe.Pointer // *node
+	count atomic.Int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	atomic.StorePointer(&t.root, unsafe.Pointer(&leaf{}))
+	return t
+}
+
+// Len returns the number of keys in the tree (including keys whose records
+// are in the absent state; logical liveness is the transaction layer's
+// concern).
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+func (t *Tree) loadRoot() *node {
+	return (*node)(atomic.LoadPointer(&t.root))
+}
+
+func checkKey(key []byte) {
+	if len(key) > MaxKeyLen {
+		panic(fmt.Sprintf("btree: key length %d exceeds MaxKeyLen %d", len(key), MaxKeyLen))
+	}
+	if len(key) == 0 {
+		panic("btree: empty key")
+	}
+}
+
+// descend walks optimistically from the root to the leaf responsible for
+// key, returning the leaf and its stable version.
+func (t *Tree) descend(key []byte) (*leaf, uint64) {
+retry:
+	n := t.loadRoot()
+	v := n.stable()
+	if t.loadRoot() != n {
+		goto retry
+	}
+	for n.level > 0 {
+		in := (*inner)(unsafe.Pointer(n))
+		idx := in.search(key)
+		c := in.child(idx)
+		if c == nil {
+			// Torn read of nkeys/keys; the validation below would catch it,
+			// but we cannot stabilize a nil child.
+			if n.version.Load() != v {
+				goto retry
+			}
+			goto retry
+		}
+		cv := c.stable()
+		if n.version.Load() != v {
+			goto retry
+		}
+		n, v = c, cv
+	}
+	return (*leaf)(unsafe.Pointer(n)), v
+}
+
+// Get looks up key. It returns the record (nil if the key is not present),
+// the leaf that does or would contain the key, and that leaf's validated
+// version — the (node, version) pair a transaction records in its node-set
+// when the key is missing (§4.6).
+func (t *Tree) Get(key []byte) (rec *record.Record, n *Node, version uint64) {
+	checkKey(key)
+	for spins := 0; ; spins++ {
+		lf, v := t.descend(key)
+		idx, eq := lf.search(key)
+		if eq {
+			rec = lf.val(idx)
+		} else {
+			rec = nil
+		}
+		if lf.version.Load() == v {
+			if eq && rec == nil {
+				// torn val read; retry
+				backoff(spins)
+				continue
+			}
+			return rec, &lf.node, v
+		}
+		backoff(spins)
+	}
+}
+
+// InsertIfAbsent maps key to rec unless key is already present. It returns
+// the record now in the tree (rec on success, the pre-existing record
+// otherwise), whether the insert happened, and the version changes of every
+// node the insert structurally modified.
+func (t *Tree) InsertIfAbsent(key []byte, rec *record.Record) (cur *record.Record, inserted bool, changes []VersionChange) {
+	checkKey(key)
+	for spins := 0; ; spins++ {
+		lf, v := t.descend(key)
+		idx, eq := lf.search(key)
+		if eq {
+			existing := lf.val(idx)
+			if lf.version.Load() == v && existing != nil {
+				return existing, false, nil
+			}
+			backoff(spins)
+			continue
+		}
+		nk := int(lf.nkeys.Load())
+		if nk < fanout {
+			// Fast path: room in the leaf; upgrade our observed version.
+			if !lf.tryUpgrade(v) {
+				backoff(spins)
+				continue
+			}
+			// Re-search under the lock: the upgrade guarantees no change
+			// since v, so idx is still right, but recompute defensively.
+			idx, eq = lf.search(key)
+			if eq {
+				existing := lf.val(idx)
+				lf.unlock()
+				return existing, false, nil
+			}
+			lf.insertAt(idx, key, rec)
+			newV := (lf.version.Load() + versionInc) &^ lockBit
+			lf.unlockBump()
+			t.count.Add(1)
+			return rec, true, []VersionChange{{Node: &lf.node, Old: v, New: newV}}
+		}
+		// Leaf full: pessimistic split path.
+		cur, inserted, changes, ok := t.insertSplit(key, rec)
+		if ok {
+			return cur, inserted, changes
+		}
+		backoff(spins)
+	}
+}
+
+// insertAt shifts slots right and installs (key, rec) at position idx.
+// Caller holds the leaf lock and has verified there is room.
+func (lf *leaf) insertAt(idx int, key []byte, rec *record.Record) {
+	nk := int(lf.nkeys.Load())
+	for i := nk; i > idx; i-- {
+		lf.keys[i] = lf.keys[i-1]
+		atomic.StorePointer(&lf.vals[i], atomic.LoadPointer(&lf.vals[i-1]))
+	}
+	lf.keys[idx].set(key)
+	atomic.StorePointer(&lf.vals[idx], unsafe.Pointer(rec))
+	lf.nkeys.Store(int32(nk + 1))
+}
+
+// insertSplit handles inserts that require splitting. It locks the path
+// from the root down, releasing ancestors as soon as a child has room for a
+// promoted separator, then splits bottom-up. Returns ok=false if the
+// descent raced with a root change and must be retried.
+func (t *Tree) insertSplit(key []byte, rec *record.Record) (cur *record.Record, inserted bool, changes []VersionChange, ok bool) {
+	n := t.loadRoot()
+	n.lock()
+	if t.loadRoot() != n {
+		n.unlock()
+		return nil, false, nil, false
+	}
+	// locked holds the chain of locked nodes, outermost first. Entry i+1 is
+	// the child of entry i along the descent. preVersions records each
+	// locked node's version at lock time (lock bit set; strip it).
+	locked := []*node{n}
+	preV := []uint64{n.version.Load() &^ lockBit}
+	for n.level > 0 {
+		in := (*inner)(unsafe.Pointer(n))
+		idx := in.search(key)
+		c := in.child(idx)
+		c.lock()
+		if int(c.nkeys.Load()) < fanout {
+			// Child cannot split further up: release all ancestors.
+			for _, a := range locked {
+				a.unlock()
+			}
+			locked = locked[:0]
+			preV = preV[:0]
+		}
+		locked = append(locked, c)
+		preV = append(preV, c.version.Load()&^lockBit)
+		n = c
+	}
+	lf := (*leaf)(unsafe.Pointer(n))
+	idx, eq := lf.search(key)
+	if eq {
+		existing := lf.val(idx)
+		for _, a := range locked {
+			a.unlock()
+		}
+		return existing, false, nil, true
+	}
+	if int(lf.nkeys.Load()) < fanout {
+		// A concurrent remove made room; no split after all.
+		lf.insertAt(idx, key, rec)
+		for i, a := range locked {
+			if a == n {
+				changes = append(changes, VersionChange{Node: a, Old: preV[i], New: (a.version.Load() + versionInc) &^ lockBit})
+				a.unlockBump()
+			} else {
+				a.unlock()
+			}
+		}
+		t.count.Add(1)
+		return rec, true, changes, true
+	}
+
+	// Split the leaf: upper half moves to a fresh (locked) right sibling.
+	right := &leaf{}
+	right.version.Store(lockBit)
+	mid := fanout / 2
+	for i := mid; i < fanout; i++ {
+		right.keys[i-mid] = lf.keys[i]
+		atomic.StorePointer(&right.vals[i-mid], atomic.LoadPointer(&lf.vals[i]))
+		atomic.StorePointer(&lf.vals[i], nil)
+	}
+	right.nkeys.Store(int32(fanout - mid))
+	lf.nkeys.Store(int32(mid))
+	atomic.StorePointer(&right.next, atomic.LoadPointer(&lf.next))
+	atomic.StorePointer(&lf.next, unsafe.Pointer(right))
+	sep := make([]byte, len(right.keys[0].get()))
+	copy(sep, right.keys[0].get())
+
+	if bytes.Compare(key, sep) >= 0 {
+		i, _ := right.search(key)
+		right.insertAt(i, key, rec)
+	} else {
+		i, _ := lf.search(key)
+		lf.insertAt(i, key, rec)
+	}
+
+	// Record changes for the two leaves; they are unlocked after the
+	// separator is linked into the parent chain.
+	pending := []pendingUnlock{
+		{n: &lf.node, bump: true},
+		{n: &right.node, bump: true, created: true},
+	}
+	changes = t.propagateSplit(locked, preV, &lf.node, sep, &right.node, pending)
+	t.count.Add(1)
+	return rec, true, changes, true
+}
+
+type pendingUnlock struct {
+	n       *node
+	bump    bool
+	created bool
+}
+
+// propagateSplit links (sep, right) into the parent of child, splitting
+// inner nodes upward as needed, then unlocks every touched node and returns
+// the version changes. locked is the residual locked path (outermost
+// first); its final element is the leaf already handled by the caller.
+func (t *Tree) propagateSplit(locked []*node, preV []uint64, child *node, sep []byte, right *node, pending []pendingUnlock) []VersionChange {
+	// Walk up the locked path from the leaf's parent.
+	pi := len(locked) - 2 // index of child's parent in locked
+	for {
+		if pi < 0 {
+			// child was the root (everything above split away): new root.
+			nr := &inner{}
+			nr.level = child.level + 1
+			nr.keys[0].set(sep)
+			atomic.StorePointer(&nr.children[0], unsafe.Pointer(child))
+			atomic.StorePointer(&nr.children[1], unsafe.Pointer(right))
+			nr.nkeys.Store(1)
+			atomic.StorePointer(&t.root, unsafe.Pointer(nr))
+			break
+		}
+		parent := (*inner)(unsafe.Pointer(locked[pi]))
+		nk := int(parent.nkeys.Load())
+		idx := parent.search(sep)
+		if nk < fanout {
+			for i := nk; i > idx; i-- {
+				parent.keys[i] = parent.keys[i-1]
+				atomic.StorePointer(&parent.children[i+1], atomic.LoadPointer(&parent.children[i]))
+			}
+			parent.keys[idx].set(sep)
+			atomic.StorePointer(&parent.children[idx+1], unsafe.Pointer(right))
+			parent.nkeys.Store(int32(nk + 1))
+			pending = markBump(pending, &parent.node)
+			break
+		}
+		// Parent is full: split it and keep propagating.
+		pright := &inner{}
+		pright.level = parent.level
+		pright.version.Store(lockBit)
+		mid := fanout / 2
+		promoted := make([]byte, len(parent.keys[mid].get()))
+		copy(promoted, parent.keys[mid].get())
+		for i := mid + 1; i < fanout; i++ {
+			pright.keys[i-mid-1] = parent.keys[i]
+		}
+		for i := mid + 1; i <= fanout; i++ {
+			atomic.StorePointer(&pright.children[i-mid-1], atomic.LoadPointer(&parent.children[i]))
+			atomic.StorePointer(&parent.children[i], nil)
+		}
+		pright.nkeys.Store(int32(fanout - mid - 1))
+		parent.nkeys.Store(int32(mid))
+		// Insert (sep, right) into the proper half.
+		target := parent
+		if bytes.Compare(sep, promoted) >= 0 {
+			target = pright
+		}
+		tnk := int(target.nkeys.Load())
+		tidx := target.search(sep)
+		for i := tnk; i > tidx; i-- {
+			target.keys[i] = target.keys[i-1]
+			atomic.StorePointer(&target.children[i+1], atomic.LoadPointer(&target.children[i]))
+		}
+		target.keys[tidx].set(sep)
+		atomic.StorePointer(&target.children[tidx+1], unsafe.Pointer(right))
+		target.nkeys.Store(int32(tnk + 1))
+
+		pending = markBump(pending, &parent.node)
+		pending = append(pending, pendingUnlock{n: &pright.node, bump: true, created: true})
+		child, sep, right = &parent.node, promoted, &pright.node
+		pi--
+	}
+
+	// Unlock everything: pending nodes (leaves + split inners + created
+	// siblings) with or without bumps, then any residual locked ancestors
+	// that were not modified.
+	changes := make([]VersionChange, 0, len(pending))
+	unlockSet := make(map[*node]bool, len(pending))
+	for _, p := range pending {
+		unlockSet[p.n] = true
+		old := p.n.version.Load() &^ lockBit
+		if p.created {
+			old = 0
+		} else {
+			// Find the pre-lock version recorded at lock time.
+			for i, ln := range locked {
+				if ln == p.n {
+					old = preV[i]
+					break
+				}
+			}
+		}
+		if p.bump {
+			newV := (p.n.version.Load() + versionInc) &^ lockBit
+			p.n.unlockBump()
+			changes = append(changes, VersionChange{Node: p.n, Old: old, New: newV, Created: p.created})
+		} else {
+			p.n.unlock()
+		}
+	}
+	for _, ln := range locked {
+		if !unlockSet[ln] {
+			ln.unlock()
+		}
+	}
+	return changes
+}
+
+func markBump(pending []pendingUnlock, n *node) []pendingUnlock {
+	for i := range pending {
+		if pending[i].n == n {
+			pending[i].bump = true
+			return pending
+		}
+	}
+	return append(pending, pendingUnlock{n: n, bump: true})
+}
+
+// Remove deletes key from the tree, returning whether it was present and
+// the leaf's version change. Only the GC's unhook step (§4.9) and tests
+// call this; transactional deletes mark records absent instead.
+func (t *Tree) Remove(key []byte) (removed bool, change VersionChange) {
+	checkKey(key)
+	for spins := 0; ; spins++ {
+		lf, v := t.descend(key)
+		idx, eq := lf.search(key)
+		if !eq {
+			if lf.version.Load() == v {
+				return false, VersionChange{}
+			}
+			backoff(spins)
+			continue
+		}
+		if !lf.tryUpgrade(v) {
+			backoff(spins)
+			continue
+		}
+		idx, eq = lf.search(key)
+		if !eq {
+			lf.unlock()
+			return false, VersionChange{}
+		}
+		nk := int(lf.nkeys.Load())
+		for i := idx; i < nk-1; i++ {
+			lf.keys[i] = lf.keys[i+1]
+			atomic.StorePointer(&lf.vals[i], atomic.LoadPointer(&lf.vals[i+1]))
+		}
+		atomic.StorePointer(&lf.vals[nk-1], nil)
+		lf.nkeys.Store(int32(nk - 1))
+		newV := (lf.version.Load() + versionInc) &^ lockBit
+		lf.unlockBump()
+		t.count.Add(-1)
+		return true, VersionChange{Node: &lf.node, Old: v, New: newV}
+	}
+}
+
+// RemoveIf deletes key only while pred(current record) holds, atomically
+// with respect to the leaf. The GC unhook uses this to remove an absent
+// record only if it is still the latest version for its key (§4.9).
+func (t *Tree) RemoveIf(key []byte, pred func(*record.Record) bool) (removed bool, change VersionChange) {
+	checkKey(key)
+	for spins := 0; ; spins++ {
+		lf, v := t.descend(key)
+		idx, eq := lf.search(key)
+		if !eq {
+			if lf.version.Load() == v {
+				return false, VersionChange{}
+			}
+			backoff(spins)
+			continue
+		}
+		if !lf.tryUpgrade(v) {
+			backoff(spins)
+			continue
+		}
+		idx, eq = lf.search(key)
+		if !eq || !pred(lf.val(idx)) {
+			lf.unlock()
+			return false, VersionChange{}
+		}
+		nk := int(lf.nkeys.Load())
+		for i := idx; i < nk-1; i++ {
+			lf.keys[i] = lf.keys[i+1]
+			atomic.StorePointer(&lf.vals[i], atomic.LoadPointer(&lf.vals[i+1]))
+		}
+		atomic.StorePointer(&lf.vals[nk-1], nil)
+		lf.nkeys.Store(int32(nk - 1))
+		newV := (lf.version.Load() + versionInc) &^ lockBit
+		lf.unlockBump()
+		t.count.Add(-1)
+		return true, VersionChange{Node: &lf.node, Old: v, New: newV}
+	}
+}
+
+// scanEntry is one validated (key, record) pair copied out of a leaf.
+type scanEntry struct {
+	key ikey
+	rec *record.Record
+}
+
+// Scan visits keys in [lo, hi) in order (hi nil means +∞). For every leaf
+// examined — including leaves that contribute no keys, which still guard
+// the range against phantoms — nodeFn receives the leaf and its validated
+// version. fn receives each key and record; returning false stops the scan.
+// Key slices passed to fn are valid only during the callback.
+func (t *Tree) Scan(lo, hi []byte, nodeFn func(n *Node, version uint64), fn func(key []byte, rec *record.Record) bool) {
+	checkKey(lo)
+	var entries [fanout]scanEntry
+	lf, v := t.descend(lo)
+	first := true
+	for lf != nil {
+		var cnt int
+		var next *leaf
+		for spins := 0; ; spins++ {
+			if !first {
+				v = lf.stable()
+			}
+			cnt = 0
+			nk := clampKeys(lf.nkeys.Load())
+			for i := 0; i < nk; i++ {
+				k := lf.keys[i].get()
+				if bytes.Compare(k, lo) < 0 {
+					continue
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					continue
+				}
+				entries[cnt].key = lf.keys[i]
+				entries[cnt].rec = lf.val(i)
+				cnt++
+			}
+			next = lf.nextLeaf()
+			if lf.version.Load() == v {
+				break
+			}
+			first = false
+			backoff(spins)
+		}
+		first = false
+		if nodeFn != nil {
+			nodeFn(&lf.node, v)
+		}
+		for i := 0; i < cnt; i++ {
+			if entries[i].rec == nil {
+				continue // torn slot; its key will be revisited via validation upstream
+			}
+			if !fn(entries[i].key.get(), entries[i].rec) {
+				return
+			}
+		}
+		// Stop if this leaf's last key already reached hi; otherwise there
+		// may be more matching keys to the right.
+		if hi == nil {
+			if next == nil {
+				return
+			}
+		} else {
+			nk := clampKeys(lf.nkeys.Load())
+			if nk > 0 && bytes.Compare(lf.keys[nk-1].get(), hi) >= 0 {
+				return
+			}
+			if next == nil {
+				return
+			}
+		}
+		lf = next
+	}
+}
+
+func backoff(spins int) {
+	if spins < 8 {
+		return
+	}
+	runtime.Gosched()
+}

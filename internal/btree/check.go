@@ -1,0 +1,136 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"unsafe"
+
+	"silo/internal/record"
+)
+
+// CheckInvariants walks the tree single-threadedly and verifies structural
+// invariants: keys sorted within nodes, separators routing correctly, all
+// leaves at level 0, and the leaf chain agreeing with the in-order
+// traversal. It exists for tests; it must not run concurrently with
+// writers.
+func (t *Tree) CheckInvariants() error {
+	root := t.loadRoot()
+	var leaves []*leaf
+	if err := checkNode(root, nil, nil, &leaves); err != nil {
+		return err
+	}
+	// Leaf chain must visit the same leaves in the same order. Start from
+	// the leftmost leaf.
+	if len(leaves) > 0 {
+		lf := leaves[0]
+		i := 0
+		for lf != nil {
+			if i >= len(leaves) {
+				return fmt.Errorf("leaf chain longer than in-order traversal at index %d", i)
+			}
+			if lf != leaves[i] {
+				return fmt.Errorf("leaf chain diverges from in-order traversal at index %d", i)
+			}
+			i++
+			lf = lf.nextLeaf()
+		}
+		if i != len(leaves) {
+			return fmt.Errorf("leaf chain has %d leaves, in-order traversal has %d", i, len(leaves))
+		}
+	}
+	// Count must match.
+	n := 0
+	for _, lf := range leaves {
+		n += int(lf.nkeys.Load())
+	}
+	if n != t.Len() {
+		return fmt.Errorf("key count %d != tree.Len() %d", n, t.Len())
+	}
+	return nil
+}
+
+func checkNode(n *node, lo, hi []byte, leaves *[]*leaf) error {
+	if n.version.Load()&lockBit != 0 {
+		return fmt.Errorf("node %p locked during single-threaded check", n)
+	}
+	nk := int(n.nkeys.Load())
+	if nk < 0 || nk > fanout {
+		return fmt.Errorf("node %p has invalid key count %d", n, nk)
+	}
+	if n.level == 0 {
+		lf := (*leaf)(unsafe.Pointer(n))
+		for i := 0; i < nk; i++ {
+			k := lf.keys[i].get()
+			if i > 0 && bytes.Compare(lf.keys[i-1].get(), k) >= 0 {
+				return fmt.Errorf("leaf %p keys out of order at %d", lf, i)
+			}
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("leaf %p key %q below bound %q", lf, k, lo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("leaf %p key %q above bound %q", lf, k, hi)
+			}
+			if lf.val(i) == nil {
+				return fmt.Errorf("leaf %p has nil record at %d", lf, i)
+			}
+		}
+		*leaves = append(*leaves, lf)
+		return nil
+	}
+	in := (*inner)(unsafe.Pointer(n))
+	if nk == 0 {
+		return fmt.Errorf("inner node %p has no keys", in)
+	}
+	for i := 0; i < nk; i++ {
+		k := in.keys[i].get()
+		if i > 0 && bytes.Compare(in.keys[i-1].get(), k) > 0 {
+			return fmt.Errorf("inner %p separators out of order at %d", in, i)
+		}
+	}
+	for i := 0; i <= nk; i++ {
+		c := in.child(i)
+		if c == nil {
+			return fmt.Errorf("inner %p has nil child at %d", in, i)
+		}
+		if c.level != n.level-1 {
+			return fmt.Errorf("inner %p child %d at level %d, want %d", in, i, c.level, n.level-1)
+		}
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = in.keys[i-1].get()
+		}
+		if i < nk {
+			chi = in.keys[i].get()
+		}
+		if err := checkNode(c, clo, chi, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyAll visits every (key, record) pair single-threadedly in key order.
+// Recovery and consistency checkers use it; it must not run concurrently
+// with writers.
+func (t *Tree) ApplyAll(fn func(key []byte, rec *record.Record) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.level == 0 {
+			lf := (*leaf)(unsafe.Pointer(n))
+			for i := 0; i < int(lf.nkeys.Load()); i++ {
+				if !fn(lf.keys[i].get(), lf.val(i)) {
+					return false
+				}
+			}
+			return true
+		}
+		in := (*inner)(unsafe.Pointer(n))
+		for i := 0; i <= int(in.nkeys.Load()); i++ {
+			if !walk(in.child(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.loadRoot())
+}

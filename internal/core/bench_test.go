@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Ablation microbenchmarks for the commit protocol itself: cost as a
+// function of read-set and write-set size, the price of node-set
+// (range-query) tracking, and the in-place-overwrite and arena design
+// choices called out in DESIGN.md.
+
+func benchStore(b *testing.B, mutate func(*Options)) (*Store, *Table) {
+	b.Helper()
+	opts := DefaultOptions(1)
+	opts.EpochInterval = 10 * time.Millisecond
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s := NewStore(opts)
+	b.Cleanup(s.Close)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	var kb [8]byte
+	val := make([]byte, 100)
+	for lo := 0; lo < 100000; lo += 512 {
+		w.Run(func(tx *Tx) error {
+			for i := lo; i < lo+512 && i < 100000; i++ {
+				binary.BigEndian.PutUint64(kb[:], uint64(i))
+				if err := tx.Insert(tbl, kb[:], val); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return s, tbl
+}
+
+func BenchmarkCommitReadSetSize(b *testing.B) {
+	s, tbl := benchStore(b, nil)
+	w := s.Worker(0)
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("reads=%d", n), func(b *testing.B) {
+			var kb [8]byte
+			for i := 0; i < b.N; i++ {
+				w.Run(func(tx *Tx) error {
+					for j := 0; j < n; j++ {
+						binary.BigEndian.PutUint64(kb[:], uint64((i*n+j)%100000))
+						if _, err := tx.Get(tbl, kb[:]); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkCommitWriteSetSize(b *testing.B) {
+	s, tbl := benchStore(b, nil)
+	w := s.Worker(0)
+	val := make([]byte, 100)
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("writes=%d", n), func(b *testing.B) {
+			var kb [8]byte
+			for i := 0; i < b.N; i++ {
+				w.Run(func(tx *Tx) error {
+					for j := 0; j < n; j++ {
+						binary.BigEndian.PutUint64(kb[:], uint64((i*n+j)%100000))
+						if err := tx.Put(tbl, kb[:], val); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkCommitScanNodeSet(b *testing.B) {
+	// Range-query phantom tracking: cost of validating the node-set for
+	// scans of increasing width.
+	s, tbl := benchStore(b, nil)
+	w := s.Worker(0)
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("scan=%d", n), func(b *testing.B) {
+			var lo, hi [8]byte
+			for i := 0; i < b.N; i++ {
+				start := (i * 127) % (100000 - n)
+				binary.BigEndian.PutUint64(lo[:], uint64(start))
+				binary.BigEndian.PutUint64(hi[:], uint64(start+n))
+				w.Run(func(tx *Tx) error {
+					return tx.Scan(tbl, lo[:], hi[:], func(_, _ []byte) bool { return true })
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkOverwriteModes isolates the +Overwrites factor at the record
+// level: same-size updates with and without in-place overwrite.
+func BenchmarkOverwriteModes(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"InPlace", nil},
+		{"AllocEachWrite", func(o *Options) { o.Overwrites = false }},
+		{"AllocNoArena", func(o *Options) { o.Overwrites = false; o.Arena = false }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, tbl := benchStore(b, mode.mutate)
+			w := s.Worker(0)
+			val := make([]byte, 100)
+			var kb [8]byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.BigEndian.PutUint64(kb[:], uint64(i%100000))
+				val[0] = byte(i)
+				w.Run(func(tx *Tx) error { return tx.Put(tbl, kb[:], val) })
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRead compares current-state reads against snapshot reads
+// that walk a version chain.
+func BenchmarkSnapshotRead(b *testing.B) {
+	opts := DefaultOptions(1)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := NewStore(opts)
+	b.Cleanup(s.Close)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v0")) })
+	// Build a 5-version chain.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			s.AdvanceEpoch()
+		}
+		w.Run(func(tx *Tx) error { return tx.Put(tbl, []byte("k"), []byte{byte(i), 0}) })
+	}
+	b.Run("Current", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.Run(func(tx *Tx) error { _, err := tx.Get(tbl, []byte("k")); return err })
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.RunSnapshot(func(stx *SnapTx) error {
+				_, err := stx.Get(tbl, []byte("k"))
+				if err == ErrNotFound {
+					err = nil
+				}
+				return err
+			})
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"silo/internal/record"
+)
+
+// Epoch-based garbage collection (§4.8, §4.9).
+//
+// Workers register garbage in per-worker lists together with a reclamation
+// epoch — the epoch after which no thread (or snapshot) could possibly
+// access the object — and reap ripe items themselves between requests,
+// which avoids helper threads and cross-core data movement.
+//
+// Two lists with two horizons:
+//
+//   - snapList: superseded record versions kept for snapshot transactions.
+//     An item registered with epoch snap(E) may be freed once the snapshot
+//     reclamation epoch (min se_w − 1) reaches it.
+//
+//   - unhookList: absent records (committed deletes and aborted insert
+//     placeholders) that must eventually be removed from the tree. A
+//     delete's unhook waits for the snapshot reclamation epoch (snapshot
+//     transactions must still find the linked older versions); an aborted
+//     placeholder waits only for the tree reclamation epoch (min e_w − 1).
+//
+// In Go "freeing" means dropping the last reference and letting the runtime
+// reclaim the memory (plus returning data buffers to the worker's arena);
+// the bookkeeping — what is retained, how many bytes, and when it becomes
+// reclaimable — is exactly the paper's, and is what §5.6 measures.
+
+type gcKind uint8
+
+const (
+	gcSnapshotVersion gcKind = iota
+	gcUnhook
+)
+
+type gcItem struct {
+	kind      gcKind
+	epoch     uint64 // reclamation epoch
+	snapBased bool   // true: compare against snapshot horizon; false: tree horizon
+	table     *Table
+	key       []byte
+	rec       *record.Record
+	expect    uint64 // pure TID the absent record must still carry to unhook
+	bytes     int
+}
+
+type gcState struct {
+	snapList   []gcItem
+	unhookList []gcItem
+}
+
+func (g *gcState) registerSnapshotVersion(w *Worker, rec *record.Record, reclaimEpoch uint64) {
+	n := rec.DataLen() + recordOverheadBytes
+	g.snapList = append(g.snapList, gcItem{
+		kind:  gcSnapshotVersion,
+		epoch: reclaimEpoch,
+		rec:   rec,
+		bytes: n,
+	})
+	w.stats.SnapshotBytesRetained += uint64(n)
+	w.stats.SnapshotVersionsCreated++
+}
+
+// registerUnhook schedules the removal of an absent record from the tree.
+// expect is the pure TID the record must still carry when the unhook runs;
+// if it changed, a later transaction superseded the record and owns its
+// cleanup (§4.9).
+func (g *gcState) registerUnhook(w *Worker, t *Table, key []byte, rec *record.Record, expect uint64, reclaimEpoch uint64, snapBased bool) {
+	g.unhookList = append(g.unhookList, gcItem{
+		kind:      gcUnhook,
+		epoch:     reclaimEpoch,
+		snapBased: snapBased,
+		table:     t,
+		key:       append([]byte(nil), key...),
+		rec:       rec,
+		expect:    expect,
+	})
+}
+
+// recordOverheadBytes approximates the fixed per-record header cost (the
+// paper reports 32 bytes excluding data).
+const recordOverheadBytes = 32
+
+// reap frees every ripe item. Items are registered in non-decreasing epoch
+// order per worker, so reaping pops prefixes.
+func (g *gcState) reap(w *Worker) {
+	snapHorizon := w.store.epochs.SnapshotReclamation()
+	treeHorizon := w.store.epochs.TreeReclamation()
+
+	i := 0
+	for ; i < len(g.snapList) && g.snapList[i].epoch <= snapHorizon; i++ {
+		it := &g.snapList[i]
+		w.stats.SnapshotBytesRetained -= uint64(it.bytes)
+		w.stats.SnapshotVersionsReaped++
+		it.rec = nil
+	}
+	if i > 0 {
+		g.snapList = sliceDrop(g.snapList, i)
+	}
+
+	i = 0
+	for ; i < len(g.unhookList); i++ {
+		it := &g.unhookList[i]
+		horizon := treeHorizon
+		if it.snapBased {
+			horizon = snapHorizon
+		}
+		if it.epoch > horizon {
+			break
+		}
+		unhook(w, it)
+	}
+	if i > 0 {
+		g.unhookList = sliceDrop(g.unhookList, i)
+	}
+}
+
+// unhook removes an absent record from its tree if it is still the latest
+// version for its key. The record is locked for the duration so the removal
+// cannot race with a committing insert that would supersede it; on success
+// the latest bit is cleared, so any in-flight transaction that read the
+// absent record fails its Phase 2 validation rather than committing against
+// a record no longer reachable from the tree.
+func unhook(w *Worker, it *gcItem) {
+	rec := it.rec
+	word, ok := rec.TryLock()
+	if !ok {
+		// A committing transaction holds the record; it is superseding the
+		// absent version, which transfers cleanup responsibility to it.
+		w.stats.UnhooksSkipped++
+		return
+	}
+	if !word.Absent() || !word.Latest() || word.TID() != it.expect {
+		// Superseded (or re-deleted with a newer registration): not ours.
+		rec.Unlock(word)
+		w.stats.UnhooksSkipped++
+		return
+	}
+	it.table.Tree.RemoveIf(it.key, func(r *record.Record) bool { return r == rec })
+	rec.Unlock(word.WithLatest(false))
+	w.stats.UnhooksDone++
+}
+
+// sliceDrop removes the first n items, reusing the backing array.
+func sliceDrop(s []gcItem, n int) []gcItem {
+	m := copy(s, s[n:])
+	for i := m; i < len(s); i++ {
+		s[i] = gcItem{}
+	}
+	return s[:m]
+}
+
+// PendingGarbage reports the worker's currently registered, not yet reaped
+// garbage items (tests and the §5.6 space measurement).
+func (w *Worker) PendingGarbage() (snapshotVersions, unhooks int) {
+	return len(w.gc.snapList), len(w.gc.unhookList)
+}
+
+// ReapNow forces a GC pass outside the between-requests schedule (tests).
+func (w *Worker) ReapNow() { w.gc.reap(w) }

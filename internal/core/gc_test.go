@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+)
+
+// advanceEpochs drives n manual epoch steps.
+func advanceEpochs(s *Store, n int) {
+	for i := 0; i < n; i++ {
+		s.AdvanceEpoch()
+	}
+}
+
+// TestDeleteUnhooksAfterReclamation: a committed delete leaves an absent
+// record in the tree; once the snapshot reclamation epoch passes, the GC
+// removes it (§4.9).
+func TestDeleteUnhooksAfterReclamation(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	if err := w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	// Put the delete's snapshot boundary ahead of the reclamation horizon,
+	// so the unhook cannot run immediately.
+	advanceEpochs(s, 5)
+	if err := w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) }); err != nil {
+		t.Fatal(err)
+	}
+	// The key is logically gone but physically present (absent record).
+	if tbl.Tree.Len() != 1 {
+		t.Fatalf("tree len=%d immediately after delete", tbl.Tree.Len())
+	}
+	// Push epochs well past the snapshot reclamation horizon and give the
+	// worker a chance to reap between transactions.
+	advanceEpochs(s, 20)
+	w.ReapNow()
+	if tbl.Tree.Len() != 0 {
+		sv, un := w.PendingGarbage()
+		t.Fatalf("absent record still hooked (len=%d, pending snap=%d unhook=%d, snapRecl=%d)",
+			tbl.Tree.Len(), sv, un, s.Epochs().SnapshotReclamation())
+	}
+	st := w.Stats()
+	if st.UnhooksDone != 1 {
+		t.Fatalf("unhooks done=%d", st.UnhooksDone)
+	}
+}
+
+// TestAbortedInsertPlaceholderCollected: an aborted insert's placeholder is
+// unhooked at the tree reclamation horizon (§4.5).
+func TestAbortedInsertPlaceholderCollected(t *testing.T) {
+	s := manualStore(t, 1, nil)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	tx := w.Begin()
+	if err := tx.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Tree.Len() != 1 {
+		t.Fatal("placeholder not installed")
+	}
+	tx.Abort()
+	if tbl.Tree.Len() != 1 {
+		t.Fatal("placeholder removed too early")
+	}
+	advanceEpochs(s, 3)
+	w.ReapNow()
+	if tbl.Tree.Len() != 0 {
+		t.Fatalf("placeholder still in tree (treeRecl=%d)", s.Epochs().TreeReclamation())
+	}
+}
+
+// TestSupersededPlaceholderNotUnhooked: if another transaction inserts over
+// an absent record before the GC runs, the unhook must be skipped.
+func TestSupersededPlaceholderNotUnhooked(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v1")) })
+	advanceEpochs(s, 5) // keep the unhook horizon in the future
+	w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+	// Re-insert before the unhook horizon.
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v2")) })
+
+	advanceEpochs(s, 20)
+	w.ReapNow()
+	if tbl.Tree.Len() != 1 {
+		t.Fatalf("live key unhooked! len=%d", tbl.Tree.Len())
+	}
+	if err := w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil || string(v) != "v2" {
+			t.Errorf("got %q %v", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.UnhooksSkipped == 0 {
+		t.Fatalf("expected a skipped unhook: %+v", st)
+	}
+}
+
+// TestUnhookClearsLatestAbortsReader: a transaction that read the absent
+// record before the GC unhooked it must fail validation (the unhook clears
+// the latest bit).
+func TestUnhookClearsLatestAbortsReader(t *testing.T) {
+	s := manualStore(t, 2, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w0 := s.Worker(0)
+
+	w0.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	w0.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("other"), []byte("x")) })
+	advanceEpochs(s, 5) // keep the unhook horizon in the future
+	w0.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+	if tbl.Tree.Len() != 2 {
+		t.Fatalf("absent record unhooked too early: len=%d", tbl.Tree.Len())
+	}
+
+	// Worker 1 observes the absent record (a failed Get records it in the
+	// read set).
+	tx := s.Worker(1).Begin()
+	if _, err := tx.Get(tbl, []byte("k")); err != ErrNotFound {
+		t.Fatal(err)
+	}
+	if err := tx.Put(tbl, []byte("other"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+
+	// GC unhooks the absent record. (Worker 1 is active, but epochs can
+	// still advance while it refreshes; we drive reclamation directly.)
+	advanceEpochs(s, 20)
+	w0.ReapNow()
+	if st := w0.Stats(); st.UnhooksDone == 0 {
+		sv, un := w0.PendingGarbage()
+		t.Skipf("unhook did not run (active reader pins horizon): pending=%d/%d", sv, un)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("reader of unhooked record committed: %v", err)
+	}
+}
+
+// TestSnapshotVersionsReaped: superseded versions registered for snapshots
+// are freed once the snapshot reclamation epoch passes (§5.6's property).
+func TestSnapshotVersionsReaped(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v0")) })
+	// Updates across snapshot boundaries create chain versions.
+	for i := 0; i < 5; i++ {
+		advanceEpochs(s, 3) // crosses a snapshot boundary (k=2)
+		if err := w.Run(func(tx *Tx) error {
+			return tx.Put(tbl, []byte("k"), []byte{byte('a' + i), byte('0' + i)})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.SnapshotVersionsCreated == 0 {
+		t.Fatal("no snapshot versions created across boundaries")
+	}
+	if st.SnapshotBytesRetained == 0 {
+		t.Fatal("no bytes retained")
+	}
+	advanceEpochs(s, 20)
+	w.ReapNow()
+	st = w.Stats()
+	if st.SnapshotVersionsReaped != st.SnapshotVersionsCreated {
+		t.Fatalf("reaped %d of %d versions", st.SnapshotVersionsReaped, st.SnapshotVersionsCreated)
+	}
+	if st.SnapshotBytesRetained != 0 {
+		t.Fatalf("bytes retained=%d after full reap", st.SnapshotBytesRetained)
+	}
+}
+
+// TestNoGCRetainsEverything: with GC disabled, garbage lists only grow
+// (the Figure 11 +NoGC factor).
+func TestNoGCRetainsEverything(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.GC = false; o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	for i := 0; i < 5; i++ {
+		advanceEpochs(s, 3)
+		w.Run(func(tx *Tx) error { return tx.Put(tbl, []byte("k"), []byte{byte(i)}) })
+	}
+	w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+	advanceEpochs(s, 30)
+	// GC disabled: nothing reaped even between transactions.
+	w.Run(func(tx *Tx) error { return nil })
+	sv, un := w.PendingGarbage()
+	if sv == 0 || un == 0 {
+		t.Fatalf("garbage lists drained despite GC off: snap=%d unhook=%d", sv, un)
+	}
+	if tbl.Tree.Len() != 1 {
+		t.Fatal("absent record unhooked despite GC off")
+	}
+}
+
+// TestSnapshotsDisabledNoVersions: +NoSnapshots writes never allocate chain
+// versions.
+func TestSnapshotsDisabledNoVersions(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.Snapshots = false; o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	for i := 0; i < 5; i++ {
+		advanceEpochs(s, 3)
+		w.Run(func(tx *Tx) error { return tx.Put(tbl, []byte("k"), []byte{byte(i)}) })
+	}
+	if st := w.Stats(); st.SnapshotVersionsCreated != 0 {
+		t.Fatalf("snapshot versions created with snapshots disabled: %d", st.SnapshotVersionsCreated)
+	}
+	// Deletes still unhook, now at the tree horizon.
+	w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+	advanceEpochs(s, 5)
+	w.ReapNow()
+	if tbl.Tree.Len() != 0 {
+		t.Fatal("delete not unhooked with snapshots disabled")
+	}
+}
+
+// TestSnapshotChainWalk: multiple retained versions resolve correctly for
+// different snapshot epochs.
+func TestSnapshotChainWalk(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v0")) })
+	advanceEpochs(s, 4)
+	w.Run(func(tx *Tx) error { return tx.Put(tbl, []byte("k"), []byte("v1")) })
+	advanceEpochs(s, 4)
+	w.Run(func(tx *Tx) error { return tx.Put(tbl, []byte("k"), []byte("v2")) })
+
+	// A snapshot reader at the current SE sees v1 (v2 is in the current
+	// epoch regime, after SE).
+	if err := w.RunSnapshot(func(stx *SnapTx) error {
+		v, err := stx.Get(tbl, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v1" {
+			t.Errorf("snapshot saw %q (sew=%d)", v, stx.Epoch())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A regular reader sees v2.
+	w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil || string(v) != "v2" {
+			t.Errorf("regular read %q %v", v, err)
+		}
+		return nil
+	})
+}
+
+// TestSnapshotSeesDeletedState: a delete committed after the snapshot epoch
+// is invisible to snapshot readers; one before it hides the key.
+func TestSnapshotSeesDeletedState(t *testing.T) {
+	s := manualStore(t, 1, func(o *Options) { o.SnapshotK = 2 })
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	advanceEpochs(s, 6)
+	w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+
+	// Snapshot epoch predates the delete: the key is visible.
+	if err := w.RunSnapshot(func(stx *SnapTx) error {
+		v, err := stx.Get(tbl, []byte("k"))
+		if err != nil {
+			t.Errorf("snapshot lost pre-delete version: %v (sew=%d)", err, stx.Epoch())
+			return nil
+		}
+		if string(v) != "v" {
+			t.Errorf("snapshot saw %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the snapshot horizon passes the delete, the key disappears
+	// from snapshots too.
+	advanceEpochs(s, 8)
+	if err := w.RunSnapshot(func(stx *SnapTx) error {
+		if _, err := stx.Get(tbl, []byte("k")); err != ErrNotFound {
+			t.Errorf("deleted key visible in late snapshot: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

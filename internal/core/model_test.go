@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: random sequences of transactions (each a batch
+// of Get/Put/Insert/Delete/Scan operations that commits or aborts) run
+// against both the engine and a plain map. After every transaction the
+// visible state must match: committed effects exactly applied, aborted
+// effects exactly discarded, scans agreeing with the sorted model. Epochs
+// advance and the GC runs throughout, so absent-record lifecycle
+// (placeholders, unhooks, snapshot-version retention) is exercised under
+// the comparison too.
+func TestModelEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		opts := DefaultOptions(1)
+		opts.ManualEpochs = true
+		opts.SnapshotK = 2
+		s := NewStore(opts)
+		defer s.Close()
+		tbl := s.CreateTable("t")
+		w := s.Worker(0)
+		model := map[string]string{}
+
+		key := func() []byte { return []byte(fmt.Sprintf("k%02d", rng.Intn(25))) }
+		val := func() []byte { return []byte(fmt.Sprintf("v%d", rng.Intn(1000))) }
+
+		for txn := 0; txn < 60; txn++ {
+			if rng.Intn(3) == 0 {
+				s.AdvanceEpoch()
+			}
+			abort := rng.Intn(4) == 0
+			pending := map[string]*string{} // key → new value (nil = delete)
+			tx := w.Begin()
+			ops := 1 + rng.Intn(5)
+			failed := false
+			for op := 0; op < ops && !failed; op++ {
+				k := key()
+				ks := string(k)
+				switch rng.Intn(5) {
+				case 0: // Get — compare against model+pending overlay
+					want, exists := model[ks], true
+					if _, ok := model[ks]; !ok {
+						exists = false
+					}
+					if p, ok := pending[ks]; ok {
+						if p == nil {
+							exists = false
+						} else {
+							want, exists = *p, true
+						}
+					}
+					v, err := tx.Get(tbl, k)
+					if exists && (err != nil || string(v) != want) {
+						t.Logf("seed %d txn %d: Get(%s)=%q,%v want %q", seed, txn, ks, v, err, want)
+						failed = true
+					}
+					if !exists && err != ErrNotFound {
+						t.Logf("seed %d txn %d: Get(%s) missing key err=%v", seed, txn, ks, err)
+						failed = true
+					}
+				case 1: // Put (update existing only)
+					v := val()
+					err := tx.Put(tbl, k, v)
+					exists := existsInOverlay(model, pending, ks)
+					if exists && err == nil {
+						vs := string(v)
+						pending[ks] = &vs
+					} else if !exists && err != ErrNotFound {
+						t.Logf("seed %d: Put missing err=%v", seed, err)
+						failed = true
+					} else if exists && err != nil {
+						t.Logf("seed %d: Put existing err=%v", seed, err)
+						failed = true
+					}
+				case 2: // Insert
+					v := val()
+					err := tx.Insert(tbl, k, v)
+					exists := existsInOverlay(model, pending, ks)
+					if !exists && err == nil {
+						vs := string(v)
+						pending[ks] = &vs
+					} else if exists && err != ErrKeyExists {
+						t.Logf("seed %d: Insert existing err=%v", seed, err)
+						failed = true
+					} else if !exists && err != nil {
+						t.Logf("seed %d: Insert fresh err=%v", seed, err)
+						failed = true
+					}
+				case 3: // Delete
+					err := tx.Delete(tbl, k)
+					exists := existsInOverlay(model, pending, ks)
+					if exists && err == nil {
+						pending[ks] = nil
+					} else if !exists && err != ErrNotFound {
+						t.Logf("seed %d: Delete missing err=%v", seed, err)
+						failed = true
+					} else if exists && err != nil {
+						t.Logf("seed %d: Delete existing err=%v", seed, err)
+						failed = true
+					}
+				case 4: // Scan whole range, compare with overlay
+					want := overlayKeys(model, pending)
+					var got []string
+					err := tx.Scan(tbl, []byte("k"), nil, func(k, v []byte) bool {
+						got = append(got, string(k)+"="+string(v))
+						return true
+					})
+					if err != nil {
+						t.Logf("seed %d: Scan err=%v", seed, err)
+						failed = true
+						break
+					}
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Logf("seed %d txn %d: scan\n got %v\nwant %v", seed, txn, got, want)
+						failed = true
+					}
+				}
+			}
+			if failed {
+				tx.Abort()
+				return false
+			}
+			if abort {
+				tx.Abort()
+				continue // model unchanged
+			}
+			if err := tx.Commit(); err != nil {
+				t.Logf("seed %d txn %d: single-worker commit failed: %v", seed, txn, err)
+				return false
+			}
+			for k, v := range pending {
+				if v == nil {
+					delete(model, k)
+				} else {
+					model[k] = *v
+				}
+			}
+		}
+
+		// Final full comparison after pushing epochs so GC unhooks run.
+		for i := 0; i < 20; i++ {
+			s.AdvanceEpoch()
+		}
+		w.ReapNow()
+		ok := true
+		w.Run(func(tx *Tx) error {
+			var got []string
+			tx.Scan(tbl, []byte("k"), nil, func(k, v []byte) bool {
+				got = append(got, string(k)+"="+string(v))
+				return true
+			})
+			want := overlayKeys(model, nil)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Logf("seed %d final state\n got %v\nwant %v", seed, got, want)
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func existsInOverlay(model map[string]string, pending map[string]*string, k string) bool {
+	if p, ok := pending[k]; ok {
+		return p != nil
+	}
+	_, ok := model[k]
+	return ok
+}
+
+func overlayKeys(model map[string]string, pending map[string]*string) []string {
+	eff := map[string]string{}
+	for k, v := range model {
+		eff[k] = v
+	}
+	for k, v := range pending {
+		if v == nil {
+			delete(eff, k)
+		} else {
+			eff[k] = *v
+		}
+	}
+	var out []string
+	for k, v := range eff {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPhantomAfterSelfSplit covers the subtle corner of §4.6's node-set
+// maintenance: a transaction scans a range, then its own insert splits a
+// scanned leaf (which must NOT abort it — the node-set entry advances to
+// the new version, and the freshly created sibling joins the node-set).
+// If a concurrent transaction then inserts into the part of the range that
+// moved to the new sibling, the scanner must still abort: the range it
+// depends on changed. Forgetting to add created siblings to the node-set
+// is exactly the bug this test exists to catch.
+func TestPhantomAfterSelfSplit(t *testing.T) {
+	// The tree's fanout is 16; fill one leaf to capacity so the scanner's
+	// own insert is guaranteed to split it.
+	for trial := 0; trial < 8; trial++ {
+		s := testStore(t, 2)
+		tbl := s.CreateTable("t")
+		key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+
+		if err := s.Worker(0).Run(func(tx *Tx) error {
+			for i := 0; i < 16; i++ {
+				if err := tx.Insert(tbl, key(i*2), []byte("v")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Scanner: reads the whole range, then inserts (splitting).
+		tx := s.Worker(0).Begin()
+		n := 0
+		if err := tx.Scan(tbl, key(0), key(100), func(k, v []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 16 {
+			t.Fatalf("scan saw %d keys", n)
+		}
+		if err := tx.Insert(tbl, key(1), []byte("mine")); err != nil {
+			t.Fatalf("self insert: %v", err)
+		}
+
+		if trial%2 == 0 {
+			// Even trials: no concurrent interference; the self-split must
+			// not abort the scanner.
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("trial %d: self-split aborted the scanner: %v", trial, err)
+			}
+			s.Close()
+			continue
+		}
+
+		// Odd trials: a concurrent insert lands somewhere in the scanned
+		// range — possibly in the new right sibling created by the
+		// scanner's split. The scanner must abort.
+		probe := key(2*trial + 7) // odd keys are free
+		if err := s.Worker(1).Run(func(tx2 *Tx) error {
+			return tx2.Insert(tbl, probe, []byte("intruder"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != ErrConflict {
+			t.Fatalf("trial %d: phantom insert at %s missed (commit=%v)", trial, probe, err)
+		}
+		s.Close()
+	}
+}
+
+// TestSelfSplitKeepsRangeCovered drives the split deterministically into
+// the created sibling: the scanner splits the leaf itself, a concurrent
+// insert goes into the upper half (the brand-new sibling node), and the
+// scanner must still detect it.
+func TestSelfSplitKeepsRangeCovered(t *testing.T) {
+	s := testStore(t, 2)
+	tbl := s.CreateTable("t")
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+
+	if err := s.Worker(0).Run(func(tx *Tx) error {
+		for i := 0; i < 16; i++ {
+			if err := tx.Insert(tbl, key(i*2), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := s.Worker(0).Begin()
+	if err := tx.Scan(tbl, key(0), key(100), func(k, v []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	// Insert low: the split moves the upper half of the keys into a new
+	// sibling leaf the scanner never visited.
+	if err := tx.Insert(tbl, key(1), []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent insert near the top of the range: lands in the created
+	// sibling.
+	if err := s.Worker(1).Run(func(tx2 *Tx) error {
+		return tx2.Insert(tbl, key(29), []byte("intruder"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("insert into created sibling escaped the node-set: %v", err)
+	}
+}

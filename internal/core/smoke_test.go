@@ -1,0 +1,343 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testStore(t *testing.T, workers int) *Store {
+	t.Helper()
+	opts := DefaultOptions(workers)
+	opts.ManualEpochs = false
+	opts.EpochInterval = 1e6 // 1ms: fast epochs for tests
+	s := NewStore(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestBasicCRUD(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	err := w.Run(func(tx *Tx) error {
+		if err := tx.Insert(tbl, []byte("a"), []byte("1")); err != nil {
+			return err
+		}
+		if err := tx.Insert(tbl, []byte("b"), []byte("2")); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("insert txn: %v", err)
+	}
+
+	err = w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("a"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "1" {
+			t.Errorf("got %q, want 1", v)
+		}
+		if err := tx.Put(tbl, []byte("a"), []byte("1x")); err != nil {
+			return err
+		}
+		v, err = tx.Get(tbl, []byte("a"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "1x" {
+			t.Errorf("read-own-write got %q, want 1x", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("update txn: %v", err)
+	}
+
+	err = w.Run(func(tx *Tx) error {
+		if err := tx.Delete(tbl, []byte("b")); err != nil {
+			return err
+		}
+		if _, err := tx.Get(tbl, []byte("b")); err != ErrNotFound {
+			t.Errorf("get deleted in-tx: %v, want ErrNotFound", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("delete txn: %v", err)
+	}
+
+	err = w.Run(func(tx *Tx) error {
+		if _, err := tx.Get(tbl, []byte("b")); err != ErrNotFound {
+			t.Errorf("get deleted: %v, want ErrNotFound", err)
+		}
+		v, err := tx.Get(tbl, []byte("a"))
+		if err != nil || string(v) != "1x" {
+			t.Errorf("get a: %q %v", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("verify txn: %v", err)
+	}
+}
+
+func TestScanAndPhantom(t *testing.T) {
+	s := testStore(t, 2)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	if err := w.Run(func(tx *Tx) error {
+		for i := 0; i < 50; i += 2 {
+			if err := tx.Insert(tbl, []byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	if err := w.Run(func(tx *Tx) error {
+		keys = keys[:0]
+		return tx.Scan(tbl, []byte("k10"), []byte("k20"), func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k10", "k12", "k14", "k16", "k18"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("scan got %v want %v", keys, want)
+	}
+
+	// Phantom: a scan followed by a concurrent insert into the range must
+	// abort at commit.
+	tx := s.Worker(0).Begin()
+	if err := tx.Scan(tbl, []byte("k10"), []byte("k20"), func(k, v []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() {
+		done <- s.Worker(1).Run(func(tx2 *Tx) error {
+			return tx2.Insert(tbl, []byte("k15"), []byte("x"))
+		})
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent insert: %v", err)
+	}
+	// The scanning txn writes something so the conflict matters, then commits.
+	if err := tx.Put(tbl, []byte("k10"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("phantom: commit err=%v, want ErrConflict", err)
+	}
+}
+
+// TestFigure3 reproduces the paper's read-write conflict example: with
+// x=y=0, t1 reads x and writes y+1... the outcome x=y=1 must be impossible.
+func TestFigure3(t *testing.T) {
+	s := testStore(t, 2)
+	tbl := s.CreateTable("t")
+	if err := s.Worker(0).Run(func(tx *Tx) error {
+		if err := tx.Insert(tbl, []byte("x"), []byte{0}); err != nil {
+			return err
+		}
+		return tx.Insert(tbl, []byte("y"), []byte{0})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for iter := 0; iter < 200; iter++ {
+		// reset
+		if err := s.Worker(0).Run(func(tx *Tx) error {
+			if err := tx.Put(tbl, []byte("x"), []byte{0}); err != nil {
+				return err
+			}
+			return tx.Put(tbl, []byte("y"), []byte{0})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		run := func(wid int, readKey, writeKey string) {
+			defer wg.Done()
+			s.Worker(wid).RunOnce(func(tx *Tx) error {
+				v, err := tx.Get(tbl, []byte(readKey))
+				if err != nil {
+					return err
+				}
+				return tx.Put(tbl, []byte(writeKey), []byte{v[0] + 1})
+			})
+		}
+		wg.Add(2)
+		go run(0, "x", "y")
+		go run(1, "y", "x")
+		wg.Wait()
+		var x, y byte
+		if err := s.Worker(0).Run(func(tx *Tx) error {
+			vx, err := tx.Get(tbl, []byte("x"))
+			if err != nil {
+				return err
+			}
+			vy, err := tx.Get(tbl, []byte("y"))
+			if err != nil {
+				return err
+			}
+			x, y = vx[0], vy[0]
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if x == 1 && y == 1 {
+			t.Fatalf("iteration %d: non-serializable outcome x=y=1", iter)
+		}
+	}
+}
+
+// TestBankTransfers runs concurrent transfers and checks conservation of
+// money — the classic serializability invariant.
+func TestBankTransfers(t *testing.T) {
+	const (
+		accounts = 20
+		workers  = 4
+		txns     = 300
+	)
+	s := testStore(t, workers)
+	tbl := s.CreateTable("accounts")
+	key := func(i int) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(i))
+		return b
+	}
+	if err := s.Worker(0).Run(func(tx *Tx) error {
+		for i := 0; i < accounts; i++ {
+			v := make([]byte, 8)
+			binary.BigEndian.PutUint64(v, 1000)
+			if err := tx.Insert(tbl, key(i), v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := uint64(wid)*2654435761 + 1
+			next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+			for n := 0; n < txns; n++ {
+				from := int(next() % accounts)
+				to := int(next() % accounts)
+				if from == to {
+					continue
+				}
+				amt := next() % 10
+				s.Worker(wid).Run(func(tx *Tx) error {
+					fv, err := tx.Get(tbl, key(from))
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Get(tbl, key(to))
+					if err != nil {
+						return err
+					}
+					f := binary.BigEndian.Uint64(fv)
+					g := binary.BigEndian.Uint64(tv)
+					if f < amt {
+						return nil
+					}
+					binary.BigEndian.PutUint64(fv, f-amt)
+					binary.BigEndian.PutUint64(tv, g+amt)
+					if err := tx.Put(tbl, key(from), fv); err != nil {
+						return err
+					}
+					return tx.Put(tbl, key(to), tv)
+				})
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	var total uint64
+	if err := s.Worker(0).Run(func(tx *Tx) error {
+		total = 0
+		return tx.Scan(tbl, key(0), nil, func(k, v []byte) bool {
+			total += binary.BigEndian.Uint64(v)
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != accounts*1000 {
+		t.Fatalf("money not conserved: total=%d want %d", total, accounts*1000)
+	}
+}
+
+func TestSnapshotTx(t *testing.T) {
+	opts := DefaultOptions(2)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := NewStore(opts)
+	defer s.Close()
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+
+	if err := w.Run(func(tx *Tx) error {
+		return tx.Insert(tbl, []byte("k"), []byte("old"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance well past a snapshot boundary so SE covers the insert.
+	for i := 0; i < 10; i++ {
+		s.AdvanceEpoch()
+	}
+	// Overwrite in the new epoch regime.
+	if err := w.Run(func(tx *Tx) error {
+		return tx.Put(tbl, []byte("k"), []byte("new"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot transaction should see the old value (its snapshot epoch
+	// predates the update's epoch).
+	err := w.RunSnapshot(func(stx *SnapTx) error {
+		v, err := stx.Get(tbl, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "old" {
+			t.Errorf("snapshot read %q, want old (sew=%d)", v, stx.Epoch())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A regular transaction sees the new value.
+	if err := w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "new" {
+			t.Errorf("regular read %q, want new", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

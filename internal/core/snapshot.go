@@ -1,0 +1,107 @@
+package core
+
+import (
+	"silo/internal/btree"
+	"silo/internal/record"
+)
+
+// SnapTx is a read-only snapshot transaction (§4.9). It reads the database
+// as of its worker's local snapshot epoch se_w: for each record, the most
+// recent version with epoch ≤ se_w. Because the snapshot is consistent and
+// never modified, snapshot transactions commit without checking and never
+// abort; they maintain no read-, write-, or node-sets and write no shared
+// memory at all.
+type SnapTx struct {
+	w      *Worker
+	sew    uint64
+	rbuf   []byte
+	active bool
+}
+
+// Epoch returns the snapshot epoch this transaction reads at.
+func (stx *SnapTx) Epoch() uint64 { return stx.sew }
+
+// Worker returns the executing worker.
+func (stx *SnapTx) Worker() *Worker { return stx.w }
+
+func (stx *SnapTx) finish() {
+	stx.active = false
+	stx.w.stats.SnapshotTxns++
+	stx.w.finishTx()
+}
+
+// snapshotVersion resolves the version of rec visible at epoch sew,
+// returning its value (appended to buf) and whether the key is visible
+// (present and not absent). The current version's word may change
+// concurrently and is read with the validation protocol; superseded chain
+// versions are immutable.
+func snapshotVersion(rec *record.Record, sew uint64, buf []byte) (val []byte, visible bool) {
+	// Fast path: the current version may already be old enough.
+	v, w := rec.Read(buf)
+	if w.Epoch() <= sew {
+		if w.Absent() || w.TID() == 0 {
+			return nil, false
+		}
+		return v, true
+	}
+	// Walk the version chain. Each linked version is immutable; its word
+	// and data need no validation.
+	for p := rec.Prev(); p != nil; p = p.Prev() {
+		pw := p.Word()
+		if pw.Epoch() <= sew {
+			if pw.Absent() || pw.TID() == 0 {
+				return nil, false
+			}
+			return append(buf[:0], p.DataUnsafe()...), true
+		}
+	}
+	return nil, false
+}
+
+// Get returns the value for key at the snapshot epoch, or ErrNotFound. The
+// returned slice is owned by the caller.
+func (stx *SnapTx) Get(t *Table, key []byte) ([]byte, error) {
+	if !stx.active {
+		return nil, ErrTxDone
+	}
+	if !validKey(key) {
+		return nil, ErrKeyInvalid
+	}
+	rec, _, _ := t.Tree.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	val, ok := snapshotVersion(rec, stx.sew, stx.rbuf)
+	stx.w.stats.Reads++
+	if !ok {
+		stx.rbuf = val[:0]
+		return nil, ErrNotFound
+	}
+	out := append([]byte(nil), val...)
+	stx.rbuf = val[:0]
+	return out, nil
+}
+
+// Scan visits keys in [lo, hi) at the snapshot epoch. Values are valid only
+// during the callback. No node versions are recorded: snapshot scans cannot
+// be invalidated.
+func (stx *SnapTx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if !stx.active {
+		return ErrTxDone
+	}
+	if !validKey(lo) || (hi != nil && len(hi) > btree.MaxKeyLen) {
+		return ErrKeyInvalid
+	}
+	t.Tree.Scan(lo, hi,
+		func(*btree.Node, uint64) {},
+		func(key []byte, rec *record.Record) bool {
+			val, ok := snapshotVersion(rec, stx.sew, stx.rbuf)
+			stx.rbuf = val[:0]
+			stx.w.stats.Reads++
+			if !ok {
+				return true
+			}
+			return fn(key, val)
+		})
+	return nil
+}

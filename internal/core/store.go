@@ -1,0 +1,234 @@
+// Package core implements Silo's transaction engine: the minimal-contention
+// serializable OCC commit protocol (§4.4), database operations including
+// inserts, deletes and range queries with phantom protection (§4.5, §4.6),
+// epoch-based garbage collection (§4.8), and read-only snapshot transactions
+// (§4.9).
+//
+// A Store owns a set of tables (each an index tree mapping byte-string keys
+// to records) and a fixed set of Workers. Each worker executes one-shot
+// requests to completion on its own goroutine; workers share the entire
+// database (Silo's shared-memory design, §3). Secondary indexes are simply
+// additional tables maintained explicitly by transaction code (§4.7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"silo/internal/btree"
+	"silo/internal/epoch"
+	"silo/internal/tid"
+)
+
+// Sentinel errors returned by transaction operations.
+var (
+	// ErrNotFound reports that a key is not present (or is logically absent).
+	ErrNotFound = errors.New("silo: key not found")
+	// ErrKeyExists reports an insert of a key that already exists.
+	ErrKeyExists = errors.New("silo: key already exists")
+	// ErrConflict reports that the transaction lost a conflict and must be
+	// retried: commit-time validation failed, or execution observed state
+	// that cannot be serialized (e.g., a superseded record version).
+	ErrConflict = errors.New("silo: transaction conflict, retry")
+	// ErrTxDone reports use of a transaction after Commit or Abort.
+	ErrTxDone = errors.New("silo: transaction already finished")
+)
+
+// Options configures a Store. The zero value is not useful; NewStore fills
+// defaults. The factor-analysis toggles (Figure 11) default to Silo's full
+// configuration.
+type Options struct {
+	// Workers is the number of worker contexts (one per "core").
+	Workers int
+	// EpochInterval is the global epoch advance period (§4.1).
+	EpochInterval time.Duration
+	// SnapshotK is the snapshot-epoch divisor (§4.9).
+	SnapshotK int
+	// StartEpoch is the initial epoch (used by recovery to resume past the
+	// durable epoch).
+	StartEpoch uint64
+
+	// Snapshots maintains superseded record versions so read-only snapshot
+	// transactions can run (§4.9). Disabling it reproduces +NoSnapshots.
+	Snapshots bool
+	// GC reaps registered garbage between requests (§4.8). Disabling it
+	// reproduces +NoGC.
+	GC bool
+	// Overwrites updates record data in place when possible (§4.5).
+	// Disabling it allocates a new buffer for every write (the paper's
+	// "Simple" configuration).
+	Overwrites bool
+	// Arena enables the per-worker slab/free-list allocator standing in for
+	// the paper's NUMA-aware allocator (+Allocator).
+	Arena bool
+	// GlobalTID draws commit TIDs from one shared counter instead of
+	// per-worker generators, reproducing the MemSilo+GlobalTID baseline.
+	GlobalTID bool
+	// ManualEpochs suppresses the epoch-advancing goroutine; tests drive
+	// epochs with Store.AdvanceEpoch.
+	ManualEpochs bool
+}
+
+// DefaultOptions returns the full-Silo configuration for n workers.
+func DefaultOptions(n int) Options {
+	return Options{
+		Workers:       n,
+		EpochInterval: epoch.DefaultInterval,
+		SnapshotK:     epoch.DefaultSnapshotK,
+		Snapshots:     true,
+		GC:            true,
+		Overwrites:    true,
+		Arena:         true,
+	}
+}
+
+// LoggedWrite is one modified record in a committed transaction, handed to
+// the durability layer (§4.10).
+type LoggedWrite struct {
+	Table  uint32
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// LogFunc receives each committed transaction on the committing worker's
+// goroutine. The callee must copy what it keeps; key/value buffers are
+// reused. A nil LogFunc disables logging (MemSilo).
+type LogFunc func(commit tid.Word, writes []LoggedWrite)
+
+// Table is a named index tree. Records are stored in the primary tree; a
+// secondary index is just another Table whose values are primary keys.
+type Table struct {
+	ID   uint32
+	Name string
+	Tree *btree.Tree
+}
+
+// Store is a Silo database engine instance.
+type Store struct {
+	opts   Options
+	epochs *epoch.Manager
+
+	mu      sync.Mutex
+	tables  map[string]*Table
+	byID    []*Table
+	workers []*Worker
+
+	globalGen tid.GlobalGenerator
+	closed    bool
+}
+
+// NewStore creates a store with the given options.
+func NewStore(opts Options) *Store {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.EpochInterval <= 0 {
+		opts.EpochInterval = epoch.DefaultInterval
+	}
+	if opts.SnapshotK <= 0 {
+		opts.SnapshotK = epoch.DefaultSnapshotK
+	}
+	s := &Store{
+		opts:   opts,
+		tables: make(map[string]*Table),
+	}
+	s.epochs = epoch.NewManager(epoch.Config{
+		Workers:    opts.Workers,
+		Interval:   opts.EpochInterval,
+		SnapshotK:  opts.SnapshotK,
+		StartEpoch: opts.StartEpoch,
+	})
+	s.workers = make([]*Worker, opts.Workers)
+	for i := range s.workers {
+		s.workers[i] = newWorker(s, i)
+	}
+	if !opts.ManualEpochs {
+		s.epochs.Start()
+	}
+	return s
+}
+
+// Close stops background activity. Outstanding transactions must be
+// finished first.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.epochs.Stop()
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Epochs exposes the epoch manager (used by the durability layer and
+// benchmarks).
+func (s *Store) Epochs() *epoch.Manager { return s.epochs }
+
+// AdvanceEpoch performs one manual epoch step (tests and deterministic
+// benchmarks).
+func (s *Store) AdvanceEpoch() bool { return s.epochs.Advance() }
+
+// CreateTable creates (or returns, if it exists) the named table.
+func (s *Store) CreateTable(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t
+	}
+	t := &Table{ID: uint32(len(s.byID)), Name: name, Tree: btree.New()}
+	s.tables[name] = t
+	s.byID = append(s.byID, t)
+	return t
+}
+
+// Table returns the named table or nil.
+func (s *Store) Table(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[name]
+}
+
+// TableByID returns the table with the given id or nil.
+func (s *Store) TableByID(id uint32) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.byID) {
+		return nil
+	}
+	return s.byID[id]
+}
+
+// Tables returns all tables in creation order.
+func (s *Store) Tables() []*Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Table(nil), s.byID...)
+}
+
+// Worker returns worker i. Each worker must be used by one goroutine at a
+// time.
+func (s *Store) Worker(i int) *Worker { return s.workers[i] }
+
+// Workers returns the number of workers.
+func (s *Store) Workers() int { return len(s.workers) }
+
+// Stats aggregates all workers' counters.
+func (s *Store) Stats() Stats {
+	var total Stats
+	for _, w := range s.workers {
+		total.add(&w.stats)
+	}
+	return total
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Store) String() string {
+	return fmt.Sprintf("core.Store{workers=%d tables=%d epoch=%d}", len(s.workers), len(s.byID), s.epochs.Global())
+}

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+
+	"silo/internal/btree"
+	"silo/internal/record"
+	"silo/internal/tid"
+)
+
+// ErrKeyInvalid reports an empty key or one longer than the index's
+// MaxKeyLen.
+var ErrKeyInvalid = errors.New("silo: key empty or longer than 62 bytes")
+
+// validKey screens keys before they reach the tree (which treats violations
+// as programmer errors and panics).
+func validKey(key []byte) bool {
+	return len(key) > 0 && len(key) <= btree.MaxKeyLen
+}
+
+type writeKind uint8
+
+const (
+	writeUpdate writeKind = iota // overwrite an existing (present) record
+	writeInsert                  // materialize an absent record (placeholder or superseded delete)
+	writeDelete                  // mark a present record absent
+)
+
+type readEntry struct {
+	rec  *record.Record
+	word tid.Word
+}
+
+type writeEntry struct {
+	table   *Table
+	rec     *record.Record
+	key     []byte // copy, owned by the entry
+	value   []byte // copy, owned by the entry
+	kind    writeKind
+	ours    bool     // placeholder installed by this transaction
+	prelock tid.Word // record word captured when Phase 1 locked it
+}
+
+type nodeEntry struct {
+	n       *btree.Node
+	version uint64
+}
+
+// Tx is a serializable read/write transaction (§4.4). It tracks a read-set
+// (records read, with the TID word observed), a write-set (new record
+// states), and a node-set (B+-tree leaves whose versions guard range and
+// missing-key reads against phantoms, §4.6). All tracking is thread-local;
+// a transaction writes no shared memory until commit.
+type Tx struct {
+	w      *Worker
+	epoch  uint64
+	reads  []readEntry
+	writes []writeEntry
+	nodes  []nodeEntry
+	rbuf   []byte // scratch buffer for record reads
+	active bool
+}
+
+func (tx *Tx) reset() {
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.nodes = tx.nodes[:0]
+}
+
+// Worker returns the executing worker.
+func (tx *Tx) Worker() *Worker { return tx.w }
+
+func (tx *Tx) addRead(rec *record.Record, w tid.Word) {
+	tx.reads = append(tx.reads, readEntry{rec: rec, word: w})
+}
+
+func (tx *Tx) addNode(n *btree.Node, version uint64) {
+	for i := range tx.nodes {
+		if tx.nodes[i].n == n {
+			// Re-observation of a leaf we already depend on. If the version
+			// moved, commit-time validation would abort anyway; keep the
+			// first observation (the earliest dependency).
+			return
+		}
+	}
+	tx.nodes = append(tx.nodes, nodeEntry{n: n, version: version})
+}
+
+// applyNodeChanges implements §4.6's node-set maintenance after an insert by
+// this transaction: entries matching a changed node's old version advance to
+// the new version; a mismatch means a concurrent transaction also modified
+// the node, so we must abort. Nodes created by the split are added to the
+// node-set so scanned ranges stay covered.
+func (tx *Tx) applyNodeChanges(changes []btree.VersionChange) error {
+	for _, ch := range changes {
+		if ch.Created {
+			tx.nodes = append(tx.nodes, nodeEntry{n: ch.Node, version: ch.New})
+			continue
+		}
+		for i := range tx.nodes {
+			if tx.nodes[i].n == ch.Node {
+				if tx.nodes[i].version != ch.Old {
+					return ErrConflict
+				}
+				tx.nodes[i].version = ch.New
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// findWrite returns the index of this transaction's pending write to
+// (table, key), or -1.
+func (tx *Tx) findWrite(t *Table, key []byte) int {
+	for i := range tx.writes {
+		if tx.writes[i].table == t && bytes.Equal(tx.writes[i].key, key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// pushWrite extends the write-set by one entry, recycling the previous
+// transaction's key/value buffers at that position (the entry's slices are
+// truncated, not dropped, so steady-state transactions allocate nothing
+// for write tracking).
+func (tx *Tx) pushWrite(t *Table, rec *record.Record, key, value []byte, kind writeKind, ours bool) {
+	var we *writeEntry
+	if len(tx.writes) < cap(tx.writes) {
+		tx.writes = tx.writes[:len(tx.writes)+1]
+		we = &tx.writes[len(tx.writes)-1]
+	} else {
+		tx.writes = append(tx.writes, writeEntry{})
+		we = &tx.writes[len(tx.writes)-1]
+	}
+	we.table = t
+	we.rec = rec
+	we.key = append(we.key[:0], key...)
+	we.value = append(we.value[:0], value...)
+	we.kind = kind
+	we.ours = ours
+	we.prelock = 0
+	tx.w.stats.Writes++
+}
+
+// Get returns the value stored for key. The returned slice is owned by the
+// caller (it is freshly copied). Missing and logically-absent keys return
+// ErrNotFound; both register the observation so commit-time validation
+// preserves serializability (§4.5, §4.6).
+func (tx *Tx) Get(t *Table, key []byte) ([]byte, error) {
+	if !tx.active {
+		return nil, ErrTxDone
+	}
+	if !validKey(key) {
+		return nil, ErrKeyInvalid
+	}
+	if i := tx.findWrite(t, key); i >= 0 {
+		if tx.writes[i].kind == writeDelete {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), tx.writes[i].value...), nil
+	}
+	rec, n, ver := t.Tree.Get(key)
+	if rec == nil {
+		tx.addNode(n, ver)
+		return nil, ErrNotFound
+	}
+	val, w := rec.Read(tx.rbuf)
+	tx.rbuf = val[:0]
+	tx.addRead(rec, w)
+	tx.w.stats.Reads++
+	if w.Absent() {
+		return nil, ErrNotFound
+	}
+	if !w.Latest() {
+		// Superseded version reached through the tree: a concurrent
+		// structural change is in flight; not serializable to use it.
+		return nil, ErrConflict
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// GetAppend is Get appending the value to buf instead of allocating,
+// returning the extended buffer. It is the allocation-free read path for
+// hot loops; semantics otherwise match Get.
+func (tx *Tx) GetAppend(t *Table, key, buf []byte) ([]byte, error) {
+	if !tx.active {
+		return buf, ErrTxDone
+	}
+	if !validKey(key) {
+		return buf, ErrKeyInvalid
+	}
+	if i := tx.findWrite(t, key); i >= 0 {
+		if tx.writes[i].kind == writeDelete {
+			return buf, ErrNotFound
+		}
+		return append(buf, tx.writes[i].value...), nil
+	}
+	rec, n, ver := t.Tree.Get(key)
+	if rec == nil {
+		tx.addNode(n, ver)
+		return buf, ErrNotFound
+	}
+	val, w := rec.Read(tx.rbuf)
+	tx.rbuf = val[:0]
+	tx.addRead(rec, w)
+	tx.w.stats.Reads++
+	if w.Absent() {
+		return buf, ErrNotFound
+	}
+	if !w.Latest() {
+		return buf, ErrConflict
+	}
+	return append(buf, val...), nil
+}
+
+// Put replaces the value of an existing key. The key must be present;
+// writing a missing key requires Insert. Put registers the record in both
+// the read-set (presence is validated at commit, so a concurrent delete
+// aborts us) and the write-set.
+func (tx *Tx) Put(t *Table, key, value []byte) error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	if !validKey(key) {
+		return ErrKeyInvalid
+	}
+	if i := tx.findWrite(t, key); i >= 0 {
+		if tx.writes[i].kind == writeDelete {
+			return ErrNotFound
+		}
+		tx.writes[i].value = append(tx.writes[i].value[:0], value...)
+		return nil
+	}
+	rec, n, ver := t.Tree.Get(key)
+	if rec == nil {
+		tx.addNode(n, ver)
+		return ErrNotFound
+	}
+	w := rec.ReadWord()
+	tx.addRead(rec, w)
+	if w.Absent() {
+		return ErrNotFound
+	}
+	if !w.Latest() {
+		return ErrConflict
+	}
+	tx.pushWrite(t, rec, key, value, writeUpdate, false)
+	return nil
+}
+
+// Insert adds a new key. Following §4.5, a placeholder record in the absent
+// state with TID 0 is installed in the tree immediately (via
+// insert-if-absent), then added to both the read- and write-sets; Phase 2's
+// read-set validation ensures no other transaction superseded it. If the
+// key exists and is present, Insert returns ErrKeyExists (the paper aborts
+// the transaction; callers surface this as an abort). An existing absent
+// record (a committed delete) is superseded in place.
+func (tx *Tx) Insert(t *Table, key, value []byte) error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	if !validKey(key) {
+		return ErrKeyInvalid
+	}
+	if i := tx.findWrite(t, key); i >= 0 {
+		if tx.writes[i].kind == writeDelete {
+			// Delete then insert in one transaction: net effect is an update.
+			tx.writes[i].kind = writeUpdate
+			tx.writes[i].value = append(tx.writes[i].value[:0], value...)
+			return nil
+		}
+		return ErrKeyExists
+	}
+	rec, _, _ := t.Tree.Get(key)
+	if rec == nil {
+		placeholder := record.NewAbsent()
+		cur, inserted, changes := t.Tree.InsertIfAbsent(key, placeholder)
+		if inserted {
+			if err := tx.applyNodeChanges(changes); err != nil {
+				return err
+			}
+			tx.addRead(placeholder, placeholder.Word())
+			tx.pushWrite(t, placeholder, key, value, writeInsert, true)
+			return nil
+		}
+		rec = cur
+	}
+	// Key maps to some record: absent means we may supersede it, present
+	// means the insert fails.
+	w := rec.ReadWord()
+	tx.addRead(rec, w)
+	if !w.Absent() {
+		return ErrKeyExists
+	}
+	if !w.Latest() {
+		return ErrConflict
+	}
+	tx.pushWrite(t, rec, key, value, writeInsert, false)
+	return nil
+}
+
+// Delete removes key. The record is marked absent at commit and unhooked
+// from the tree later by the garbage collector, once no snapshot can need
+// its older versions (§4.5, §4.9). Deleting a missing key returns
+// ErrNotFound and registers the observation for phantom protection.
+func (tx *Tx) Delete(t *Table, key []byte) error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	if !validKey(key) {
+		return ErrKeyInvalid
+	}
+	if i := tx.findWrite(t, key); i >= 0 {
+		switch tx.writes[i].kind {
+		case writeDelete:
+			return ErrNotFound
+		case writeInsert:
+			if tx.writes[i].ours {
+				// Insert then delete of our own fresh key: the placeholder
+				// is already installed; deleting it restores the absent
+				// state, which is what committing a delete does anyway.
+				tx.writes[i].kind = writeDelete
+				tx.writes[i].value = tx.writes[i].value[:0]
+				return nil
+			}
+			tx.writes[i].kind = writeDelete
+			tx.writes[i].value = tx.writes[i].value[:0]
+			return nil
+		default:
+			tx.writes[i].kind = writeDelete
+			tx.writes[i].value = tx.writes[i].value[:0]
+			return nil
+		}
+	}
+	rec, n, ver := t.Tree.Get(key)
+	if rec == nil {
+		tx.addNode(n, ver)
+		return ErrNotFound
+	}
+	w := rec.ReadWord()
+	tx.addRead(rec, w)
+	if w.Absent() {
+		return ErrNotFound
+	}
+	if !w.Latest() {
+		return ErrConflict
+	}
+	tx.pushWrite(t, rec, key, nil, writeDelete, false)
+	return nil
+}
+
+// Scan visits keys in [lo, hi) in order (hi nil means +∞), calling fn for
+// each present key; fn returning false stops the scan. Values passed to fn
+// are valid only during the callback. Every tree leaf examined is added to
+// the node-set with its version, so committed scans are immune to phantoms
+// (§4.6). Pending writes of this transaction are overlaid (its own inserts
+// appear, its deletes do not).
+func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	if !validKey(lo) || (hi != nil && len(hi) > btree.MaxKeyLen) {
+		return ErrKeyInvalid
+	}
+	var inner error
+	t.Tree.Scan(lo, hi,
+		func(n *btree.Node, version uint64) { tx.addNode(n, version) },
+		func(key []byte, rec *record.Record) bool {
+			if i := tx.findWrite(t, key); i >= 0 {
+				switch tx.writes[i].kind {
+				case writeDelete:
+					return true
+				default:
+					return fn(key, tx.writes[i].value)
+				}
+			}
+			val, w := rec.Read(tx.rbuf)
+			tx.rbuf = val[:0]
+			tx.addRead(rec, w)
+			tx.w.stats.Reads++
+			if w.Absent() {
+				return true
+			}
+			if !w.Latest() {
+				inner = ErrConflict
+				return false
+			}
+			return fn(key, val)
+		})
+	return inner
+}
+
+// Abort abandons the transaction. Placeholders installed by its inserts are
+// registered for garbage collection (§4.5: "the commit protocol registers
+// the absent record for future garbage collection").
+func (tx *Tx) Abort() {
+	if !tx.active {
+		return
+	}
+	tx.abortCleanup()
+	tx.active = false
+	tx.w.stats.Aborts++
+	tx.w.finishTx()
+}
+
+func (tx *Tx) abortCleanup() {
+	for i := range tx.writes {
+		if tx.writes[i].ours {
+			tx.w.gc.registerUnhook(tx.w, tx.writes[i].table, tx.writes[i].key, tx.writes[i].rec, 0, tx.epoch, false)
+		}
+	}
+}
+
+// Commit runs the paper's three-phase commit protocol (Figure 2). On
+// success it returns nil and the transaction's effects are visible and
+// ordered; on validation failure it releases all locks, aborts, and returns
+// ErrConflict.
+func (tx *Tx) Commit() error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	w := tx.w
+	s := w.store
+
+	// Phase 1: lock all written records, in the global order given by
+	// record addresses, to avoid deadlock (§4.4).
+	if len(tx.writes) > 1 {
+		sort.Slice(tx.writes, func(i, j int) bool {
+			return tx.writes[i].rec.Addr() < tx.writes[j].rec.Addr()
+		})
+	}
+	for i := range tx.writes {
+		tx.writes[i].prelock = tx.writes[i].rec.Lock()
+	}
+
+	// Serialization point: a single atomic read of the global epoch. Go's
+	// atomics are sequentially consistent, which subsumes the paper's
+	// fences: the load is ordered after all Phase 1 lock writes and before
+	// all Phase 2 validation reads.
+	e := s.epochs.Global()
+
+	// Phase 2: validate the read-set and node-set.
+	for i := range tx.reads {
+		cur := tx.reads[i].rec.Word()
+		if cur.TID() != tx.reads[i].word.TID() ||
+			!cur.Latest() ||
+			(cur.Locked() && !tx.inWriteSet(tx.reads[i].rec)) {
+			return tx.abortCommit(abortReadValidation)
+		}
+	}
+	for i := range tx.nodes {
+		if tx.nodes[i].n.Version() != tx.nodes[i].version {
+			return tx.abortCommit(abortNodeValidation)
+		}
+	}
+
+	// Choose the commit TID: larger than every record read or written,
+	// larger than this worker's previous TID, in epoch e (§4.2).
+	var maxObserved uint64
+	for i := range tx.reads {
+		if t := tx.reads[i].word.TID(); t > maxObserved {
+			maxObserved = t
+		}
+	}
+	for i := range tx.writes {
+		if t := tx.writes[i].prelock.TID(); t > maxObserved {
+			maxObserved = t
+		}
+	}
+	var commit tid.Word
+	if s.opts.GlobalTID {
+		commit = s.globalGen.Generate(e, maxObserved)
+		w.gen.Generate(e, uint64(commit)) // keep the local generator monotone too
+	} else {
+		commit = w.gen.Generate(e, maxObserved)
+	}
+
+	// Phase 3: install the writes and release each lock as soon as its
+	// record is written. The new TID becomes visible atomically with the
+	// lock release because they share a word.
+	for i := range tx.writes {
+		tx.installWrite(&tx.writes[i], commit, e)
+	}
+
+	// Hand the committed transaction to the durability layer (§4.10). This
+	// happens after locks are released; the serial order is preserved
+	// because log replay orders by TID per record and recovery truncates at
+	// epoch granularity.
+	if w.logFn != nil && len(tx.writes) > 0 {
+		w.wbuf = w.wbuf[:0]
+		for i := range tx.writes {
+			w.wbuf = append(w.wbuf, LoggedWrite{
+				Table:  tx.writes[i].table.ID,
+				Key:    tx.writes[i].key,
+				Value:  tx.writes[i].value,
+				Delete: tx.writes[i].kind == writeDelete,
+			})
+		}
+		w.logFn(commit, w.wbuf)
+	}
+
+	tx.active = false
+	w.stats.Commits++
+	w.finishTx()
+	return nil
+}
+
+// inWriteSet reports whether rec is one of this transaction's written
+// records. The write-set is sorted by address at this point, so binary
+// search applies.
+func (tx *Tx) inWriteSet(rec *record.Record) bool {
+	a := rec.Addr()
+	lo, hi := 0, len(tx.writes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tx.writes[mid].rec.Addr() < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(tx.writes) && tx.writes[lo].rec == rec
+}
+
+type abortReason int
+
+const (
+	abortReadValidation abortReason = iota
+	abortNodeValidation
+)
+
+// abortCommit releases all Phase 1 locks (restoring pre-lock words) and
+// finishes the transaction as aborted.
+func (tx *Tx) abortCommit(reason abortReason) error {
+	for i := range tx.writes {
+		tx.writes[i].rec.Unlock(tx.writes[i].prelock)
+	}
+	switch reason {
+	case abortReadValidation:
+		tx.w.stats.AbortsReadValidation++
+	case abortNodeValidation:
+		tx.w.stats.AbortsNodeValidation++
+	}
+	tx.abortCleanup()
+	tx.active = false
+	tx.w.stats.Aborts++
+	tx.w.finishTx()
+	return ErrConflict
+}
+
+// installWrite applies one write-set entry during Phase 3: preserve the old
+// version for snapshots when the snapshot boundary requires it (§4.9),
+// install the new data, and publish the commit TID while releasing the
+// lock.
+func (tx *Tx) installWrite(we *writeEntry, commit tid.Word, e uint64) {
+	w := tx.w
+	s := w.store
+	rec := we.rec
+	old := we.prelock
+
+	if s.opts.Snapshots && old.TID() != 0 && s.epochs.Snap(old.Epoch()) != s.epochs.Snap(e) {
+		// The old version belongs to an earlier snapshot: link an immutable
+		// copy into the version chain and register its memory for
+		// reclamation at snap(e).
+		snapCopy := rec.CopyForSnapshot(old)
+		rec.SetPrev(snapCopy)
+		w.gc.registerSnapshotVersion(w, snapCopy, s.epochs.Snap(e))
+	}
+
+	switch we.kind {
+	case writeDelete:
+		// Mark absent; data is cleared. The record stays in the tree so
+		// snapshot transactions can reach the version chain; the GC unhooks
+		// it once the snapshot reclamation epoch passes (§4.9).
+		rec.SetDataLocked(nil, false)
+		newWord := commit.WithLatest(true).WithAbsent(true)
+		rec.Unlock(newWord)
+		var reclaim uint64
+		snapBased := false
+		if s.opts.Snapshots {
+			reclaim = s.epochs.Snap(e)
+			snapBased = true
+		} else {
+			reclaim = e
+		}
+		w.gc.registerUnhook(w, we.table, we.key, rec, commit.TID(), reclaim, snapBased)
+	default:
+		tx.setRecordData(rec, we.value)
+		rec.Unlock(commit.WithLatest(true).WithAbsent(false))
+	}
+}
+
+// setRecordData installs value into rec (lock held), honouring the
+// overwrite and arena options: in-place overwrite when the length matches
+// (+Overwrites), otherwise a fresh buffer from the worker's arena
+// (+Allocator) or the heap. Replaced buffers return to the arena free list;
+// a late racy reader of a recycled buffer is rejected by its TID-word
+// validation, so immediate reuse is safe.
+func (tx *Tx) setRecordData(rec *record.Record, value []byte) {
+	w := tx.w
+	opts := &w.store.opts
+	if opts.Overwrites && rec.TryOverwriteLocked(value) {
+		return
+	}
+	var buf []byte
+	if opts.Arena {
+		buf = w.arena.alloc(len(value))
+	} else {
+		buf = make([]byte, len(value))
+	}
+	copy(buf, value)
+	old := rec.SetDataPointerLocked(buf)
+	w.stats.BytesAllocated += uint64(len(value))
+	if opts.Arena && old != nil {
+		w.arena.free(old)
+	}
+}

@@ -1,0 +1,618 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func manualStore(t *testing.T, workers int, mutate func(*Options)) *Store {
+	t.Helper()
+	opts := DefaultOptions(workers)
+	opts.ManualEpochs = true
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s := NewStore(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestTxAfterDone(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	tx := s.Worker(0).Begin()
+	if err := tx.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(tbl, []byte("k")); err != ErrTxDone {
+		t.Fatalf("Get after commit: %v", err)
+	}
+	if err := tx.Put(tbl, []byte("k"), []byte("x")); err != ErrTxDone {
+		t.Fatalf("Put after commit: %v", err)
+	}
+	if err := tx.Commit(); err != ErrTxDone {
+		t.Fatalf("double commit: %v", err)
+	}
+	tx.Abort() // no-op, must not panic
+}
+
+func TestInsertExisting(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	if err := w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("1")) }); err != nil {
+		t.Fatal(err)
+	}
+	err := w.RunOnce(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("2")) })
+	if err != ErrKeyExists {
+		t.Fatalf("insert existing: %v", err)
+	}
+	// Original value intact.
+	w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil || string(v) != "1" {
+			t.Errorf("got %q %v", v, err)
+		}
+		return nil
+	})
+}
+
+func TestInsertAfterDeleteSameTx(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("old")) })
+	if err := w.Run(func(tx *Tx) error {
+		if err := tx.Delete(tbl, []byte("k")); err != nil {
+			return err
+		}
+		return tx.Insert(tbl, []byte("k"), []byte("new"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil || string(v) != "new" {
+			t.Errorf("got %q %v", v, err)
+		}
+		return nil
+	})
+}
+
+func TestInsertThenDeleteSameTx(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	if err := w.Run(func(tx *Tx) error {
+		if err := tx.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+			return err
+		}
+		return tx.Delete(tbl, []byte("k"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(tx *Tx) error {
+		if _, err := tx.Get(tbl, []byte("k")); err != ErrNotFound {
+			t.Errorf("got %v want ErrNotFound", err)
+		}
+		return nil
+	})
+}
+
+func TestInsertOverDeleted(t *testing.T) {
+	// Delete commits, then a later transaction re-inserts: it supersedes
+	// the absent record (§4.5/§4.9).
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v1")) })
+	w.Run(func(tx *Tx) error { return tx.Delete(tbl, []byte("k")) })
+	if err := w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v2")) }); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(tx *Tx) error {
+		v, err := tx.Get(tbl, []byte("k"))
+		if err != nil || string(v) != "v2" {
+			t.Errorf("got %q %v", v, err)
+		}
+		return nil
+	})
+}
+
+func TestPutMissingAndDeleteMissing(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	if err := w.RunOnce(func(tx *Tx) error { return tx.Put(tbl, []byte("nope"), []byte("v")) }); err != ErrNotFound {
+		t.Fatalf("put missing: %v", err)
+	}
+	if err := w.RunOnce(func(tx *Tx) error { return tx.Delete(tbl, []byte("nope")) }); err != ErrNotFound {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+// TestMissingKeyPhantom: a transaction that observed key-absence must abort
+// if the key is inserted before it commits (§4.6).
+func TestMissingKeyPhantom(t *testing.T) {
+	s := testStore(t, 2)
+	tbl := s.CreateTable("t")
+	s.Worker(0).Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("other"), []byte("x")) })
+
+	tx := s.Worker(0).Begin()
+	if _, err := tx.Get(tbl, []byte("ghost")); err != ErrNotFound {
+		t.Fatal(err)
+	}
+	if err := tx.Put(tbl, []byte("other"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent insert of the missing key.
+	if err := s.Worker(1).Run(func(tx2 *Tx) error {
+		return tx2.Insert(tbl, []byte("ghost"), []byte("boo"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("commit after phantom: %v", err)
+	}
+}
+
+// TestReadValidationAbort: a read-write transaction aborts when a record it
+// read is overwritten before commit.
+func TestReadValidationAbort(t *testing.T) {
+	s := testStore(t, 2)
+	tbl := s.CreateTable("t")
+	s.Worker(0).Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("0")) })
+
+	tx := s.Worker(0).Begin()
+	if _, err := tx.Get(tbl, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Worker(1).Run(func(tx2 *Tx) error { return tx2.Put(tbl, []byte("k"), []byte("1")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(tbl, []byte("k"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("commit after stale read: %v", err)
+	}
+	// The concurrent writer's value must have survived.
+	s.Worker(0).Run(func(tx *Tx) error {
+		v, _ := tx.Get(tbl, []byte("k"))
+		if string(v) != "1" {
+			t.Errorf("value %q, want 1", v)
+		}
+		return nil
+	})
+}
+
+// TestReadOnlyCommitsDespiteLaterWrite: pure reads validate against the
+// state they saw; if nothing they read changed, they commit without any
+// shared-memory write.
+func TestReadOnlyCommit(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	if err := w.RunOnce(func(tx *Tx) error {
+		_, err := tx.Get(tbl, []byte("k"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLostUpdateCounters is the serializability oracle: concurrent blind
+// increment transactions on a small hot keyspace; every committed increment
+// must be reflected in the final counter values (OCC must prevent lost
+// updates).
+func TestLostUpdateCounters(t *testing.T) {
+	const (
+		keys    = 8
+		workers = 4
+		txns    = 2000
+	)
+	s := testStore(t, workers)
+	tbl := s.CreateTable("counters")
+	key := func(i int) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(i))
+		return b
+	}
+	s.Worker(0).Run(func(tx *Tx) error {
+		for i := 0; i < keys; i++ {
+			if err := tx.Insert(tbl, key(i), make([]byte, 8)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	var committed [keys]atomic.Uint64
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := newTestRNG(uint64(wid) + 1)
+			for n := 0; n < txns; n++ {
+				// Read-modify-write 1–3 random counters atomically.
+				cnt := 1 + rng.Intn(3)
+				ks := make([]int, cnt)
+				for i := range ks {
+					ks[i] = rng.Intn(keys)
+				}
+				err := s.Worker(wid).Run(func(tx *Tx) error {
+					seen := map[int]bool{}
+					for _, k := range ks {
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						v, err := tx.Get(tbl, key(k))
+						if err != nil {
+							return err
+						}
+						binary.BigEndian.PutUint64(v, binary.BigEndian.Uint64(v)+1)
+						if err := tx.Put(tbl, key(k), v); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", wid, err)
+					return
+				}
+				seen := map[int]bool{}
+				for _, k := range ks {
+					if !seen[k] {
+						committed[k].Add(1)
+						seen[k] = true
+					}
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	s.Worker(0).Run(func(tx *Tx) error {
+		for i := 0; i < keys; i++ {
+			v, err := tx.Get(tbl, key(i))
+			if err != nil {
+				return err
+			}
+			got := binary.BigEndian.Uint64(v)
+			if got != committed[i].Load() {
+				t.Errorf("counter %d: final=%d committed=%d (lost updates!)", i, got, committed[i].Load())
+			}
+		}
+		return nil
+	})
+}
+
+// TestSnapshotInvariant: writers keep x+y constant; snapshot readers must
+// never observe a violated invariant, even mid-update.
+func TestSnapshotInvariant(t *testing.T) {
+	opts := DefaultOptions(3)
+	opts.EpochInterval = time.Millisecond
+	opts.SnapshotK = 2
+	s := NewStore(opts)
+	defer s.Close()
+	tbl := s.CreateTable("t")
+	const total = 1000
+	s.Worker(0).Run(func(tx *Tx) error {
+		v := make([]byte, 8)
+		binary.BigEndian.PutUint64(v, total/2)
+		if err := tx.Insert(tbl, []byte("x"), v); err != nil {
+			return err
+		}
+		return tx.Insert(tbl, []byte("y"), v)
+	})
+	time.Sleep(100 * time.Millisecond) // a snapshot covering the init
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for wid := 0; wid < 2; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := newTestRNG(uint64(wid) + 3)
+			for !stop.Load() {
+				delta := uint64(rng.Intn(10))
+				s.Worker(wid).Run(func(tx *Tx) error {
+					xv, err := tx.Get(tbl, []byte("x"))
+					if err != nil {
+						return err
+					}
+					yv, err := tx.Get(tbl, []byte("y"))
+					if err != nil {
+						return err
+					}
+					x := binary.BigEndian.Uint64(xv)
+					y := binary.BigEndian.Uint64(yv)
+					if x < delta {
+						return nil
+					}
+					binary.BigEndian.PutUint64(xv, x-delta)
+					binary.BigEndian.PutUint64(yv, y+delta)
+					if err := tx.Put(tbl, []byte("x"), xv); err != nil {
+						return err
+					}
+					return tx.Put(tbl, []byte("y"), yv)
+				})
+			}
+		}(wid)
+	}
+
+	bad := 0
+	for i := 0; i < 500; i++ {
+		s.Worker(2).RunSnapshot(func(stx *SnapTx) error {
+			xv, err := stx.Get(tbl, []byte("x"))
+			if err != nil {
+				return nil // snapshot predates init; fine
+			}
+			yv, err := stx.Get(tbl, []byte("y"))
+			if err != nil {
+				bad++
+				return nil
+			}
+			if binary.BigEndian.Uint64(xv)+binary.BigEndian.Uint64(yv) != total {
+				bad++
+			}
+			return nil
+		})
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad != 0 {
+		t.Fatalf("%d snapshot reads saw a violated invariant", bad)
+	}
+}
+
+// TestScanReadOwnWrites: a transaction's own pending inserts, updates, and
+// deletes must be visible to its scans.
+func TestScanReadOwnWrites(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error {
+		tx.Insert(tbl, []byte("b"), []byte("B"))
+		tx.Insert(tbl, []byte("d"), []byte("D"))
+		return nil
+	})
+	if err := w.Run(func(tx *Tx) error {
+		if err := tx.Insert(tbl, []byte("c"), []byte("C")); err != nil {
+			return err
+		}
+		if err := tx.Put(tbl, []byte("b"), []byte("B2")); err != nil {
+			return err
+		}
+		if err := tx.Delete(tbl, []byte("d")); err != nil {
+			return err
+		}
+		var got []string
+		if err := tx.Scan(tbl, []byte("a"), []byte("z"), func(k, v []byte) bool {
+			got = append(got, fmt.Sprintf("%s=%s", k, v))
+			return true
+		}); err != nil {
+			return err
+		}
+		want := "[b=B2 c=C]"
+		if fmt.Sprint(got) != want {
+			t.Errorf("scan got %v want %v", got, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalTIDMode exercises the centralized TID variant for correctness
+// (its performance is Figure 4's business).
+func TestGlobalTIDMode(t *testing.T) {
+	opts := DefaultOptions(2)
+	opts.GlobalTID = true
+	opts.EpochInterval = time.Millisecond
+	s := NewStore(opts)
+	defer s.Close()
+	tbl := s.CreateTable("t")
+	var wg sync.WaitGroup
+	for wid := 0; wid < 2; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", wid, i))
+				if err := s.Worker(wid).Run(func(tx *Tx) error {
+					return tx.Insert(tbl, k, []byte("v"))
+				}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	if tbl.Tree.Len() != 400 {
+		t.Fatalf("Len=%d", tbl.Tree.Len())
+	}
+}
+
+// TestSecondaryIndexPattern exercises §4.7: a secondary index is another
+// table maintained by the transaction; stale index entries cause aborts via
+// the ordinary validation rules.
+func TestSecondaryIndexPattern(t *testing.T) {
+	s := testStore(t, 1)
+	primary := s.CreateTable("users")
+	byEmail := s.CreateTable("users_by_email")
+	w := s.Worker(0)
+
+	put := func(id, email, name string) error {
+		return w.Run(func(tx *Tx) error {
+			// Remove any old index entry.
+			if old, err := tx.Get(primary, []byte(id)); err == nil {
+				tx.Delete(byEmail, old) // old value = old email
+			}
+			if err := tx.Insert(byEmail, []byte(email), []byte(id)); err != nil && err != ErrKeyExists {
+				return err
+			}
+			if _, err := tx.Get(primary, []byte(id)); err == ErrNotFound {
+				return tx.Insert(primary, []byte(id), []byte(email))
+			}
+			return tx.Put(primary, []byte(id), []byte(email))
+		})
+	}
+	lookup := func(email string) (string, error) {
+		var id string
+		err := w.Run(func(tx *Tx) error {
+			v, err := tx.Get(byEmail, []byte(email))
+			if err != nil {
+				return err
+			}
+			id = string(v)
+			return nil
+		})
+		return id, err
+	}
+
+	if err := put("u1", "a@x.com", "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	if id, err := lookup("a@x.com"); err != nil || id != "u1" {
+		t.Fatalf("lookup: %q %v", id, err)
+	}
+	if err := put("u1", "alice@x.com", "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lookup("a@x.com"); err != ErrNotFound {
+		t.Fatalf("stale index entry still present: %v", err)
+	}
+	if id, err := lookup("alice@x.com"); err != nil || id != "u1" {
+		t.Fatalf("new lookup: %q %v", id, err)
+	}
+}
+
+// TestManyTables spreads a transaction across tables.
+func TestManyTables(t *testing.T) {
+	s := testStore(t, 1)
+	var tbls []*Table
+	for i := 0; i < 10; i++ {
+		tbls = append(tbls, s.CreateTable(fmt.Sprintf("t%d", i)))
+	}
+	w := s.Worker(0)
+	if err := w.Run(func(tx *Tx) error {
+		for i, tbl := range tbls {
+			if err := tx.Insert(tbl, []byte("k"), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tbl := range tbls {
+		if tbl.Tree.Len() != 1 {
+			t.Fatalf("table %d: Len=%d", i, tbl.Tree.Len())
+		}
+	}
+	if s.TableByID(3) != tbls[3] || s.Table("t3") != tbls[3] {
+		t.Fatal("table lookup mismatch")
+	}
+	if s.TableByID(999) != nil {
+		t.Fatal("bogus table id resolved")
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	long := make([]byte, 63)
+	if err := w.RunOnce(func(tx *Tx) error {
+		if _, err := tx.Get(tbl, nil); err != ErrKeyInvalid {
+			t.Errorf("Get(nil): %v", err)
+		}
+		if err := tx.Insert(tbl, long, []byte("v")); err != ErrKeyInvalid {
+			t.Errorf("Insert(long): %v", err)
+		}
+		if err := tx.Put(tbl, []byte{}, []byte("v")); err != ErrKeyInvalid {
+			t.Errorf("Put(empty): %v", err)
+		}
+		if err := tx.Delete(tbl, long); err != ErrKeyInvalid {
+			t.Errorf("Delete(long): %v", err)
+		}
+		if err := tx.Scan(tbl, nil, nil, func(k, v []byte) bool { return true }); err != ErrKeyInvalid {
+			t.Errorf("Scan(nil lo): %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunSnapshot(func(stx *SnapTx) error {
+		if _, err := stx.Get(tbl, long); err != ErrKeyInvalid {
+			t.Errorf("snapshot Get(long): %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 62 bytes is the maximum and must work.
+	max := make([]byte, 62)
+	max[0] = 'k'
+	if err := w.Run(func(tx *Tx) error { return tx.Insert(tbl, max, []byte("v")) }); err != nil {
+		t.Fatalf("62-byte key: %v", err)
+	}
+}
+
+func TestDoubleBeginPanics(t *testing.T) {
+	s := testStore(t, 1)
+	w := s.Worker(0)
+	tx := w.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Begin did not panic")
+		}
+		tx.Abort()
+	}()
+	w.Begin()
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := testStore(t, 1)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	w.Run(func(tx *Tx) error { return tx.Insert(tbl, []byte("k"), []byte("v")) })
+	w.Run(func(tx *Tx) error { _, err := tx.Get(tbl, []byte("k")); return err })
+	st := s.Stats()
+	if st.Commits != 2 || st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	d := st.Sub(Stats{Commits: 1})
+	if d.Commits != 1 {
+		t.Fatalf("Sub: %+v", d)
+	}
+}
+
+// testRNG is a local SplitMix64 (the shared one lives in the ycsb package,
+// which depends on core and would create an import cycle here).
+type testRNG uint64
+
+func newTestRNG(seed uint64) *testRNG { r := testRNG(seed*2654435761 + 1); return &r }
+
+func (r *testRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) Intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"silo/internal/epoch"
+	"silo/internal/tid"
+)
+
+// Worker is a per-"core" execution context: it owns a TID generator, an
+// epoch slot, garbage lists, an arena, and a reusable transaction. A worker
+// runs one transaction at a time; distinct workers run concurrently and
+// share the whole database.
+type Worker struct {
+	id    int
+	store *Store
+	slot  *epoch.Slot
+	gen   tid.Generator
+	gc    gcState
+	arena arena
+	stats Stats
+	logFn LogFunc
+
+	tx   Tx     // reusable transaction
+	stx  SnapTx // reusable snapshot transaction
+	wbuf []LoggedWrite
+}
+
+func newWorker(s *Store, id int) *Worker {
+	w := &Worker{id: id, store: s, slot: s.epochs.Slot(id)}
+	w.tx.w = w
+	w.stx.w = w
+	return w
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// Store returns the owning store.
+func (w *Worker) Store() *Store { return w.store }
+
+// Stats returns a copy of the worker's counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// SetLogFunc installs the durability hook invoked after every commit. It
+// must be set before the worker runs transactions.
+func (w *Worker) SetLogFunc(fn LogFunc) { w.logFn = fn }
+
+// LastCommitTID returns the pure TID of the worker's most recent commit.
+func (w *Worker) LastCommitTID() uint64 { return w.gen.Last() }
+
+// Begin starts a read/write transaction on this worker. The returned
+// transaction is owned by the worker and is reset by Commit/Abort; at most
+// one may be active per worker.
+func (w *Worker) Begin() *Tx {
+	tx := &w.tx
+	if tx.active {
+		panic("core: worker already has an active transaction")
+	}
+	tx.reset()
+	tx.epoch = w.slot.Enter(w.store.epochs)
+	tx.active = true
+	return tx
+}
+
+// BeginSnapshot starts a read-only snapshot transaction (§4.9). Snapshot
+// transactions read a recent consistent snapshot, never block writers, and
+// never abort.
+func (w *Worker) BeginSnapshot() *SnapTx {
+	stx := &w.stx
+	if stx.active {
+		panic("core: worker already has an active snapshot transaction")
+	}
+	w.slot.Enter(w.store.epochs)
+	stx.sew = w.slot.SnapshotLocal()
+	stx.active = true
+	return stx
+}
+
+// Run executes fn inside a transaction, committing on nil return and
+// aborting otherwise. It retries automatically when fn or Commit reports
+// ErrConflict, which is the common way to run one-shot requests.
+func (w *Worker) Run(fn func(tx *Tx) error) error {
+	for {
+		tx := w.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == ErrConflict {
+			continue
+		}
+		return err
+	}
+}
+
+// RunOnce is Run without the retry loop; conflicts surface as ErrConflict.
+// Benchmarks use it to count aborts explicitly.
+func (w *Worker) RunOnce(fn func(tx *Tx) error) error {
+	tx := w.Begin()
+	err := fn(tx)
+	if err == nil {
+		return tx.Commit()
+	}
+	tx.Abort()
+	return err
+}
+
+// RunSnapshot executes fn inside a snapshot transaction. Snapshot
+// transactions commit without checking and never abort.
+func (w *Worker) RunSnapshot(fn func(stx *SnapTx) error) error {
+	stx := w.BeginSnapshot()
+	err := fn(stx)
+	stx.finish()
+	return err
+}
+
+// finishTx is the common epilogue for commit and abort: quiesce the epoch
+// slot and let the garbage collector run between requests (§4.8: reaping in
+// the workers avoids helper threads and cross-core data movement).
+func (w *Worker) finishTx() {
+	w.slot.Exit()
+	if w.store.opts.GC {
+		w.gc.reap(w)
+	}
+}
+
+// RefreshEpoch re-reads the global epoch into the worker's slot. Workers
+// running very long transactions should call it periodically so the
+// epoch-advancing thread is not held back (§4.1).
+func (w *Worker) RefreshEpoch() { w.slot.Refresh(w.store.epochs) }

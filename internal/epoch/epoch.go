@@ -1,0 +1,291 @@
+// Package epoch implements Silo's epoch subsystem (§4.1, §4.8, §4.9).
+//
+// Time is divided into short epochs identified by a global epoch number E. A
+// designated thread periodically advances E; workers read E while committing.
+// Epoch boundaries are the only points at which the serial order is
+// externally known, so epochs drive serializable recovery (group commit),
+// RCU-style garbage collection, and consistent read-only snapshots.
+//
+// Each worker w keeps a local epoch e_w, refreshed to E at the start of every
+// transaction, and a local snapshot epoch se_w. The manager maintains the
+// paper's invariant E ≤ e_w + 1 for every active worker: the epoch-advancing
+// thread delays its update while any worker lags. From the worker epochs the
+// manager derives two reclamation horizons:
+//
+//   - tree reclamation epoch  = min e_w − 1: garbage registered at or below
+//     it can no longer be reached by any worker.
+//   - snapshot reclamation epoch = min se_w − 1: superseded record versions
+//     at or below it can no longer be read by any snapshot transaction.
+//
+// Snapshot epochs advance more slowly than epochs: snap(e) = k·⌊e/k⌋, and
+// the global snapshot epoch is SE = snap(E − k), so a snapshot is always a
+// consistent, slightly stale prefix of the serial order.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultInterval is the paper's epoch advance period (40 ms).
+const DefaultInterval = 40 * time.Millisecond
+
+// DefaultSnapshotK is the paper's snapshot-epoch divisor: a new snapshot is
+// taken every k epochs (k=25 gives about one snapshot per second at 40 ms
+// epochs).
+const DefaultSnapshotK = 25
+
+// pad prevents false sharing between per-worker slots on the assumption of
+// 64-byte cache lines (the paper's machine; universal on amd64/arm64).
+type pad [48]byte
+
+// Slot holds one worker's epoch state. All fields are accessed atomically.
+type Slot struct {
+	// local is the worker's local epoch e_w. Valid only while active.
+	local atomic.Uint64
+	// snapLocal is the worker's local snapshot epoch se_w.
+	snapLocal atomic.Uint64
+	// active is nonzero while the worker is inside a transaction. Quiescent
+	// workers do not constrain epoch advancement.
+	active atomic.Uint64
+	_      pad
+}
+
+// Manager owns the global epoch state and the per-worker slots.
+type Manager struct {
+	global     atomic.Uint64 // E
+	snapGlobal atomic.Uint64 // SE
+	treeRecl   atomic.Uint64 // min e_w − 1 (tree/record reclamation horizon)
+	snapRecl   atomic.Uint64 // min se_w − 1 (snapshot version reclamation horizon)
+
+	k        uint64
+	interval time.Duration
+
+	slots []*Slot
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+	running bool
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers is the number of worker slots to allocate.
+	Workers int
+	// Interval is the epoch advance period; DefaultInterval if zero.
+	Interval time.Duration
+	// SnapshotK is the snapshot-epoch divisor; DefaultSnapshotK if zero.
+	SnapshotK int
+	// StartEpoch is the initial value of E. Recovery starts the system at
+	// D+1; fresh databases start at 1 so that epoch 0 means "never".
+	StartEpoch uint64
+}
+
+// NewManager allocates a manager with cfg.Workers slots. The advancing
+// thread is not started; call Start, or drive epochs manually with Advance
+// (as the tests do).
+func NewManager(cfg Config) *Manager {
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.SnapshotK == 0 {
+		cfg.SnapshotK = DefaultSnapshotK
+	}
+	if cfg.StartEpoch == 0 {
+		cfg.StartEpoch = 1
+	}
+	m := &Manager{
+		k:        uint64(cfg.SnapshotK),
+		interval: cfg.Interval,
+		slots:    make([]*Slot, cfg.Workers),
+	}
+	for i := range m.slots {
+		m.slots[i] = &Slot{}
+	}
+	m.global.Store(cfg.StartEpoch)
+	m.snapGlobal.Store(m.snap(saturatingSub(cfg.StartEpoch, m.k)))
+	m.recompute()
+	return m
+}
+
+func saturatingSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// snap rounds e down to a snapshot boundary: k·⌊e/k⌋.
+func (m *Manager) snap(e uint64) uint64 { return e - e%m.k }
+
+// Snap exposes the snapshot boundary function for the commit protocol's
+// version-preservation test (§4.9: preserve the old version iff
+// snap(epoch(r.tid)) ≠ snap(E)).
+func (m *Manager) Snap(e uint64) uint64 { return m.snap(e) }
+
+// SnapshotK returns the snapshot-epoch divisor k.
+func (m *Manager) SnapshotK() uint64 { return m.k }
+
+// Global returns the current global epoch E. The load is a single atomic
+// read, as required by the commit protocol's serialization point.
+func (m *Manager) Global() uint64 { return m.global.Load() }
+
+// SnapshotGlobal returns the current global snapshot epoch SE.
+func (m *Manager) SnapshotGlobal() uint64 { return m.snapGlobal.Load() }
+
+// TreeReclamation returns the current tree/record reclamation epoch.
+// Garbage whose reclamation epoch is ≤ this value may be freed.
+func (m *Manager) TreeReclamation() uint64 { return m.treeRecl.Load() }
+
+// SnapshotReclamation returns the current snapshot reclamation epoch.
+func (m *Manager) SnapshotReclamation() uint64 { return m.snapRecl.Load() }
+
+// Slot returns worker w's slot.
+func (m *Manager) Slot(w int) *Slot { return m.slots[w] }
+
+// Workers returns the number of worker slots.
+func (m *Manager) Workers() int { return len(m.slots) }
+
+// Enter marks the worker active and refreshes its local epochs from the
+// globals; it is called at the start of every transaction and returns the
+// refreshed e_w. Long-running transactions should call Refresh periodically
+// so the system keeps making progress.
+func (s *Slot) Enter(m *Manager) uint64 {
+	e := m.global.Load()
+	s.local.Store(e)
+	s.snapLocal.Store(m.snapGlobal.Load())
+	s.active.Store(1)
+	return e
+}
+
+// Refresh re-reads the global epoch into e_w without toggling activity.
+func (s *Slot) Refresh(m *Manager) uint64 {
+	e := m.global.Load()
+	s.local.Store(e)
+	return e
+}
+
+// Exit marks the worker quiescent (between requests). Quiescent workers do
+// not hold back epoch advancement or reclamation.
+func (s *Slot) Exit() { s.active.Store(0) }
+
+// Local returns the worker's local epoch e_w.
+func (s *Slot) Local() uint64 { return s.local.Load() }
+
+// SnapshotLocal returns the worker's local snapshot epoch se_w.
+func (s *Slot) SnapshotLocal() uint64 { return s.snapLocal.Load() }
+
+// Active reports whether the worker is inside a transaction.
+func (s *Slot) Active() bool { return s.active.Load() != 0 }
+
+// Advance performs one epoch-advancing step: if every active worker has
+// refreshed to the current epoch (e_w ≥ E, so that E+1 ≤ e_w + 1 holds after
+// the bump), it increments E; otherwise it leaves E alone, honouring the
+// invariant. Either way it recomputes SE and the reclamation horizons.
+// It reports whether E advanced.
+func (m *Manager) Advance() bool {
+	e := m.global.Load()
+	advanced := false
+	if m.minLocal(e) >= e {
+		m.global.Store(e + 1)
+		e++
+		advanced = true
+	}
+	m.snapGlobal.Store(m.snap(saturatingSub(e, m.k)))
+	m.recompute()
+	return advanced
+}
+
+// minLocal returns min over active workers of e_w, treating quiescent
+// workers as having e_w = def (they will refresh to ≥ def on Enter, because
+// Enter loads the global).
+func (m *Manager) minLocal(def uint64) uint64 {
+	min := def
+	for _, s := range m.slots {
+		if !s.Active() {
+			continue
+		}
+		if l := s.local.Load(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+func (m *Manager) minSnapLocal(def uint64) uint64 {
+	min := def
+	for _, s := range m.slots {
+		if !s.Active() {
+			continue
+		}
+		if l := s.snapLocal.Load(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// recompute refreshes the reclamation horizons from the worker epochs.
+func (m *Manager) recompute() {
+	e := m.global.Load()
+	m.treeRecl.Store(saturatingSub(m.minLocal(e), 1))
+	m.snapRecl.Store(saturatingSub(m.minSnapLocal(m.snapGlobal.Load()), 1))
+}
+
+// AdvanceTo raises the global epoch to at least e (used by recovery to
+// restart the system strictly after the recovered durable epoch). It must
+// be called before workers run.
+func (m *Manager) AdvanceTo(e uint64) {
+	for {
+		cur := m.global.Load()
+		if cur >= e {
+			break
+		}
+		if m.global.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	m.snapGlobal.Store(m.snap(saturatingSub(m.global.Load(), m.k)))
+	m.recompute()
+}
+
+// Start launches the epoch-advancing goroutine. It is idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return
+	}
+	m.running = true
+	m.stop = make(chan struct{})
+	m.stopped = make(chan struct{})
+	go func(stop, stopped chan struct{}) {
+		defer close(stopped)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.Advance()
+			}
+		}
+	}(m.stop, m.stopped)
+}
+
+// Stop halts the advancing goroutine and waits for it to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	stop, stopped := m.stop, m.stopped
+	m.mu.Unlock()
+	close(stop)
+	<-stopped
+}

@@ -1,0 +1,246 @@
+package record
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"silo/internal/tid"
+)
+
+func TestNewAndRead(t *testing.T) {
+	w := tid.Make(3, 7).WithLatest(true)
+	r := New(w, []byte("hello"))
+	val, got := r.Read(nil)
+	if !bytes.Equal(val, []byte("hello")) {
+		t.Fatalf("val=%q", val)
+	}
+	if got != w {
+		t.Fatalf("word=%v want %v", got, w)
+	}
+}
+
+func TestNewAbsent(t *testing.T) {
+	r := NewAbsent()
+	w := r.Word()
+	if !w.Absent() || !w.Latest() || w.TID() != 0 {
+		t.Fatalf("placeholder word=%v", w)
+	}
+	val, _ := r.Read(nil)
+	if val != nil {
+		t.Fatalf("absent read returned %q", val)
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	r := New(tid.Make(1, 1), []byte("x"))
+	pre := r.Lock()
+	if pre.Locked() {
+		t.Fatal("pre-lock word has lock bit")
+	}
+	if !r.Word().Locked() {
+		t.Fatal("record not locked")
+	}
+	if _, ok := r.TryLock(); ok {
+		t.Fatal("TryLock succeeded while locked")
+	}
+	next := tid.Make(1, 2).WithLatest(true)
+	r.Unlock(next)
+	if got := r.Word(); got != next {
+		t.Fatalf("after unlock word=%v want %v", got, next)
+	}
+}
+
+func TestOverwriteSameLength(t *testing.T) {
+	r := New(tid.Make(1, 1).WithLatest(true), []byte("aaaa"))
+	r.Lock()
+	if !r.TryOverwriteLocked([]byte("bbbb")) {
+		t.Fatal("same-length overwrite refused")
+	}
+	if r.TryOverwriteLocked([]byte("ccc")) {
+		t.Fatal("different-length overwrite accepted")
+	}
+	r.Unlock(tid.Make(1, 2).WithLatest(true))
+	val, _ := r.Read(nil)
+	if string(val) != "bbbb" {
+		t.Fatalf("val=%q", val)
+	}
+}
+
+func TestSetDataPointerReturnsOld(t *testing.T) {
+	r := New(tid.Make(1, 1), []byte("old!"))
+	r.Lock()
+	old := r.SetDataPointerLocked([]byte("newer"))
+	if string(old) != "old!" {
+		t.Fatalf("old=%q", old)
+	}
+	r.Unlock(tid.Make(1, 2).WithLatest(true))
+	val, _ := r.Read(nil)
+	if string(val) != "newer" {
+		t.Fatalf("val=%q", val)
+	}
+}
+
+func TestCopyForSnapshot(t *testing.T) {
+	r := New(tid.Make(2, 5).WithLatest(true), []byte("v1"))
+	prev := New(tid.Make(1, 1), []byte("v0"))
+	r.SetPrev(prev)
+	w := r.Lock()
+	c := r.CopyForSnapshot(w)
+	r.Unlock(w)
+	if c.Word().Latest() {
+		t.Fatal("snapshot copy claims to be latest")
+	}
+	if c.Word().TID() != w.TID() {
+		t.Fatal("snapshot copy TID mismatch")
+	}
+	if string(c.DataUnsafe()) != "v1" {
+		t.Fatal("snapshot copy data mismatch")
+	}
+	if c.Prev() != prev {
+		t.Fatal("snapshot copy chain broken")
+	}
+	// Mutating the original must not affect the copy.
+	r.Lock()
+	r.TryOverwriteLocked([]byte("v2"))
+	r.Unlock(tid.Make(3, 1).WithLatest(true))
+	if string(c.DataUnsafe()) != "v1" {
+		t.Fatal("snapshot copy aliased original data")
+	}
+}
+
+// TestSeqlockConsistency is the core §4.5 protocol test: one writer
+// repeatedly installs values whose bytes are all equal; concurrent
+// validated readers must never observe a torn (mixed-byte) value.
+func TestSeqlockConsistency(t *testing.T) {
+	const size = 64
+	mk := func(b byte) []byte { return bytes.Repeat([]byte{b}, size) }
+	r := New(tid.Make(1, 1).WithLatest(true), mk(0))
+
+	var stop atomic.Bool
+	var torn atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for !stop.Load() {
+				val, w := r.Read(buf)
+				buf = val[:0]
+				if w.Absent() {
+					continue
+				}
+				for i := 1; i < len(val); i++ {
+					if val[i] != val[0] {
+						torn.Add(1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	seq := uint64(2)
+	for i := 0; i < 20000; i++ {
+		w := r.Lock()
+		r.TryOverwriteLocked(mk(byte(i)))
+		seq++
+		r.Unlock(tid.Make(w.Epoch(), seq).WithLatest(true))
+	}
+	stop.Store(true)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn reads observed", torn.Load())
+	}
+}
+
+// TestSeqlockWithResize mixes same-length overwrites with buffer swaps.
+func TestSeqlockWithResize(t *testing.T) {
+	r := New(tid.Make(1, 1).WithLatest(true), bytes.Repeat([]byte{0}, 16))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var bad atomic.Uint64
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for !stop.Load() {
+				val, w := r.Read(buf)
+				buf = val[:0]
+				_ = w
+				if len(val) != 16 && len(val) != 64 {
+					bad.Add(1)
+					return
+				}
+				for i := 1; i < len(val); i++ {
+					if val[i] != val[0] {
+						bad.Add(1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	seq := uint64(2)
+	for i := 0; i < 10000; i++ {
+		w := r.Lock()
+		n := 16
+		if i%2 == 0 {
+			n = 64
+		}
+		r.SetDataPointerLocked(bytes.Repeat([]byte{byte(i)}, n))
+		seq++
+		r.Unlock(tid.Make(w.Epoch(), seq).WithLatest(true))
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d inconsistent reads", bad.Load())
+	}
+}
+
+// TestLockContention verifies mutual exclusion of the lock bit.
+func TestLockContention(t *testing.T) {
+	r := New(tid.Make(1, 1), []byte{0})
+	var counter int // protected by the record lock
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		per        = 1000
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w := r.Lock()
+				counter++
+				r.Unlock(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*per {
+		t.Fatalf("counter=%d want %d (lost updates ⇒ lock broken)", counter, goroutines*per)
+	}
+}
+
+func TestReadWordSpinsWhileLocked(t *testing.T) {
+	r := New(tid.Make(1, 1).WithLatest(true), []byte("x"))
+	w := r.Lock()
+	done := make(chan tid.Word)
+	go func() { done <- r.ReadWord() }()
+	select {
+	case <-done:
+		t.Fatal("ReadWord returned while locked")
+	default:
+	}
+	release := tid.Make(1, 9).WithLatest(true)
+	r.Unlock(release)
+	if got := <-done; got != release {
+		t.Fatalf("ReadWord=%v want %v", got, release)
+	}
+	_ = w
+}

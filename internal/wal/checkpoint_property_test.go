@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"silo/internal/core"
+)
+
+// Property: any database content — random tables, random binary keys and
+// values including empty values — survives a checkpoint round trip exactly.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((uint64(rng) >> 33) % uint64(n))
+			return v
+		}
+
+		opts := core.DefaultOptions(1)
+		opts.ManualEpochs = true
+		opts.SnapshotK = 2
+		s := core.NewStore(opts)
+		defer s.Close()
+
+		nTables := 1 + next(4)
+		type row struct{ k, v string }
+		content := make([]map[string]string, nTables)
+		for ti := 0; ti < nTables; ti++ {
+			s.CreateTable(fmt.Sprintf("t%d", ti))
+			content[ti] = map[string]string{}
+		}
+		w := s.Worker(0)
+		for i := 0; i < 50+next(100); i++ {
+			ti := next(nTables)
+			klen := 1 + next(30)
+			k := make([]byte, klen)
+			for j := range k {
+				k[j] = byte(next(256))
+			}
+			vlen := next(40)
+			v := make([]byte, vlen)
+			for j := range v {
+				v[j] = byte(next(256))
+			}
+			tbl := s.TableByID(uint32(ti))
+			err := w.Run(func(tx *core.Tx) error {
+				err := tx.Insert(tbl, k, v)
+				if err == core.ErrKeyExists {
+					return nil
+				}
+				return err
+			})
+			if err != nil {
+				t.Logf("seed %d: insert: %v", seed, err)
+				return false
+			}
+			if _, dup := content[ti][string(k)]; !dup {
+				content[ti][string(k)] = string(v)
+			}
+		}
+		// Make a snapshot cover everything.
+		for i := 0; i < 10; i++ {
+			s.AdvanceEpoch()
+		}
+
+		dir := t.TempDir()
+		res, err := WriteCheckpoint(s, 0, dir)
+		if err != nil {
+			t.Logf("seed %d: checkpoint: %v", seed, err)
+			return false
+		}
+		total := 0
+		for _, m := range content {
+			total += len(m)
+		}
+		if res.Rows != total {
+			t.Logf("seed %d: checkpoint rows=%d want %d", seed, res.Rows, total)
+			return false
+		}
+
+		s2 := core.NewStore(core.DefaultOptions(1))
+		defer s2.Close()
+		for ti := 0; ti < nTables; ti++ {
+			s2.CreateTable(fmt.Sprintf("t%d", ti))
+		}
+		if _, _, err := loadCheckpoint(s2, res.Path); err != nil {
+			t.Logf("seed %d: load: %v", seed, err)
+			return false
+		}
+		for ti := 0; ti < nTables; ti++ {
+			tbl := s2.TableByID(uint32(ti))
+			got := map[string]string{}
+			err := s2.Worker(0).Run(func(tx *core.Tx) error {
+				return tx.Scan(tbl, []byte{0}, nil, func(k, v []byte) bool {
+					got[string(k)] = string(v)
+					return true
+				})
+			})
+			if err != nil {
+				t.Logf("seed %d: scan: %v", seed, err)
+				return false
+			}
+			if len(got) != len(content[ti]) {
+				t.Logf("seed %d table %d: %d rows want %d", seed, ti, len(got), len(content[ti]))
+				return false
+			}
+			for k, v := range content[ti] {
+				if got[k] != v {
+					t.Logf("seed %d table %d key %x: %x want %x", seed, ti, k, got[k], v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

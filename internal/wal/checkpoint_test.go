@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+)
+
+// checkpointStore builds a store with fast epochs and snapshot boundaries,
+// loads n keys, and pushes epochs far enough that a snapshot covers them.
+func checkpointStore(t *testing.T, n int) (*core.Store, *core.Table) {
+	t.Helper()
+	opts := core.DefaultOptions(2)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	t.Cleanup(s.Close)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	for i := 0; i < n; i++ {
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.AdvanceEpoch()
+	}
+	return s, tbl
+}
+
+func TestCheckpointWriteAndLoad(t *testing.T) {
+	s, _ := checkpointStore(t, 100)
+	dir := t.TempDir()
+	res, err := WriteCheckpoint(s, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 100 {
+		t.Fatalf("rows=%d", res.Rows)
+	}
+	if res.Epoch == 0 {
+		t.Fatal("checkpoint epoch 0")
+	}
+	if _, err := os.Stat(res.Path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl2 := s2.CreateTable("t")
+	e, rows, err := loadCheckpoint(s2, res.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != res.Epoch || rows != 100 {
+		t.Fatalf("loaded e=%d rows=%d", e, rows)
+	}
+	if tbl2.Tree.Len() != 100 {
+		t.Fatalf("tree len=%d", tbl2.Tree.Len())
+	}
+	err = s2.Worker(0).Run(func(tx *core.Tx) error {
+		v, err := tx.Get(tbl2, []byte("k0042"))
+		if err != nil || string(v) != "v42" {
+			t.Errorf("k0042: %q %v", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCorruptFooterRejected(t *testing.T) {
+	s, _ := checkpointStore(t, 10)
+	dir := t.TempDir()
+	res, err := WriteCheckpoint(s, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(res.Path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(res.Path, data, 0o644)
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	s2.CreateTable("t")
+	if _, _, err := loadCheckpoint(s2, res.Path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	// Truncated checkpoint (crash mid-write) also rejected.
+	os.WriteFile(res.Path, data[:len(data)/2], 0o644)
+	if _, _, err := loadCheckpoint(s2, res.Path); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestCheckpointPlusLogRecovery is the full §4.10 flow: log, checkpoint,
+// keep logging, crash, recover from checkpoint + log suffix; then truncate
+// covered logs.
+func TestCheckpointPlusLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.DefaultOptions(1)
+	opts.EpochInterval = time.Millisecond
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	m, err := Attach(s, Config{Dir: dir, PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.CreateTable("t")
+	m.Start()
+	w := s.Worker(0)
+
+	// Phase A: pre-checkpoint data.
+	for i := 0; i < 50; i++ {
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, []byte(fmt.Sprintf("a%03d", i)), []byte("pre"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give snapshots time to cover phase A.
+	time.Sleep(30 * time.Millisecond)
+	ck, err := WriteCheckpoint(s, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Rows == 0 {
+		t.Fatal("empty checkpoint (snapshot too old?)")
+	}
+
+	// Phase B: post-checkpoint data, including updates of phase-A keys.
+	for i := 0; i < 50; i++ {
+		if err := w.Run(func(tx *core.Tx) error {
+			if err := tx.Insert(tbl, []byte(fmt.Sprintf("b%03d", i)), []byte("post")); err != nil {
+				return err
+			}
+			if i < 10 {
+				return tx.Put(tbl, []byte(fmt.Sprintf("a%03d", i)), []byte("updated"))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDurableFor(t, s, m, 1)
+	m.Stop()
+	s.Close()
+
+	// Recover from checkpoint + logs.
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl2 := s2.CreateTable("t")
+	res, ce, err := RecoverWithCheckpoint(s2, dir, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != ck.Epoch {
+		t.Fatalf("checkpoint epoch %d, want %d", ce, ck.Epoch)
+	}
+	if res.DurableEpoch == 0 {
+		t.Fatal("no durable epoch")
+	}
+	check := func(store *core.Store, table *core.Table, label string) {
+		t.Helper()
+		err := store.Worker(0).Run(func(tx *core.Tx) error {
+			for i := 0; i < 50; i++ {
+				ak := []byte(fmt.Sprintf("a%03d", i))
+				v, err := tx.Get(table, ak)
+				if err != nil {
+					return fmt.Errorf("%s %s: %w", label, ak, err)
+				}
+				want := "pre"
+				if i < 10 {
+					want = "updated"
+				}
+				if string(v) != want {
+					t.Errorf("%s %s=%q want %q", label, ak, v, want)
+				}
+				bk := []byte(fmt.Sprintf("b%03d", i))
+				if v, err := tx.Get(table, bk); err != nil || string(v) != "post" {
+					t.Errorf("%s %s=%q %v", label, bk, v, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(s2, tbl2, "ckpt+log")
+	_ = tbl
+
+	// Recovery without the checkpoint must agree (logs alone are complete
+	// here; checkpointing is an optimization).
+	s3 := core.NewStore(core.DefaultOptions(1))
+	defer s3.Close()
+	tbl3 := s3.CreateTable("t")
+	if _, err := Recover(s3, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	check(s3, tbl3, "log-only")
+}
+
+func TestTruncateLogs(t *testing.T) {
+	// Hand-build two log files: one entirely ≤ CE, one with a later txn.
+	dir := t.TempDir()
+	mk := func(name string, epochs ...uint64) {
+		f, _ := os.Create(filepath.Join(dir, name))
+		for i, e := range epochs {
+			writeBufferFrame(f, appendTxn(nil, uint64(tid.Make(e, uint64(i+1))),
+				[]Entry{{Table: 0, Key: []byte{byte(i + 1)}, Value: []byte("v")}}))
+		}
+		writeDurableFrame(f, epochs[len(epochs)-1])
+		f.Close()
+	}
+	mk("log.0", 1, 2, 3)
+	mk("log.1", 2, 9)
+
+	removed, err := TruncateLogs(dir, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || filepath.Base(removed[0]) != "log.0" {
+		t.Fatalf("removed=%v", removed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "log.1")); err != nil {
+		t.Fatal("log.1 deleted despite uncovered txn")
+	}
+}
+
+func TestFindCheckpointsOrderingAndJunk(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "checkpoint.30"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "checkpoint.7"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "checkpoint.tmp123"), []byte("x"), 0o644)
+	files, epochs, err := findCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || epochs[0] != 7 || epochs[1] != 30 {
+		t.Fatalf("files=%v epochs=%v", files, epochs)
+	}
+}

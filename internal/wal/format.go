@@ -1,0 +1,249 @@
+// Package wal implements Silo's decentralized durability subsystem (§4.10):
+// per-worker redo-log buffers, logger threads each responsible for a
+// disjoint subset of workers and writing to its own log file, per-logger
+// durable epochs d_l, the global durable epoch D = min d_l, epoch-granular
+// group commit, and recovery.
+//
+// Silo logs at record level (redo only, no undo: logging happens after
+// commit). A worker serializes each committed transaction — its TID and the
+// table/key/value of every modified record — into a local buffer in disk
+// format. When the buffer fills or a new epoch begins, the worker publishes
+// the buffer to its logger's queue and then publishes its last committed
+// TID (ctid_w). Loggers compute d = epoch(min ctid_w) − 1, append all
+// received buffers plus a final record containing d, wait for the writes to
+// complete, and publish d_l. Transactions in epochs ≤ D = min d_l are
+// durable; results are released to clients only then.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// On-disk format. A log file is a sequence of frames:
+//
+//	buffer frame:  'B' | u32 payloadLen | u32 crc32(payload) | payload
+//	durable frame: 'D' | u64 epoch | u32 crc32(epoch bytes)
+//
+// A buffer-frame payload is a sequence of transaction records:
+//
+//	u64 TID | u32 nWrites | nWrites × ( u32 table | u16 keyLen | key |
+//	                                    u32 valueLen | value )
+//
+// valueLen = deleteMarker encodes a delete (no value bytes follow). In
+// TID-only mode (the Figure 11 "+SmallRecs" factor) nWrites is zero.
+const (
+	frameBuffer  = 'B'
+	frameDurable = 'D'
+
+	deleteMarker = ^uint32(0)
+)
+
+// ErrCorrupt reports a malformed or torn log frame; recovery treats it as
+// the end of the usable log (everything after a torn frame is discarded, as
+// with any write-ahead log).
+var ErrCorrupt = errors.New("wal: corrupt log frame")
+
+// Entry is one logged record modification.
+type Entry struct {
+	Table  uint32
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// TxnRecord is one committed transaction in the log.
+type TxnRecord struct {
+	TID     uint64
+	Entries []Entry
+}
+
+// appendTxn serializes a transaction record onto buf.
+func appendTxn(buf []byte, tid uint64, entries []Entry) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, tid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		buf = binary.LittleEndian.AppendUint32(buf, e.Table)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Key)))
+		buf = append(buf, e.Key...)
+		if e.Delete {
+			buf = binary.LittleEndian.AppendUint32(buf, deleteMarker)
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Value)))
+		buf = append(buf, e.Value...)
+	}
+	return buf
+}
+
+// writeBufferFrame writes payload as a buffer frame.
+func writeBufferFrame(w io.Writer, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = frameBuffer
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeDurableFrame writes a durable-epoch frame.
+func writeDurableFrame(w io.Writer, epoch uint64) error {
+	var f [13]byte
+	f[0] = frameDurable
+	binary.LittleEndian.PutUint64(f[1:9], epoch)
+	binary.LittleEndian.PutUint32(f[9:13], crc32.ChecksumIEEE(f[1:9]))
+	_, err := w.Write(f[:])
+	return err
+}
+
+// Reader iterates over the frames of one log file.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// NewReader reads frames from an in-memory copy of a log file.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Frame is either a parsed buffer payload or a durable-epoch marker.
+type Frame struct {
+	Durable      bool
+	DurableEpoch uint64
+	Txns         []TxnRecord
+}
+
+// Next returns the next frame, io.EOF at the end, or ErrCorrupt for a torn
+// or damaged frame.
+func (r *Reader) Next() (Frame, error) {
+	if r.off >= len(r.data) {
+		return Frame{}, io.EOF
+	}
+	kind := r.data[r.off]
+	switch kind {
+	case frameBuffer:
+		if r.off+9 > len(r.data) {
+			return Frame{}, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(r.data[r.off+1 : r.off+5]))
+		sum := binary.LittleEndian.Uint32(r.data[r.off+5 : r.off+9])
+		if r.off+9+n > len(r.data) {
+			return Frame{}, ErrCorrupt
+		}
+		payload := r.data[r.off+9 : r.off+9+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return Frame{}, ErrCorrupt
+		}
+		txns, err := parsePayload(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		r.off += 9 + n
+		return Frame{Txns: txns}, nil
+	case frameDurable:
+		if r.off+13 > len(r.data) {
+			return Frame{}, ErrCorrupt
+		}
+		eb := r.data[r.off+1 : r.off+9]
+		sum := binary.LittleEndian.Uint32(r.data[r.off+9 : r.off+13])
+		if crc32.ChecksumIEEE(eb) != sum {
+			return Frame{}, ErrCorrupt
+		}
+		r.off += 13
+		return Frame{Durable: true, DurableEpoch: binary.LittleEndian.Uint64(eb)}, nil
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame kind %q", ErrCorrupt, kind)
+	}
+}
+
+// rawReader walks frames yielding raw payloads (no transaction parsing),
+// for logs whose payloads are compressed.
+type rawReader struct {
+	data []byte
+	off  int
+}
+
+func (r *rawReader) next() (kind byte, payload []byte, durableEpoch uint64, err error) {
+	if r.off >= len(r.data) {
+		return 0, nil, 0, io.EOF
+	}
+	kind = r.data[r.off]
+	switch kind {
+	case frameBuffer:
+		if r.off+9 > len(r.data) {
+			return 0, nil, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(r.data[r.off+1 : r.off+5]))
+		sum := binary.LittleEndian.Uint32(r.data[r.off+5 : r.off+9])
+		if r.off+9+n > len(r.data) {
+			return 0, nil, 0, ErrCorrupt
+		}
+		payload = r.data[r.off+9 : r.off+9+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return 0, nil, 0, ErrCorrupt
+		}
+		r.off += 9 + n
+		return kind, payload, 0, nil
+	case frameDurable:
+		if r.off+13 > len(r.data) {
+			return 0, nil, 0, ErrCorrupt
+		}
+		eb := r.data[r.off+1 : r.off+9]
+		sum := binary.LittleEndian.Uint32(r.data[r.off+9 : r.off+13])
+		if crc32.ChecksumIEEE(eb) != sum {
+			return 0, nil, 0, ErrCorrupt
+		}
+		r.off += 13
+		return kind, nil, binary.LittleEndian.Uint64(eb), nil
+	default:
+		return 0, nil, 0, fmt.Errorf("%w: unknown frame kind %q", ErrCorrupt, kind)
+	}
+}
+
+func parsePayload(p []byte) ([]TxnRecord, error) {
+	var txns []TxnRecord
+	off := 0
+	for off < len(p) {
+		if off+12 > len(p) {
+			return nil, ErrCorrupt
+		}
+		tid := binary.LittleEndian.Uint64(p[off : off+8])
+		n := int(binary.LittleEndian.Uint32(p[off+8 : off+12]))
+		off += 12
+		rec := TxnRecord{TID: tid}
+		for i := 0; i < n; i++ {
+			if off+6 > len(p) {
+				return nil, ErrCorrupt
+			}
+			table := binary.LittleEndian.Uint32(p[off : off+4])
+			klen := int(binary.LittleEndian.Uint16(p[off+4 : off+6]))
+			off += 6
+			if off+klen+4 > len(p) {
+				return nil, ErrCorrupt
+			}
+			key := append([]byte(nil), p[off:off+klen]...)
+			off += klen
+			vlen := binary.LittleEndian.Uint32(p[off : off+4])
+			off += 4
+			e := Entry{Table: table, Key: key}
+			if vlen == deleteMarker {
+				e.Delete = true
+			} else {
+				if off+int(vlen) > len(p) {
+					return nil, ErrCorrupt
+				}
+				e.Value = append([]byte(nil), p[off:off+int(vlen)]...)
+				off += int(vlen)
+			}
+			rec.Entries = append(rec.Entries, e)
+		}
+		txns = append(txns, rec)
+	}
+	return txns, nil
+}

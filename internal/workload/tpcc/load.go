@@ -1,0 +1,227 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"silo/internal/core"
+)
+
+// Tables bundles handles to the TPC-C tables of one store.
+type Tables struct {
+	Warehouse    *core.Table
+	District     *core.Table
+	Customer     *core.Table
+	CustomerName *core.Table
+	History      *core.Table
+	NewOrder     *core.Table
+	Order        *core.Table
+	OrderCust    *core.Table
+	OrderLine    *core.Table
+	Item         *core.Table
+	Stock        *core.Table
+}
+
+// CreateTables creates the TPC-C tables on s (idempotent) in the canonical
+// order, so table IDs are stable for logging/recovery.
+func CreateTables(s *core.Store) *Tables {
+	t := &Tables{}
+	for _, name := range TableNames {
+		tbl := s.CreateTable(name)
+		switch name {
+		case TWarehouse:
+			t.Warehouse = tbl
+		case TDistrict:
+			t.District = tbl
+		case TCustomer:
+			t.Customer = tbl
+		case TCustomerName:
+			t.CustomerName = tbl
+		case THistory:
+			t.History = tbl
+		case TNewOrder:
+			t.NewOrder = tbl
+		case TOrder:
+			t.Order = tbl
+		case TOrderCust:
+			t.OrderCust = tbl
+		case TOrderLine:
+			t.OrderLine = tbl
+		case TItem:
+			t.Item = tbl
+		case TStock:
+			t.Stock = tbl
+		}
+	}
+	return t
+}
+
+// Load populates the database at the given scale, committing in batches on
+// worker 0. The initial population mirrors TPC-C 4.3.3 at the configured
+// cardinalities: every customer has one initial order; the most recent
+// third of orders per district are undelivered (present in new_order with
+// no carrier), matching the standard's 900-of-3000 ratio.
+func Load(s *core.Store, sc Scale) *Tables {
+	t := CreateTables(s)
+	w := s.Worker(0)
+	rng := NewRNG(12345)
+
+	batch := newBatcher(w, 256)
+
+	// Items.
+	var kb, vb []byte
+	for i := 1; i <= sc.Items; i++ {
+		it := Item{Price: uint64(rnd(rng, 100, 10000))}
+		copy(it.Name[:], fmt.Sprintf("item-%d", i))
+		copy(it.Data[:], "original-data")
+		kb = ItemKey(kb, i)
+		vb = it.Marshal(vb)
+		batch.insert(t.Item, kb, vb)
+	}
+
+	for wh := 1; wh <= sc.Warehouses; wh++ {
+		wr := Warehouse{Tax: uint32(rnd(rng, 0, 2000)), YTD: 30000000}
+		copy(wr.Name[:], fmt.Sprintf("wh-%d", wh))
+		kb = WarehouseKey(kb, wh)
+		vb = wr.Marshal(vb)
+		batch.insert(t.Warehouse, kb, vb)
+
+		// Stock for every item.
+		for i := 1; i <= sc.Items; i++ {
+			st := Stock{Quantity: int32(rnd(rng, 10, 100))}
+			copy(st.Data[:], "stock-data")
+			for d := range st.Dist {
+				copy(st.Dist[d][:], fmt.Sprintf("dist-%d-%d", d+1, i))
+			}
+			kb = StockKey(kb, wh, i)
+			vb = st.Marshal(vb)
+			batch.insert(t.Stock, kb, vb)
+		}
+
+		for d := 1; d <= sc.DistrictsPerWH; d++ {
+			di := District{
+				Tax:     uint32(rnd(rng, 0, 2000)),
+				YTD:     3000000,
+				NextOID: uint32(sc.InitOrdersPerDist + 1),
+			}
+			copy(di.Name[:], fmt.Sprintf("d-%d-%d", wh, d))
+			kb = DistrictKey(kb, wh, d)
+			vb = di.Marshal(vb)
+			batch.insert(t.District, kb, vb)
+
+			// Customers and the name index.
+			for c := 1; c <= sc.CustomersPerDist; c++ {
+				cu := Customer{
+					Balance:  -1000,
+					Discount: uint32(rnd(rng, 0, 5000)),
+				}
+				if rnd(rng, 1, 10) == 1 {
+					copy(cu.Credit[:], "BC")
+				} else {
+					copy(cu.Credit[:], "GC")
+				}
+				last := LastNameLoad(c)
+				first := FirstName(c)
+				copy(cu.Last[:], last)
+				copy(cu.First[:], first)
+				copy(cu.Data[:], "customer-data-filler")
+				kb = CustomerKey(kb, wh, d, c)
+				vb = cu.Marshal(vb)
+				batch.insert(t.Customer, kb, vb)
+
+				kb = CustomerNameKey(kb, wh, d, last, first)
+				vb = append(vb[:0], CustomerKey(nil, wh, d, c)...)
+				batch.insert(t.CustomerName, kb, vb)
+
+				// One initial history row.
+				h := History{Amount: 1000, Date: 1}
+				kb = HistoryKey(kb, wh, d, c, 0)
+				vb = h.Marshal(vb)
+				batch.insert(t.History, kb, vb)
+			}
+
+			// Initial orders: customer ids permuted over orders; the last
+			// third are undelivered.
+			perm := rng.Perm(sc.CustomersPerDist)
+			for o := 1; o <= sc.InitOrdersPerDist; o++ {
+				cid := perm[(o-1)%len(perm)] + 1
+				olCnt := rnd(rng, 5, 15)
+				delivered := o <= sc.InitOrdersPerDist*2/3
+				ord := Order{
+					CID:       uint32(cid),
+					EntryDate: uint64(o),
+					OLCount:   uint32(olCnt),
+					AllLocal:  1,
+				}
+				if delivered {
+					ord.CarrierID = uint32(rnd(rng, 1, 10))
+				}
+				kb = OrderKey(kb, wh, d, o)
+				vb = ord.Marshal(vb)
+				batch.insert(t.Order, kb, vb)
+
+				kb = OrderCustKey(kb, wh, d, cid, o)
+				vb = append(vb[:0], u32(nil, uint32(o))...)
+				batch.insert(t.OrderCust, kb, vb)
+
+				if !delivered {
+					kb = NewOrderKey(kb, wh, d, o)
+					batch.insert(t.NewOrder, kb, NewOrderVal)
+				}
+
+				for ol := 1; ol <= olCnt; ol++ {
+					line := OrderLine{
+						ItemID:    uint32(rnd(rng, 1, sc.Items)),
+						SupplyWID: uint32(wh),
+						Quantity:  5,
+						Amount:    uint64(rnd(rng, 1, 999900)),
+					}
+					if delivered {
+						line.DeliveryDate = uint64(o)
+					}
+					copy(line.DistInfo[:], "dist-info")
+					kb = OrderLineKey(kb, wh, d, o, ol)
+					vb = line.Marshal(vb)
+					batch.insert(t.OrderLine, kb, vb)
+				}
+			}
+		}
+	}
+	batch.flush()
+	return t
+}
+
+// batcher groups loader inserts into transactions.
+type batcher struct {
+	w   *core.Worker
+	max int
+	tx  *core.Tx
+	n   int
+}
+
+func newBatcher(w *core.Worker, max int) *batcher {
+	return &batcher{w: w, max: max}
+}
+
+func (b *batcher) insert(tbl *core.Table, key, val []byte) {
+	if b.tx == nil {
+		b.tx = b.w.Begin()
+	}
+	if err := b.tx.Insert(tbl, key, val); err != nil {
+		panic(fmt.Sprintf("tpcc load: insert into %s: %v", tbl.Name, err))
+	}
+	b.n++
+	if b.n >= b.max {
+		b.flush()
+	}
+}
+
+func (b *batcher) flush() {
+	if b.tx == nil {
+		return
+	}
+	if err := b.tx.Commit(); err != nil {
+		panic(fmt.Sprintf("tpcc load: commit: %v", err))
+	}
+	b.tx = nil
+	b.n = 0
+}

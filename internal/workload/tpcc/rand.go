@@ -1,0 +1,72 @@
+package tpcc
+
+import "silo/internal/workload/ycsb"
+
+// Input generation per TPC-C clause 2.1.5/4.3.2: non-uniform random values
+// NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) % (y−x+1)) + x, and the
+// syllable-based customer last names.
+
+// RNG aliases the shared SplitMix64 generator.
+type RNG = ycsb.RNG
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return ycsb.NewRNG(seed) }
+
+// cLast, cID, cItem are the runtime constants C for NURand; TPC-C fixes
+// them per run. Chosen arbitrarily but deterministically.
+const (
+	cLast = 173
+	cID   = 511
+	cItem = 4211
+)
+
+func rnd(r *RNG, lo, hi int) int { // inclusive range
+	return lo + r.Intn(hi-lo+1)
+}
+
+func nuRand(r *RNG, a, c, lo, hi int) int {
+	return ((rnd(r, 0, a)|rnd(r, lo, hi))+c)%(hi-lo+1) + lo
+}
+
+// CustomerID draws a customer id in [1, n] with NURand(1023).
+func CustomerID(r *RNG, n int) int { return nuRand(r, 1023, cID, 1, n) }
+
+// ItemID draws an item id in [1, n] with NURand(8191).
+func ItemID(r *RNG, n int) int { return nuRand(r, 8191, cItem, 1, n) }
+
+var lastSyllables = [10]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName composes the TPC-C last name for number n ∈ [0, 999].
+func LastName(n int) string {
+	return lastSyllables[n/100%10] + lastSyllables[n/10%10] + lastSyllables[n%10]
+}
+
+// RandomLastNameRun draws a last-name number for transaction input:
+// NURand(255) over [0, 999], clamped to the loaded population when the
+// customer count is scaled below 1000.
+func RandomLastNameRun(r *RNG, customers int) string {
+	max := 999
+	if customers < 1000 {
+		max = customers - 1
+	}
+	return LastName(nuRand(r, 255, cLast, 0, max))
+}
+
+// LastNameLoad assigns customer c (1-based) its loaded last name: the first
+// 1000 customers cycle the 1000 names deterministically (clause 4.3.3.1
+// uses NURand for c > 1000; cycling keeps every scaled population dense).
+func LastNameLoad(c int) string { return LastName((c - 1) % 1000) }
+
+// FirstName gives customer c a distinct first name.
+func FirstName(c int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	b := make([]byte, 0, 8)
+	b = append(b, 'F')
+	for c > 0 {
+		b = append(b, letters[c%26])
+		c /= 26
+	}
+	return string(b)
+}

@@ -1,0 +1,717 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+
+	"silo/internal/core"
+)
+
+// ErrRollback is the intentional user abort that TPC-C injects into 1% of
+// new-order transactions (an unused item number, clause 2.4.1.4).
+var ErrRollback = errors.New("tpcc: simulated user rollback")
+
+// TxnType enumerates the five TPC-C transactions.
+type TxnType int
+
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	numTxnTypes
+)
+
+// String names the transaction type.
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "new_order"
+	case TxnPayment:
+		return "payment"
+	case TxnOrderStatus:
+		return "order_status"
+	case TxnDelivery:
+		return "delivery"
+	case TxnStockLevel:
+		return "stock_level"
+	}
+	return fmt.Sprintf("txn(%d)", int(t))
+}
+
+// ClientConfig tunes a client's behaviour.
+type ClientConfig struct {
+	// RemoteItemPct is the probability (percent) that any single new-order
+	// item is supplied by a remote warehouse. The standard uses 1; Figure 8
+	// sweeps it.
+	RemoteItemPct int
+	// RemotePaymentPct is the probability a payment's customer belongs to a
+	// remote warehouse (standard: 15).
+	RemotePaymentPct int
+	// RollbackPct is the percentage of new-order transactions that roll
+	// back intentionally (standard: 1).
+	RollbackPct int
+	// FastIDs generates new-order ids in a separate small transaction
+	// before the body (the Figure 9 MemSilo+FastIds variant; sacrifices
+	// contiguous id allocation since ids do not roll back on abort).
+	FastIDs bool
+	// SnapshotStockLevel runs stock-level as a snapshot transaction
+	// (Figure 10's MemSilo configuration; disable for MemSilo+NoSS).
+	SnapshotStockLevel bool
+}
+
+// StandardConfig is the standard-compliant client configuration.
+func StandardConfig() ClientConfig {
+	return ClientConfig{RemoteItemPct: 1, RemotePaymentPct: 15, RollbackPct: 1}
+}
+
+// ClientStats counts per-transaction-type outcomes.
+type ClientStats struct {
+	Commits   [numTxnTypes]uint64
+	Conflicts [numTxnTypes]uint64
+	Rollbacks uint64
+}
+
+// Total returns total commits.
+func (cs *ClientStats) Total() uint64 {
+	var n uint64
+	for _, c := range cs.Commits {
+		n += c
+	}
+	return n
+}
+
+// Client issues TPC-C transactions from one worker against one home
+// warehouse. Following the paper (§5.3), all clients with the same home
+// warehouse run on the same worker; the client embeds its workload
+// generator, mirroring the paper's combined worker/generator threads.
+type Client struct {
+	T     *Tables
+	SC    Scale
+	W     *core.Worker
+	Cfg   ClientConfig
+	Home  int // 1-based home warehouse
+	Stats ClientStats
+
+	rng  *RNG
+	hseq uint32
+	kb   []byte // key scratch
+	kb2  []byte
+	vb   []byte // value scratch
+	date uint64
+}
+
+// NewClient builds a client bound to worker w and home warehouse home.
+func NewClient(t *Tables, sc Scale, w *core.Worker, home int, cfg ClientConfig, seed uint64) *Client {
+	return &Client{T: t, SC: sc, W: w, Cfg: cfg, Home: home, rng: NewRNG(seed)}
+}
+
+// RNG exposes the client's generator (tests).
+func (c *Client) RNG() *RNG { return c.rng }
+
+// NextType draws from the standard mix: 45% new-order, 43% payment, 4%
+// order-status, 4% delivery, 4% stock-level.
+func (c *Client) NextType() TxnType {
+	x := c.rng.Intn(100)
+	switch {
+	case x < 45:
+		return TxnNewOrder
+	case x < 88:
+		return TxnPayment
+	case x < 92:
+		return TxnOrderStatus
+	case x < 96:
+		return TxnDelivery
+	default:
+		return TxnStockLevel
+	}
+}
+
+// Run executes one transaction of the given type, retrying conflicts until
+// it commits (or rolls back by design). It returns the type's outcome
+// error: nil or ErrRollback.
+func (c *Client) Run(tt TxnType) error {
+	for {
+		err := c.RunOnce(tt)
+		if err == core.ErrConflict {
+			continue
+		}
+		return err
+	}
+}
+
+// RunOnce executes one attempt without retry; core.ErrConflict reports an
+// abort.
+func (c *Client) RunOnce(tt TxnType) error {
+	var err error
+	switch tt {
+	case TxnNewOrder:
+		err = c.NewOrder()
+	case TxnPayment:
+		err = c.Payment()
+	case TxnOrderStatus:
+		err = c.OrderStatus()
+	case TxnDelivery:
+		err = c.Delivery()
+	case TxnStockLevel:
+		err = c.StockLevel()
+	}
+	switch err {
+	case nil:
+		c.Stats.Commits[tt]++
+	case core.ErrConflict:
+		c.Stats.Conflicts[tt]++
+	case ErrRollback:
+		c.Stats.Rollbacks++
+	}
+	return err
+}
+
+// RunMix executes one transaction drawn from the standard mix, with
+// retries.
+func (c *Client) RunMix() error { return c.Run(c.NextType()) }
+
+// ---- New-Order (clause 2.4) ----
+
+type noItem struct {
+	id      int
+	supplyW int
+	qty     int
+	remote  bool
+}
+
+// NewOrder runs one new-order transaction. With FastIDs configured, the
+// order id (and cached district tax) comes from a preliminary small
+// transaction so the body never touches the hot d_next_o_id counter.
+func (c *Client) NewOrder() error {
+	d := rnd(c.rng, 1, c.SC.DistrictsPerWH)
+	cid := CustomerID(c.rng, c.SC.CustomersPerDist)
+	olCnt := rnd(c.rng, 5, 15)
+	rollback := c.Cfg.RollbackPct > 0 && c.rng.Intn(100) < c.Cfg.RollbackPct
+
+	var items [15]noItem
+	allLocal := uint32(1)
+	for i := 0; i < olCnt; i++ {
+		it := &items[i]
+		it.id = ItemID(c.rng, c.SC.Items)
+		it.supplyW = c.Home
+		it.qty = rnd(c.rng, 1, 10)
+		if c.SC.Warehouses > 1 && c.rng.Intn(100) < c.Cfg.RemoteItemPct {
+			it.supplyW = c.otherWarehouse()
+			it.remote = true
+			allLocal = 0
+		}
+	}
+	if rollback {
+		items[olCnt-1].id = c.SC.Items + 1 // unused item number
+	}
+	c.date++
+
+	var oid int
+	var dTax uint32
+	if c.Cfg.FastIDs {
+		// Preliminary id-allocation transaction (its counter bump does not
+		// roll back with the body, by design).
+		err := c.W.Run(func(tx *core.Tx) error {
+			var di District
+			c.kb = DistrictKey(c.kb, c.Home, d)
+			v, err := tx.Get(c.T.District, c.kb)
+			if err != nil {
+				return err
+			}
+			di.Unmarshal(v)
+			oid = int(di.NextOID)
+			dTax = di.Tax
+			di.NextOID++
+			c.vb = di.Marshal(c.vb)
+			return tx.Put(c.T.District, c.kb, c.vb)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	return c.W.RunOnce(func(tx *core.Tx) error {
+		// Warehouse tax.
+		var wh Warehouse
+		c.kb = WarehouseKey(c.kb, c.Home)
+		v, err := tx.Get(c.T.Warehouse, c.kb)
+		if err != nil {
+			return err
+		}
+		wh.Unmarshal(v)
+
+		if !c.Cfg.FastIDs {
+			var di District
+			c.kb = DistrictKey(c.kb, c.Home, d)
+			v, err := tx.Get(c.T.District, c.kb)
+			if err != nil {
+				return err
+			}
+			di.Unmarshal(v)
+			oid = int(di.NextOID)
+			dTax = di.Tax
+			di.NextOID++
+			c.vb = di.Marshal(c.vb)
+			if err := tx.Put(c.T.District, c.kb, c.vb); err != nil {
+				return err
+			}
+		}
+
+		// Customer discount.
+		var cu Customer
+		c.kb = CustomerKey(c.kb, c.Home, d, cid)
+		v, err = tx.Get(c.T.Customer, c.kb)
+		if err != nil {
+			return err
+		}
+		cu.Unmarshal(v)
+
+		// Order, new-order, and the customer-order index.
+		ord := Order{CID: uint32(cid), EntryDate: c.date, OLCount: uint32(olCnt), AllLocal: allLocal}
+		c.kb = OrderKey(c.kb, c.Home, d, oid)
+		c.vb = ord.Marshal(c.vb)
+		if err := tx.Insert(c.T.Order, c.kb, c.vb); err != nil {
+			return err
+		}
+		c.kb = NewOrderKey(c.kb, c.Home, d, oid)
+		if err := tx.Insert(c.T.NewOrder, c.kb, NewOrderVal); err != nil {
+			return err
+		}
+		c.kb = OrderCustKey(c.kb, c.Home, d, cid, oid)
+		c.kb2 = u32(c.kb2[:0], uint32(oid))
+		if err := tx.Insert(c.T.OrderCust, c.kb, c.kb2); err != nil {
+			return err
+		}
+
+		var total uint64
+		for i := 0; i < olCnt; i++ {
+			it := &items[i]
+			// Item price; the unused item number triggers the intentional
+			// rollback.
+			var item Item
+			c.kb = ItemKey(c.kb, it.id)
+			v, err := tx.Get(c.T.Item, c.kb)
+			if err == core.ErrNotFound {
+				return ErrRollback
+			}
+			if err != nil {
+				return err
+			}
+			item.Unmarshal(v)
+
+			// Stock update.
+			var st Stock
+			c.kb = StockKey(c.kb, it.supplyW, it.id)
+			v, err = tx.Get(c.T.Stock, c.kb)
+			if err != nil {
+				return err
+			}
+			st.Unmarshal(v)
+			if st.Quantity >= int32(it.qty)+10 {
+				st.Quantity -= int32(it.qty)
+			} else {
+				st.Quantity = st.Quantity - int32(it.qty) + 91
+			}
+			st.YTD += uint64(it.qty)
+			st.OrderCnt++
+			if it.remote {
+				st.RemoteCnt++
+			}
+			c.vb = st.Marshal(c.vb)
+			if err := tx.Put(c.T.Stock, c.kb, c.vb); err != nil {
+				return err
+			}
+
+			amount := uint64(it.qty) * item.Price
+			total += amount
+			line := OrderLine{
+				ItemID:    uint32(it.id),
+				SupplyWID: uint32(it.supplyW),
+				Quantity:  uint32(it.qty),
+				Amount:    amount,
+			}
+			line.DistInfo = st.Dist[d-1]
+			c.kb = OrderLineKey(c.kb, c.Home, d, oid, i+1)
+			c.vb = line.Marshal(c.vb)
+			if err := tx.Insert(c.T.OrderLine, c.kb, c.vb); err != nil {
+				return err
+			}
+		}
+		// total * (1 − discount) * (1 + wTax + dTax) — computed for
+		// realism; the value is returned to the "client".
+		_ = total * uint64(10000-cu.Discount) / 10000 * uint64(10000+wh.Tax+dTax) / 10000
+		return nil
+	})
+}
+
+func (c *Client) otherWarehouse() int {
+	for {
+		w := rnd(c.rng, 1, c.SC.Warehouses)
+		if w != c.Home || c.SC.Warehouses == 1 {
+			return w
+		}
+	}
+}
+
+// ---- Payment (clause 2.5) ----
+
+// Payment runs one payment transaction.
+func (c *Client) Payment() error {
+	d := rnd(c.rng, 1, c.SC.DistrictsPerWH)
+	amount := uint64(rnd(c.rng, 100, 500000))
+	cw, cd := c.Home, d
+	if c.SC.Warehouses > 1 && c.rng.Intn(100) < c.Cfg.RemotePaymentPct {
+		cw = c.otherWarehouse()
+		cd = rnd(c.rng, 1, c.SC.DistrictsPerWH)
+	}
+	byName := c.rng.Intn(100) < 60
+	var last string
+	cid := 0
+	if byName {
+		last = RandomLastNameRun(c.rng, c.SC.CustomersPerDist)
+	} else {
+		cid = CustomerID(c.rng, c.SC.CustomersPerDist)
+	}
+	c.date++
+	c.hseq++
+	seq := c.hseq
+
+	return c.W.RunOnce(func(tx *core.Tx) error {
+		var wh Warehouse
+		c.kb = WarehouseKey(c.kb, c.Home)
+		v, err := tx.Get(c.T.Warehouse, c.kb)
+		if err != nil {
+			return err
+		}
+		wh.Unmarshal(v)
+		wh.YTD += amount
+		c.vb = wh.Marshal(c.vb)
+		if err := tx.Put(c.T.Warehouse, c.kb, c.vb); err != nil {
+			return err
+		}
+
+		var di District
+		c.kb = DistrictKey(c.kb, c.Home, d)
+		v, err = tx.Get(c.T.District, c.kb)
+		if err != nil {
+			return err
+		}
+		di.Unmarshal(v)
+		di.YTD += amount
+		c.vb = di.Marshal(c.vb)
+		if err := tx.Put(c.T.District, c.kb, c.vb); err != nil {
+			return err
+		}
+
+		id := cid
+		if byName {
+			id, err = c.lookupByName(tx, cw, cd, last)
+			if err != nil {
+				return err
+			}
+		}
+
+		var cu Customer
+		c.kb = CustomerKey(c.kb, cw, cd, id)
+		v, err = tx.Get(c.T.Customer, c.kb)
+		if err != nil {
+			return err
+		}
+		cu.Unmarshal(v)
+		cu.Balance -= int64(amount)
+		cu.YTDPayment += amount
+		cu.PaymentCnt++
+		if cu.Credit[0] == 'B' && cu.Credit[1] == 'C' {
+			// Bad credit: fold payment details into C_DATA (truncated to
+			// the field, per 2.5.2.2).
+			info := fmt.Sprintf("%d %d %d %d %d %d|", id, cd, cw, d, c.Home, amount)
+			var nd [200]byte
+			n := copy(nd[:], info)
+			copy(nd[n:], cu.Data[:200-n])
+			cu.Data = nd
+		}
+		c.vb = cu.Marshal(c.vb)
+		if err := tx.Put(c.T.Customer, c.kb, c.vb); err != nil {
+			return err
+		}
+
+		h := History{Amount: amount, Date: c.date}
+		c.kb = HistoryKey(c.kb, cw, cd, id, seq<<8|uint32(c.W.ID()))
+		c.vb = h.Marshal(c.vb)
+		return tx.Insert(c.T.History, c.kb, c.vb)
+	})
+}
+
+// lookupByName resolves a customer by last name: all matching customers
+// sorted by first name; pick the one at position ⌈n/2⌉ (clause 2.5.2.2).
+func (c *Client) lookupByName(tx *core.Tx, w, d int, last string) (int, error) {
+	var ids []int
+	c.kb = CustomerNamePrefixLo(c.kb, w, d, last)
+	c.kb2 = CustomerNamePrefixHi(c.kb2, w, d, last)
+	err := tx.Scan(c.T.CustomerName, c.kb, c.kb2, func(_, v []byte) bool {
+		// Value is the customer primary key (w,d,c).
+		ids = append(ids, int(bigEndianU32(v[8:12])))
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, core.ErrNotFound
+	}
+	return ids[(len(ids)+1)/2-1], nil
+}
+
+func bigEndianU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// ---- Order-Status (clause 2.6) ----
+
+// OrderStatus reads a customer's balance and their most recent order with
+// its lines.
+func (c *Client) OrderStatus() error {
+	d := rnd(c.rng, 1, c.SC.DistrictsPerWH)
+	byName := c.rng.Intn(100) < 60
+	var last string
+	cid := 0
+	if byName {
+		last = RandomLastNameRun(c.rng, c.SC.CustomersPerDist)
+	} else {
+		cid = CustomerID(c.rng, c.SC.CustomersPerDist)
+	}
+
+	return c.W.RunOnce(func(tx *core.Tx) error {
+		id := cid
+		var err error
+		if byName {
+			id, err = c.lookupByName(tx, c.Home, d, last)
+			if err != nil {
+				return err
+			}
+		}
+		var cu Customer
+		c.kb = CustomerKey(c.kb, c.Home, d, id)
+		v, err := tx.Get(c.T.Customer, c.kb)
+		if err != nil {
+			return err
+		}
+		cu.Unmarshal(v)
+
+		// Most recent order: first entry of the reversed-id index.
+		oid := -1
+		c.kb = OrderCustPrefixLo(c.kb, c.Home, d, id)
+		c.kb2 = OrderCustPrefixHi(c.kb2, c.Home, d, id)
+		err = tx.Scan(c.T.OrderCust, c.kb, c.kb2, func(_, v []byte) bool {
+			oid = int(bigEndianU32(v))
+			return false
+		})
+		if err != nil {
+			return err
+		}
+		if oid < 0 {
+			return nil // customer has no orders at this scale
+		}
+
+		var ord Order
+		c.kb = OrderKey(c.kb, c.Home, d, oid)
+		v, err = tx.Get(c.T.Order, c.kb)
+		if err != nil {
+			return err
+		}
+		ord.Unmarshal(v)
+
+		var line OrderLine
+		c.kb = OrderLinePrefixLo(c.kb, c.Home, d, oid)
+		c.kb2 = OrderLinePrefixHi(c.kb2, c.Home, d, oid+1)
+		return tx.Scan(c.T.OrderLine, c.kb, c.kb2, func(_, v []byte) bool {
+			line.Unmarshal(v)
+			return true
+		})
+	})
+}
+
+// ---- Delivery (clause 2.7) ----
+
+// Delivery delivers the oldest undelivered order of every district in the
+// home warehouse as one transaction.
+func (c *Client) Delivery() error {
+	carrier := uint32(rnd(c.rng, 1, 10))
+	c.date++
+	date := c.date
+
+	return c.W.RunOnce(func(tx *core.Tx) error {
+		for d := 1; d <= c.SC.DistrictsPerWH; d++ {
+			// Oldest new-order entry.
+			oid := -1
+			c.kb = NewOrderKey(c.kb, c.Home, d, 0)
+			c.kb2 = NewOrderKey(c.kb2, c.Home, d+1, 0)
+			err := tx.Scan(c.T.NewOrder, c.kb, c.kb2, func(k, _ []byte) bool {
+				oid = int(bigEndianU32(k[8:12]))
+				return false
+			})
+			if err != nil {
+				return err
+			}
+			if oid < 0 {
+				continue // district fully delivered (allowed: 2.7.4.2)
+			}
+			c.kb = NewOrderKey(c.kb, c.Home, d, oid)
+			if err := tx.Delete(c.T.NewOrder, c.kb); err != nil {
+				return err
+			}
+
+			var ord Order
+			c.kb = OrderKey(c.kb, c.Home, d, oid)
+			v, err := tx.Get(c.T.Order, c.kb)
+			if err != nil {
+				return err
+			}
+			ord.Unmarshal(v)
+			ord.CarrierID = carrier
+			c.vb = ord.Marshal(c.vb)
+			if err := tx.Put(c.T.Order, c.kb, c.vb); err != nil {
+				return err
+			}
+
+			// Order lines: stamp delivery date, sum amounts.
+			var sum uint64
+			type olUpd struct {
+				ol   int
+				line OrderLine
+			}
+			var upds []olUpd
+			c.kb = OrderLinePrefixLo(c.kb, c.Home, d, oid)
+			c.kb2 = OrderLinePrefixHi(c.kb2, c.Home, d, oid+1)
+			err = tx.Scan(c.T.OrderLine, c.kb, c.kb2, func(k, v []byte) bool {
+				var line OrderLine
+				line.Unmarshal(v)
+				sum += line.Amount
+				line.DeliveryDate = date
+				upds = append(upds, olUpd{ol: int(bigEndianU32(k[12:16])), line: line})
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			for i := range upds {
+				c.kb = OrderLineKey(c.kb, c.Home, d, oid, upds[i].ol)
+				c.vb = upds[i].line.Marshal(c.vb)
+				if err := tx.Put(c.T.OrderLine, c.kb, c.vb); err != nil {
+					return err
+				}
+			}
+
+			var cu Customer
+			c.kb = CustomerKey(c.kb, c.Home, d, int(ord.CID))
+			v, err = tx.Get(c.T.Customer, c.kb)
+			if err != nil {
+				return err
+			}
+			cu.Unmarshal(v)
+			cu.Balance += int64(sum)
+			cu.DeliveryCnt++
+			c.vb = cu.Marshal(c.vb)
+			if err := tx.Put(c.T.Customer, c.kb, c.vb); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ---- Stock-Level (clause 2.8) ----
+
+// StockLevel counts distinct items from the district's last 20 orders whose
+// stock is below a threshold. Per Figure 10's MemSilo configuration it runs
+// as a snapshot transaction (roughly one second in the past, never
+// aborting); with SnapshotStockLevel disabled it runs as a regular
+// transaction in the present (MemSilo+NoSS).
+func (c *Client) StockLevel() error {
+	d := rnd(c.rng, 1, c.SC.DistrictsPerWH)
+	threshold := int32(rnd(c.rng, 10, 20))
+
+	if c.Cfg.SnapshotStockLevel {
+		return c.W.RunSnapshot(func(stx *core.SnapTx) error {
+			return c.stockLevelBody(snapReader{stx}, d, threshold)
+		})
+	}
+	return c.W.RunOnce(func(tx *core.Tx) error {
+		return c.stockLevelBody(txReader{tx}, d, threshold)
+	})
+}
+
+// reader abstracts over Tx and SnapTx for read-only transaction bodies.
+type reader interface {
+	Get(t *core.Table, key []byte) ([]byte, error)
+	Scan(t *core.Table, lo, hi []byte, fn func(key, value []byte) bool) error
+}
+
+type txReader struct{ tx *core.Tx }
+
+func (r txReader) Get(t *core.Table, key []byte) ([]byte, error) { return r.tx.Get(t, key) }
+func (r txReader) Scan(t *core.Table, lo, hi []byte, fn func(k, v []byte) bool) error {
+	return r.tx.Scan(t, lo, hi, fn)
+}
+
+type snapReader struct{ stx *core.SnapTx }
+
+func (r snapReader) Get(t *core.Table, key []byte) ([]byte, error) { return r.stx.Get(t, key) }
+func (r snapReader) Scan(t *core.Table, lo, hi []byte, fn func(k, v []byte) bool) error {
+	return r.stx.Scan(t, lo, hi, fn)
+}
+
+func (c *Client) stockLevelBody(r reader, d int, threshold int32) error {
+	var di District
+	c.kb = DistrictKey(c.kb, c.Home, d)
+	v, err := r.Get(c.T.District, c.kb)
+	if err == core.ErrNotFound {
+		// A snapshot taken before the initial load sees an empty database;
+		// the query legitimately reports no stock below threshold.
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	di.Unmarshal(v)
+	next := int(di.NextOID)
+	lo := next - 20
+	if lo < 1 {
+		lo = 1
+	}
+
+	// Distinct items in the last 20 orders' lines (nested-loop join of
+	// order_line with stock, as the paper describes).
+	seen := make(map[uint32]struct{}, 200)
+	c.kb = OrderLinePrefixLo(c.kb, c.Home, d, lo)
+	c.kb2 = OrderLinePrefixHi(c.kb2, c.Home, d, next)
+	var line OrderLine
+	if err := r.Scan(c.T.OrderLine, c.kb, c.kb2, func(_, v []byte) bool {
+		line.Unmarshal(v)
+		seen[line.ItemID] = struct{}{}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	low := 0
+	var st Stock
+	for id := range seen {
+		c.kb = StockKey(c.kb, c.Home, int(id))
+		v, err := r.Get(c.T.Stock, c.kb)
+		if err != nil {
+			if err == core.ErrNotFound {
+				continue
+			}
+			return err
+		}
+		st.Unmarshal(v)
+		if st.Quantity < threshold {
+			low++
+		}
+	}
+	_ = low
+	return nil
+}

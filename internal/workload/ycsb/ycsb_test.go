@@ -1,0 +1,154 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/kvstore"
+)
+
+func TestKeyEncoding(t *testing.T) {
+	k1 := Key(1, nil)
+	k2 := Key(2, nil)
+	if len(k1) != 8 || len(k2) != 8 {
+		t.Fatalf("key lengths %d %d", len(k1), len(k2))
+	}
+	if string(k1) >= string(k2) {
+		t.Fatal("big-endian keys must sort numerically")
+	}
+	// Buffer reuse.
+	buf := make([]byte, 0, 8)
+	if got := Key(7, buf); len(got) != 8 {
+		t.Fatal("reused buffer wrong length")
+	}
+}
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(2)
+	same := 0
+	a2 := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("bad permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	g := NewGenerator(cfg, 9)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Key >= uint64(cfg.Keys) {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		if op.Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("read fraction %.3f, want ≈0.80", frac)
+	}
+}
+
+func TestLoadAndRunSilo(t *testing.T) {
+	opts := core.DefaultOptions(1)
+	opts.EpochInterval = time.Millisecond
+	s := core.NewStore(opts)
+	defer s.Close()
+	cfg := DefaultConfig(500)
+	tbl := LoadSilo(s, cfg)
+	if tbl.Tree.Len() != cfg.Keys {
+		t.Fatalf("loaded %d keys", tbl.Tree.Len())
+	}
+	g := NewGenerator(cfg, 3)
+	var kb []byte
+	for i := 0; i < 500; i++ {
+		ok, kb2 := RunSiloOp(s.Worker(0), tbl, g.Next(), kb)
+		kb = kb2
+		if !ok {
+			t.Fatal("single-worker op aborted")
+		}
+	}
+}
+
+func TestLoadAndRunKV(t *testing.T) {
+	kv := kvstore.New()
+	cfg := DefaultConfig(300)
+	LoadKV(kv, cfg)
+	if kv.Len() != cfg.Keys {
+		t.Fatalf("loaded %d", kv.Len())
+	}
+	g := NewGenerator(cfg, 4)
+	var kb, vb []byte
+	for i := 0; i < 500; i++ {
+		kb, vb = RunKVOp(kv, g.Next(), kb, vb)
+	}
+}
+
+func TestRMWIncrements(t *testing.T) {
+	// A 100% RMW stream must leave counters equal to the per-key op count.
+	opts := core.DefaultOptions(1)
+	opts.EpochInterval = time.Millisecond
+	s := core.NewStore(opts)
+	defer s.Close()
+	cfg := Config{Keys: 10, ValueSize: 100, ReadPct: 0}
+	tbl := LoadSilo(s, cfg)
+	counts := make(map[uint64]uint64)
+	g := NewGenerator(cfg, 8)
+	var kb []byte
+	for i := 0; i < 300; i++ {
+		op := g.Next()
+		counts[op.Key]++
+		var ok bool
+		ok, kb = RunSiloOp(s.Worker(0), tbl, op, kb)
+		if !ok {
+			t.Fatal("op aborted")
+		}
+	}
+	for k, want := range counts {
+		want += k // LoadSilo seeds val[0] = byte(key)
+		err := s.Worker(0).Run(func(tx *core.Tx) error {
+			v, err := tx.Get(tbl, Key(k, nil))
+			if err != nil {
+				return err
+			}
+			var got uint64
+			for j := 7; j >= 0; j-- {
+				got = got<<8 | uint64(v[j])
+			}
+			if got != want {
+				t.Errorf("key %d: counter=%d want %d", k, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

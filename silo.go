@@ -1,0 +1,323 @@
+// Package silo is a from-scratch Go implementation of Silo, the
+// multicore in-memory OLTP database of Tu, Zheng, Kohler, Liskov and Madden,
+// "Speedy Transactions in Multicore In-Memory Databases" (SOSP 2013).
+//
+// Silo executes serializable transactions with a variant of optimistic
+// concurrency control whose commit protocol performs no shared-memory
+// writes for records that were only read and has no centralized contention
+// point of any kind — not even transaction-ID assignment. Time is divided
+// into epochs; epoch boundaries are the only externally known points of the
+// serial order, which makes logging, group commit, recovery, read-only
+// snapshot transactions, and RCU-style garbage collection all cheap and
+// scalable.
+//
+// # Quick start
+//
+//	db, _ := silo.Open(silo.Options{Workers: 4})
+//	defer db.Close()
+//	accounts := db.CreateTable("accounts")
+//
+//	// One-shot request on worker 0: transfer with serializable isolation.
+//	err := db.Run(0, func(tx *silo.Tx) error {
+//		v, err := tx.Get(accounts, []byte("alice"))
+//		if err != nil { return err }
+//		return tx.Put(accounts, []byte("alice"), newBalance(v))
+//	})
+//
+// Each worker executes one transaction at a time (run one goroutine per
+// worker, as Silo runs one worker per core). Any worker can access the
+// whole database: Silo is a shared-memory design, not a partitioned one.
+//
+// Transactions that lose a conflict return ErrConflict from Commit;
+// DB.Run retries them automatically. Read-only work that can tolerate
+// slightly stale data should use DB.RunSnapshot, which reads a recent
+// consistent snapshot, never blocks writers, and never aborts.
+//
+// With Options.Durability set, committed transactions are redo-logged by
+// background logger threads, group-committed at epoch granularity, and
+// recoverable with DB.Recover; DB.RunDurable does not return until the
+// transaction's epoch is durable, which is the paper's client-visible
+// commit point.
+package silo
+
+import (
+	"errors"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+	"silo/internal/wal"
+)
+
+// Errors returned by transaction operations. They alias the engine's
+// sentinels, so errors.Is works across layers.
+var (
+	ErrNotFound   = core.ErrNotFound
+	ErrKeyExists  = core.ErrKeyExists
+	ErrConflict   = core.ErrConflict
+	ErrTxDone     = core.ErrTxDone
+	ErrKeyInvalid = core.ErrKeyInvalid
+)
+
+// Options configures a database.
+type Options struct {
+	// Workers is the number of worker contexts, nominally one per core.
+	// Worker i is driven by at most one goroutine at a time.
+	Workers int
+	// EpochInterval is the epoch advance period; the paper uses 40 ms.
+	// Shorter epochs reduce commit latency under durability and make
+	// snapshots fresher.
+	EpochInterval time.Duration
+	// SnapshotK is the number of epochs per snapshot epoch (paper: 25).
+	SnapshotK int
+
+	// Durability enables redo logging and group commit; nil runs as
+	// MemSilo (no persistence).
+	Durability *DurabilityOptions
+
+	// The remaining fields disable individual Silo mechanisms; they exist
+	// for the paper's factor analysis (Figure 11) and for benchmarking, and
+	// should be left false in normal use.
+
+	// DisableSnapshots stops retention of superseded record versions;
+	// RunSnapshot must not be used when set.
+	DisableSnapshots bool
+	// DisableGC stops reclamation of superseded versions and deleted keys.
+	DisableGC bool
+	// DisableOverwrites allocates fresh storage for every write instead of
+	// updating records in place.
+	DisableOverwrites bool
+	// DisableArena bypasses the per-worker slab allocator.
+	DisableArena bool
+	// GlobalTID assigns commit TIDs from one shared counter (the paper's
+	// MemSilo+GlobalTID scalability strawman).
+	GlobalTID bool
+}
+
+// DurabilityOptions configures the logging subsystem (§4.10 of the paper).
+type DurabilityOptions struct {
+	// Dir holds the log files (one per logger).
+	Dir string
+	// Loggers is the number of logger threads; workers are assigned
+	// round-robin. Default 1.
+	Loggers int
+	// Sync fsyncs after each logger pass that wrote data.
+	Sync bool
+	// InMemory logs to memory instead of files (the paper's Silo+tmpfs).
+	InMemory bool
+	// TIDOnly logs 8 bytes per transaction (Figure 11 "+SmallRecs";
+	// recovery impossible).
+	TIDOnly bool
+	// Compress DEFLATE-compresses log buffers (Figure 11 "+Compress").
+	Compress bool
+}
+
+// DB is a Silo database.
+type DB struct {
+	store *core.Store
+	wal   *wal.Manager
+	opts  Options
+}
+
+// Open creates a database. With Durability set, logging starts immediately;
+// to recover an existing log directory, create the same tables in the same
+// order and then call Recover before running transactions.
+func Open(opts Options) (*DB, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	copts := core.DefaultOptions(opts.Workers)
+	if opts.EpochInterval > 0 {
+		copts.EpochInterval = opts.EpochInterval
+	}
+	if opts.SnapshotK > 0 {
+		copts.SnapshotK = opts.SnapshotK
+	}
+	copts.Snapshots = !opts.DisableSnapshots
+	copts.GC = !opts.DisableGC
+	copts.Overwrites = !opts.DisableOverwrites
+	copts.Arena = !opts.DisableArena
+	copts.GlobalTID = opts.GlobalTID
+
+	db := &DB{store: core.NewStore(copts), opts: opts}
+	if opts.Durability != nil {
+		d := opts.Durability
+		mode := wal.ModeFull
+		if d.TIDOnly {
+			mode = wal.ModeTIDOnly
+		}
+		m, err := wal.Attach(db.store, wal.Config{
+			Dir:      d.Dir,
+			Loggers:  d.Loggers,
+			Sync:     d.Sync,
+			InMemory: d.InMemory,
+			Mode:     mode,
+			Compress: d.Compress,
+		})
+		if err != nil {
+			db.store.Close()
+			return nil, err
+		}
+		db.wal = m
+		m.Start()
+	}
+	return db, nil
+}
+
+// Close stops background threads, flushing any buffered log data first.
+// All worker goroutines must have finished.
+func (db *DB) Close() {
+	if db.wal != nil {
+		db.wal.Stop()
+	}
+	db.store.Close()
+}
+
+// Table is a named index: an ordered map from byte-string keys (at most 62
+// bytes) to byte-string values. Secondary indexes are ordinary tables whose
+// values are primary keys, maintained by transaction code (§4.7).
+type Table = core.Table
+
+// CreateTable creates (or returns) the named table. Tables must be created
+// before transactions use them; creation is not transactional. Table IDs
+// are assigned in creation order and are part of the log format, so
+// recovery requires recreating tables in the same order.
+func (db *DB) CreateTable(name string) *Table { return db.store.CreateTable(name) }
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.store.Table(name) }
+
+// Tx is a serializable read/write transaction. See core.Tx for the
+// underlying commit protocol; the API here is the same.
+type Tx = core.Tx
+
+// SnapTx is a read-only snapshot transaction.
+type SnapTx = core.SnapTx
+
+// Run executes fn as a transaction on the given worker, committing if fn
+// returns nil and retrying automatically on conflict. fn must be
+// deterministic enough to re-execute. The call must not overlap another Run
+// on the same worker.
+func (db *DB) Run(worker int, fn func(tx *Tx) error) error {
+	err := db.store.Worker(worker).Run(fn)
+	db.heartbeat(worker)
+	return err
+}
+
+// RunNoRetry executes one attempt; ErrConflict reports an abort that the
+// caller may retry.
+func (db *DB) RunNoRetry(worker int, fn func(tx *Tx) error) error {
+	err := db.store.Worker(worker).RunOnce(fn)
+	db.heartbeat(worker)
+	return err
+}
+
+// RunSnapshot executes fn against a recent consistent snapshot. Snapshot
+// transactions see slightly stale data (about EpochInterval × SnapshotK old),
+// never abort, and perform no shared-memory writes.
+func (db *DB) RunSnapshot(worker int, fn func(stx *SnapTx) error) error {
+	if db.opts.DisableSnapshots {
+		return errors.New("silo: snapshots disabled by Options.DisableSnapshots")
+	}
+	err := db.store.Worker(worker).RunSnapshot(fn)
+	db.heartbeat(worker)
+	return err
+}
+
+// RunDurable is Run followed by a wait until the transaction's epoch is
+// durable — the point at which the paper releases results to clients. It
+// requires Durability.
+func (db *DB) RunDurable(worker int, fn func(tx *Tx) error) error {
+	if db.wal == nil {
+		return errors.New("silo: RunDurable requires Options.Durability")
+	}
+	w := db.store.Worker(worker)
+	err := w.Run(fn)
+	if err != nil {
+		return err
+	}
+	wl := db.wal.WorkerLog(worker)
+	wl.Heartbeat() // flush our own buffer so we never wait on ourselves
+	db.wal.WaitDurable(tidEpoch(w.LastCommitTID()))
+	return nil
+}
+
+func (db *DB) heartbeat(worker int) {
+	if db.wal != nil {
+		db.wal.WorkerLog(worker).MaybeHeartbeat()
+	}
+}
+
+// DurableEpoch returns the global durable epoch D (0 without durability).
+func (db *DB) DurableEpoch() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.DurableEpoch()
+}
+
+// Epoch returns the current global epoch E.
+func (db *DB) Epoch() uint64 { return db.store.Epochs().Global() }
+
+// Stats returns aggregate engine counters.
+func (db *DB) Stats() core.Stats { return db.store.Stats() }
+
+// RecoveryResult reports what a Recover pass did.
+type RecoveryResult = wal.RecoveryResult
+
+// Recover restores this database from its durability directory: the newest
+// valid checkpoint (if one exists), then the log suffix beyond it, up to
+// the durable epoch D. Call it on a freshly opened database after creating
+// the schema's tables in their original order and before running any
+// transactions. The epoch counter is restarted above the recovered durable
+// epoch, as required for the paper's epoch-prefix durability guarantee.
+func (db *DB) Recover() (RecoveryResult, error) {
+	if db.opts.Durability == nil {
+		return RecoveryResult{}, errors.New("silo: Recover requires Options.Durability")
+	}
+	d := db.opts.Durability
+	res, ckptEpoch, err := wal.RecoverWithCheckpoint(db.store, d.Dir, d.Dir, d.Compress)
+	if err != nil {
+		return res, err
+	}
+	e := res.DurableEpoch
+	if ckptEpoch > e {
+		e = ckptEpoch
+	}
+	db.store.Epochs().AdvanceTo(e + 1)
+	return res, nil
+}
+
+// CheckpointResult describes a completed checkpoint.
+type CheckpointResult = wal.CheckpointResult
+
+// Checkpoint writes a transactionally consistent image of every table as
+// of a recent snapshot epoch into the durability directory, using a
+// snapshot transaction on the given worker (§4.10: checkpoints take
+// advantage of snapshots to avoid interfering with read/write
+// transactions). Recover prefers the newest checkpoint and replays only
+// the log suffix beyond it; TruncateLogs may then delete fully-covered log
+// files.
+func (db *DB) Checkpoint(worker int) (CheckpointResult, error) {
+	if db.opts.Durability == nil {
+		return CheckpointResult{}, errors.New("silo: Checkpoint requires Options.Durability")
+	}
+	if db.opts.DisableSnapshots {
+		return CheckpointResult{}, errors.New("silo: Checkpoint requires snapshots")
+	}
+	return wal.WriteCheckpoint(db.store, worker, db.opts.Durability.Dir)
+}
+
+// TruncateLogs deletes log files entirely covered by a checkpoint at epoch
+// ce (as returned in CheckpointResult.Epoch). Loggers must be stopped:
+// call it between Close and a subsequent Open, from an administrative
+// process, or via cmd/silo-recover.
+func TruncateLogs(dir string, ce uint64, compressed bool) ([]string, error) {
+	return wal.TruncateLogs(dir, ce, compressed)
+}
+
+// Store exposes the underlying engine for benchmarks and tests that need
+// factor toggles or direct worker access. Most applications never need it.
+func (db *DB) Store() *core.Store { return db.store }
+
+func tidEpoch(pure uint64) uint64 { return tid.Word(pure).Epoch() }
