@@ -1,0 +1,428 @@
+// Package client is a Go client for the silo network server (package
+// server), speaking the length-prefixed binary protocol of package wire.
+//
+// A Client multiplexes requests over a small pool of TCP connections.
+// Each connection pipelines: any number of goroutines may issue requests
+// concurrently, requests are written back-to-back without waiting for
+// responses, and the server answers in order, so one connection sustains
+// many in-flight one-shot transactions. Calls block until their response
+// arrives (closed loop per calling goroutine).
+//
+// All methods are safe for concurrent use. Returned byte slices are
+// freshly owned by the caller.
+package client
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silo/wire"
+)
+
+// Sentinel errors mapped from server ERR responses; test with errors.Is.
+var (
+	ErrNotFound  = errors.New("client: key not found")
+	ErrKeyExists = errors.New("client: key already exists")
+	ErrConflict  = errors.New("client: transaction conflict")
+	ErrInvalid   = errors.New("client: invalid key")
+	ErrBadValue  = errors.New("client: value too short to hold a counter")
+	ErrNoTable   = errors.New("client: no such table")
+	ErrClosed    = errors.New("client: connection closed")
+)
+
+// ServerError is a server-reported failure that does not map to a
+// sentinel (internal and protocol errors).
+type ServerError struct {
+	Code wire.ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error (%v): %s", e.Code, e.Msg)
+}
+
+func codeError(code wire.ErrCode, msg string) error {
+	switch code {
+	case wire.CodeNotFound:
+		return ErrNotFound
+	case wire.CodeKeyExists:
+		return ErrKeyExists
+	case wire.CodeConflict:
+		return ErrConflict
+	case wire.CodeInvalid:
+		return ErrInvalid
+	case wire.CodeBadValue:
+		return ErrBadValue
+	case wire.CodeNoTable:
+		return ErrNoTable
+	}
+	return &ServerError{Code: code, Msg: msg}
+}
+
+// Options configures a Client.
+type Options struct {
+	// Conns is the connection pool size (default 1). Calls are spread
+	// round-robin; more connections add parallelism on the server's
+	// response path, while pipelining already overlaps requests on one.
+	Conns int
+	// MaxFrame caps accepted response payloads (default wire.MaxFrame).
+	MaxFrame int
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+}
+
+// Client is a pooled, pipelining connection to one server.
+type Client struct {
+	opts  Options
+	conns []*conn
+	next  atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects to a server.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrame
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	cl := &Client{opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		c, err := dialConn(addr, opts)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, c)
+	}
+	return cl, nil
+}
+
+// Close closes all pooled connections. In-flight calls fail with
+// ErrClosed.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+	for _, c := range cl.conns {
+		c.fail(ErrClosed)
+	}
+	return nil
+}
+
+func (cl *Client) conn() *conn {
+	n := cl.next.Add(1)
+	return cl.conns[n%uint64(len(cl.conns))]
+}
+
+func (cl *Client) roundTrip(req *wire.Request) (wire.Response, error) {
+	return cl.conn().roundTrip(req, cl.opts.MaxFrame)
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+
+// Get returns the value stored for key, or ErrNotFound.
+func (cl *Client) Get(table string, key []byte) ([]byte, error) {
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindGet, Table: table, Key: key},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindValue {
+		return nil, unexpected(resp)
+	}
+	return resp.Value, nil
+}
+
+// Put replaces the value of an existing key (ErrNotFound if absent).
+func (cl *Client) Put(table string, key, value []byte) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindPut, Table: table, Key: key, Value: value},
+	}})
+}
+
+// Insert stores a new key (ErrKeyExists if present).
+func (cl *Client) Insert(table string, key, value []byte) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindInsert, Table: table, Key: key, Value: value},
+	}})
+}
+
+// Delete removes a key (ErrNotFound if absent).
+func (cl *Client) Delete(table string, key []byte) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindDelete, Table: table, Key: key},
+	}})
+}
+
+// Add atomically adds delta to the big-endian counter in the first 8
+// bytes of the value stored at key — a serializable read-modify-write in
+// one round trip — and returns the new counter. Trailing value bytes are
+// preserved.
+func (cl *Client) Add(table string, key []byte, delta int64) (uint64, error) {
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindAdd, Table: table, Key: key, Delta: delta},
+	}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Kind != wire.KindValue || len(resp.Value) != 8 {
+		return 0, unexpected(resp)
+	}
+	return beUint64(resp.Value), nil
+}
+
+// Scan returns up to limit key/value pairs in [lo, hi), in key order, as
+// one serializable transaction. A nil or empty lo means the start of the
+// table; a nil hi means its end; limit <= 0 requests the server's cap.
+func (cl *Client) Scan(table string, lo, hi []byte, limit int) ([]wire.KV, error) {
+	if len(lo) == 0 {
+		lo = []byte{0} // smallest valid key: engine keys are non-empty
+	}
+	op := wire.Op{Kind: wire.KindScan, Table: table, Key: lo}
+	if hi != nil {
+		op.HasHi = true
+		op.Hi = hi
+	}
+	if limit > 0 {
+		op.Limit = uint32(limit)
+	}
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{op}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindScanR {
+		return nil, unexpected(resp)
+	}
+	return resp.Pairs, nil
+}
+
+func (cl *Client) expectOK(req *wire.Request) error {
+	resp, err := cl.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != wire.KindOK {
+		return unexpected(resp)
+	}
+	return nil
+}
+
+func unexpected(resp wire.Response) error {
+	if resp.Kind == wire.KindErr {
+		return codeError(resp.Code, resp.Msg)
+	}
+	return fmt.Errorf("client: unexpected %v response", resp.Kind)
+}
+
+func beUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// ---------------------------------------------------------------------------
+// Multi-op transactions
+
+// Result is the per-op outcome of a committed transaction; Get and Add
+// ops carry a value.
+type Result = wire.TxnResult
+
+// Txn accumulates operations to run as one serializable one-shot
+// transaction in a single round trip. Either every op commits or none do;
+// any op error (e.g. a Get of a missing key) aborts the whole
+// transaction. A Txn is not safe for concurrent use and must not be
+// reused after Exec.
+type Txn struct {
+	cl  *Client
+	ops []wire.Op
+}
+
+// Txn starts an empty transaction.
+func (cl *Client) Txn() *Txn { return &Txn{cl: cl} }
+
+// Get reads a key; its value lands in the corresponding Result.
+func (t *Txn) Get(table string, key []byte) *Txn {
+	t.ops = append(t.ops, wire.Op{Kind: wire.KindGet, Table: table, Key: key})
+	return t
+}
+
+// Put replaces the value of an existing key.
+func (t *Txn) Put(table string, key, value []byte) *Txn {
+	t.ops = append(t.ops, wire.Op{Kind: wire.KindPut, Table: table, Key: key, Value: value})
+	return t
+}
+
+// Insert stores a new key.
+func (t *Txn) Insert(table string, key, value []byte) *Txn {
+	t.ops = append(t.ops, wire.Op{Kind: wire.KindInsert, Table: table, Key: key, Value: value})
+	return t
+}
+
+// Delete removes a key.
+func (t *Txn) Delete(table string, key []byte) *Txn {
+	t.ops = append(t.ops, wire.Op{Kind: wire.KindDelete, Table: table, Key: key})
+	return t
+}
+
+// Add adds delta to the counter in the first 8 bytes of the value at key;
+// the new counter lands in the corresponding Result.
+func (t *Txn) Add(table string, key []byte, delta int64) *Txn {
+	t.ops = append(t.ops, wire.Op{Kind: wire.KindAdd, Table: table, Key: key, Delta: delta})
+	return t
+}
+
+// Exec runs the transaction and returns one Result per op, in order.
+func (t *Txn) Exec() ([]Result, error) {
+	if len(t.ops) == 0 {
+		return nil, nil
+	}
+	resp, err := t.cl.roundTrip(&wire.Request{Txn: true, Ops: t.ops})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindTxnR {
+		return nil, unexpected(resp)
+	}
+	return resp.Results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+
+// conn is one pipelined TCP connection. The mutex makes
+// write-frame + enqueue-waiter atomic, so the FIFO of waiters matches the
+// order requests hit the wire; a single reader goroutine delivers
+// responses to waiters in that order.
+type conn struct {
+	nc net.Conn
+
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	wbuf    []byte
+	pending chan chan wire.Response
+	broken  bool
+	err     error
+}
+
+func dialConn(addr string, opts Options) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(chan chan wire.Response, 1024),
+	}
+	go c.readLoop(opts.MaxFrame)
+	return c, nil
+}
+
+func (c *conn) roundTrip(req *wire.Request, maxFrame int) (wire.Response, error) {
+	ch := make(chan wire.Response, 1)
+
+	c.mu.Lock()
+	if c.broken {
+		err := c.err
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	buf, err := wire.AppendRequest(c.wbuf[:0], req)
+	if err != nil {
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	c.wbuf = buf
+	// The waiter must be enqueued before any request byte can reach the
+	// wire, or a fast server could respond while no waiter is queued. The
+	// send is non-blocking: hitting the cap means thousands of in-flight
+	// requests on one connection, where failing fast (without poisoning
+	// the connection — nothing was written) beats queueing deeper.
+	select {
+	case c.pending <- ch:
+	default:
+		c.mu.Unlock()
+		return wire.Response{}, errors.New("client: pipeline depth exceeded")
+	}
+	_, err = c.bw.Write(buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return wire.Response{}, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+func (c *conn) readLoop(maxFrame int) {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		payload, err := wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("client: decode: %w", err))
+			return
+		}
+		select {
+		case ch := <-c.pending:
+			ch <- resp
+		default:
+			c.fail(errors.New("client: response without matching request"))
+			return
+		}
+	}
+}
+
+// fail marks the connection broken, closes it, and wakes every waiter.
+// Waiters see a closed channel and report c.err.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	c.err = err
+	c.mu.Unlock()
+	c.nc.Close()
+	for {
+		select {
+		case ch := <-c.pending:
+			close(ch)
+		default:
+			return
+		}
+	}
+}

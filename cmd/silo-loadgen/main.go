@@ -1,0 +1,208 @@
+// Command silo-loadgen drives a silo-server over TCP with the paper's
+// YCSB-like mix (§5.2: uniform keys, 100-byte records, 80% reads / 20%
+// read-modify-writes) and reports closed-loop throughput and latency
+// percentiles. The same op generation (internal/workload/ycsb) backs the
+// embedded benchmarks in silo-bench, so embedded and over-the-wire numbers
+// are directly comparable.
+//
+// Usage:
+//
+//	silo-server -addr :4555 &
+//	silo-loadgen -addr localhost:4555 -load -keys 100000
+//	silo-loadgen -addr localhost:4555 -clients 16 -conns 4 -duration 10s
+//
+// Reads map to GET, read-modify-writes to ADD (a server-side serializable
+// increment in one round trip); -txn batches each client's ops into
+// multi-op one-shot transaction frames instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silo/client"
+	"silo/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:4555", "server address")
+		clients  = flag.Int("clients", 8, "closed-loop client goroutines")
+		conns    = flag.Int("conns", 2, "pooled connections per client")
+		duration = flag.Duration("duration", 5*time.Second, "measured run length")
+		keys     = flag.Int("keys", 100000, "key-space size (paper: 160M)")
+		valSize  = flag.Int("valuesize", 100, "record size in bytes (paper: 100)")
+		readPct  = flag.Int("readpct", 80, "percentage of reads (paper: 80)")
+		table    = flag.String("table", ycsb.TableName, "table name")
+		load     = flag.Bool("load", false, "preload the key space before the run")
+		txnOps   = flag.Int("txn", 0, "ops per multi-op TXN frame (0 = single-op requests)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := ycsb.Config{Keys: *keys, ValueSize: *valSize, ReadPct: *readPct}
+
+	if *load {
+		if err := preload(*addr, *table, cfg, *conns); err != nil {
+			fatal(fmt.Errorf("preload: %w", err))
+		}
+		fmt.Printf("loaded %d keys of %d bytes into %q\n", cfg.Keys, cfg.ValueSize, *table)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		totalOp atomic.Uint64
+		failed  atomic.Uint64
+	)
+	lats := make([][]time.Duration, *clients)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(*addr, client.Options{Conns: *conns})
+			if err != nil {
+				fatal(fmt.Errorf("dial: %w", err))
+			}
+			defer cl.Close()
+			gen := ycsb.NewGenerator(cfg, *seed+uint64(c)*7919)
+			var kb []byte
+			samples := make([]time.Duration, 0, 1<<18)
+			for !stop.Load() {
+				t0 := time.Now()
+				var err error
+				if *txnOps > 1 {
+					err = runTxn(cl, *table, gen, *txnOps, &kb)
+				} else {
+					err = runOp(cl, *table, gen.Next(), &kb)
+				}
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				samples = append(samples, time.Since(t0))
+				totalOp.Add(1)
+			}
+			lats[c] = samples
+		}(c)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, s := range lats {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	n := totalOp.Load()
+	unit := "txns"
+	if *txnOps > 1 {
+		unit = fmt.Sprintf("txns (%d ops each)", *txnOps)
+	}
+	fmt.Printf("clients=%d conns/client=%d keyspace=%d mix=%d/%d read/rmw\n",
+		*clients, *conns, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct)
+	fmt.Printf("throughput: %.0f %s/sec (%d in %v, %d failed)\n",
+		float64(n)/elapsed.Seconds(), unit, n, elapsed.Round(time.Millisecond), failed.Load())
+	if len(all) > 0 {
+		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
+			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+	}
+}
+
+// runOp issues one YCSB operation: GET for reads, ADD for RMWs (the
+// server-side equivalent of read-increment-write in one transaction).
+func runOp(cl *client.Client, table string, op ycsb.Op, kb *[]byte) error {
+	*kb = ycsb.Key(op.Key, *kb)
+	if op.Read {
+		_, err := cl.Get(table, *kb)
+		return err
+	}
+	_, err := cl.Add(table, *kb, 1)
+	return err
+}
+
+// runTxn batches n generated ops into one multi-op transaction frame.
+func runTxn(cl *client.Client, table string, gen *ycsb.Generator, n int, kb *[]byte) error {
+	txn := cl.Txn()
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		*kb = ycsb.Key(op.Key, *kb)
+		key := append([]byte(nil), *kb...)
+		if op.Read {
+			txn.Get(table, key)
+		} else {
+			txn.Add(table, key, 1)
+		}
+	}
+	_, err := txn.Exec()
+	return err
+}
+
+// preload inserts the key space through the wire in batched TXN frames,
+// fanned out over a few loader goroutines.
+func preload(addr, table string, cfg ycsb.Config, conns int) error {
+	const loaders = 4
+	const batch = 128
+	var wg sync.WaitGroup
+	errc := make(chan error, loaders)
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{Conns: conns})
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			var kb []byte
+			for lo := l * batch; lo < cfg.Keys; lo += loaders * batch {
+				hi := lo + batch
+				if hi > cfg.Keys {
+					hi = cfg.Keys
+				}
+				txn := cl.Txn()
+				for i := lo; i < hi; i++ {
+					kb = ycsb.Key(uint64(i), kb)
+					// Fresh buffers: the Txn holds every op's slices
+					// until Exec encodes the frame.
+					val := make([]byte, cfg.ValueSize)
+					val[len(val)-1] = byte(i)
+					txn.Insert(table, append([]byte(nil), kb...), val)
+				}
+				if _, err := txn.Exec(); err != nil {
+					errc <- fmt.Errorf("batch at %d: %w", lo, err)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	return nil
+}
+
+// pct returns the p-th percentile of sorted samples.
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-loadgen:", err)
+	os.Exit(1)
+}

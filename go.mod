@@ -1,0 +1,3 @@
+module silo
+
+go 1.24

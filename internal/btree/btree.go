@@ -35,9 +35,11 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"silo/internal/race"
 	"silo/internal/record"
 )
 
@@ -215,6 +217,38 @@ type VersionChange struct {
 type Tree struct {
 	root  unsafe.Pointer // *node
 	count atomic.Int64
+
+	// raceMu serializes readers against structural writers in race-detector
+	// builds only. The hand-over-hand version protocol makes torn reads of
+	// key slots and counts memory-safe and retried, but the race detector
+	// cannot see past that design, so race builds fall back to coarse
+	// locking at the public API; normal builds never touch this mutex (the
+	// guards compile away behind a constant false).
+	raceMu sync.RWMutex
+}
+
+func (t *Tree) raceRLock() {
+	if race.Enabled {
+		t.raceMu.RLock()
+	}
+}
+
+func (t *Tree) raceRUnlock() {
+	if race.Enabled {
+		t.raceMu.RUnlock()
+	}
+}
+
+func (t *Tree) raceLock() {
+	if race.Enabled {
+		t.raceMu.Lock()
+	}
+}
+
+func (t *Tree) raceUnlock() {
+	if race.Enabled {
+		t.raceMu.Unlock()
+	}
 }
 
 // New returns an empty tree.
@@ -277,6 +311,8 @@ retry:
 // version — the (node, version) pair a transaction records in its node-set
 // when the key is missing (§4.6).
 func (t *Tree) Get(key []byte) (rec *record.Record, n *Node, version uint64) {
+	t.raceRLock()
+	defer t.raceRUnlock()
 	checkKey(key)
 	for spins := 0; ; spins++ {
 		lf, v := t.descend(key)
@@ -303,6 +339,8 @@ func (t *Tree) Get(key []byte) (rec *record.Record, n *Node, version uint64) {
 // otherwise), whether the insert happened, and the version changes of every
 // node the insert structurally modified.
 func (t *Tree) InsertIfAbsent(key []byte, rec *record.Record) (cur *record.Record, inserted bool, changes []VersionChange) {
+	t.raceLock()
+	defer t.raceUnlock()
 	checkKey(key)
 	for spins := 0; ; spins++ {
 		lf, v := t.descend(key)
@@ -575,6 +613,8 @@ func markBump(pending []pendingUnlock, n *node) []pendingUnlock {
 // the leaf's version change. Only the GC's unhook step (§4.9) and tests
 // call this; transactional deletes mark records absent instead.
 func (t *Tree) Remove(key []byte) (removed bool, change VersionChange) {
+	t.raceLock()
+	defer t.raceUnlock()
 	checkKey(key)
 	for spins := 0; ; spins++ {
 		lf, v := t.descend(key)
@@ -613,6 +653,8 @@ func (t *Tree) Remove(key []byte) (removed bool, change VersionChange) {
 // with respect to the leaf. The GC unhook uses this to remove an absent
 // record only if it is still the latest version for its key (§4.9).
 func (t *Tree) RemoveIf(key []byte, pred func(*record.Record) bool) (removed bool, change VersionChange) {
+	t.raceLock()
+	defer t.raceUnlock()
 	checkKey(key)
 	for spins := 0; ; spins++ {
 		lf, v := t.descend(key)
@@ -659,6 +701,8 @@ type scanEntry struct {
 // version. fn receives each key and record; returning false stops the scan.
 // Key slices passed to fn are valid only during the callback.
 func (t *Tree) Scan(lo, hi []byte, nodeFn func(n *Node, version uint64), fn func(key []byte, rec *record.Record) bool) {
+	t.raceRLock()
+	defer t.raceRUnlock()
 	checkKey(lo)
 	var entries [fanout]scanEntry
 	lf, v := t.descend(lo)
@@ -692,6 +736,11 @@ func (t *Tree) Scan(lo, hi []byte, nodeFn func(n *Node, version uint64), fn func
 			backoff(spins)
 		}
 		first = false
+		// The callbacks run outside the race-build lock: entries are
+		// copies, and a callback that re-enters the tree (another read on
+		// the same table mid-scan) must not deadlock behind a writer
+		// queued on raceMu. No-ops in normal builds.
+		t.raceRUnlock()
 		if nodeFn != nil {
 			nodeFn(&lf.node, v)
 		}
@@ -700,9 +749,11 @@ func (t *Tree) Scan(lo, hi []byte, nodeFn func(n *Node, version uint64), fn func
 				continue // torn slot; its key will be revisited via validation upstream
 			}
 			if !fn(entries[i].key.get(), entries[i].rec) {
+				t.raceRLock() // pair with the deferred unlock
 				return
 			}
 		}
+		t.raceRLock()
 		// Stop if this leaf's last key already reached hi; otherwise there
 		// may be more matching keys to the right.
 		if hi == nil {

@@ -14,6 +14,8 @@ import (
 // traversal. It exists for tests; it must not run concurrently with
 // writers.
 func (t *Tree) CheckInvariants() error {
+	t.raceRLock()
+	defer t.raceRUnlock()
 	root := t.loadRoot()
 	var leaves []*leaf
 	if err := checkNode(root, nil, nil, &leaves); err != nil {
@@ -113,6 +115,8 @@ func checkNode(n *node, lo, hi []byte, leaves *[]*leaf) error {
 // Recovery and consistency checkers use it; it must not run concurrently
 // with writers.
 func (t *Tree) ApplyAll(fn func(key []byte, rec *record.Record) bool) {
+	t.raceRLock()
+	defer t.raceRUnlock()
 	var walk func(n *node) bool
 	walk = func(n *node) bool {
 		if n.level == 0 {

@@ -7,10 +7,12 @@ import (
 
 // SnapTx is a read-only snapshot transaction (§4.9). It reads the database
 // as of its worker's local snapshot epoch se_w: for each record, the most
-// recent version with epoch ≤ se_w. Because the snapshot is consistent and
-// never modified, snapshot transactions commit without checking and never
-// abort; they maintain no read-, write-, or node-sets and write no shared
-// memory at all.
+// recent version with epoch strictly below se_w — the final state of the
+// snapshot group that ended at that boundary, which is exactly what
+// writers preserve in version chains (see snapshotVersion). Because the
+// snapshot is consistent and never modified, snapshot transactions commit
+// without checking and never abort; they maintain no read-, write-, or
+// node-sets and write no shared memory at all.
 type SnapTx struct {
 	w      *Worker
 	sew    uint64
@@ -35,10 +37,20 @@ func (stx *SnapTx) finish() {
 // (present and not absent). The current version's word may change
 // concurrently and is read with the validation protocol; superseded chain
 // versions are immutable.
+//
+// Visibility is epoch < sew — the final state of the snapshot group that
+// ended at the boundary sew — not epoch ≤ sew. Writers preserve an old
+// version only when a write crosses a snapshot-group boundary
+// (installWrite), so chains hold exactly each group's final version: a
+// version with epoch == sew sits inside the group [sew, sew+k) that may
+// still be receiving writes, and an epoch-(sew+1) overwrite would replace
+// it without preserving it. Treating such versions as visible tears the
+// snapshot (one record serving a mid-group version, another its
+// pre-group one).
 func snapshotVersion(rec *record.Record, sew uint64, buf []byte) (val []byte, visible bool) {
 	// Fast path: the current version may already be old enough.
 	v, w := rec.Read(buf)
-	if w.Epoch() <= sew {
+	if w.Epoch() < sew {
 		if w.Absent() || w.TID() == 0 {
 			return nil, false
 		}
@@ -48,7 +60,7 @@ func snapshotVersion(rec *record.Record, sew uint64, buf []byte) (val []byte, vi
 	// and data need no validation.
 	for p := rec.Prev(); p != nil; p = p.Prev() {
 		pw := p.Word()
-		if pw.Epoch() <= sew {
+		if pw.Epoch() < sew {
 			if pw.Absent() || pw.TID() == 0 {
 				return nil, false
 			}

@@ -1,0 +1,16 @@
+//go:build !race
+
+// Package race reports whether the Go race detector is compiled in, the
+// same trick the runtime uses. The engine consults it to avoid
+// benign-by-design data races that the detector cannot distinguish from
+// bugs: Silo's read protocol copies record data optimistically and
+// validates the TID word afterward (a seqlock), so an in-place overwrite
+// racing a doomed read is invisible to correctness but flagged by the
+// detector. Race-enabled builds therefore run with in-place overwrites
+// off — every write swaps a fresh buffer through an atomic pointer —
+// keeping -race runs meaningful for all the synchronization that is
+// supposed to be race-free.
+package race
+
+// Enabled is true when the build has the race detector compiled in.
+const Enabled = false

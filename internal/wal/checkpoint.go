@@ -9,12 +9,14 @@
 //     consistent image as of one epoch boundary and never aborts or blocks
 //     writers.
 //
-//   - The checkpoint file records its snapshot epoch CE. Recovery loads the
-//     newest complete checkpoint, then replays only log transactions with
-//     epoch > CE (and ≤ D, as always). Per-record TID ordering makes replay
-//     of pre-checkpoint entries harmless, but skipping them is the point of
-//     checkpointing; log files whose final durable frame is ≤ CE can be
-//     deleted (TruncateLogs).
+//   - The checkpoint file records its snapshot epoch CE; the image holds
+//     the versions with epoch < CE (snapshot visibility is strict). After
+//     loading the newest complete checkpoint, recovery replays log
+//     transactions with epoch ≥ CE (and ≤ D, as always) on top of it.
+//     Per-record TID ordering makes replay of pre-checkpoint entries
+//     harmless, but skipping them is the point of checkpointing; log files
+//     all of whose transactions have epoch < CE can be deleted
+//     (TruncateLogs).
 //
 // Checkpoint file format (checkpoint.<CE>):
 //
@@ -41,6 +43,13 @@ import (
 )
 
 const ckptMagic = "CKP1"
+
+func saturatingSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
 
 // CheckpointResult describes a completed checkpoint.
 type CheckpointResult struct {
@@ -204,10 +213,12 @@ func loadCheckpoint(store *core.Store, path string) (epoch uint64, rows int, err
 	}
 	epoch = binary.LittleEndian.Uint64(body[4:12])
 	off := 12
-	// Rows from a snapshot are installed with a synthetic TID at the
-	// checkpoint epoch's last slot, so any logged write with epoch > CE
-	// wins the TID comparison and any with epoch ≤ CE loses.
-	rowTID := uint64(tid.Make(epoch, tid.MaxSeq))
+	// Rows from a snapshot are installed with a synthetic TID at the last
+	// slot of epoch CE−1: the checkpoint image holds exactly the versions
+	// with epoch < CE (snapshot visibility is strict — see core.SnapTx),
+	// so a logged write with epoch ≥ CE must win the replay's TID
+	// comparison and one with epoch < CE must lose.
+	rowTID := uint64(tid.Make(saturatingSub(epoch, 1), tid.MaxSeq))
 	for off < len(body) {
 		if body[off] != 'R' {
 			return 0, 0, fmt.Errorf("wal: %s: bad row marker at %d", path, off)
@@ -271,8 +282,10 @@ func RecoverWithCheckpoint(store *core.Store, ckptDir, logDir string, compressed
 }
 
 // TruncateLogs deletes log files whose entire contents are covered by a
-// checkpoint at epoch ce: every logged transaction in the file has epoch ≤
-// ce. (Files are append-ordered, so checking the max TID epoch suffices.)
+// checkpoint at epoch ce: every logged transaction in the file has epoch <
+// ce. (The checkpoint image holds versions with epoch strictly below its
+// snapshot epoch — see core.SnapTx — so epoch-ce transactions are not in
+// it and their log files must survive truncation.)
 func TruncateLogs(logDir string, ce uint64, compressed bool) (removed []string, err error) {
 	var files [][]TxnRecord
 	if compressed {
@@ -294,7 +307,7 @@ func TruncateLogs(logDir string, ce uint64, compressed bool) (removed []string, 
 		}
 		covered := true
 		for _, t := range files[i] {
-			if tid.Word(t.TID).Epoch() > ce {
+			if tid.Word(t.TID).Epoch() >= ce {
 				covered = false
 				break
 			}

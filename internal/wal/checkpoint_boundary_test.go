@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+)
+
+// TestCheckpointEpochBoundaryReplay pins the TID boundary between a
+// checkpoint image and log replay. A checkpoint taken at snapshot epoch CE
+// holds exactly the versions with epoch < CE (snapshot visibility is
+// strict), and commits with epoch == CE can land before the checkpoint is
+// even possible (CE lags the global epoch by SnapshotK). Such commits
+// exist only in the log, so replay must apply them over the checkpoint
+// rows: the synthetic row TID sits at the end of epoch CE−1. A row TID at
+// the end of CE itself silently discards every epoch-CE transaction —
+// updates revert and deletes resurrect after recovery.
+func TestCheckpointEpochBoundaryReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.DefaultOptions(1)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	m, err := Attach(s, Config{Dir: dir, PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.CreateTable("t")
+	m.Start()
+	w := s.Worker(0)
+
+	// Epoch 1: two keys.
+	if err := w.Run(func(tx *core.Tx) error {
+		if err := tx.Insert(tbl, []byte("k"), []byte("v0")); err != nil {
+			return err
+		}
+		return tx.Insert(tbl, []byte("doomed"), []byte("v0"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for e := uint64(2); e <= 6; e++ {
+		s.AdvanceEpoch()
+	}
+	if g := s.Epochs().Global(); g != 6 {
+		t.Fatalf("global epoch %d, want 6", g)
+	}
+	// Epoch 6: update one key, delete the other. These are the commits at
+	// the future checkpoint's own epoch.
+	if err := w.Run(func(tx *core.Tx) error {
+		if err := tx.Put(tbl, []byte("k"), []byte("new")); err != nil {
+			return err
+		}
+		return tx.Delete(tbl, []byte("doomed"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.AdvanceEpoch() // 7
+	s.AdvanceEpoch() // 8: SE = snap(8−2) = 6
+	ck, err := WriteCheckpoint(s, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 6 { // SE = snap(8−2) with k=2
+		t.Fatalf("checkpoint epoch %d, want 6", ck.Epoch)
+	}
+	waitDurableFor(t, s, m, 1)
+	m.Stop()
+	s.Close()
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl2 := s2.CreateTable("t")
+	res, ce, err := RecoverWithCheckpoint(s2, dir, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != ck.Epoch {
+		t.Fatalf("recovered checkpoint epoch %d, want %d", ce, ck.Epoch)
+	}
+	if res.TxnsApplied == 0 {
+		t.Fatal("no log transactions applied")
+	}
+	if err := s2.Worker(0).Run(func(tx *core.Tx) error {
+		v, err := tx.Get(tbl2, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "new" {
+			t.Errorf("recovered k=%q, want %q (epoch-CE log update lost to checkpoint row TID)", v, "new")
+		}
+		if _, err := tx.Get(tbl2, []byte("doomed")); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("recovered doomed key: err=%v, want ErrNotFound (epoch-CE delete resurrected)", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

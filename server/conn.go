@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bufio"
+	"net"
+
+	"silo/wire"
+)
+
+// handleConn runs one connection: a reader loop (this goroutine) that
+// decodes frames and dispatches jobs, and a writer goroutine that sends
+// responses back in request order. The reader pushes each job's result
+// channel onto the in-order pending queue before dispatching it, so wire
+// order always matches request order even though jobs complete on
+// different workers.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	pending := make(chan chan wire.Response, s.opts.Pipeline)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(c, pending)
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		payload, err := wire.ReadFrame(br, s.opts.MaxFrame)
+		if err != nil {
+			break
+		}
+		req, derr := wire.DecodeRequest(payload)
+		ch := make(chan wire.Response, 1)
+		if derr != nil {
+			// A malformed frame poisons the stream (framing may be lost):
+			// answer it and hang up.
+			ch <- wire.Err(wire.CodeProto, derr.Error())
+			s.errors64.Add(1)
+			pending <- ch
+			break
+		}
+		// Order matters: enqueue on pending (FIFO with the writer) before
+		// the job becomes runnable. Both sends can block — pending for
+		// per-connection backpressure, jobs when all workers are busy —
+		// but never forever: the writer drains pending as long as
+		// executors run, and executors outlive every connection handler.
+		pending <- ch
+		s.jobs <- &job{req: req, done: ch}
+	}
+	close(pending)
+	<-writerDone
+}
+
+// writeLoop drains the pending queue in order, encoding each response as
+// its result arrives. The output buffer is flushed only when no further
+// response is immediately ready, so pipelined bursts coalesce into few
+// writes. On a write error it keeps draining so executors and the reader
+// never block on a dead connection.
+func (s *Server) writeLoop(c net.Conn, pending chan chan wire.Response) {
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var buf []byte
+	broken := false
+	for ch := range pending {
+		resp := <-ch
+		if broken {
+			continue
+		}
+		var err error
+		buf, err = wire.AppendResponse(buf[:0], &resp)
+		if err != nil {
+			// Encoding failure is a server bug; degrade to an ERR frame
+			// rather than desynchronizing the stream.
+			buf, _ = wire.AppendResponse(buf[:0], &wire.Response{
+				Kind: wire.KindErr, Code: wire.CodeInternal, Msg: err.Error(),
+			})
+		}
+		if _, err := bw.Write(buf); err != nil {
+			broken = true
+			continue
+		}
+		if len(pending) == 0 {
+			if err := bw.Flush(); err != nil {
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"silo"
+	"silo/wire"
+)
+
+// workerLoop is the executor for worker w: it owns that worker context for
+// the server's lifetime and runs each dispatched request as a one-shot
+// transaction, exactly the paper's model of requests arriving over the
+// network and executing to completion on a worker core.
+func (s *Server) workerLoop(w int) {
+	defer s.workerWG.Done()
+	for j := range s.jobs {
+		resp := s.exec(w, &j.req)
+		if resp.Kind == wire.KindErr {
+			s.errors64.Add(1)
+		}
+		s.requests64.Add(1)
+		j.done <- resp
+	}
+}
+
+// table resolves a table name, creating the table on first use unless
+// auto-creation is disabled. CreateTable is idempotent and safe against
+// concurrent executors.
+func (s *Server) table(name string) (*silo.Table, error) {
+	if t := s.db.Table(name); t != nil {
+		return t, nil
+	}
+	if s.opts.DisableAutoCreate {
+		return nil, errNoTable
+	}
+	return s.db.CreateTable(name), nil
+}
+
+var (
+	errNoTable  = errors.New("server: no such table")
+	errBadValue = errors.New("server: ADD requires a value of at least 8 bytes")
+)
+
+// errResponse maps an execution error to an ERR frame.
+func errResponse(err error) wire.Response {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, silo.ErrNotFound):
+		code = wire.CodeNotFound
+	case errors.Is(err, silo.ErrKeyExists):
+		code = wire.CodeKeyExists
+	case errors.Is(err, silo.ErrConflict):
+		code = wire.CodeConflict
+	case errors.Is(err, silo.ErrKeyInvalid):
+		code = wire.CodeInvalid
+	case errors.Is(err, errNoTable):
+		code = wire.CodeNoTable
+	case errors.Is(err, errBadValue):
+		code = wire.CodeBadValue
+	}
+	return wire.Err(code, err.Error())
+}
+
+// addValue applies an ADD: read the big-endian counter in the value's
+// first 8 bytes, add delta (two's complement, so negative deltas
+// subtract), write the record back, and return the new counter. Trailing
+// bytes ride along unchanged, so ADD doubles as YCSB's read-modify-write
+// on 100-byte records. Concurrent ADDs on the same key conflict and
+// retry, making it a serializable read-modify-write over the wire.
+func addValue(tx *silo.Tx, t *silo.Table, key []byte, delta int64) (uint64, error) {
+	v, err := tx.Get(t, key)
+	if err != nil {
+		return 0, err
+	}
+	if len(v) < 8 {
+		return 0, errBadValue
+	}
+	n := binary.BigEndian.Uint64(v) + uint64(delta)
+	binary.BigEndian.PutUint64(v, n)
+	return n, tx.Put(t, key, v)
+}
+
+// exec runs one decoded request on worker w and builds its response. All
+// byte slices placed in the response are freshly owned (transaction reads
+// copy out of the store), so encoding happens safely after commit.
+func (s *Server) exec(w int, req *wire.Request) wire.Response {
+	if req.Txn {
+		return s.execTxn(w, req.Ops)
+	}
+	op := &req.Ops[0]
+	t, err := s.table(op.Table)
+	if err != nil {
+		return errResponse(err)
+	}
+	switch op.Kind {
+	case wire.KindGet:
+		var val []byte
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			var err error
+			val, err = tx.Get(t, op.Key)
+			return err
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindValue, Value: val}
+
+	case wire.KindPut:
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			return tx.Put(t, op.Key, op.Value)
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindOK}
+
+	case wire.KindInsert:
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			return tx.Insert(t, op.Key, op.Value)
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindOK}
+
+	case wire.KindDelete:
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			return tx.Delete(t, op.Key)
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindOK}
+
+	case wire.KindAdd:
+		var n uint64
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			var err error
+			n, err = addValue(tx, t, op.Key, op.Delta)
+			return err
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], n)
+		return wire.Response{Kind: wire.KindValue, Value: v[:]}
+
+	case wire.KindScan:
+		limit := s.opts.MaxScan
+		if op.Limit != 0 && int(op.Limit) < limit {
+			limit = int(op.Limit)
+		}
+		var pairs []wire.KV
+		err := s.db.Run(w, func(tx *silo.Tx) error {
+			pairs = pairs[:0] // retried transactions restart the scan
+			return tx.Scan(t, op.Key, hiBound(op), func(k, v []byte) bool {
+				// Keys and values are only valid during the callback.
+				pairs = append(pairs, wire.KV{
+					Key:   append([]byte(nil), k...),
+					Value: append([]byte(nil), v...),
+				})
+				return len(pairs) < limit
+			})
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindScanR, Pairs: pairs}
+	}
+	return wire.Err(wire.CodeProto, "unexecutable kind "+op.Kind.String())
+}
+
+// hiBound maps the wire scan bound to the engine's: nil means +inf, and an
+// explicit empty upper bound means an empty range.
+func hiBound(op *wire.Op) []byte {
+	if !op.HasHi {
+		return nil
+	}
+	if op.Hi == nil {
+		return []byte{}
+	}
+	return op.Hi
+}
+
+// execTxn runs a multi-op frame as one serializable transaction. Any op
+// error aborts the whole transaction (no partial effects) and is reported
+// as a single ERR frame; on commit, GET and ADD ops report values
+// positionally in a TXNR frame.
+func (s *Server) execTxn(w int, ops []wire.Op) wire.Response {
+	// Resolve tables outside the transaction: creation is not
+	// transactional and must not be retried into the log out of order.
+	tables := make([]*silo.Table, len(ops))
+	for i := range ops {
+		t, err := s.table(ops[i].Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		tables[i] = t
+	}
+	results := make([]wire.TxnResult, len(ops))
+	err := s.db.Run(w, func(tx *silo.Tx) error {
+		for i := range results {
+			results[i] = wire.TxnResult{} // retried transactions restart
+		}
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case wire.KindGet:
+				v, err := tx.Get(tables[i], op.Key)
+				if err != nil {
+					return err
+				}
+				results[i] = wire.TxnResult{HasValue: true, Value: v}
+			case wire.KindPut:
+				if err := tx.Put(tables[i], op.Key, op.Value); err != nil {
+					return err
+				}
+			case wire.KindInsert:
+				if err := tx.Insert(tables[i], op.Key, op.Value); err != nil {
+					return err
+				}
+			case wire.KindDelete:
+				if err := tx.Delete(tables[i], op.Key); err != nil {
+					return err
+				}
+			case wire.KindAdd:
+				n, err := addValue(tx, tables[i], op.Key, op.Delta)
+				if err != nil {
+					return err
+				}
+				v := make([]byte, 8)
+				binary.BigEndian.PutUint64(v, n)
+				results[i] = wire.TxnResult{HasValue: true, Value: v}
+			default:
+				return errors.New("server: bad txn op " + op.Kind.String())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return errResponse(err)
+	}
+	return wire.Response{Kind: wire.KindTxnR, Results: results}
+}

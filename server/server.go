@@ -1,0 +1,206 @@
+// Package server exposes a silo database over TCP, speaking the
+// length-prefixed binary protocol of package wire.
+//
+// Every request executes as a one-shot serializable transaction on one of
+// the database's workers. The server runs one executor goroutine per
+// worker (Silo's one-worker-per-core model); requests from all connections
+// funnel into a shared dispatch queue, so an idle worker picks up the next
+// request regardless of which connection it arrived on, and conflicts are
+// retried transparently by DB.Run before a response is sent.
+//
+// Responses are written back on each connection in request order, which
+// lets clients pipeline: a connection's reader enqueues work and its
+// writer drains an in-order queue of pending results, batching frame
+// writes while responses are ready.
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"silo"
+	"silo/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (e.g. ":4555").
+	Addr string
+	// MaxFrame caps accepted request payloads (default wire.MaxFrame).
+	MaxFrame int
+	// Pipeline is the per-connection cap on in-flight requests; a reader
+	// that runs ahead of its writer by this many requests blocks (default
+	// 128).
+	Pipeline int
+	// MaxScan caps the pairs returned by one SCAN, also bounding response
+	// frames; requests may ask for less, never more (default 65536).
+	MaxScan int
+	// DisableAutoCreate makes requests against unknown tables fail with
+	// CodeNoTable instead of creating the table on first use. Durability
+	// deployments should pre-create tables (table IDs are part of the log
+	// format) and set this.
+	DisableAutoCreate bool
+}
+
+// Stats are cumulative server counters, readable while serving.
+type Stats struct {
+	Conns    uint64 // connections accepted
+	Requests uint64 // frames executed (a TXN counts once)
+	Errors   uint64 // ERR responses sent
+}
+
+// Server serves a silo.DB over TCP.
+type Server struct {
+	db   *silo.DB
+	opts Options
+	jobs chan *job
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	conns64    atomic.Uint64
+	requests64 atomic.Uint64
+	errors64   atomic.Uint64
+}
+
+type job struct {
+	req wire.Request
+	// done receives exactly one response; it is buffered so the executor
+	// never blocks on a connection that died.
+	done chan wire.Response
+}
+
+// New creates a server for db and starts its per-worker executors. The
+// caller still owns db and must not drive the workers concurrently with
+// the server (the server's executors are the worker goroutines).
+func New(db *silo.DB, opts Options) *Server {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrame
+	}
+	if opts.Pipeline <= 0 {
+		opts.Pipeline = 128
+	}
+	if opts.MaxScan <= 0 {
+		opts.MaxScan = 65536
+	}
+	s := &Server{
+		db:        db,
+		opts:      opts,
+		jobs:      make(chan *job, db.Workers()),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < db.Workers(); i++ {
+		s.workerWG.Add(1)
+		go s.workerLoop(i)
+	}
+	return s
+}
+
+// ListenAndServe listens on Options.Addr and serves until Close.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close (which returns nil) or an
+// accept error. Multiple Serve calls on different listeners may run
+// concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.conns64.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Close stops the server: listeners and connections are closed, in-flight
+// requests finish, executors exit. The database is left open.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	// Executors keep draining until every connection handler has flushed
+	// its queued jobs, so readers blocked on a full dispatch queue make
+	// progress and exit.
+	s.connWG.Wait()
+	close(s.jobs)
+	s.workerWG.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:    s.conns64.Load(),
+		Requests: s.requests64.Load(),
+		Errors:   s.errors64.Load(),
+	}
+}
+
+// Addr returns the address of one active listener, or "".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ln := range s.listeners {
+		return ln.Addr().String()
+	}
+	return ""
+}

@@ -187,6 +187,13 @@ func (db *DB) CreateTable(name string) *Table { return db.store.CreateTable(name
 // Table returns the named table, or nil.
 func (db *DB) Table(name string) *Table { return db.store.Table(name) }
 
+// Tables returns all tables in creation order.
+func (db *DB) Tables() []*Table { return db.store.Tables() }
+
+// Workers returns the number of worker contexts. Networked front ends
+// (package server) use it to size their per-worker executor pools.
+func (db *DB) Workers() int { return db.store.Workers() }
+
 // Tx is a serializable read/write transaction. See core.Tx for the
 // underlying commit protocol; the API here is the same.
 type Tx = core.Tx

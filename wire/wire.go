@@ -1,0 +1,643 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// silo servers (package server) and clients (package client).
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload; the first payload byte is the frame kind. Requests are either a
+// single operation (GET, PUT, INSERT, DELETE, SCAN, ADD) or a TXN frame
+// carrying a list of sub-operations executed as one serializable one-shot
+// transaction. Responses arrive on each connection in request order, which
+// is what makes pipelining possible without request IDs.
+//
+// Integers are big-endian throughout. Keys and table names are
+// length-prefixed with one byte (the engine caps keys at 62 bytes); values
+// with four. Decoding is zero-copy: byte-slice fields of decoded messages
+// alias the payload buffer, so callers that reuse read buffers must copy
+// what they keep.
+//
+// Wire layouts (after the frame-kind byte):
+//
+//	GET/DELETE  u8 tlen | table | u8 klen | key
+//	PUT/INSERT  u8 tlen | table | u8 klen | key | u32 vlen | value
+//	ADD         u8 tlen | table | u8 klen | key | u64 delta (two's complement)
+//	SCAN        u8 tlen | table | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] | u32 limit
+//	TXN         u16 nops | nops × (u8 kind | body as above, SCAN excluded)
+//
+//	OK          (empty)
+//	VALUE       u32 vlen | value
+//	ERR         u8 code | u16 mlen | msg
+//	SCANR       u32 npairs | npairs × (u8 klen | key | u32 vlen | value)
+//	TXNR        u16 nresults | nresults × (u8 hasValue | [u32 vlen | value])
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind identifies a frame or TXN sub-operation.
+type Kind byte
+
+// Request frame kinds. KindScan is not valid inside a TXN frame (scans
+// inside a multi-op transaction would make response frames unbounded; run
+// them as single serializable SCAN requests instead).
+const (
+	KindGet    Kind = 0x01
+	KindPut    Kind = 0x02
+	KindInsert Kind = 0x03
+	KindDelete Kind = 0x04
+	KindScan   Kind = 0x05
+	KindAdd    Kind = 0x06
+	KindTxn    Kind = 0x07
+)
+
+// Response frame kinds.
+const (
+	KindOK    Kind = 0x81
+	KindValue Kind = 0x82
+	KindErr   Kind = 0x83
+	KindScanR Kind = 0x84
+	KindTxnR  Kind = 0x85
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "GET"
+	case KindPut:
+		return "PUT"
+	case KindInsert:
+		return "INSERT"
+	case KindDelete:
+		return "DELETE"
+	case KindScan:
+		return "SCAN"
+	case KindAdd:
+		return "ADD"
+	case KindTxn:
+		return "TXN"
+	case KindOK:
+		return "OK"
+	case KindValue:
+		return "VALUE"
+	case KindErr:
+		return "ERR"
+	case KindScanR:
+		return "SCANR"
+	case KindTxnR:
+		return "TXNR"
+	}
+	return fmt.Sprintf("Kind(0x%02x)", byte(k))
+}
+
+// ErrCode classifies an ERR response so clients can map it back to a
+// sentinel error.
+type ErrCode byte
+
+const (
+	CodeNotFound  ErrCode = 1 // key absent
+	CodeKeyExists ErrCode = 2 // INSERT of a present key
+	CodeConflict  ErrCode = 3 // transaction aborted after server-side retries
+	CodeInvalid   ErrCode = 4 // key empty or too long
+	CodeBadValue  ErrCode = 5 // ADD on a value shorter than 8 bytes
+	CodeNoTable   ErrCode = 6 // unknown table (auto-creation disabled)
+	CodeProto     ErrCode = 7 // malformed frame; server closes the connection
+	CodeInternal  ErrCode = 8 // any other server-side failure
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeNotFound:
+		return "not found"
+	case CodeKeyExists:
+		return "key exists"
+	case CodeConflict:
+		return "conflict"
+	case CodeInvalid:
+		return "invalid key"
+	case CodeBadValue:
+		return "bad value"
+	case CodeNoTable:
+		return "no such table"
+	case CodeProto:
+		return "protocol error"
+	case CodeInternal:
+		return "internal error"
+	}
+	return fmt.Sprintf("ErrCode(%d)", byte(c))
+}
+
+// Protocol limits. MaxFrame is a default; servers and clients may configure
+// their own cap, but frames must always fit in a u32 length prefix.
+const (
+	MaxFrame    = 16 << 20 // default maximum payload size
+	MaxTableLen = 255      // table names carry a 1-byte length
+	MaxKeyLen   = 62       // engine limit, enforced server-side
+	MaxTxnOps   = 65535    // TXN op count carries a 2-byte length
+)
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds the cap.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrMalformed reports a payload that does not parse. Decoding functions
+// wrap it with detail; test with errors.Is.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// Op is one operation: an entire single-op request, or one TXN sub-op.
+type Op struct {
+	Kind  Kind
+	Table string
+	Key   []byte
+	Value []byte // PUT, INSERT
+	Delta int64  // ADD
+	Hi    []byte // SCAN upper bound; nil means +inf when HasHi is false
+	HasHi bool   // SCAN: whether Hi is present
+	Limit uint32 // SCAN: max pairs returned; 0 means server default
+}
+
+// Request is a decoded request frame.
+type Request struct {
+	// Txn marks a multi-op one-shot transaction frame.
+	Txn bool
+	// Ops holds the operations: exactly one unless Txn is set.
+	Ops []Op
+}
+
+// KV is one key/value pair of a SCANR response.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// TxnResult is the per-op result of a committed TXN: GET and ADD ops carry
+// a value, the rest do not.
+type TxnResult struct {
+	HasValue bool
+	Value    []byte
+}
+
+// Response is a decoded response frame.
+type Response struct {
+	Kind    Kind
+	Code    ErrCode     // ERR
+	Msg     string      // ERR
+	Value   []byte      // VALUE
+	Pairs   []KV        // SCANR
+	Results []TxnResult // TXNR
+}
+
+// Err builds an ERR response.
+func Err(code ErrCode, msg string) Response {
+	return Response{Kind: KindErr, Code: code, Msg: msg}
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+// ReadFrame reads one length-prefixed frame from r and returns its payload
+// in a fresh buffer. max caps the accepted payload size (0 means MaxFrame).
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, malformed("empty frame")
+	}
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// beginFrame reserves the 4-byte length prefix; endFrame fills it in.
+func beginFrame(dst []byte) ([]byte, int) {
+	return append(dst, 0, 0, 0, 0), len(dst)
+}
+
+func endFrame(dst []byte, at int) []byte {
+	binary.BigEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+func appendOpBody(dst []byte, op *Op) ([]byte, error) {
+	if len(op.Table) > MaxTableLen {
+		return dst, fmt.Errorf("wire: table name %d bytes long", len(op.Table))
+	}
+	if len(op.Key) > 255 {
+		return dst, fmt.Errorf("wire: key %d bytes long", len(op.Key))
+	}
+	dst = append(dst, byte(len(op.Table)))
+	dst = append(dst, op.Table...)
+	dst = append(dst, byte(len(op.Key)))
+	dst = append(dst, op.Key...)
+	switch op.Kind {
+	case KindGet, KindDelete:
+	case KindPut, KindInsert:
+		dst = appendU32(dst, uint32(len(op.Value)))
+		dst = append(dst, op.Value...)
+	case KindAdd:
+		dst = appendU64(dst, uint64(op.Delta))
+	case KindScan:
+		if op.HasHi {
+			if len(op.Hi) > 255 {
+				return dst, fmt.Errorf("wire: scan bound %d bytes long", len(op.Hi))
+			}
+			dst = append(dst, 1, byte(len(op.Hi)))
+			dst = append(dst, op.Hi...)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendU32(dst, op.Limit)
+	default:
+		return dst, fmt.Errorf("wire: cannot encode op kind %v", op.Kind)
+	}
+	return dst, nil
+}
+
+// AppendRequest appends a complete frame (length prefix included) for r.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	dst, at := beginFrame(dst)
+	if r.Txn {
+		if len(r.Ops) == 0 || len(r.Ops) > MaxTxnOps {
+			return dst[:at], fmt.Errorf("wire: txn with %d ops", len(r.Ops))
+		}
+		dst = append(dst, byte(KindTxn))
+		dst = appendU16(dst, uint16(len(r.Ops)))
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			if op.Kind == KindScan || op.Kind == KindTxn {
+				return dst[:at], fmt.Errorf("wire: %v not allowed inside txn", op.Kind)
+			}
+			dst = append(dst, byte(op.Kind))
+			var err error
+			if dst, err = appendOpBody(dst, op); err != nil {
+				return dst[:at], err
+			}
+		}
+		return endFrame(dst, at), nil
+	}
+	if len(r.Ops) != 1 {
+		return dst[:at], fmt.Errorf("wire: single-op request with %d ops", len(r.Ops))
+	}
+	op := &r.Ops[0]
+	switch op.Kind {
+	case KindGet, KindPut, KindInsert, KindDelete, KindScan, KindAdd:
+	default:
+		return dst[:at], fmt.Errorf("wire: cannot encode request kind %v", op.Kind)
+	}
+	dst = append(dst, byte(op.Kind))
+	var err error
+	if dst, err = appendOpBody(dst, op); err != nil {
+		return dst[:at], err
+	}
+	return endFrame(dst, at), nil
+}
+
+// AppendResponse appends a complete frame (length prefix included) for r.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	dst, at := beginFrame(dst)
+	dst = append(dst, byte(r.Kind))
+	switch r.Kind {
+	case KindOK:
+	case KindValue:
+		dst = appendU32(dst, uint32(len(r.Value)))
+		dst = append(dst, r.Value...)
+	case KindErr:
+		msg := r.Msg
+		if len(msg) > 65535 {
+			msg = msg[:65535]
+		}
+		dst = append(dst, byte(r.Code))
+		dst = appendU16(dst, uint16(len(msg)))
+		dst = append(dst, msg...)
+	case KindScanR:
+		dst = appendU32(dst, uint32(len(r.Pairs)))
+		for i := range r.Pairs {
+			p := &r.Pairs[i]
+			if len(p.Key) > 255 {
+				return dst[:at], fmt.Errorf("wire: scan key %d bytes long", len(p.Key))
+			}
+			dst = append(dst, byte(len(p.Key)))
+			dst = append(dst, p.Key...)
+			dst = appendU32(dst, uint32(len(p.Value)))
+			dst = append(dst, p.Value...)
+		}
+	case KindTxnR:
+		if len(r.Results) > MaxTxnOps {
+			return dst[:at], fmt.Errorf("wire: txn response with %d results", len(r.Results))
+		}
+		dst = appendU16(dst, uint16(len(r.Results)))
+		for i := range r.Results {
+			res := &r.Results[i]
+			if res.HasValue {
+				dst = append(dst, 1)
+				dst = appendU32(dst, uint32(len(res.Value)))
+				dst = append(dst, res.Value...)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	default:
+		return dst[:at], fmt.Errorf("wire: cannot encode response kind %v", r.Kind)
+	}
+	return endFrame(dst, at), nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// reader is a bounds-checked cursor over a payload. All take methods return
+// ErrMalformed-wrapped errors instead of panicking on truncated input.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (rd *reader) remaining() int { return len(rd.buf) - rd.off }
+
+func (rd *reader) take(n int) ([]byte, error) {
+	if n < 0 || rd.remaining() < n {
+		return nil, malformed("need %d bytes, have %d", n, rd.remaining())
+	}
+	b := rd.buf[rd.off : rd.off+n : rd.off+n]
+	rd.off += n
+	return b, nil
+}
+
+func (rd *reader) byte() (byte, error) {
+	b, err := rd.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (rd *reader) u16() (uint16, error) {
+	b, err := rd.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (rd *reader) u32() (uint32, error) {
+	b, err := rd.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (rd *reader) u64() (uint64, error) {
+	b, err := rd.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// bytes8 reads a 1-byte-length-prefixed byte string.
+func (rd *reader) bytes8() ([]byte, error) {
+	n, err := rd.byte()
+	if err != nil {
+		return nil, err
+	}
+	return rd.take(int(n))
+}
+
+// bytes32 reads a 4-byte-length-prefixed byte string. The length claim is
+// validated against the remaining payload before any allocation happens, so
+// a hostile prefix cannot force a large allocation.
+func (rd *reader) bytes32() ([]byte, error) {
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(rd.remaining()) {
+		return nil, malformed("value length %d exceeds remaining %d", n, rd.remaining())
+	}
+	return rd.take(int(n))
+}
+
+func decodeOpBody(rd *reader, op *Op) error {
+	tbl, err := rd.bytes8()
+	if err != nil {
+		return err
+	}
+	op.Table = string(tbl)
+	if op.Key, err = rd.bytes8(); err != nil {
+		return err
+	}
+	switch op.Kind {
+	case KindGet, KindDelete:
+	case KindPut, KindInsert:
+		if op.Value, err = rd.bytes32(); err != nil {
+			return err
+		}
+	case KindAdd:
+		d, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		op.Delta = int64(d)
+	case KindScan:
+		has, err := rd.byte()
+		if err != nil {
+			return err
+		}
+		switch has {
+		case 0:
+		case 1:
+			op.HasHi = true
+			if op.Hi, err = rd.bytes8(); err != nil {
+				return err
+			}
+		default:
+			return malformed("scan hasHi byte %d", has)
+		}
+		if op.Limit, err = rd.u32(); err != nil {
+			return err
+		}
+	default:
+		return malformed("op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// DecodeRequest parses a request payload (the frame contents after the
+// length prefix). Byte-slice fields alias payload. It never panics on
+// malformed input; errors wrap ErrMalformed.
+func DecodeRequest(payload []byte) (Request, error) {
+	rd := reader{buf: payload}
+	kb, err := rd.byte()
+	if err != nil {
+		return Request{}, err
+	}
+	kind := Kind(kb)
+	if kind == KindTxn {
+		nops, err := rd.u16()
+		if err != nil {
+			return Request{}, err
+		}
+		if nops == 0 {
+			return Request{}, malformed("txn with zero ops")
+		}
+		// Every op costs at least 3 bytes (kind + two empty strings), so a
+		// hostile count cannot out-allocate its own payload.
+		if int(nops) > rd.remaining()/3+1 {
+			return Request{}, malformed("txn claims %d ops in %d bytes", nops, rd.remaining())
+		}
+		req := Request{Txn: true, Ops: make([]Op, 0, nops)}
+		for i := 0; i < int(nops); i++ {
+			kb, err := rd.byte()
+			if err != nil {
+				return Request{}, err
+			}
+			op := Op{Kind: Kind(kb)}
+			switch op.Kind {
+			case KindGet, KindPut, KindInsert, KindDelete, KindAdd:
+			default:
+				return Request{}, malformed("txn op kind %v", op.Kind)
+			}
+			if err := decodeOpBody(&rd, &op); err != nil {
+				return Request{}, err
+			}
+			req.Ops = append(req.Ops, op)
+		}
+		if rd.remaining() != 0 {
+			return Request{}, malformed("%d trailing bytes", rd.remaining())
+		}
+		return req, nil
+	}
+	op := Op{Kind: kind}
+	switch kind {
+	case KindGet, KindPut, KindInsert, KindDelete, KindScan, KindAdd:
+	default:
+		return Request{}, malformed("request kind %v", kind)
+	}
+	if err := decodeOpBody(&rd, &op); err != nil {
+		return Request{}, err
+	}
+	if rd.remaining() != 0 {
+		return Request{}, malformed("%d trailing bytes", rd.remaining())
+	}
+	return Request{Ops: []Op{op}}, nil
+}
+
+// DecodeResponse parses a response payload. Byte-slice fields alias
+// payload. It never panics on malformed input; errors wrap ErrMalformed.
+func DecodeResponse(payload []byte) (Response, error) {
+	rd := reader{buf: payload}
+	kb, err := rd.byte()
+	if err != nil {
+		return Response{}, err
+	}
+	resp := Response{Kind: Kind(kb)}
+	switch resp.Kind {
+	case KindOK:
+	case KindValue:
+		if resp.Value, err = rd.bytes32(); err != nil {
+			return Response{}, err
+		}
+	case KindErr:
+		cb, err := rd.byte()
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Code = ErrCode(cb)
+		n, err := rd.u16()
+		if err != nil {
+			return Response{}, err
+		}
+		msg, err := rd.take(int(n))
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Msg = string(msg)
+	case KindScanR:
+		npairs, err := rd.u32()
+		if err != nil {
+			return Response{}, err
+		}
+		// Each pair costs at least 5 bytes (two length prefixes).
+		if uint64(npairs) > uint64(rd.remaining())/5+1 {
+			return Response{}, malformed("scan claims %d pairs in %d bytes", npairs, rd.remaining())
+		}
+		resp.Pairs = make([]KV, 0, npairs)
+		for i := uint32(0); i < npairs; i++ {
+			var kv KV
+			if kv.Key, err = rd.bytes8(); err != nil {
+				return Response{}, err
+			}
+			if kv.Value, err = rd.bytes32(); err != nil {
+				return Response{}, err
+			}
+			resp.Pairs = append(resp.Pairs, kv)
+		}
+	case KindTxnR:
+		nres, err := rd.u16()
+		if err != nil {
+			return Response{}, err
+		}
+		if int(nres) > rd.remaining()+1 {
+			return Response{}, malformed("txn response claims %d results in %d bytes", nres, rd.remaining())
+		}
+		resp.Results = make([]TxnResult, 0, nres)
+		for i := 0; i < int(nres); i++ {
+			hv, err := rd.byte()
+			if err != nil {
+				return Response{}, err
+			}
+			var res TxnResult
+			switch hv {
+			case 0:
+			case 1:
+				res.HasValue = true
+				if res.Value, err = rd.bytes32(); err != nil {
+					return Response{}, err
+				}
+			default:
+				return Response{}, malformed("txn result flag %d", hv)
+			}
+			resp.Results = append(resp.Results, res)
+		}
+	default:
+		return Response{}, malformed("response kind %v", resp.Kind)
+	}
+	if rd.remaining() != 0 {
+		return Response{}, malformed("%d trailing bytes", rd.remaining())
+	}
+	return resp, nil
+}

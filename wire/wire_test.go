@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func encodeReq(t *testing.T, r *Request) []byte {
+	t.Helper()
+	buf, err := AppendRequest(nil, r)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	return buf
+}
+
+func encodeResp(t *testing.T, r *Response) []byte {
+	t.Helper()
+	buf, err := AppendResponse(nil, r)
+	if err != nil {
+		t.Fatalf("AppendResponse: %v", err)
+	}
+	return buf
+}
+
+// frameThrough reads the frame back through ReadFrame, checking the length
+// prefix is coherent, and returns the payload.
+func frameThrough(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	payload, err := ReadFrame(bytes.NewReader(frame), 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if want := frame[4:]; !bytes.Equal(payload, want) {
+		t.Fatalf("ReadFrame payload = %x, want %x", payload, want)
+	}
+	return payload
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Ops: []Op{{Kind: KindGet, Table: "accounts", Key: []byte("alice")}}},
+		{Ops: []Op{{Kind: KindDelete, Table: "t", Key: []byte{0}}}},
+		{Ops: []Op{{Kind: KindPut, Table: "t", Key: []byte("k"), Value: []byte("hello world")}}},
+		{Ops: []Op{{Kind: KindInsert, Table: "t", Key: []byte("k"), Value: nil}}},
+		{Ops: []Op{{Kind: KindAdd, Table: "t", Key: []byte("k"), Delta: -42}}},
+		{Ops: []Op{{Kind: KindScan, Table: "t", Key: []byte("a")}}},
+		{Ops: []Op{{Kind: KindScan, Table: "t", Key: []byte("a"), HasHi: true, Hi: []byte("z"), Limit: 10}}},
+		{Ops: []Op{{Kind: KindScan, Table: "t", Key: nil, HasHi: true, Hi: nil, Limit: 1}}},
+		{Txn: true, Ops: []Op{
+			{Kind: KindAdd, Table: "accounts", Key: []byte("a"), Delta: -5},
+			{Kind: KindAdd, Table: "accounts", Key: []byte("b"), Delta: 5},
+			{Kind: KindGet, Table: "audit", Key: []byte("x")},
+			{Kind: KindInsert, Table: "audit", Key: []byte("y"), Value: []byte("v")},
+			{Kind: KindDelete, Table: "audit", Key: []byte("z")},
+			{Kind: KindPut, Table: "audit", Key: []byte("w"), Value: bytes.Repeat([]byte{7}, 300)},
+		}},
+	}
+	for i, want := range cases {
+		frame := encodeReq(t, &want)
+		got, err := DecodeRequest(frameThrough(t, frame))
+		if err != nil {
+			t.Fatalf("case %d: DecodeRequest: %v", i, err)
+		}
+		// Canonicalize empty slices for comparison: decoding yields empty
+		// non-nil slices where encoding saw nil.
+		canon := func(r *Request) {
+			for j := range r.Ops {
+				op := &r.Ops[j]
+				if len(op.Key) == 0 {
+					op.Key = nil
+				}
+				if len(op.Value) == 0 && (op.Kind == KindPut || op.Kind == KindInsert) {
+					op.Value = []byte{}
+				}
+				if len(op.Hi) == 0 {
+					op.Hi = nil
+				}
+			}
+		}
+		canon(&want)
+		canon(&got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: round trip mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Kind: KindOK},
+		{Kind: KindValue, Value: []byte("payload")},
+		{Kind: KindValue, Value: []byte{}},
+		Err(CodeNotFound, "key not found"),
+		Err(CodeProto, ""),
+		{Kind: KindScanR, Pairs: []KV{
+			{Key: []byte("a"), Value: []byte("1")},
+			{Key: []byte("bb"), Value: bytes.Repeat([]byte{9}, 500)},
+		}},
+		{Kind: KindScanR, Pairs: nil},
+		{Kind: KindTxnR, Results: []TxnResult{
+			{HasValue: true, Value: []byte("got")},
+			{},
+			{HasValue: true, Value: []byte{}},
+		}},
+		{Kind: KindTxnR},
+	}
+	for i, want := range cases {
+		frame := encodeResp(t, &want)
+		got, err := DecodeResponse(frameThrough(t, frame))
+		if err != nil {
+			t.Fatalf("case %d: DecodeResponse: %v", i, err)
+		}
+		canon := func(r *Response) {
+			if len(r.Value) == 0 && r.Kind == KindValue {
+				r.Value = []byte{}
+			}
+			if len(r.Pairs) == 0 {
+				r.Pairs = nil
+			}
+			if len(r.Results) == 0 {
+				r.Results = nil
+			}
+			for j := range r.Results {
+				if r.Results[j].HasValue && len(r.Results[j].Value) == 0 {
+					r.Results[j].Value = []byte{}
+				}
+			}
+		}
+		canon(&want)
+		canon(&got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: round trip mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	bad := []Request{
+		{},                          // no ops
+		{Ops: make([]Op, 2)},        // two ops without Txn
+		{Txn: true},                 // empty txn
+		{Ops: []Op{{Kind: KindOK}}}, // response kind as request
+		{Txn: true, Ops: []Op{{Kind: KindScan, Table: "t"}}},            // scan in txn
+		{Txn: true, Ops: []Op{{Kind: KindTxn}}},                         // nested txn
+		{Ops: []Op{{Kind: KindGet, Table: strings.Repeat("x", 256)}}},   // long table
+		{Ops: []Op{{Kind: KindGet, Key: bytes.Repeat([]byte{1}, 256)}}}, // long key
+	}
+	for i := range bad {
+		if _, err := AppendRequest(nil, &bad[i]); err == nil {
+			t.Errorf("case %d: AppendRequest accepted invalid request", i)
+		}
+	}
+	if _, err := AppendResponse(nil, &Response{Kind: KindGet}); err == nil {
+		t.Error("AppendResponse accepted request kind")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{0x7f}},
+		{"get truncated table", []byte{byte(KindGet), 5, 'a'}},
+		{"get truncated key", []byte{byte(KindGet), 1, 't', 9, 'k'}},
+		{"put value claims beyond payload", []byte{byte(KindPut), 1, 't', 1, 'k', 0xff, 0xff, 0xff, 0xff}},
+		{"scan bad hasHi", []byte{byte(KindScan), 1, 't', 0, 2, 0, 0, 0, 0}},
+		{"txn zero ops", []byte{byte(KindTxn), 0, 0}},
+		{"txn op count beyond payload", []byte{byte(KindTxn), 0xff, 0xff, byte(KindGet), 0, 0}},
+		{"txn scan op", []byte{byte(KindTxn), 0, 1, byte(KindScan), 1, 't', 0, 0, 0, 0, 0, 0}},
+		{"trailing bytes", append([]byte{byte(KindGet), 1, 't', 1, 'k'}, 0)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); err == nil {
+			t.Errorf("%s: DecodeRequest accepted malformed payload", tc.name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", tc.name, err)
+		}
+	}
+
+	respCases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"request kind", []byte{byte(KindGet)}},
+		{"value claims beyond payload", []byte{byte(KindValue), 0xff, 0xff, 0xff, 0xff}},
+		{"err truncated msg", []byte{byte(KindErr), 1, 0, 5, 'a'}},
+		{"scan pair count beyond payload", []byte{byte(KindScanR), 0xff, 0xff, 0xff, 0xff}},
+		{"txnr bad flag", []byte{byte(KindTxnR), 0, 1, 3}},
+		{"trailing bytes", []byte{byte(KindOK), 0}},
+	}
+	for _, tc := range respCases {
+		if _, err := DecodeResponse(tc.payload); err == nil {
+			t.Errorf("%s: DecodeResponse accepted malformed payload", tc.name)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// Oversized length prefix is rejected without allocating the claim.
+	var hdr [4]byte
+	hdr[0] = 0xff
+	hdr[1] = 0xff
+	hdr[2] = 0xff
+	hdr[3] = 0xff
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Zero-length frames are malformed.
+	if _, err := ReadFrame(bytes.NewReader(make([]byte, 4)), 0); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero frame: err = %v, want ErrMalformed", err)
+	}
+	// Truncated payload reports unexpected EOF.
+	frame := []byte{0, 0, 0, 10, 1, 2, 3}
+	if _, err := ReadFrame(bytes.NewReader(frame), 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame: err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Clean EOF at a frame boundary is io.EOF, so servers can distinguish
+	// an orderly hangup from a torn frame.
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
