@@ -22,17 +22,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silo"
 	"silo/wire"
 )
 
 // Sentinel errors mapped from server ERR responses; test with errors.Is.
+// Each wraps the corresponding silo sentinel, so a check like
+// errors.Is(err, silo.ErrNotFound) holds end to end — the same code works
+// against an embedded DB and over the wire, with no string matching.
 var (
-	ErrNotFound  = errors.New("client: key not found")
-	ErrKeyExists = errors.New("client: key already exists")
-	ErrConflict  = errors.New("client: transaction conflict")
-	ErrInvalid   = errors.New("client: invalid key")
+	ErrNotFound  = fmt.Errorf("client: %w", silo.ErrNotFound)
+	ErrKeyExists = fmt.Errorf("client: %w", silo.ErrKeyExists)
+	ErrConflict  = fmt.Errorf("client: %w", silo.ErrConflict)
+	ErrInvalid   = fmt.Errorf("client: %w", silo.ErrKeyInvalid)
+	ErrNoTable   = fmt.Errorf("client: %w", silo.ErrNoTable)
+	ErrNoIndex   = fmt.Errorf("client: %w", silo.ErrNoIndex)
 	ErrBadValue  = errors.New("client: value too short to hold a counter")
-	ErrNoTable   = errors.New("client: no such table")
 	ErrClosed    = errors.New("client: connection closed")
 )
 
@@ -61,6 +66,8 @@ func codeError(code wire.ErrCode, msg string) error {
 		return ErrBadValue
 	case wire.CodeNoTable:
 		return ErrNoTable
+	case wire.CodeNoIndex:
+		return ErrNoIndex
 	}
 	return &ServerError{Code: code, Msg: msg}
 }
@@ -213,6 +220,47 @@ func (cl *Client) Scan(table string, lo, hi []byte, limit int) ([]wire.KV, error
 		return nil, unexpected(resp)
 	}
 	return resp.Pairs, nil
+}
+
+// CreateIndex declares a secondary index named index over table, with a
+// declarative fixed-segment key spec (the secondary key is the
+// concatenation of the segments, each taken from the primary key or the
+// row value). The server backfills existing rows before replying; from
+// then on the index is maintained inside every transaction that writes the
+// table. Creation is idempotent for an identical declaration.
+func (cl *Client) CreateIndex(index, table string, unique bool, segs []wire.IndexSeg) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{{
+		Kind:   wire.KindCreateIndex,
+		Index:  index,
+		Table:  table,
+		Unique: unique,
+		Segs:   segs,
+	}}})
+}
+
+// IndexScan returns up to limit index entries with entry keys in [lo, hi),
+// each resolved to its primary row, as one serializable transaction with
+// phantom protection on both the index and the table (snapshot true
+// instead reads a recent consistent snapshot). A nil or empty lo means the
+// start of the index; a nil hi means its end; limit <= 0 requests the
+// server's cap. Unknown index names return ErrNoIndex.
+func (cl *Client) IndexScan(index string, lo, hi []byte, limit int, snapshot bool) ([]wire.IndexEntry, error) {
+	op := wire.Op{Kind: wire.KindIScan, Index: index, Key: lo, Snapshot: snapshot}
+	if hi != nil {
+		op.HasHi = true
+		op.Hi = hi
+	}
+	if limit > 0 {
+		op.Limit = uint32(limit)
+	}
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{op}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindIScanR {
+		return nil, unexpected(resp)
+	}
+	return resp.Entries, nil
 }
 
 func (cl *Client) expectOK(req *wire.Request) error {

@@ -1,18 +1,27 @@
-// Command silo-loadgen drives a silo-server over TCP with the paper's
-// YCSB-like mix (§5.2: uniform keys, 100-byte records, 80% reads / 20%
+// Command silo-loadgen drives a silo database with the paper's YCSB-like
+// mix (§5.2: uniform keys, 100-byte records, 80% reads / 20%
 // read-modify-writes) and reports closed-loop throughput and latency
 // percentiles. The same op generation (internal/workload/ycsb) backs the
 // embedded benchmarks in silo-bench, so embedded and over-the-wire numbers
-// are directly comparable.
+// are directly comparable — and -embedded runs the identical mix against
+// an in-process database with the same report.
+//
+// A YCSB-E-style scan-heavy mode mixes in range scans (-scan-frac,
+// -scan-len); with -index the scans go through a secondary index on the
+// record's counter field instead of the primary key space, exercising
+// CREATE_INDEX/ISCAN over the wire and the index subsystem embedded
+// (-snapshot-scans reads the index at a consistent snapshot).
 //
 // Usage:
 //
 //	silo-server -addr :4555 &
 //	silo-loadgen -addr localhost:4555 -load -keys 100000
 //	silo-loadgen -addr localhost:4555 -clients 16 -conns 4 -duration 10s
+//	silo-loadgen -addr localhost:4555 -scan-frac 0.95 -scan-len 100 -index
+//	silo-loadgen -embedded -clients 8 -scan-frac 0.5
 //
 // Reads map to GET, read-modify-writes to ADD (a server-side serializable
-// increment in one round trip); -txn batches each client's ops into
+// increment in one round trip); -txn batches each client's point ops into
 // multi-op one-shot transaction frames instead.
 package main
 
@@ -25,9 +34,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silo"
 	"silo/client"
 	"silo/internal/workload/ycsb"
+	"silo/wire"
 )
+
+// indexName is the secondary index used by -index: the big-endian counter
+// field occupying the first 8 bytes of every record.
+const indexName = "usertable_by_ctr"
+
+func indexSegs() []wire.IndexSeg {
+	return []wire.IndexSeg{{FromValue: true, Off: 0, Len: 8}}
+}
 
 func main() {
 	var (
@@ -37,21 +56,32 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measured run length")
 		keys     = flag.Int("keys", 100000, "key-space size (paper: 160M)")
 		valSize  = flag.Int("valuesize", 100, "record size in bytes (paper: 100)")
-		readPct  = flag.Int("readpct", 80, "percentage of reads (paper: 80)")
+		readPct  = flag.Int("readpct", 80, "percentage of point ops that are reads (paper: 80)")
+		scanFrac = flag.Float64("scan-frac", 0, "fraction (0..1) of ops that are scans (YCSB-E style)")
+		scanLen  = flag.Int("scan-len", 100, "keys per scan")
+		useIndex = flag.Bool("index", false, "route scans through a secondary index on the counter field")
+		snapScan = flag.Bool("snapshot-scans", false, "run index scans against a consistent snapshot")
 		table    = flag.String("table", ycsb.TableName, "table name")
 		load     = flag.Bool("load", false, "preload the key space before the run")
-		txnOps   = flag.Int("txn", 0, "ops per multi-op TXN frame (0 = single-op requests)")
+		txnOps   = flag.Int("txn", 0, "point ops per multi-op TXN frame (0 = single-op requests)")
+		embedded = flag.Bool("embedded", false, "run against an in-process database instead of a server")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	cfg := ycsb.Config{Keys: *keys, ValueSize: *valSize, ReadPct: *readPct}
+	cfg := ycsb.Config{
+		Keys: *keys, ValueSize: *valSize, ReadPct: *readPct,
+		ScanFrac: *scanFrac, ScanLen: *scanLen,
+	}
+	if *snapScan && !*useIndex {
+		fatal(fmt.Errorf("-snapshot-scans requires -index"))
+	}
 
-	if *load {
-		if err := preload(*addr, *table, cfg, *conns); err != nil {
-			fatal(fmt.Errorf("preload: %w", err))
-		}
-		fmt.Printf("loaded %d keys of %d bytes into %q\n", cfg.Keys, cfg.ValueSize, *table)
+	var run func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error)
+	if *embedded {
+		run = setupEmbedded(cfg, *clients, *useIndex, *snapScan)
+	} else {
+		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, *useIndex, *snapScan)
 	}
 
 	var (
@@ -66,30 +96,14 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := client.Dial(*addr, client.Options{Conns: *conns})
-			if err != nil {
-				fatal(fmt.Errorf("dial: %w", err))
-			}
-			defer cl.Close()
 			gen := ycsb.NewGenerator(cfg, *seed+uint64(c)*7919)
-			var kb []byte
-			samples := make([]time.Duration, 0, 1<<18)
-			for !stop.Load() {
-				t0 := time.Now()
-				var err error
-				if *txnOps > 1 {
-					err = runTxn(cl, *table, gen, *txnOps, &kb)
-				} else {
-					err = runOp(cl, *table, gen.Next(), &kb)
-				}
-				if err != nil {
-					failed.Add(1)
-					continue
-				}
-				samples = append(samples, time.Since(t0))
-				totalOp.Add(1)
+			samples, fails, err := run(c, gen, &stop)
+			if err != nil {
+				fatal(err)
 			}
 			lats[c] = samples
+			totalOp.Add(uint64(len(samples)))
+			failed.Add(fails)
 		}(c)
 	}
 	time.Sleep(*duration)
@@ -104,11 +118,25 @@ func main() {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	n := totalOp.Load()
 	unit := "txns"
-	if *txnOps > 1 {
+	if !*embedded && *txnOps > 1 {
 		unit = fmt.Sprintf("txns (%d ops each)", *txnOps)
 	}
-	fmt.Printf("clients=%d conns/client=%d keyspace=%d mix=%d/%d read/rmw\n",
-		*clients, *conns, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct)
+	mode := "wire"
+	if *embedded {
+		mode = "embedded"
+	}
+	scans := "none"
+	if *scanFrac > 0 {
+		scans = fmt.Sprintf("%.0f%%×%d primary", *scanFrac*100, *scanLen)
+		if *useIndex {
+			scans = fmt.Sprintf("%.0f%%×%d index", *scanFrac*100, *scanLen)
+			if *snapScan {
+				scans += " (snapshot)"
+			}
+		}
+	}
+	fmt.Printf("mode=%s clients=%d keyspace=%d mix=%d/%d read/rmw scans=%s\n",
+		mode, *clients, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct, scans)
 	fmt.Printf("throughput: %.0f %s/sec (%d in %v, %d failed)\n",
 		float64(n)/elapsed.Seconds(), unit, n, elapsed.Round(time.Millisecond), failed.Load())
 	if len(all) > 0 {
@@ -117,7 +145,58 @@ func main() {
 	}
 }
 
-// runOp issues one YCSB operation: GET for reads, ADD for RMWs (the
+// ---------------------------------------------------------------------------
+// Over-the-wire mode
+
+func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load, useIndex, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
+	if load {
+		if err := preload(addr, table, cfg, conns); err != nil {
+			fatal(fmt.Errorf("preload: %w", err))
+		}
+		fmt.Printf("loaded %d keys of %d bytes into %q\n", cfg.Keys, cfg.ValueSize, table)
+	}
+	if useIndex {
+		cl, err := client.Dial(addr, client.Options{Conns: 1})
+		if err != nil {
+			fatal(fmt.Errorf("dial: %w", err))
+		}
+		if err := cl.CreateIndex(indexName, table, false, indexSegs()); err != nil {
+			fatal(fmt.Errorf("create index: %w", err))
+		}
+		cl.Close()
+	}
+	return func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
+		cl, err := client.Dial(addr, client.Options{Conns: conns})
+		if err != nil {
+			return nil, 0, fmt.Errorf("dial: %w", err)
+		}
+		defer cl.Close()
+		var kb []byte
+		var fails uint64
+		samples := make([]time.Duration, 0, 1<<18)
+		for !stop.Load() {
+			t0 := time.Now()
+			var err error
+			op := gen.Next()
+			switch {
+			case op.Scan:
+				err = runWireScan(cl, table, op, &kb, useIndex, snapScan)
+			case txnOps > 1:
+				err = runTxn(cl, table, gen, op, txnOps, &kb)
+			default:
+				err = runOp(cl, table, op, &kb)
+			}
+			if err != nil {
+				fails++
+				continue
+			}
+			samples = append(samples, time.Since(t0))
+		}
+		return samples, fails, nil
+	}
+}
+
+// runOp issues one YCSB point operation: GET for reads, ADD for RMWs (the
 // server-side equivalent of read-increment-write in one transaction).
 func runOp(cl *client.Client, table string, op ycsb.Op, kb *[]byte) error {
 	*kb = ycsb.Key(op.Key, *kb)
@@ -129,11 +208,32 @@ func runOp(cl *client.Client, table string, op ycsb.Op, kb *[]byte) error {
 	return err
 }
 
-// runTxn batches n generated ops into one multi-op transaction frame.
-func runTxn(cl *client.Client, table string, gen *ycsb.Generator, n int, kb *[]byte) error {
+// runWireScan issues one scan: a primary range scan, or an index scan
+// through the counter index (counters are small, so an 8-byte zero lower
+// bound covers the populated secondary range).
+func runWireScan(cl *client.Client, table string, op ycsb.Op, kb *[]byte, useIndex, snapshot bool) error {
+	*kb = ycsb.Key(op.Key, *kb)
+	if useIndex {
+		_, err := cl.IndexScan(indexName, nil, nil, op.Len, snapshot)
+		return err
+	}
+	_, err := cl.Scan(table, *kb, nil, op.Len)
+	return err
+}
+
+// runTxn batches generated point ops (starting with op) into one multi-op
+// transaction frame.
+func runTxn(cl *client.Client, table string, gen *ycsb.Generator, op ycsb.Op, n int, kb *[]byte) error {
 	txn := cl.Txn()
 	for i := 0; i < n; i++ {
-		op := gen.Next()
+		if i > 0 {
+			for {
+				op = gen.Next()
+				if !op.Scan { // scans cannot ride inside TXN frames
+					break
+				}
+			}
+		}
 		*kb = ycsb.Key(op.Key, *kb)
 		key := append([]byte(nil), *kb...)
 		if op.Read {
@@ -191,6 +291,79 @@ func preload(addr, table string, cfg ycsb.Config, conns int) error {
 		return err
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Embedded mode
+
+// setupEmbedded opens an in-process database with one worker per client,
+// loads the key space, optionally creates the counter index (through the
+// same backfill path a remote CREATE_INDEX takes), and returns a runner
+// executing the identical op mix directly on the engine.
+func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
+	db, err := silo.Open(silo.Options{Workers: clients})
+	if err != nil {
+		fatal(err)
+	}
+	ycsb.LoadSilo(db.Store(), cfg)
+	tbl := db.Table(ycsb.TableName)
+	fmt.Printf("loaded %d keys of %d bytes (embedded)\n", cfg.Keys, cfg.ValueSize)
+	var ix *silo.Index
+	if useIndex {
+		segs := make([]silo.IndexSeg, 0, 1)
+		for _, sg := range indexSegs() {
+			segs = append(segs, silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)})
+		}
+		ix, err = db.CreateIndexSpec(0, tbl, indexName, false, segs)
+		if err != nil {
+			fatal(fmt.Errorf("create index: %w", err))
+		}
+	}
+	return func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
+		w := db.Store().Worker(c)
+		var kb []byte
+		var fails uint64
+		samples := make([]time.Duration, 0, 1<<18)
+		for !stop.Load() {
+			t0 := time.Now()
+			op := gen.Next()
+			ok := true
+			if op.Scan && ix != nil {
+				ok = runEmbeddedIndexScan(db, c, ix, op.Len, snapScan)
+			} else {
+				ok, kb = ycsb.RunSiloOp(w, tbl, op, kb)
+			}
+			if !ok {
+				fails++
+				continue
+			}
+			samples = append(samples, time.Since(t0))
+		}
+		return samples, fails, nil
+	}
+}
+
+// runEmbeddedIndexScan resolves up to n entries through the counter index,
+// serializably or at a snapshot.
+func runEmbeddedIndexScan(db *silo.DB, worker int, ix *silo.Index, n int, snapshot bool) bool {
+	count := 0
+	visit := func(_, _, _ []byte) bool {
+		count++
+		return count < n
+	}
+	var err error
+	if snapshot {
+		err = db.RunSnapshot(worker, func(stx *silo.SnapTx) error {
+			count = 0
+			return silo.ScanIndexSnapshot(stx, ix, []byte{0}, nil, visit)
+		})
+	} else {
+		err = db.RunNoRetry(worker, func(tx *silo.Tx) error {
+			count = 0
+			return silo.ScanIndex(tx, ix, []byte{0}, nil, visit)
+		})
+	}
+	return err == nil
 }
 
 // pct returns the p-th percentile of sorted samples.

@@ -63,6 +63,11 @@ func TestHammerDurableConcurrent(t *testing.T) {
 	}
 	tbl := db.CreateTable("accounts")
 	audit := db.CreateTable("audit")
+	users := db.CreateTable("users")
+	byCity, err := db.CreateIndex(0, users, "users_city", false, cityIndexKey)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	key := func(i int) []byte {
 		b := make([]byte, 8)
@@ -93,7 +98,7 @@ func TestHammerDurableConcurrent(t *testing.T) {
 				return int((rng >> 33) % uint64(n))
 			}
 			for r := 0; r < rounds; r++ {
-				switch next(10) {
+				switch next(13) {
 				case 0, 1, 2, 3, 4, 5: // transfer
 					from, to := next(accounts), next(accounts)
 					if from == to {
@@ -185,6 +190,62 @@ func TestHammerDurableConcurrent(t *testing.T) {
 						t.Errorf("durable: %v", err)
 						return
 					}
+				case 10: // indexed-table upsert: insert a user or move their city
+					k := userKey(next(64))
+					v := userRow(next(cities), wid, r)
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						err := tx.Insert(users, k, v)
+						if err == silo.ErrKeyExists {
+							return tx.Put(users, k, v)
+						}
+						return err
+					}); err != nil {
+						t.Errorf("user upsert: %v", err)
+						return
+					}
+				case 11: // indexed-table delete
+					k := userKey(next(64))
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						if err := tx.Delete(users, k); err != silo.ErrNotFound {
+							return err
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("user delete: %v", err)
+						return
+					}
+				case 12: // index consistency: entries == rows for one city, in one txn
+					city := next(cities)
+					var rows, entries, mismatches int
+					if err := db.Run(wid, func(tx *silo.Tx) error {
+						rows, entries, mismatches = 0, 0, 0 // conflict retries re-run the closure
+						if err := tx.Scan(users, []byte{0}, nil, func(_, v []byte) bool {
+							if int(v[0]) == city {
+								rows++
+							}
+							return true
+						}); err != nil {
+							return err
+						}
+						return silo.ScanIndex(tx, byCity, cityKey(city), cityKey(city+1), func(sk, pk, v []byte) bool {
+							if v[0] != sk[0] {
+								mismatches++
+							}
+							entries++
+							return true
+						})
+					}); err != nil {
+						t.Errorf("index scan: %v", err)
+						return
+					}
+					// Checked only after a successful commit: an aborted OCC
+					// attempt may legally observe an entry whose row moved.
+					if mismatches != 0 {
+						t.Errorf("city %d: %d index entries resolved to rows in another city", city, mismatches)
+					}
+					if rows != entries {
+						t.Errorf("city %d: %d rows but %d index entries", city, rows, entries)
+					}
 				}
 			}
 		}(wid)
@@ -209,6 +270,11 @@ func TestHammerDurableConcurrent(t *testing.T) {
 	defer db2.Close()
 	tbl2 := db2.CreateTable("accounts")
 	db2.CreateTable("audit")
+	users2 := db2.CreateTable("users")
+	byCity2, err := db2.CreateIndex(0, users2, "users_city", false, cityIndexKey)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := db2.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -228,4 +294,51 @@ func TestHammerDurableConcurrent(t *testing.T) {
 		t.Fatalf("recovered %d accounts totalling %d; want %d totalling %d",
 			n, total, accounts, accounts*initial)
 	}
+
+	// The index recovered as entry-table log records; it must still exactly
+	// cover the users table.
+	var rows, entries int
+	if err := db2.Run(0, func(tx *silo.Tx) error {
+		rows, entries = 0, 0
+		if err := tx.Scan(users2, []byte{0}, nil, func(_, _ []byte) bool {
+			rows++
+			return true
+		}); err != nil {
+			return err
+		}
+		return silo.ScanIndex(tx, byCity2, []byte{0}, nil, func(sk, _, v []byte) bool {
+			if v[0] != sk[0] {
+				t.Errorf("recovered index entry %x resolves to city %d", sk, v[0])
+			}
+			entries++
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != entries {
+		t.Fatalf("recovered index has %d entries for %d rows", entries, rows)
+	}
+}
+
+// cities is the number of distinct city codes the hammer's indexed table
+// uses; small enough that index ranges stay contended.
+const cities = 8
+
+// cityIndexKey indexes a user row by its 1-byte city code.
+func cityIndexKey(dst, pk, val []byte) ([]byte, bool) {
+	if len(val) < 1 {
+		return dst, false
+	}
+	return append(dst, val[0]), true
+}
+
+func cityKey(c int) []byte { return []byte{byte(c)} }
+
+func userKey(i int) []byte { return []byte(fmt.Sprintf("user-%02d", i)) }
+
+// userRow builds a user row: city code byte, then filler identifying the
+// writer.
+func userRow(city, wid, r int) []byte {
+	return []byte(fmt.Sprintf("%c-w%d-r%d", byte(city), wid, r))
 }

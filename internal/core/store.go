@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"silo/internal/btree"
@@ -99,12 +100,94 @@ type LoggedWrite struct {
 // reused. A nil LogFunc disables logging (MemSilo).
 type LogFunc func(commit tid.Word, writes []LoggedWrite)
 
+// WriteHook observes the logical writes a transaction performs on a table,
+// from inside that transaction, before it commits. Hooks are how secondary
+// indexes are maintained (§4.7: index updates are ordinary writes folded
+// into the same commit): a hook issues its own operations through tx, so
+// everything it writes joins the transaction's read- and write-sets and
+// commits — or aborts — atomically with the triggering write.
+//
+// The pk/value slices are valid only until the hook performs its next
+// operation on tx (they may alias transaction-internal buffers). A hook
+// returning an error poisons the transaction: the triggering operation
+// returns the error and Commit will refuse to commit, aborting instead,
+// so a caller that swallows the error cannot commit a half-maintained
+// state.
+type WriteHook interface {
+	// OnInsert runs after tx stages an insert of (pk, val).
+	OnInsert(tx *Tx, pk, val []byte) error
+	// OnUpdate runs after tx stages an overwrite of pk from oldVal to newVal.
+	OnUpdate(tx *Tx, pk, oldVal, newVal []byte) error
+	// OnDelete runs after tx stages a delete of pk, whose last value was oldVal.
+	OnDelete(tx *Tx, pk, oldVal []byte) error
+}
+
 // Table is a named index tree. Records are stored in the primary tree; a
-// secondary index is just another Table whose values are primary keys.
+// secondary index is just another Table whose values are primary keys,
+// maintained either explicitly by transaction code or automatically by a
+// registered WriteHook (see internal/index for the declarative subsystem
+// built on hooks).
 type Table struct {
 	ID   uint32
 	Name string
 	Tree *btree.Tree
+
+	hooks atomic.Pointer[[]WriteHook]
+}
+
+// AddWriteHook registers h to run inside every future transaction that
+// writes this table. Registration is not transactional: it must happen
+// before the writes it is supposed to observe (typically at schema setup,
+// before the table takes traffic). Safe for concurrent use.
+func (t *Table) AddWriteHook(h WriteHook) {
+	for {
+		old := t.hooks.Load()
+		var next []WriteHook
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, h)
+		if t.hooks.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// RemoveWriteHook unregisters a hook previously added with AddWriteHook
+// (compared with ==). It exists so a failed index build can withdraw its
+// half-registered maintenance; transactions already in flight may still
+// run the hook once more.
+func (t *Table) RemoveWriteHook(h WriteHook) {
+	for {
+		old := t.hooks.Load()
+		if old == nil {
+			return
+		}
+		next := make([]WriteHook, 0, len(*old))
+		for _, cur := range *old {
+			if cur != h {
+				next = append(next, cur)
+			}
+		}
+		if len(next) == len(*old) {
+			return
+		}
+		p := &next
+		if len(next) == 0 {
+			p = nil
+		}
+		if t.hooks.CompareAndSwap(old, p) {
+			return
+		}
+	}
+}
+
+// WriteHooks returns the table's registered hooks (nil for most tables).
+func (t *Table) WriteHooks() []WriteHook {
+	if p := t.hooks.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Store is a Silo database engine instance.

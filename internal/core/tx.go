@@ -60,6 +60,8 @@ type Tx struct {
 	writes []writeEntry
 	nodes  []nodeEntry
 	rbuf   []byte // scratch buffer for record reads
+	hbuf   []byte // scratch buffer for hook old-value snapshots
+	fail   error  // set by a failed WriteHook; poisons Commit
 	active bool
 }
 
@@ -67,6 +69,7 @@ func (tx *Tx) reset() {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.nodes = tx.nodes[:0]
+	tx.fail = nil
 }
 
 // Worker returns the executing worker.
@@ -144,6 +147,42 @@ func (tx *Tx) pushWrite(t *Table, rec *record.Record, key, value []byte, kind wr
 	we.ours = ours
 	we.prelock = 0
 	tx.w.stats.Writes++
+}
+
+// hookInsert, hookUpdate and hookDelete dispatch a table's registered
+// write hooks. The first hook error is remembered in tx.fail, which makes
+// Commit abort: a caller that ignores the error cannot commit a state
+// where the primary write landed but its hooked side effects did not.
+// Hook errors are returned unwrapped so sentinel comparisons (and the
+// ErrConflict retry loop in Worker.Run) keep working.
+func (tx *Tx) hookInsert(hooks []WriteHook, pk, val []byte) error {
+	for _, h := range hooks {
+		if err := h.OnInsert(tx, pk, val); err != nil {
+			tx.fail = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) hookUpdate(hooks []WriteHook, pk, oldVal, newVal []byte) error {
+	for _, h := range hooks {
+		if err := h.OnUpdate(tx, pk, oldVal, newVal); err != nil {
+			tx.fail = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) hookDelete(hooks []WriteHook, pk, oldVal []byte) error {
+	for _, h := range hooks {
+		if err := h.OnDelete(tx, pk, oldVal); err != nil {
+			tx.fail = err
+			return err
+		}
+	}
+	return nil
 }
 
 // Get returns the value stored for key. The returned slice is owned by the
@@ -228,19 +267,34 @@ func (tx *Tx) Put(t *Table, key, value []byte) error {
 	if !validKey(key) {
 		return ErrKeyInvalid
 	}
+	hooks := t.WriteHooks()
 	if i := tx.findWrite(t, key); i >= 0 {
 		if tx.writes[i].kind == writeDelete {
 			return ErrNotFound
 		}
+		if hooks != nil {
+			// Snapshot the superseded pending value before overwriting it;
+			// hooks need the old state to undo its derived effects.
+			tx.hbuf = append(tx.hbuf[:0], tx.writes[i].value...)
+		}
 		tx.writes[i].value = append(tx.writes[i].value[:0], value...)
-		return nil
+		return tx.hookUpdate(hooks, key, tx.hbuf, value)
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
 		tx.addNode(n, ver)
 		return ErrNotFound
 	}
-	w := rec.ReadWord()
+	var w tid.Word
+	var old []byte
+	if hooks != nil {
+		// Hooked tables pay for a data read on Put: the old value feeds
+		// the hooks. The word is validated with the data by Read.
+		old, w = rec.Read(tx.rbuf)
+		tx.rbuf = old[:0]
+	} else {
+		w = rec.ReadWord()
+	}
 	tx.addRead(rec, w)
 	if w.Absent() {
 		return ErrNotFound
@@ -249,7 +303,7 @@ func (tx *Tx) Put(t *Table, key, value []byte) error {
 		return ErrConflict
 	}
 	tx.pushWrite(t, rec, key, value, writeUpdate, false)
-	return nil
+	return tx.hookUpdate(hooks, key, old, value)
 }
 
 // Insert adds a new key. Following §4.5, a placeholder record in the absent
@@ -266,12 +320,15 @@ func (tx *Tx) Insert(t *Table, key, value []byte) error {
 	if !validKey(key) {
 		return ErrKeyInvalid
 	}
+	hooks := t.WriteHooks()
 	if i := tx.findWrite(t, key); i >= 0 {
 		if tx.writes[i].kind == writeDelete {
 			// Delete then insert in one transaction: net effect is an update.
+			// The earlier Delete already ran the delete hooks, so this is an
+			// insert from the hooks' point of view.
 			tx.writes[i].kind = writeUpdate
 			tx.writes[i].value = append(tx.writes[i].value[:0], value...)
-			return nil
+			return tx.hookInsert(hooks, key, value)
 		}
 		return ErrKeyExists
 	}
@@ -285,7 +342,7 @@ func (tx *Tx) Insert(t *Table, key, value []byte) error {
 			}
 			tx.addRead(placeholder, placeholder.Word())
 			tx.pushWrite(t, placeholder, key, value, writeInsert, true)
-			return nil
+			return tx.hookInsert(hooks, key, value)
 		}
 		rec = cur
 	}
@@ -300,7 +357,7 @@ func (tx *Tx) Insert(t *Table, key, value []byte) error {
 		return ErrConflict
 	}
 	tx.pushWrite(t, rec, key, value, writeInsert, false)
-	return nil
+	return tx.hookInsert(hooks, key, value)
 }
 
 // Delete removes key. The record is marked absent at commit and unhooked
@@ -314,34 +371,35 @@ func (tx *Tx) Delete(t *Table, key []byte) error {
 	if !validKey(key) {
 		return ErrKeyInvalid
 	}
+	hooks := t.WriteHooks()
 	if i := tx.findWrite(t, key); i >= 0 {
-		switch tx.writes[i].kind {
-		case writeDelete:
+		if tx.writes[i].kind == writeDelete {
 			return ErrNotFound
-		case writeInsert:
-			if tx.writes[i].ours {
-				// Insert then delete of our own fresh key: the placeholder
-				// is already installed; deleting it restores the absent
-				// state, which is what committing a delete does anyway.
-				tx.writes[i].kind = writeDelete
-				tx.writes[i].value = tx.writes[i].value[:0]
-				return nil
-			}
-			tx.writes[i].kind = writeDelete
-			tx.writes[i].value = tx.writes[i].value[:0]
-			return nil
-		default:
-			tx.writes[i].kind = writeDelete
-			tx.writes[i].value = tx.writes[i].value[:0]
-			return nil
 		}
+		// Pending insert (ours or superseding) or update: committing a
+		// delete restores the absent state either way; for our own fresh
+		// placeholder that is exactly what the installed record already
+		// holds.
+		if hooks != nil {
+			tx.hbuf = append(tx.hbuf[:0], tx.writes[i].value...)
+		}
+		tx.writes[i].kind = writeDelete
+		tx.writes[i].value = tx.writes[i].value[:0]
+		return tx.hookDelete(hooks, key, tx.hbuf)
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
 		tx.addNode(n, ver)
 		return ErrNotFound
 	}
-	w := rec.ReadWord()
+	var w tid.Word
+	var old []byte
+	if hooks != nil {
+		old, w = rec.Read(tx.rbuf)
+		tx.rbuf = old[:0]
+	} else {
+		w = rec.ReadWord()
+	}
 	tx.addRead(rec, w)
 	if w.Absent() {
 		return ErrNotFound
@@ -350,7 +408,7 @@ func (tx *Tx) Delete(t *Table, key []byte) error {
 		return ErrConflict
 	}
 	tx.pushWrite(t, rec, key, nil, writeDelete, false)
-	return nil
+	return tx.hookDelete(hooks, key, old)
 }
 
 // Scan visits keys in [lo, hi) in order (hi nil means +∞), calling fn for
@@ -422,6 +480,14 @@ func (tx *Tx) abortCleanup() {
 func (tx *Tx) Commit() error {
 	if !tx.active {
 		return ErrTxDone
+	}
+	if tx.fail != nil {
+		// A write hook failed mid-transaction: the primary write may be
+		// staged without its hooked side effects. Committing would break
+		// the hook's invariant (e.g. index consistency), so abort.
+		err := tx.fail
+		tx.Abort()
+		return err
 	}
 	w := tx.w
 	s := w.store

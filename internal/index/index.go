@@ -1,0 +1,244 @@
+// Package index is Silo's secondary-index subsystem. Following §4.7 of the
+// paper, a secondary index is an ordinary table whose keys are secondary
+// keys and whose values are primary keys; what this package adds over the
+// hand-maintained pattern is declarativity and automation:
+//
+//   - An Index is declared once (name, indexed table, uniqueness, a KeyFunc
+//     extracting the secondary key from a row) and registered as a
+//     core.WriteHook on its table. From then on every transactional
+//     Put/Insert/Delete on the table expands the transaction's write-set
+//     with the matching entry-table writes, so index consistency inherits
+//     Silo's serializability, epoch-based durability, and recovery for
+//     free — entry writes are regular logged writes.
+//   - Existing rows are folded in by a transactional Backfill pass.
+//   - Scan and Lookup resolve secondary keys to primary rows with phantom
+//     protection on both trees: the entry-tree scan records leaf versions
+//     (node-set, §4.6) and every resolved primary read joins the read-set,
+//     so a committed index scan observed a consistent secondary range and
+//     its exact primary rows.
+//   - SnapScan reads the index at a snapshot epoch (§4.9). Entry and row
+//     versions are judged by the same epoch, so the view is consistent.
+//
+// Entry encoding: a unique index stores entry key = secondary key with the
+// primary key as value; a non-unique index appends the primary key to the
+// entry key (secondaryKey ‖ primaryKey) so equal secondary keys coexist,
+// again with the primary key as value. Scan bounds therefore compare
+// against the full entry key; callers of non-unique indexes should use
+// fixed-width secondary keys (as TPC-C does) or full-width bounds.
+//
+// Entry tables are ordinary tables: they appear in Store.Tables(), are
+// checkpointed and recovered like any other, and their creation order
+// matters for the log format exactly like other tables'. Do not write them
+// directly, and do not register an index on an entry table.
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"silo/internal/core"
+)
+
+// ErrNoIndex reports a lookup of an index name that does not exist.
+var ErrNoIndex = errors.New("silo: no such index")
+
+// KeyFunc extracts the secondary key for a row, appending it to dst and
+// returning the extended buffer. Returning ok=false excludes the row from
+// the index (a partial index). The function must be pure: the same
+// (pk, val) must always yield the same key, and it must not retain pk/val.
+type KeyFunc func(dst, pk, val []byte) (key []byte, ok bool)
+
+// Index is a declared secondary index over one table.
+type Index struct {
+	Name    string
+	On      *core.Table // the indexed (primary) table
+	Entries *core.Table // the entry table: secondary key → primary key
+	Unique  bool
+	Key     KeyFunc
+	// Spec is the declarative segment spec Key was compiled from, when
+	// there is one (nil for opaque KeyFuncs). Registries use it to decide
+	// whether a re-creation request matches the existing declaration.
+	Spec []Seg
+}
+
+// New declares an index named name over table on: it creates the entry
+// table (under the index's name, so table-creation order — and with it the
+// log format — is explicit at the call site) and registers transactional
+// maintenance. It does not backfill; call Backfill if on already has rows.
+// Declare each index exactly once per store, before the table takes
+// writes that should be indexed.
+func New(s *core.Store, on *core.Table, name string, unique bool, key KeyFunc) *Index {
+	ix := &Index{
+		Name:    name,
+		On:      on,
+		Entries: s.CreateTable(name),
+		Unique:  unique,
+		Key:     key,
+	}
+	on.AddWriteHook(hook{ix})
+	return ix
+}
+
+// EntryKey appends the entry-table key for (sk, pk) to dst.
+func (ix *Index) EntryKey(dst, sk, pk []byte) []byte {
+	dst = append(dst, sk...)
+	if !ix.Unique {
+		dst = append(dst, pk...)
+	}
+	return dst
+}
+
+// entryKeyFrom builds the entry key in place from a freshly extracted
+// secondary-key buffer, avoiding a second allocation on the hook path.
+func (ix *Index) entryKeyFrom(sk, pk []byte) []byte {
+	if ix.Unique {
+		return sk
+	}
+	return append(sk, pk...)
+}
+
+// SecondaryKey recovers the secondary key from an entry's key and value
+// (the value is the primary key).
+func (ix *Index) SecondaryKey(entryKey, pk []byte) []byte {
+	if ix.Unique {
+		return entryKey
+	}
+	return entryKey[:len(entryKey)-len(pk)]
+}
+
+// hook adapts an Index to core.WriteHook. All entry writes go through the
+// triggering transaction, so they validate and commit with it. Errors are
+// returned unwrapped (core sentinels must survive for retry loops and
+// errors.Is); core poisons the transaction on any hook error.
+type hook struct{ ix *Index }
+
+func (h hook) OnInsert(tx *core.Tx, pk, val []byte) error {
+	ix := h.ix
+	sk, ok := ix.Key(nil, pk, val)
+	if !ok {
+		return nil
+	}
+	// A unique index refuses a second row with the same secondary key:
+	// the entry insert observes the existing entry (read-set) and fails
+	// with ErrKeyExists, aborting the triggering transaction.
+	return tx.Insert(ix.Entries, ix.entryKeyFrom(sk, pk), pk)
+}
+
+func (h hook) OnUpdate(tx *core.Tx, pk, oldVal, newVal []byte) error {
+	ix := h.ix
+	// Both secondary keys are computed before any nested operation: the
+	// old/new value slices may alias transaction buffers.
+	oldSk, oldOk := ix.Key(nil, pk, oldVal)
+	newSk, newOk := ix.Key(nil, pk, newVal)
+	if oldOk && newOk && bytes.Equal(oldSk, newSk) {
+		return nil // entry unchanged (value is the primary key either way)
+	}
+	if oldOk {
+		if err := tx.Delete(ix.Entries, ix.EntryKey(nil, oldSk, pk)); err != nil {
+			return indexCorrupt(ix, err)
+		}
+	}
+	if newOk {
+		return tx.Insert(ix.Entries, ix.entryKeyFrom(newSk, pk), pk)
+	}
+	return nil
+}
+
+func (h hook) OnDelete(tx *core.Tx, pk, oldVal []byte) error {
+	ix := h.ix
+	sk, ok := ix.Key(nil, pk, oldVal)
+	if !ok {
+		return nil
+	}
+	if err := tx.Delete(ix.Entries, ix.entryKeyFrom(sk, pk)); err != nil {
+		return indexCorrupt(ix, err)
+	}
+	return nil
+}
+
+// indexCorrupt classifies a failed removal of an entry that maintenance
+// says must exist: ErrNotFound there means the index has diverged from its
+// table (rows loaded before the index was declared without a Backfill, or
+// direct writes to the entry table). Conflicts pass through untouched so
+// retry loops keep working.
+func indexCorrupt(ix *Index, err error) error {
+	if err == core.ErrNotFound {
+		return fmt.Errorf("index %q out of sync with table %q: stale row has no entry", ix.Name, ix.On.Name)
+	}
+	return err
+}
+
+// backfillBatch is the number of rows folded in per backfill transaction.
+const backfillBatch = 256
+
+// Backfill folds the table's existing rows into the index, in batches of
+// transactions on worker w. Each batch scans a slice of the primary table
+// and inserts the missing entries in the same transaction, so a row
+// changed concurrently invalidates the batch (read- and node-set
+// validation) and it retries; rows written after New registered the hook
+// are maintained by their own transactions, and Backfill skips entries
+// already present. A unique-key violation among existing rows aborts the
+// backfill with an error.
+func (ix *Index) Backfill(w *core.Worker) error {
+	var cursor []byte // last key processed; next batch rescans from it
+	for {
+		var next []byte
+		err := w.Run(func(tx *core.Tx) error {
+			next = nil
+			lo := cursor
+			if lo == nil {
+				lo = []byte{0} // smallest valid key
+			}
+			n := 0
+			var ierr error
+			var skb, ekb []byte
+			serr := tx.Scan(ix.On, lo, nil, func(k, v []byte) bool {
+				sk, ok := ix.Key(skb[:0], k, v)
+				skb = sk
+				if ok {
+					ekb = ix.EntryKey(ekb[:0], sk, k)
+					if ierr = backfillOne(tx, ix, ekb, k); ierr != nil {
+						return false
+					}
+				}
+				n++
+				if n >= backfillBatch {
+					next = append([]byte(nil), k...)
+					return false
+				}
+				return true
+			})
+			if serr != nil {
+				return serr
+			}
+			return ierr
+		})
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			return nil
+		}
+		cursor = next
+	}
+}
+
+// backfillOne inserts one entry unless an equivalent entry already exists
+// (idempotent against batch-boundary rescans and concurrently maintained
+// rows). An existing entry for a different primary key is a uniqueness
+// violation.
+func backfillOne(tx *core.Tx, ix *Index, entryKey, pk []byte) error {
+	cur, err := tx.Get(ix.Entries, entryKey)
+	switch {
+	case err == core.ErrNotFound:
+		return tx.Insert(ix.Entries, entryKey, pk)
+	case err != nil:
+		return err
+	case bytes.Equal(cur, pk):
+		return nil
+	default:
+		return fmt.Errorf("index %q: unique key violated by existing rows %x and %x",
+			ix.Name, cur, pk)
+	}
+}

@@ -1,0 +1,462 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"silo/internal/core"
+)
+
+// Test schema: table "users" with primary key u<id> and a fixed-offset row
+// [city:4][score:8][name...]; a non-unique index on city and a unique
+// index on name exercise both entry encodings.
+
+func userVal(city string, score uint64, name string) []byte {
+	v := make([]byte, 12, 12+len(name))
+	copy(v, city)
+	binary.BigEndian.PutUint64(v[4:], score)
+	return append(v, name...)
+}
+
+func cityKey(dst, pk, val []byte) ([]byte, bool) {
+	if len(val) < 4 {
+		return dst, false
+	}
+	return append(dst, val[:4]...), true
+}
+
+func nameKey(dst, pk, val []byte) ([]byte, bool) {
+	if len(val) <= 12 {
+		return dst, false
+	}
+	return append(dst, val[12:]...), true
+}
+
+func newStore(t *testing.T, workers int) *core.Store {
+	t.Helper()
+	opts := core.DefaultOptions(workers)
+	opts.ManualEpochs = true
+	s := core.NewStore(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func insertUser(t *testing.T, w *core.Worker, users *core.Table, id int, city string, score uint64, name string) {
+	t.Helper()
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Insert(users, []byte(fmt.Sprintf("u%03d", id)), userVal(city, score, name))
+	}); err != nil {
+		t.Fatalf("insert user %d: %v", id, err)
+	}
+}
+
+// collect runs a resolving scan and returns "city/pk" strings.
+func collect(t *testing.T, w *core.Worker, ix *Index, lo, hi []byte) []string {
+	t.Helper()
+	var got []string
+	if err := w.Run(func(tx *core.Tx) error {
+		got = got[:0]
+		return Scan(tx, ix, lo, hi, func(sk, pk, val []byte) bool {
+			if !bytes.Equal(sk, val[:len(sk)]) {
+				t.Errorf("entry %q resolved to row %q whose key field differs", sk, val)
+			}
+			got = append(got, fmt.Sprintf("%s/%s", bytes.TrimRight(sk, "\x00"), pk))
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMaintenanceAndScan(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	byCity := New(s, users, "users_by_city", false, cityKey)
+
+	insertUser(t, w, users, 1, "AMS", 10, "ada")
+	insertUser(t, w, users, 2, "BER", 20, "bob")
+	insertUser(t, w, users, 3, "AMS", 30, "cyd")
+
+	got := collect(t, w, byCity, []byte("AMS"), []byte("AMT"))
+	want := []string{"AMS/u001", "AMS/u003"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("AMS scan = %v, want %v", got, want)
+	}
+
+	// Update that moves the secondary key: the old entry vanishes, the new
+	// one appears, atomically.
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Put(users, []byte("u001"), userVal("BER", 11, "ada"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, byCity, []byte("AMS"), []byte("AMT")); len(got) != 1 || got[0] != "AMS/u003" {
+		t.Fatalf("after move: AMS scan = %v", got)
+	}
+	if got := collect(t, w, byCity, []byte("BER"), []byte("BES")); len(got) != 2 {
+		t.Fatalf("after move: BER scan = %v", got)
+	}
+
+	// Update that keeps the secondary key must not touch entries (count is
+	// stable and the scan still resolves).
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Put(users, []byte("u003"), userVal("AMS", 31, "cyd"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, byCity, []byte("AMS"), []byte("AMT")); len(got) != 1 {
+		t.Fatalf("after same-key update: AMS scan = %v", got)
+	}
+
+	// Delete removes the entry.
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Delete(users, []byte("u003"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, byCity, []byte("AMS"), []byte("AMT")); len(got) != 0 {
+		t.Fatalf("after delete: AMS scan = %v", got)
+	}
+
+	// Insert+delete and delete+reinsert inside one transaction net out.
+	if err := w.Run(func(tx *core.Tx) error {
+		if err := tx.Insert(users, []byte("u009"), userVal("AMS", 1, "zed")); err != nil {
+			return err
+		}
+		if err := tx.Delete(users, []byte("u009")); err != nil {
+			return err
+		}
+		if err := tx.Delete(users, []byte("u002")); err != nil {
+			return err
+		}
+		return tx.Insert(users, []byte("u002"), userVal("AMS", 2, "bob"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, byCity, []byte("AMS"), []byte("AMT")); len(got) != 1 || got[0] != "AMS/u002" {
+		t.Fatalf("after churn txn: AMS scan = %v", got)
+	}
+}
+
+func TestBackfillAndIdempotence(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+
+	// More rows than one backfill batch, loaded before the index exists.
+	const n = backfillBatch*2 + 17
+	if err := w.Run(func(tx *core.Tx) error {
+		for i := 0; i < n; i++ {
+			city := fmt.Sprintf("C%02d", i%7)
+			if err := tx.Insert(users, []byte(fmt.Sprintf("u%04d", i)), userVal(city, uint64(i), fmt.Sprintf("name%04d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	byCity := New(s, users, "users_by_city", false, cityKey)
+	if err := byCity.Backfill(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := byCity.Entries.Tree.Len(); got != n {
+		t.Fatalf("backfill created %d entries, want %d", got, n)
+	}
+	// A second backfill is a no-op.
+	if err := byCity.Backfill(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := byCity.Entries.Tree.Len(); got != n {
+		t.Fatalf("re-backfill changed entry count to %d", got)
+	}
+	// Every row is reachable through the index.
+	total := 0
+	for c := 0; c < 7; c++ {
+		lo := []byte(fmt.Sprintf("C%02d", c))
+		hi := []byte(fmt.Sprintf("C%02d\xff", c))
+		total += len(collect(t, w, byCity, lo, hi))
+	}
+	if total != n {
+		t.Fatalf("index scans found %d rows, want %d", total, n)
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	byName := New(s, users, "users_by_name", true, nameKey)
+
+	insertUser(t, w, users, 1, "AMS", 1, "ada")
+	insertUser(t, w, users, 2, "BER", 2, "bob")
+
+	// Lookup resolves through the entry to the row.
+	if err := w.Run(func(tx *core.Tx) error {
+		pk, val, err := Lookup(tx, byName, []byte("bob"))
+		if err != nil {
+			return err
+		}
+		if string(pk) != "u002" || string(val[12:]) != "bob" {
+			t.Errorf("Lookup(bob) = %q, %q", pk, val)
+		}
+		if _, _, err := Lookup(tx, byName, []byte("eve")); err != core.ErrNotFound {
+			t.Errorf("Lookup(eve) err = %v, want ErrNotFound", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A duplicate secondary key aborts the inserting transaction.
+	err := w.RunOnce(func(tx *core.Tx) error {
+		return tx.Insert(users, []byte("u003"), userVal("AMS", 3, "bob"))
+	})
+	if err != core.ErrKeyExists {
+		t.Fatalf("duplicate name insert err = %v, want ErrKeyExists", err)
+	}
+	if _, err := getRow(w, users, "u003"); err != core.ErrNotFound {
+		t.Fatalf("conflicting row committed anyway: err = %v", err)
+	}
+}
+
+func getRow(w *core.Worker, tbl *core.Table, pk string) ([]byte, error) {
+	var out []byte
+	err := w.Run(func(tx *core.Tx) error {
+		v, err := tx.Get(tbl, []byte(pk))
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// TestHookFailurePoisonsCommit drives the tx.fail path directly: a caller
+// that swallows a unique-violation error and commits anyway must not be
+// able to commit the half-maintained transaction.
+func TestHookFailurePoisonsCommit(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	New(s, users, "users_by_name", true, nameKey)
+
+	insertUser(t, w, users, 1, "AMS", 1, "ada")
+
+	tx := w.Begin()
+	if err := tx.Insert(users, []byte("u002"), userVal("BER", 2, "ada")); err != core.ErrKeyExists {
+		t.Fatalf("insert err = %v, want ErrKeyExists", err)
+	}
+	if err := tx.Commit(); err != core.ErrKeyExists {
+		t.Fatalf("poisoned commit err = %v, want ErrKeyExists", err)
+	}
+	if _, err := getRow(w, users, "u002"); err != core.ErrNotFound {
+		t.Fatalf("poisoned transaction committed its row: err = %v", err)
+	}
+}
+
+// TestDanglingEntryConflicts plants an orphan entry (simulating a
+// concurrent writer between the two trees, or a corrupted index) and
+// checks the resolving scan reports a conflict instead of fabricating a
+// row.
+func TestDanglingEntryConflicts(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	byCity := New(s, users, "users_by_city", false, cityKey)
+
+	insertUser(t, w, users, 1, "AMS", 1, "ada")
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Insert(byCity.Entries, []byte("AMSu999"), []byte("u999"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.RunOnce(func(tx *core.Tx) error {
+		return Scan(tx, byCity, []byte("AMS"), []byte("AMT"), func(sk, pk, val []byte) bool { return true })
+	})
+	if err != core.ErrConflict {
+		t.Fatalf("dangling entry scan err = %v, want ErrConflict", err)
+	}
+}
+
+func TestSnapshotScan(t *testing.T) {
+	opts := core.DefaultOptions(1)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	defer s.Close()
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	byCity := New(s, users, "users_by_city", false, cityKey)
+
+	insertUser(t, w, users, 1, "AMS", 1, "ada")
+	insertUser(t, w, users, 2, "AMS", 2, "bob")
+
+	// Advance far enough that the snapshot epoch covers the inserts, then
+	// change the index; the snapshot must see the old index state.
+	for i := 0; i < 6; i++ {
+		s.AdvanceEpoch()
+	}
+	if err := w.Run(func(tx *core.Tx) error {
+		if err := tx.Put(users, []byte("u001"), userVal("BER", 1, "ada")); err != nil {
+			return err
+		}
+		return tx.Delete(users, []byte("u002"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap []string
+	if err := w.RunSnapshot(func(stx *core.SnapTx) error {
+		return SnapScan(stx, byCity, []byte("AMS"), []byte("AMT"), func(sk, pk, val []byte) bool {
+			snap = append(snap, string(pk))
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(snap) != "[u001 u002]" {
+		t.Fatalf("snapshot index scan = %v, want both pre-change rows", snap)
+	}
+	// The serializable view sees the new state.
+	if got := collect(t, w, byCity, []byte("AMS"), []byte("AMT")); len(got) != 0 {
+		t.Fatalf("live AMS scan after changes = %v", got)
+	}
+}
+
+func TestCompileSpec(t *testing.T) {
+	fn, err := CompileSpec([]Seg{{FromValue: true, Off: 4, Len: 8}, {Off: 0, Len: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := []byte("u001")
+	val := userVal("AMS", 0x0102030405060708, "ada")
+	sk, ok := fn(nil, pk, val)
+	if !ok {
+		t.Fatal("row not indexed")
+	}
+	want := append(binary.BigEndian.AppendUint64(nil, 0x0102030405060708), 'u', '0')
+	if !bytes.Equal(sk, want) {
+		t.Fatalf("sk = %x want %x", sk, want)
+	}
+	// Short row: unindexed, not an error.
+	if _, ok := fn(nil, pk, []byte("tiny")); ok {
+		t.Fatal("short row was indexed")
+	}
+	// Invalid specs.
+	if _, err := CompileSpec(nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := CompileSpec([]Seg{{Off: 0, Len: 0}}); err == nil {
+		t.Fatal("zero-length segment accepted")
+	}
+	if _, err := CompileSpec(make([]Seg, MaxSpecSegs+1)); err == nil {
+		t.Fatal("oversized spec accepted")
+	}
+}
+
+func TestRegistryCreate(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	insertUser(t, w, users, 1, "AMS", 1, "ada")
+
+	r := NewRegistry()
+	spec := []Seg{{FromValue: true, Off: 0, Len: 4}}
+	key, err := CompileSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := r.Create(s, w, users, "users_by_city", false, key, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Entries.Tree.Len(); got != 1 {
+		t.Fatalf("backfilled entries = %d", got)
+	}
+	if r.Get("users_by_city") != ix {
+		t.Fatal("registry lookup failed")
+	}
+	if r.Get("nope") != nil {
+		t.Fatal("registry returned a ghost")
+	}
+	// Idempotent re-create with the identical declaration; everything the
+	// registry cannot verify as identical is rejected.
+	if again, err := r.Create(s, w, users, "users_by_city", false, key, spec); err != nil || again != ix {
+		t.Fatalf("re-create = %v, %v", again, err)
+	}
+	if _, err := r.Create(s, w, users, "users_by_city", true, key, spec); err == nil {
+		t.Fatal("mismatched uniqueness accepted")
+	}
+	other := []Seg{{FromValue: true, Off: 4, Len: 8}}
+	if _, err := r.Create(s, w, users, "users_by_city", false, key, other); err == nil {
+		t.Fatal("mismatched spec accepted")
+	}
+	if _, err := r.Create(s, w, users, "users_by_city", false, cityKey, nil); err == nil {
+		t.Fatal("opaque key function re-create accepted")
+	}
+	// Name collisions with plain tables are rejected.
+	if _, err := r.Create(s, w, users, "users", false, cityKey, nil); err == nil {
+		t.Fatal("index named after an existing table accepted")
+	}
+	if all := r.All(); len(all) != 1 || all[0] != ix {
+		t.Fatalf("All() = %v", all)
+	}
+}
+
+// TestCreateBackfillFailureCleansUp drives the failed-DDL path: a unique
+// index over rows that collide must fail, withdraw its maintenance hook,
+// wipe the partial entries, and leave the name retryable.
+func TestCreateBackfillFailureCleansUp(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	insertUser(t, w, users, 1, "AMS", 1, "dup")
+	insertUser(t, w, users, 2, "BER", 2, "dup") // same name: unique violation
+
+	r := NewRegistry()
+	if _, err := r.Create(s, w, users, "users_by_name", true, nameKey, nil); err == nil {
+		t.Fatal("unique backfill over colliding rows succeeded")
+	}
+	if r.Get("users_by_name") != nil {
+		t.Fatal("failed index left in registry")
+	}
+	// The hook is withdrawn: ordinary writes work again (they would hit
+	// the 'out of sync' path if maintenance were still wired up).
+	insertUser(t, w, users, 3, "OSL", 3, "carl")
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Delete(users, []byte("u003"))
+	}); err != nil {
+		t.Fatalf("table writes broken after failed create: %v", err)
+	}
+	// Partial entries were wiped.
+	orphan := s.Table("users_by_name")
+	if orphan == nil {
+		t.Fatal("entry table missing")
+	}
+	n := 0
+	if err := w.Run(func(tx *core.Tx) error {
+		n = 0
+		return tx.Scan(orphan, []byte{0}, nil, func(_, _ []byte) bool {
+			n++
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d stale entries survive the failed create", n)
+	}
+	// The name is retryable with a workable declaration, adopting the
+	// orphaned entry table.
+	ix, err := r.Create(s, w, users, "users_by_name", false, nameKey, nil)
+	if err != nil {
+		t.Fatalf("retry after failed create: %v", err)
+	}
+	if got := ix.Entries.Tree.Len() - n; got < 2 {
+		t.Fatalf("retried backfill produced %d entries", got)
+	}
+}

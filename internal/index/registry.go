@@ -1,0 +1,182 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"silo/internal/core"
+)
+
+// Registry names the indexes of one store, for callers (the network
+// server, tooling) that address indexes by name rather than by handle.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Index
+	names  []string // creation order
+	// orphans are entry tables left behind by failed Create calls (tables
+	// cannot be dropped); a retry of the same name may adopt them.
+	orphans map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Index), orphans: make(map[string]bool)}
+}
+
+// Get returns the named index, or nil.
+func (r *Registry) Get(name string) *Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// All returns the registered indexes in creation order.
+func (r *Registry) All() []*Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Index, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// Create declares, backfills, and registers an index in one step — the DDL
+// entry point used by silo.DB and the network server. Creations serialize
+// on the registry (normal transactions are unaffected).
+//
+// spec is the declarative segment spec key was compiled from, or nil for
+// an opaque KeyFunc. Re-creating an existing name returns the existing
+// index only when the declaration verifiably matches (same table, same
+// uniqueness, and equal non-nil specs); opaque key functions cannot be
+// compared, so re-creating a KeyFunc index is an error.
+//
+// The backfill runs in batched transactions on worker w. Writes racing
+// the creation are handled: after the maintenance hook is registered,
+// Create waits out every transaction that began before registration (two
+// epoch advances — stale workers block the epoch, so progress implies
+// they finished), and only then scans; later writers see the hook and
+// maintain their own entries, which the backfill tolerates. If the
+// backfill fails (e.g. a unique violation between existing rows), the
+// hook is withdrawn and the partially built entries wiped, so the table
+// keeps working and the name can be retried.
+func (r *Registry) Create(s *core.Store, w *core.Worker, on *core.Table, name string, unique bool, key KeyFunc, spec []Seg) (*Index, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix := r.byName[name]; ix != nil {
+		if ix.On == on && ix.Unique == unique && specsEqual(ix.Spec, spec) {
+			return ix, nil
+		}
+		if ix.Spec == nil || spec == nil {
+			return nil, fmt.Errorf("index %q already exists and its declaration cannot be compared (opaque key function)", name)
+		}
+		return nil, fmt.Errorf("index %q already exists with a different declaration", name)
+	}
+	if on == nil {
+		return nil, fmt.Errorf("index %q: no table to index", name)
+	}
+	if s.Table(name) != nil && !r.orphans[name] {
+		return nil, fmt.Errorf("index %q: a table with that name already exists", name)
+	}
+	ix := New(s, on, name, unique, key)
+	ix.Spec = append([]Seg(nil), spec...)
+	if on.Tree.Len() == 0 {
+		// Nothing to backfill, so the pre-registration fence has nothing to
+		// protect either. Skipping both keeps the recovery idiom safe:
+		// schemas re-declare tables and indexes on an empty store before
+		// Recover, and must not run transactions (or wait around while the
+		// attached loggers stamp low durable epochs) before the replay.
+		delete(r.orphans, name)
+		r.byName[name] = ix
+		r.names = append(r.names, name)
+		return ix, nil
+	}
+	waitPreRegistrationTxns(s)
+	if err := ix.Backfill(w); err != nil {
+		// Withdraw the half-built index: unhook maintenance, then clear
+		// the entries written so far (best effort — an in-flight
+		// transaction that loaded the hook before removal may commit one
+		// more entry; a retry's backfill surfaces any leftover as a
+		// mismatch and the wipe runs again).
+		on.RemoveWriteHook(hook{ix})
+		r.orphans[name] = true
+		if werr := wipeTable(w, ix.Entries); werr != nil {
+			return nil, fmt.Errorf("index %q: backfill: %w (cleanup also failed: %v)", name, err, werr)
+		}
+		return nil, fmt.Errorf("index %q: backfill: %w", name, err)
+	}
+	delete(r.orphans, name)
+	r.byName[name] = ix
+	r.names = append(r.names, name)
+	return ix, nil
+}
+
+// Register records an index declared directly with New (embedded schemas
+// that manage their own handles but still want name-based access).
+func (r *Registry) Register(ix *Index) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[ix.Name]; !ok {
+		r.byName[ix.Name] = ix
+		r.names = append(r.names, ix.Name)
+	}
+}
+
+func specsEqual(a, b []Seg) bool {
+	if a == nil || b == nil || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// waitPreRegistrationTxns waits until every transaction that began before
+// the caller registered a write hook has finished. It relies on the epoch
+// invariant: the global epoch cannot advance past an active worker's
+// local epoch, and workers (re-)entering after two advances are ordered
+// after the registration, so they observe the hook. Skipped for
+// manually-stepped stores (tests drive their own concurrency). The one
+// caveat is Worker.RefreshEpoch, which lifts a still-running
+// transaction's local epoch; nothing in the tree uses it today.
+func waitPreRegistrationTxns(s *core.Store) {
+	if s.Options().ManualEpochs {
+		return
+	}
+	target := s.Epochs().Global() + 2
+	for s.Epochs().Global() < target {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// wipeTable deletes every key of an entry table in batched transactions.
+func wipeTable(w *core.Worker, t *core.Table) error {
+	var keys [][]byte
+	for {
+		err := w.Run(func(tx *core.Tx) error {
+			keys = keys[:0]
+			if err := tx.Scan(t, []byte{0}, nil, func(k, _ []byte) bool {
+				keys = append(keys, append([]byte(nil), k...))
+				return len(keys) < backfillBatch
+			}); err != nil {
+				return err
+			}
+			for _, k := range keys {
+				if err := tx.Delete(t, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+	}
+}

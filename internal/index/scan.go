@@ -1,0 +1,113 @@
+package index
+
+import (
+	"errors"
+
+	"silo/internal/core"
+)
+
+// ErrNotUnique reports a point lookup on a non-unique index.
+var ErrNotUnique = errors.New("silo: index lookup requires a unique index")
+
+// Scan visits index entries with entry keys in [lo, hi) in order, resolving
+// each to its primary row and calling fn(secondaryKey, primaryKey, value);
+// fn returning false stops the scan. All three slices are valid only during
+// the callback.
+//
+// The scan is phantom-safe on both trees: entry-tree leaves join the
+// transaction's node-set, and every resolved primary read joins its
+// read-set, so a concurrent insert, delete, or update anywhere in the
+// scanned secondary range — or of any resolved row — aborts this
+// transaction at commit. An entry whose primary row is missing during
+// execution means a concurrent writer got between the two trees; the scan
+// returns ErrConflict so the caller retries.
+func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
+	var inner error
+	var pkb, vbuf []byte
+	err := tx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+		// The entry value aliases the transaction's read buffer, which the
+		// nested primary read reuses: copy the primary key out first.
+		pkb = append(pkb[:0], pk...)
+		v, gerr := tx.GetAppend(ix.On, pkb, vbuf[:0])
+		vbuf = v
+		if gerr == core.ErrNotFound {
+			inner = core.ErrConflict
+			return false
+		}
+		if gerr != nil {
+			inner = gerr
+			return false
+		}
+		return fn(ix.SecondaryKey(ek, pkb), pkb, v)
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// ScanEntries visits index entries in [lo, hi) without resolving primary
+// rows, calling fn(secondaryKey, primaryKey). It is phantom-safe on the
+// entry tree only — cheaper than Scan when the primary keys themselves are
+// the answer (the caller reads whichever rows it needs, which then join the
+// read-set individually). Both slices are valid only during the callback
+// and alias transaction buffers: copy pk out before issuing further reads
+// on tx.
+func ScanEntries(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk []byte) bool) error {
+	return tx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+		return fn(ix.SecondaryKey(ek, pk), pk)
+	})
+}
+
+// Lookup resolves a secondary key on a unique index to its primary key and
+// row value. A missing secondary key returns ErrNotFound (and registers the
+// observation, so the absence is validated at commit). The returned slices
+// are owned by the caller.
+func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
+	if !ix.Unique {
+		return nil, nil, ErrNotUnique
+	}
+	pk, err = tx.Get(ix.Entries, sk)
+	if err != nil {
+		return nil, nil, err
+	}
+	val, err = tx.Get(ix.On, pk)
+	if err == core.ErrNotFound {
+		// The entry exists but its row is gone: a concurrent writer got
+		// between the two reads; retry.
+		return nil, nil, core.ErrConflict
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pk, val, nil
+}
+
+// SnapScan is Scan against a snapshot transaction: entries and rows are
+// both read as of the snapshot epoch, so the view is consistent without
+// any validation (snapshot transactions never abort). Because maintenance
+// is transactional, an entry visible at the snapshot always has its row
+// visible too; a missing row can only mean the index predates its table's
+// rows (no Backfill) and is skipped.
+func SnapScan(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
+	var inner error
+	var pkb []byte
+	err := stx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+		// As in Scan, the entry value aliases the snapshot read buffer that
+		// the nested row read reuses.
+		pkb = append(pkb[:0], pk...)
+		v, gerr := stx.Get(ix.On, pkb)
+		if gerr == core.ErrNotFound {
+			return true
+		}
+		if gerr != nil {
+			inner = gerr
+			return false
+		}
+		return fn(ix.SecondaryKey(ek, pkb), pkb, v)
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}

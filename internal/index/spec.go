@@ -1,0 +1,65 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A Seg is one fixed-position segment of a declarative key spec: Len bytes
+// at offset Off of either the primary key or the row value. Declarative
+// specs are how clients create indexes over the wire, where a Go KeyFunc
+// cannot travel; they cover fixed-offset row encodings (TPC-C-style
+// structs, counters in YCSB records). Embedded callers with richer needs
+// (byte-order conversion, conditional indexing) pass an arbitrary KeyFunc
+// instead.
+type Seg struct {
+	FromValue bool // take bytes from the row value instead of the primary key
+	Off, Len  int
+}
+
+// MaxSpecSegs bounds a declarative spec's segment count (also enforced by
+// the wire protocol).
+const MaxSpecSegs = 16
+
+// ValidateSpec checks a declarative spec's shape. Row-dependent problems
+// (a segment past the end of a short value) are not errors: such rows are
+// simply not indexed.
+func ValidateSpec(segs []Seg) error {
+	if len(segs) == 0 {
+		return errors.New("index spec: no segments")
+	}
+	if len(segs) > MaxSpecSegs {
+		return fmt.Errorf("index spec: %d segments exceeds the maximum %d", len(segs), MaxSpecSegs)
+	}
+	for i, s := range segs {
+		if s.Off < 0 || s.Len <= 0 {
+			return fmt.Errorf("index spec: segment %d has offset %d length %d", i, s.Off, s.Len)
+		}
+	}
+	return nil
+}
+
+// CompileSpec turns a declarative spec into a KeyFunc: the secondary key is
+// the concatenation of the segments. A row too short for any segment is
+// left unindexed (ok=false), which lets specs index optional fixed-offset
+// fields.
+func CompileSpec(segs []Seg) (KeyFunc, error) {
+	if err := ValidateSpec(segs); err != nil {
+		return nil, err
+	}
+	spec := append([]Seg(nil), segs...)
+	return func(dst, pk, val []byte) ([]byte, bool) {
+		start := len(dst)
+		for _, s := range spec {
+			src := pk
+			if s.FromValue {
+				src = val
+			}
+			if s.Off+s.Len > len(src) {
+				return dst[:start], false
+			}
+			dst = append(dst, src[s.Off:s.Off+s.Len]...)
+		}
+		return dst, true
+	}, nil
+}

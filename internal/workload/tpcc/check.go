@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"silo/internal/core"
+	"silo/internal/index"
 )
 
 // Consistency checks from TPC-C clause 3.3.2, adapted to the fields this
@@ -157,6 +158,57 @@ func checkDistrict(tx *core.Tx, t *Tables, sc Scale, wh, d int) error {
 		}
 	}
 	return nil
+}
+
+// CheckIndexes verifies that the two secondary indexes exactly cover their
+// tables: every entry resolves to a row whose recomputed secondary key
+// matches, and entry counts equal row counts (so no row is missing an
+// entry and no entry is stale). Bespoke maintenance is gone — this is the
+// subsystem's contract, checked end to end.
+func CheckIndexes(s *core.Store, t *Tables) error {
+	w := s.Worker(0)
+	var fail error
+	err := w.Run(func(tx *core.Tx) error {
+		fail = nil
+		for _, ix := range []*index.Index{t.CustomerName, t.OrderCust} {
+			rows := 0
+			if err := tx.Scan(ix.On, []byte{0}, nil, func(_, _ []byte) bool {
+				rows++
+				return true
+			}); err != nil {
+				return err
+			}
+			entries := 0
+			var skb []byte
+			var mismatch error
+			if err := index.Scan(tx, ix, []byte{0}, nil, func(sk, pk, val []byte) bool {
+				entries++
+				want, ok := ix.Key(skb[:0], pk, val)
+				skb = want
+				if !ok || string(want) != string(sk) {
+					mismatch = fmt.Errorf("index %s: entry %x does not match row %x (want key %x)",
+						ix.Name, sk, pk, want)
+					return false
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			if mismatch != nil {
+				fail = mismatch
+				return nil
+			}
+			if entries != rows {
+				fail = fmt.Errorf("index %s: %d entries for %d rows", ix.Name, entries, rows)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return fail
 }
 
 // CheckMoney verifies warehouse/district YTD accumulation against history:

@@ -4,52 +4,63 @@ import (
 	"fmt"
 
 	"silo/internal/core"
+	"silo/internal/index"
 )
 
-// Tables bundles handles to the TPC-C tables of one store.
+// Tables bundles handles to the TPC-C tables of one store. The two
+// secondary indexes are internal/index indexes: their entries are
+// maintained automatically inside every transaction that writes the
+// customer or oorder tables, so neither the loader nor the transactions
+// touch them explicitly.
 type Tables struct {
 	Warehouse    *core.Table
 	District     *core.Table
 	Customer     *core.Table
-	CustomerName *core.Table
+	CustomerName *index.Index // on customer: (w,d,last,first), non-unique
 	History      *core.Table
 	NewOrder     *core.Table
 	Order        *core.Table
-	OrderCust    *core.Table
+	OrderCust    *index.Index // on oorder: (w,d,c,^o), unique
 	OrderLine    *core.Table
 	Item         *core.Table
 	Stock        *core.Table
 }
 
-// CreateTables creates the TPC-C tables on s (idempotent) in the canonical
-// order, so table IDs are stable for logging/recovery.
+// CreateTables creates the TPC-C tables and declares the secondary indexes
+// on s in the canonical order (index entry tables occupy their table-name's
+// ordinal), so table IDs are stable for logging/recovery — recovery replays
+// entry-table writes from the log like any other table's. Call once per
+// store.
 func CreateTables(s *core.Store) *Tables {
 	t := &Tables{}
 	for _, name := range TableNames {
-		tbl := s.CreateTable(name)
 		switch name {
 		case TWarehouse:
-			t.Warehouse = tbl
+			t.Warehouse = s.CreateTable(name)
 		case TDistrict:
-			t.District = tbl
+			t.District = s.CreateTable(name)
 		case TCustomer:
-			t.Customer = tbl
+			t.Customer = s.CreateTable(name)
 		case TCustomerName:
-			t.CustomerName = tbl
+			key, err := index.CompileSpec(CustomerNameIndexSpec())
+			if err != nil {
+				panic("tpcc: customer-name index spec: " + err.Error())
+			}
+			t.CustomerName = index.New(s, t.Customer, name, false, key)
 		case THistory:
-			t.History = tbl
+			t.History = s.CreateTable(name)
 		case TNewOrder:
-			t.NewOrder = tbl
+			t.NewOrder = s.CreateTable(name)
 		case TOrder:
-			t.Order = tbl
+			t.Order = s.CreateTable(name)
 		case TOrderCust:
-			t.OrderCust = tbl
+			t.OrderCust = index.New(s, t.Order, name, true, OrderCustIndexKey)
 		case TOrderLine:
-			t.OrderLine = tbl
+			t.OrderLine = s.CreateTable(name)
 		case TItem:
-			t.Item = tbl
+			t.Item = s.CreateTable(name)
 		case TStock:
-			t.Stock = tbl
+			t.Stock = s.CreateTable(name)
 		}
 	}
 	return t
@@ -108,7 +119,7 @@ func Load(s *core.Store, sc Scale) *Tables {
 			vb = di.Marshal(vb)
 			batch.insert(t.District, kb, vb)
 
-			// Customers and the name index.
+			// Customers; the name index maintains itself off these inserts.
 			for c := 1; c <= sc.CustomersPerDist; c++ {
 				cu := Customer{
 					Balance:  -1000,
@@ -127,10 +138,6 @@ func Load(s *core.Store, sc Scale) *Tables {
 				kb = CustomerKey(kb, wh, d, c)
 				vb = cu.Marshal(vb)
 				batch.insert(t.Customer, kb, vb)
-
-				kb = CustomerNameKey(kb, wh, d, last, first)
-				vb = append(vb[:0], CustomerKey(nil, wh, d, c)...)
-				batch.insert(t.CustomerName, kb, vb)
 
 				// One initial history row.
 				h := History{Amount: 1000, Date: 1}
@@ -158,10 +165,6 @@ func Load(s *core.Store, sc Scale) *Tables {
 				kb = OrderKey(kb, wh, d, o)
 				vb = ord.Marshal(vb)
 				batch.insert(t.Order, kb, vb)
-
-				kb = OrderCustKey(kb, wh, d, cid, o)
-				vb = append(vb[:0], u32(nil, uint32(o))...)
-				batch.insert(t.OrderCust, kb, vb)
 
 				if !delivered {
 					kb = NewOrderKey(kb, wh, d, o)

@@ -120,4 +120,7 @@ func TestDurableTPCCRecovery(t *testing.T) {
 	if err := CheckMoney(s2, tables2, sc); err != nil {
 		t.Fatalf("recovered money: %v", err)
 	}
+	if err := CheckIndexes(s2, tables2); err != nil {
+		t.Fatalf("recovered indexes: %v", err)
+	}
 }

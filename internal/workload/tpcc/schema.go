@@ -14,19 +14,24 @@ package tpcc
 
 import (
 	"encoding/binary"
+
+	"silo/internal/index"
 )
 
 // Table names, in creation order. The order is part of the on-disk log
-// format contract (table IDs are assigned in creation order).
+// format contract (table IDs are assigned in creation order). The two
+// secondary indexes are managed by internal/index; their entry tables
+// occupy the same ordinals they always did, so log compatibility is
+// preserved.
 const (
 	TWarehouse    = "warehouse"
 	TDistrict     = "district"
 	TCustomer     = "customer"
-	TCustomerName = "customer_name_idx" // secondary: (w,d,last,first) → c_id
+	TCustomerName = "customer_name_idx" // index on customer: (w,d,last,first) → pk
 	THistory      = "history"
 	TNewOrder     = "new_order"
 	TOrder        = "oorder"
-	TOrderCust    = "order_cust_idx" // secondary: (w,d,c,rev o_id) → o_id
+	TOrderCust    = "order_cust_idx" // unique index on oorder: (w,d,c,^o) → pk
 	TOrderLine    = "order_line"
 	TItem         = "item"
 	TStock        = "stock"
@@ -148,6 +153,35 @@ func OrderKey(b []byte, w, d, o int) []byte {
 // iteration).
 func OrderCustKey(b []byte, w, d, c, o int) []byte {
 	return u32(u32(u32(u32(b[:0], uint32(w)), uint32(d)), uint32(c)), ^uint32(o))
+}
+
+// CustomerNameIndexSpec is the declarative key spec of the customer-name
+// index: (w, d) from the primary key, then the fixed-offset Last and First
+// fields of the row — byte-identical to CustomerNameKey, so the prefix
+// bounds above keep working. Being a plain fixed-segment spec, this index
+// could equally be created by a remote client over the wire.
+func CustomerNameIndexSpec() []index.Seg {
+	return []index.Seg{
+		{Off: 0, Len: 8},                    // (w, d) from the customer primary key
+		{FromValue: true, Off: 30, Len: 16}, // Last
+		{FromValue: true, Off: 46, Len: 16}, // First
+	}
+}
+
+// OrderCustIndexKey extracts the customer-order secondary key (w, d, c, ^o)
+// from an order row: (w, d) and o come from the primary key, the customer
+// id from the row (converted from the value encoding's little-endian to the
+// key encoding's big-endian) — a transformation only a KeyFunc, not a
+// fixed-segment spec, can express.
+func OrderCustIndexKey(dst, pk, val []byte) ([]byte, bool) {
+	if len(pk) < 12 || len(val) < 4 {
+		return dst, false
+	}
+	dst = append(dst, pk[:8]...) // (w, d)
+	cid := binary.LittleEndian.Uint32(val[0:4])
+	dst = binary.BigEndian.AppendUint32(dst, cid)
+	o := binary.BigEndian.Uint32(pk[8:12])
+	return binary.BigEndian.AppendUint32(dst, ^o), true
 }
 
 // OrderCustPrefixLo/Hi bound a customer's order index entries.

@@ -47,6 +47,9 @@ func TestLoadAndConsistency(t *testing.T) {
 	if err := CheckMoney(s, tables, sc); err != nil {
 		t.Fatalf("initial money: %v", err)
 	}
+	if err := CheckIndexes(s, tables); err != nil {
+		t.Fatalf("initial indexes: %v", err)
+	}
 }
 
 func TestTransactionsSequential(t *testing.T) {
@@ -70,6 +73,9 @@ func TestTransactionsSequential(t *testing.T) {
 	}
 	if err := CheckMoney(s, tables, sc); err != nil {
 		t.Fatalf("money after mix: %v", err)
+	}
+	if err := CheckIndexes(s, tables); err != nil {
+		t.Fatalf("indexes after mix: %v", err)
 	}
 }
 
@@ -103,6 +109,9 @@ func TestTransactionsConcurrent(t *testing.T) {
 	}
 	if err := CheckMoney(s, tables, sc); err != nil {
 		t.Fatalf("money after concurrent mix: %v", err)
+	}
+	if err := CheckIndexes(s, tables); err != nil {
+		t.Fatalf("indexes after concurrent mix: %v", err)
 	}
 	for _, name := range TableNames {
 		if err := s.Table(name).Tree.CheckInvariants(); err != nil {

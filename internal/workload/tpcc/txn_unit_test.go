@@ -192,7 +192,8 @@ func TestPaymentByNamePicksMiddleCustomer(t *testing.T) {
 		ids = ids[:0]
 		lo := CustomerNamePrefixLo(nil, 1, 1, last)
 		hi := CustomerNamePrefixHi(nil, 1, 1, last)
-		return tx.Scan(tb.CustomerName, lo, hi, func(_, v []byte) bool {
+		// Entry values are customer primary keys (w,d,c).
+		return tx.Scan(tb.CustomerName.Entries, lo, hi, func(_, v []byte) bool {
 			ids = append(ids, int(bigEndianU32(v[8:12])))
 			return true
 		})
@@ -291,8 +292,9 @@ func TestOrderStatusFindsLatestOrder(t *testing.T) {
 	s.Worker(0).Run(func(tx *core.Tx) error {
 		lo := OrderCustPrefixLo(nil, 1, 1, 1)
 		hi := OrderCustPrefixHi(nil, 1, 1, 1)
-		tx.Scan(tb.OrderCust, lo, hi, func(_, v []byte) bool {
-			newest = int(bigEndianU32(v))
+		// Entry values are order primary keys (w,d,o).
+		tx.Scan(tb.OrderCust.Entries, lo, hi, func(_, v []byte) bool {
+			newest = int(bigEndianU32(v[8:12]))
 			return false
 		})
 		return nil

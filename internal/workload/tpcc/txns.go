@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"silo/internal/core"
+	"silo/internal/index"
 )
 
 // ErrRollback is the intentional user abort that TPC-C injects into 1% of
@@ -268,7 +269,8 @@ func (c *Client) NewOrder() error {
 		}
 		cu.Unmarshal(v)
 
-		// Order, new-order, and the customer-order index.
+		// Order and new-order; the customer-order index entry is added by
+		// the index subsystem inside this same transaction.
 		ord := Order{CID: uint32(cid), EntryDate: c.date, OLCount: uint32(olCnt), AllLocal: allLocal}
 		c.kb = OrderKey(c.kb, c.Home, d, oid)
 		c.vb = ord.Marshal(c.vb)
@@ -277,11 +279,6 @@ func (c *Client) NewOrder() error {
 		}
 		c.kb = NewOrderKey(c.kb, c.Home, d, oid)
 		if err := tx.Insert(c.T.NewOrder, c.kb, NewOrderVal); err != nil {
-			return err
-		}
-		c.kb = OrderCustKey(c.kb, c.Home, d, cid, oid)
-		c.kb2 = u32(c.kb2[:0], uint32(oid))
-		if err := tx.Insert(c.T.OrderCust, c.kb, c.kb2); err != nil {
 			return err
 		}
 
@@ -444,15 +441,17 @@ func (c *Client) Payment() error {
 	})
 }
 
-// lookupByName resolves a customer by last name: all matching customers
-// sorted by first name; pick the one at position ⌈n/2⌉ (clause 2.5.2.2).
+// lookupByName resolves a customer by last name via the customer-name
+// index: all matching customers sorted by first name; pick the one at
+// position ⌈n/2⌉ (clause 2.5.2.2). The entries-only scan is enough — the
+// caller reads the one chosen customer row itself.
 func (c *Client) lookupByName(tx *core.Tx, w, d int, last string) (int, error) {
 	var ids []int
 	c.kb = CustomerNamePrefixLo(c.kb, w, d, last)
 	c.kb2 = CustomerNamePrefixHi(c.kb2, w, d, last)
-	err := tx.Scan(c.T.CustomerName, c.kb, c.kb2, func(_, v []byte) bool {
-		// Value is the customer primary key (w,d,c).
-		ids = append(ids, int(bigEndianU32(v[8:12])))
+	err := index.ScanEntries(tx, c.T.CustomerName, c.kb, c.kb2, func(_, pk []byte) bool {
+		// The entry value is the customer primary key (w,d,c).
+		ids = append(ids, int(bigEndianU32(pk[8:12])))
 		return true
 	})
 	if err != nil {
@@ -500,12 +499,15 @@ func (c *Client) OrderStatus() error {
 		}
 		cu.Unmarshal(v)
 
-		// Most recent order: first entry of the reversed-id index.
+		// Most recent order: first entry of the reversed-id index, resolved
+		// straight to the order row by the index scan.
 		oid := -1
+		var ord Order
 		c.kb = OrderCustPrefixLo(c.kb, c.Home, d, id)
 		c.kb2 = OrderCustPrefixHi(c.kb2, c.Home, d, id)
-		err = tx.Scan(c.T.OrderCust, c.kb, c.kb2, func(_, v []byte) bool {
-			oid = int(bigEndianU32(v))
+		err = index.Scan(tx, c.T.OrderCust, c.kb, c.kb2, func(_, pk, v []byte) bool {
+			oid = int(bigEndianU32(pk[8:12]))
+			ord.Unmarshal(v)
 			return false
 		})
 		if err != nil {
@@ -514,14 +516,6 @@ func (c *Client) OrderStatus() error {
 		if oid < 0 {
 			return nil // customer has no orders at this scale
 		}
-
-		var ord Order
-		c.kb = OrderKey(c.kb, c.Home, d, oid)
-		v, err = tx.Get(c.T.Order, c.kb)
-		if err != nil {
-			return err
-		}
-		ord.Unmarshal(v)
 
 		var line OrderLine
 		c.kb = OrderLinePrefixLo(c.kb, c.Home, d, oid)

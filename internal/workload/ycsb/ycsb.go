@@ -24,6 +24,13 @@ type Config struct {
 	// ReadPct is the percentage of operations that are reads; the rest are
 	// read-modify-writes (paper: 80).
 	ReadPct int
+	// ScanFrac is the fraction (0..1) of operations that are range scans of
+	// ScanLen keys from a uniform start — the YCSB-E-style scan-heavy knob.
+	// The remaining operations follow the ReadPct read/RMW split.
+	ScanFrac float64
+	// ScanLen is the number of keys per scan (default 100 when ScanFrac is
+	// set).
+	ScanLen int
 }
 
 // DefaultConfig returns the paper's parameters at a laptop-scale key count.
@@ -75,26 +82,43 @@ func (r *RNG) Perm(n int) []int {
 
 // Op is one generated operation.
 type Op struct {
-	Read bool
+	Read bool // read (vs read-modify-write); meaningless when Scan is set
+	Scan bool // range scan of Len keys starting at Key
 	Key  uint64
+	Len  int // scan length
 }
 
 // Generator produces the operation stream for one worker.
 type Generator struct {
-	cfg Config
-	rng *RNG
+	cfg     Config
+	rng     *RNG
+	scanBps int // ScanFrac in basis points, precomputed
+	scanLen int
 }
 
 // NewGenerator returns a per-worker generator.
 func NewGenerator(cfg Config, seed uint64) *Generator {
-	return &Generator{cfg: cfg, rng: NewRNG(seed)}
+	scanLen := cfg.ScanLen
+	if scanLen <= 0 {
+		scanLen = 100
+	}
+	return &Generator{
+		cfg:     cfg,
+		rng:     NewRNG(seed),
+		scanBps: int(cfg.ScanFrac * 10000),
+		scanLen: scanLen,
+	}
 }
 
 // Next returns the next operation.
 func (g *Generator) Next() Op {
+	key := g.rng.Next() % uint64(g.cfg.Keys)
+	if g.scanBps > 0 && g.rng.Intn(10000) < g.scanBps {
+		return Op{Scan: true, Key: key, Len: g.scanLen}
+	}
 	return Op{
 		Read: g.rng.Intn(100) < g.cfg.ReadPct,
-		Key:  g.rng.Next() % uint64(g.cfg.Keys),
+		Key:  key,
 	}
 }
 
@@ -158,6 +182,16 @@ func RunSiloOp(w *core.Worker, tbl *core.Table, op Op, kb []byte) (ok bool, keyB
 		kb = make([]byte, 0, 8+256)
 	}
 	kb = Key(op.Key, kb)
+	if op.Scan {
+		err := w.RunOnce(func(tx *core.Tx) error {
+			n := 0
+			return tx.Scan(tbl, kb[:8], nil, func(_, _ []byte) bool {
+				n++
+				return n < op.Len
+			})
+		})
+		return err == nil, kb[:8]
+	}
 	scratch := kb[8:8:cap(kb)]
 	err := w.RunOnce(func(tx *core.Tx) error {
 		v, err := tx.GetAppend(tbl, kb[:8], scratch)

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 
 	"silo"
 	"silo/wire"
@@ -38,9 +39,21 @@ func (s *Server) table(name string) (*silo.Table, error) {
 }
 
 var (
-	errNoTable  = errors.New("server: no such table")
-	errBadValue = errors.New("server: ADD requires a value of at least 8 bytes")
+	errNoTable    = silo.ErrNoTable
+	errBadValue   = errors.New("server: ADD requires a value of at least 8 bytes")
+	errIndexTable = errors.New("server: table is an index entry table; write its primary table instead")
 )
+
+// writable rejects direct writes to index entry tables, which would
+// silently desynchronize the index from its primary table. Reads and scans
+// of entry tables remain allowed (they are harmless and occasionally
+// useful for debugging).
+func (s *Server) writable(name string) error {
+	if s.db.Index(name) != nil {
+		return errIndexTable
+	}
+	return nil
+}
 
 // errResponse maps an execution error to an ERR frame.
 func errResponse(err error) wire.Response {
@@ -54,10 +67,17 @@ func errResponse(err error) wire.Response {
 		code = wire.CodeConflict
 	case errors.Is(err, silo.ErrKeyInvalid):
 		code = wire.CodeInvalid
-	case errors.Is(err, errNoTable):
+	case errors.Is(err, silo.ErrNoTable):
 		code = wire.CodeNoTable
+	case errors.Is(err, silo.ErrNoIndex):
+		code = wire.CodeNoIndex
 	case errors.Is(err, errBadValue):
 		code = wire.CodeBadValue
+	case errors.Is(err, errIndexTable):
+		// Deliberately not CodeInvalid: the key is fine, the target is
+		// wrong, and clients should see the explanatory message (it
+		// arrives as a ServerError preserving code and text).
+		code = wire.CodeIndexTable
 	}
 	return wire.Err(code, err.Error())
 }
@@ -89,9 +109,22 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return s.execTxn(w, req.Ops)
 	}
 	op := &req.Ops[0]
+	// Index frames resolve an index name, not a table name.
+	switch op.Kind {
+	case wire.KindCreateIndex:
+		return s.execCreateIndex(w, op)
+	case wire.KindIScan:
+		return s.execIScan(w, op)
+	}
 	t, err := s.table(op.Table)
 	if err != nil {
 		return errResponse(err)
+	}
+	switch op.Kind {
+	case wire.KindPut, wire.KindInsert, wire.KindDelete, wire.KindAdd:
+		if err := s.writable(op.Table); err != nil {
+			return errResponse(err)
+		}
 	}
 	switch op.Kind {
 	case wire.KindGet:
@@ -172,6 +205,74 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 	return wire.Err(wire.CodeProto, "unexecutable kind "+op.Kind.String())
 }
 
+// execCreateIndex creates (idempotently) a secondary index from a
+// declarative key spec, backfilling any existing rows on this worker.
+func (s *Server) execCreateIndex(w int, op *wire.Op) wire.Response {
+	t, err := s.table(op.Table)
+	if err != nil {
+		return errResponse(err)
+	}
+	segs := make([]silo.IndexSeg, len(op.Segs))
+	for i, sg := range op.Segs {
+		segs[i] = silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)}
+	}
+	if _, err := s.db.CreateIndexSpec(w, t, op.Index, op.Unique, segs); err != nil {
+		return errResponse(err)
+	}
+	return wire.Response{Kind: wire.KindOK}
+}
+
+// execIScan runs a resolving index scan — serializable with phantom
+// protection on both trees, or against a recent consistent snapshot when
+// the frame asks for one.
+func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
+	ix := s.db.Index(op.Index)
+	if ix == nil {
+		return errResponse(fmt.Errorf("%w: %q", silo.ErrNoIndex, op.Index))
+	}
+	// Unlike SCAN's historical silent clamp, an ISCAN limit beyond the
+	// server's cap is rejected outright: truncating to fewer results than
+	// requested would be indistinguishable from the range really ending.
+	if op.Limit != 0 && int64(op.Limit) > int64(s.opts.MaxScan) {
+		return wire.Err(wire.CodeInvalid,
+			fmt.Sprintf("server: iscan limit %d exceeds server maximum %d", op.Limit, s.opts.MaxScan))
+	}
+	limit := s.opts.MaxScan
+	if op.Limit != 0 {
+		limit = int(op.Limit)
+	}
+	lo := op.Key
+	if len(lo) == 0 {
+		lo = []byte{0} // smallest valid entry key
+	}
+	var entries []wire.IndexEntry
+	collect := func(sk, pk, val []byte) bool {
+		// Slices are only valid during the callback.
+		entries = append(entries, wire.IndexEntry{
+			SK:    append([]byte(nil), sk...),
+			PK:    append([]byte(nil), pk...),
+			Value: append([]byte(nil), val...),
+		})
+		return len(entries) < limit
+	}
+	var err error
+	if op.Snapshot {
+		err = s.db.RunSnapshot(w, func(stx *silo.SnapTx) error {
+			entries = entries[:0]
+			return silo.ScanIndexSnapshot(stx, ix, lo, hiBound(op), collect)
+		})
+	} else {
+		err = s.db.Run(w, func(tx *silo.Tx) error {
+			entries = entries[:0] // retried transactions restart the scan
+			return silo.ScanIndex(tx, ix, lo, hiBound(op), collect)
+		})
+	}
+	if err != nil {
+		return errResponse(err)
+	}
+	return wire.Response{Kind: wire.KindIScanR, Entries: entries}
+}
+
 // hiBound maps the wire scan bound to the engine's: nil means +inf, and an
 // explicit empty upper bound means an empty range.
 func hiBound(op *wire.Op) []byte {
@@ -196,6 +297,11 @@ func (s *Server) execTxn(w int, ops []wire.Op) wire.Response {
 		t, err := s.table(ops[i].Table)
 		if err != nil {
 			return errResponse(err)
+		}
+		if ops[i].Kind != wire.KindGet {
+			if err := s.writable(ops[i].Table); err != nil {
+				return errResponse(err)
+			}
 		}
 		tables[i] = t
 	}

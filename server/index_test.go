@@ -1,0 +1,178 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"silo"
+	"silo/client"
+	"silo/server"
+	"silo/wire"
+)
+
+// row builds a fixed-offset test row: [city:4][rest...].
+func row(city, rest string) []byte {
+	v := make([]byte, 4, 4+len(rest))
+	copy(v, city)
+	return append(v, rest...)
+}
+
+// TestIndexOverTheWire drives the whole index lifecycle through frames:
+// load rows, CREATE_INDEX (backfill), more writes (automatic maintenance),
+// ISCAN resolving entries to rows, entry movement on update, and removal
+// on delete.
+func TestIndexOverTheWire(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{}, client.Options{})
+
+	// Rows that exist before the index: the server must backfill them.
+	for i, city := range []string{"AMS", "BER", "AMS"} {
+		if err := cl.Insert("users", []byte(fmt.Sprintf("u%d", i)), row(city, "pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := []wire.IndexSeg{{FromValue: true, Off: 0, Len: 4}}
+	if err := cl.CreateIndex("users_by_city", "users", false, spec); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+	// Idempotent re-create.
+	if err := cl.CreateIndex("users_by_city", "users", false, spec); err != nil {
+		t.Fatalf("re-create index: %v", err)
+	}
+
+	// A row written after creation is maintained automatically.
+	if err := cl.Insert("users", []byte("u3"), row("AMS", "post")); err != nil {
+		t.Fatal(err)
+	}
+
+	ams := func() []wire.IndexEntry {
+		t.Helper()
+		entries, err := cl.IndexScan("users_by_city", []byte("AMS"), []byte("AMT"), 0, false)
+		if err != nil {
+			t.Fatalf("iscan: %v", err)
+		}
+		return entries
+	}
+	entries := ams()
+	if len(entries) != 3 {
+		t.Fatalf("AMS entries = %d, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if !bytes.Equal(e.SK, []byte("AMS\x00")) || !bytes.HasPrefix(e.Value, []byte("AMS")) {
+			t.Fatalf("entry %q/%q resolved to %q", e.SK, e.PK, e.Value)
+		}
+	}
+
+	// Update moves u0 out of AMS; delete removes u2.
+	if err := cl.Put("users", []byte("u0"), row("OSL", "moved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete("users", []byte("u2")); err != nil {
+		t.Fatal(err)
+	}
+	if entries := ams(); len(entries) != 1 || string(entries[0].PK) != "u3" {
+		t.Fatalf("after churn AMS entries = %+v", entries)
+	}
+
+	// Limit applies per scan; an oversized limit is rejected, not clamped.
+	if entries, err := cl.IndexScan("users_by_city", nil, nil, 1, false); err != nil || len(entries) != 1 {
+		t.Fatalf("limited iscan = %d entries, err %v", len(entries), err)
+	}
+	if _, err := cl.IndexScan("users_by_city", nil, nil, 1<<30, false); err == nil {
+		t.Fatal("oversized iscan limit accepted")
+	}
+
+	// Direct writes to the entry table are refused (they would corrupt the
+	// index); reads of it remain allowed.
+	if err := cl.Insert("users_by_city", []byte("bogus"), []byte("u9")); err == nil {
+		t.Fatal("direct entry-table write accepted")
+	}
+	if _, err := cl.Scan("users_by_city", nil, nil, 10); err != nil {
+		t.Fatalf("entry-table read refused: %v", err)
+	}
+}
+
+// TestIndexSnapshotOverTheWire checks the snapshot flag: an ISCAN with
+// snapshot set reads a consistent past index state.
+func TestIndexSnapshotOverTheWire(t *testing.T) {
+	db, _, cl := startServer(t,
+		silo.Options{EpochInterval: time.Millisecond, SnapshotK: 2},
+		server.Options{}, client.Options{})
+
+	if err := cl.Insert("users", []byte("u1"), row("AMS", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateIndex("users_by_city", "users", false,
+		[]wire.IndexSeg{{FromValue: true, Off: 0, Len: 4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the snapshot horizon has advanced past the insert, then
+	// delete the row: the serializable view is empty, the snapshot still
+	// sees the row until the horizon catches up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := cl.IndexScan("users_by_city", nil, nil, 0, true)
+		if err != nil {
+			t.Fatalf("snapshot iscan: %v", err)
+		}
+		if len(entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never caught up (epoch %d)", db.Epoch())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cl.Delete("users", []byte("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := cl.IndexScan("users_by_city", nil, nil, 0, false); err != nil || len(entries) != 0 {
+		t.Fatalf("serializable iscan after delete = %d entries, err %v", len(entries), err)
+	}
+}
+
+// TestTypedSentinelsEndToEnd is the contract the client package now makes:
+// server error strings arrive as typed sentinels that satisfy errors.Is
+// against both the client's and silo's canonical errors — no string
+// matching anywhere.
+func TestTypedSentinelsEndToEnd(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{},
+		client.Options{})
+
+	if err := cl.Insert("t", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Get("t", []byte("missing"))
+	if !errors.Is(err, client.ErrNotFound) || !errors.Is(err, silo.ErrNotFound) {
+		t.Errorf("missing key: %v does not match both sentinels", err)
+	}
+	err = cl.Insert("t", []byte("k"), []byte("dup"))
+	if !errors.Is(err, client.ErrKeyExists) || !errors.Is(err, silo.ErrKeyExists) {
+		t.Errorf("duplicate insert: %v does not match both sentinels", err)
+	}
+	_, err = cl.IndexScan("ghost_index", nil, nil, 0, false)
+	if !errors.Is(err, client.ErrNoIndex) || !errors.Is(err, silo.ErrNoIndex) {
+		t.Errorf("unknown index: %v does not match both sentinels", err)
+	}
+	_, err = cl.Get("t", nil)
+	if !errors.Is(err, client.ErrInvalid) || !errors.Is(err, silo.ErrKeyInvalid) {
+		t.Errorf("invalid key: %v does not match both sentinels", err)
+	}
+}
+
+// TestUnknownTableSentinel needs auto-creation off to surface ErrNoTable.
+func TestUnknownTableSentinel(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{},
+		server.Options{DisableAutoCreate: true}, client.Options{})
+	_, err := cl.Get("ghost", []byte("k"))
+	if !errors.Is(err, client.ErrNoTable) || !errors.Is(err, silo.ErrNoTable) {
+		t.Errorf("unknown table: %v does not match both sentinels", err)
+	}
+	if err := cl.CreateIndex("ix", "ghost", false,
+		[]wire.IndexSeg{{Off: 0, Len: 1}}); !errors.Is(err, silo.ErrNoTable) {
+		t.Errorf("create index on unknown table: %v", err)
+	}
+}

@@ -38,6 +38,27 @@
 // recoverable with DB.Recover; DB.RunDurable does not return until the
 // transaction's epoch is durable, which is the paper's client-visible
 // commit point.
+//
+// # Secondary indexes
+//
+// Following §4.7 of the paper, a secondary index is an ordinary table
+// mapping secondary keys to primary keys, maintained inside the same
+// commit. DB.CreateIndex automates the pattern: declare an index with a
+// key-extractor over (primary key, value), and from then on every
+// Put/Insert/Delete on the table transparently expands the transaction's
+// write-set with the matching index-table entries, so index consistency
+// inherits serializability, durability, and recovery. Existing rows are
+// folded in by a transactional backfill. ScanIndex resolves secondary keys
+// to rows with phantom protection on both trees; ScanIndexSnapshot reads
+// the index at a consistent snapshot.
+//
+//	users := db.CreateTable("users")
+//	byCity, _ := db.CreateIndex(0, users, "users_by_city", false,
+//	    func(dst, pk, val []byte) ([]byte, bool) { return append(dst, val[:4]...), true })
+//	err := db.Run(0, func(tx *silo.Tx) error {
+//	    return silo.ScanIndex(tx, byCity, []byte("AMS\x00"), []byte("AMT\x00"),
+//	        func(city, pk, row []byte) bool { ...; return true })
+//	})
 package silo
 
 import (
@@ -45,18 +66,27 @@ import (
 	"time"
 
 	"silo/internal/core"
+	"silo/internal/index"
 	"silo/internal/tid"
 	"silo/internal/wal"
 )
 
 // Errors returned by transaction operations. They alias the engine's
-// sentinels, so errors.Is works across layers.
+// sentinels, so errors.Is works across layers (package client wraps these
+// same values, so a sentinel check holds end to end over the wire).
 var (
 	ErrNotFound   = core.ErrNotFound
 	ErrKeyExists  = core.ErrKeyExists
 	ErrConflict   = core.ErrConflict
 	ErrTxDone     = core.ErrTxDone
 	ErrKeyInvalid = core.ErrKeyInvalid
+	// ErrNoTable reports an operation against a table name that does not
+	// exist (used by the networked front end; embedded callers hold *Table
+	// handles).
+	ErrNoTable = errors.New("silo: no such table")
+	// ErrNoIndex reports an operation against an index name that does not
+	// exist.
+	ErrNoIndex = index.ErrNoIndex
 )
 
 // Options configures a database.
@@ -114,9 +144,10 @@ type DurabilityOptions struct {
 
 // DB is a Silo database.
 type DB struct {
-	store *core.Store
-	wal   *wal.Manager
-	opts  Options
+	store   *core.Store
+	wal     *wal.Manager
+	indexes *index.Registry
+	opts    Options
 }
 
 // Open creates a database. With Durability set, logging starts immediately;
@@ -139,7 +170,7 @@ func Open(opts Options) (*DB, error) {
 	copts.Arena = !opts.DisableArena
 	copts.GlobalTID = opts.GlobalTID
 
-	db := &DB{store: core.NewStore(copts), opts: opts}
+	db := &DB{store: core.NewStore(copts), indexes: index.NewRegistry(), opts: opts}
 	if opts.Durability != nil {
 		d := opts.Durability
 		mode := wal.ModeFull
@@ -189,6 +220,85 @@ func (db *DB) Table(name string) *Table { return db.store.Table(name) }
 
 // Tables returns all tables in creation order.
 func (db *DB) Tables() []*Table { return db.store.Tables() }
+
+// Index is a declared secondary index (see internal/index). Its entry
+// table is an ordinary table — it appears in Tables, is logged,
+// checkpointed, and recovered like any other — so recovery requires
+// recreating indexes in their original creation order along with the
+// tables.
+type Index = index.Index
+
+// IndexKeyFunc extracts a row's secondary key: it appends the key for
+// (pk, val) to dst, or reports ok=false to leave the row unindexed.
+type IndexKeyFunc = index.KeyFunc
+
+// IndexSeg is one fixed-position segment of a declarative index key spec —
+// the wire-friendly subset of IndexKeyFunc (see CreateIndexSpec).
+type IndexSeg = index.Seg
+
+// CreateIndex declares a secondary index named name over table on,
+// backfills any existing rows in batched transactions on the given worker
+// (waiting out transactions that began before the declaration, so none can
+// slip an unindexed write past the backfill), and keeps the index
+// maintained inside every future transaction that writes on. A unique
+// index rejects two rows with the same secondary key (the writing
+// transaction aborts with ErrKeyExists). Like CreateTable, creation is not
+// transactional; the worker must not be running a transaction
+// concurrently. Key functions are opaque, so re-creating an existing name
+// through this entry point is an error — use CreateIndexSpec when
+// idempotent re-creation matters.
+func (db *DB) CreateIndex(worker int, on *Table, name string, unique bool, key IndexKeyFunc) (*Index, error) {
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil)
+}
+
+// CreateIndexSpec is CreateIndex with a declarative fixed-segment key spec
+// (the secondary key is the concatenation of the segments; rows too short
+// for a segment are left unindexed). This is the form clients can request
+// over the wire; re-creation with an identical declaration is idempotent,
+// while a different spec under an existing name is an error.
+func (db *DB) CreateIndexSpec(worker int, on *Table, name string, unique bool, segs []IndexSeg) (*Index, error) {
+	key, err := index.CompileSpec(segs)
+	if err != nil {
+		return nil, err
+	}
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs)
+}
+
+// Index returns the named index, or nil.
+func (db *DB) Index(name string) *Index { return db.indexes.Get(name) }
+
+// Indexes returns all indexes in creation order.
+func (db *DB) Indexes() []*Index { return db.indexes.All() }
+
+// ScanIndex visits index entries with keys in [lo, hi) in order, resolving
+// each to its primary row and calling fn(secondaryKey, primaryKey, value).
+// The scan is phantom-safe on both trees: a concurrent insert into the
+// scanned secondary range, or any change to a resolved row, aborts the
+// transaction at commit. Slices are valid only during the callback.
+func ScanIndex(tx *Tx, ix *Index, lo, hi []byte, fn func(sk, pk, value []byte) bool) error {
+	return index.Scan(tx, ix, lo, hi, fn)
+}
+
+// ScanIndexEntries is ScanIndex without resolving primary rows: fn
+// receives (secondaryKey, primaryKey) only, and only the entry tree is
+// phantom-protected. Copy pk before issuing further reads on tx.
+func ScanIndexEntries(tx *Tx, ix *Index, lo, hi []byte, fn func(sk, pk []byte) bool) error {
+	return index.ScanEntries(tx, ix, lo, hi, fn)
+}
+
+// ScanIndexSnapshot is ScanIndex against a snapshot transaction: entries
+// and rows are read at the same snapshot epoch, so the view is consistent
+// and never aborts.
+func ScanIndexSnapshot(stx *SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, value []byte) bool) error {
+	return index.SnapScan(stx, ix, lo, hi, fn)
+}
+
+// LookupIndex resolves a secondary key on a unique index to its primary
+// key and row value (ErrNotFound if absent). The returned slices are owned
+// by the caller.
+func LookupIndex(tx *Tx, ix *Index, sk []byte) (pk, value []byte, err error) {
+	return index.Lookup(tx, ix, sk)
+}
 
 // Workers returns the number of worker contexts. Networked front ends
 // (package server) use it to size their per-worker executor pools.

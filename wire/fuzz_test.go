@@ -23,6 +23,12 @@ func FuzzDecodeFrame(f *testing.F) {
 			{Kind: KindAdd, Table: "t", Key: []byte("a"), Delta: 1},
 			{Kind: KindGet, Table: "t", Key: []byte("b")},
 		}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "ix", Table: "t", Unique: true, Segs: []IndexSeg{
+			{FromValue: true, Off: 4, Len: 8},
+			{Off: 0, Len: 2},
+		}}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), HasHi: true, Hi: []byte("z"), Limit: 9, Snapshot: true}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), Limit: 0}}},
 	}
 	for i := range seedReqs {
 		frame, err := AppendRequest(nil, &seedReqs[i])
@@ -37,6 +43,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		Err(CodeConflict, "conflict"),
 		{Kind: KindScanR, Pairs: []KV{{Key: []byte("k"), Value: []byte("v")}}},
 		{Kind: KindTxnR, Results: []TxnResult{{HasValue: true, Value: []byte("v")}, {}}},
+		{Kind: KindIScanR, Entries: []IndexEntry{
+			{SK: []byte("sk"), PK: []byte("pk"), Value: []byte("row")},
+			{SK: []byte(""), PK: []byte("p"), Value: nil},
+		}},
 	}
 	for i := range seedResps {
 		frame, err := AppendResponse(nil, &seedResps[i])

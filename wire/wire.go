@@ -20,12 +20,18 @@
 //	PUT/INSERT  u8 tlen | table | u8 klen | key | u32 vlen | value
 //	ADD         u8 tlen | table | u8 klen | key | u64 delta (two's complement)
 //	SCAN        u8 tlen | table | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] | u32 limit
-//	TXN         u16 nops | nops × (u8 kind | body as above, SCAN excluded)
+//	CREATE_INDEX u8 ilen | index | u8 tlen | table | u8 unique | u8 nsegs |
+//	            nsegs × (u8 src | u16 off | u16 len)
+//	ISCAN       u8 ilen | index | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] |
+//	            u32 limit | u8 snapshot
+//	TXN         u16 nops | nops × (u8 kind | body as above; SCAN, CREATE_INDEX
+//	            and ISCAN excluded)
 //
 //	OK          (empty)
 //	VALUE       u32 vlen | value
 //	ERR         u8 code | u16 mlen | msg
 //	SCANR       u32 npairs | npairs × (u8 klen | key | u32 vlen | value)
+//	ISCANR      u32 n | n × (u8 sklen | sk | u8 pklen | pk | u32 vlen | value)
 //	TXNR        u16 nresults | nresults × (u8 hasValue | [u32 vlen | value])
 package wire
 
@@ -39,26 +45,30 @@ import (
 // Kind identifies a frame or TXN sub-operation.
 type Kind byte
 
-// Request frame kinds. KindScan is not valid inside a TXN frame (scans
-// inside a multi-op transaction would make response frames unbounded; run
-// them as single serializable SCAN requests instead).
+// Request frame kinds. KindScan and KindIScan are not valid inside a TXN
+// frame (scans inside a multi-op transaction would make response frames
+// unbounded; run them as single serializable SCAN/ISCAN requests instead),
+// nor is KindCreateIndex (index creation is DDL, not transactional).
 const (
-	KindGet    Kind = 0x01
-	KindPut    Kind = 0x02
-	KindInsert Kind = 0x03
-	KindDelete Kind = 0x04
-	KindScan   Kind = 0x05
-	KindAdd    Kind = 0x06
-	KindTxn    Kind = 0x07
+	KindGet         Kind = 0x01
+	KindPut         Kind = 0x02
+	KindInsert      Kind = 0x03
+	KindDelete      Kind = 0x04
+	KindScan        Kind = 0x05
+	KindAdd         Kind = 0x06
+	KindTxn         Kind = 0x07
+	KindCreateIndex Kind = 0x08
+	KindIScan       Kind = 0x09
 )
 
 // Response frame kinds.
 const (
-	KindOK    Kind = 0x81
-	KindValue Kind = 0x82
-	KindErr   Kind = 0x83
-	KindScanR Kind = 0x84
-	KindTxnR  Kind = 0x85
+	KindOK     Kind = 0x81
+	KindValue  Kind = 0x82
+	KindErr    Kind = 0x83
+	KindScanR  Kind = 0x84
+	KindTxnR   Kind = 0x85
+	KindIScanR Kind = 0x86
 )
 
 func (k Kind) String() string {
@@ -77,6 +87,10 @@ func (k Kind) String() string {
 		return "ADD"
 	case KindTxn:
 		return "TXN"
+	case KindCreateIndex:
+		return "CREATE_INDEX"
+	case KindIScan:
+		return "ISCAN"
 	case KindOK:
 		return "OK"
 	case KindValue:
@@ -87,6 +101,8 @@ func (k Kind) String() string {
 		return "SCANR"
 	case KindTxnR:
 		return "TXNR"
+	case KindIScanR:
+		return "ISCANR"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }
@@ -104,6 +120,10 @@ const (
 	CodeNoTable   ErrCode = 6 // unknown table (auto-creation disabled)
 	CodeProto     ErrCode = 7 // malformed frame; server closes the connection
 	CodeInternal  ErrCode = 8 // any other server-side failure
+	CodeNoIndex   ErrCode = 9 // unknown index name
+	// CodeIndexTable rejects a direct write to an index entry table (write
+	// the primary table instead; the index maintains itself).
+	CodeIndexTable ErrCode = 10
 )
 
 func (c ErrCode) String() string {
@@ -124,6 +144,10 @@ func (c ErrCode) String() string {
 		return "protocol error"
 	case CodeInternal:
 		return "internal error"
+	case CodeNoIndex:
+		return "no such index"
+	case CodeIndexTable:
+		return "index entry table is not directly writable"
 	}
 	return fmt.Sprintf("ErrCode(%d)", byte(c))
 }
@@ -131,10 +155,12 @@ func (c ErrCode) String() string {
 // Protocol limits. MaxFrame is a default; servers and clients may configure
 // their own cap, but frames must always fit in a u32 length prefix.
 const (
-	MaxFrame    = 16 << 20 // default maximum payload size
-	MaxTableLen = 255      // table names carry a 1-byte length
-	MaxKeyLen   = 62       // engine limit, enforced server-side
-	MaxTxnOps   = 65535    // TXN op count carries a 2-byte length
+	MaxFrame     = 16 << 20 // default maximum payload size
+	MaxTableLen  = 255      // table names carry a 1-byte length
+	MaxKeyLen    = 62       // engine limit, enforced server-side
+	MaxTxnOps    = 65535    // TXN op count carries a 2-byte length
+	MaxIndexName = 255      // index names carry a 1-byte length
+	MaxIndexSegs = 16       // CREATE_INDEX key-spec segment cap
 )
 
 // ErrFrameTooLarge reports a frame whose length prefix exceeds the cap.
@@ -148,16 +174,36 @@ func malformed(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
 }
 
+// IndexSeg is one fixed-position segment of a CREATE_INDEX key spec: Len
+// bytes at offset Off of the primary key (FromValue false) or the row
+// value (FromValue true); the secondary key is the concatenation of the
+// segments.
+type IndexSeg struct {
+	FromValue bool
+	Off, Len  uint16
+}
+
+// IndexEntry is one resolved entry of an ISCANR response.
+type IndexEntry struct {
+	SK    []byte // secondary key
+	PK    []byte // primary key
+	Value []byte // primary row value
+}
+
 // Op is one operation: an entire single-op request, or one TXN sub-op.
 type Op struct {
-	Kind  Kind
-	Table string
-	Key   []byte
-	Value []byte // PUT, INSERT
-	Delta int64  // ADD
-	Hi    []byte // SCAN upper bound; nil means +inf when HasHi is false
-	HasHi bool   // SCAN: whether Hi is present
-	Limit uint32 // SCAN: max pairs returned; 0 means server default
+	Kind     Kind
+	Table    string
+	Key      []byte
+	Value    []byte     // PUT, INSERT
+	Delta    int64      // ADD
+	Hi       []byte     // SCAN, ISCAN upper bound; nil means +inf when HasHi is false
+	HasHi    bool       // SCAN, ISCAN: whether Hi is present
+	Limit    uint32     // SCAN, ISCAN: max results returned; 0 means server default
+	Index    string     // CREATE_INDEX, ISCAN: index name
+	Unique   bool       // CREATE_INDEX
+	Segs     []IndexSeg // CREATE_INDEX key spec
+	Snapshot bool       // ISCAN: read a consistent snapshot instead of serializable
 }
 
 // Request is a decoded request frame.
@@ -184,11 +230,12 @@ type TxnResult struct {
 // Response is a decoded response frame.
 type Response struct {
 	Kind    Kind
-	Code    ErrCode     // ERR
-	Msg     string      // ERR
-	Value   []byte      // VALUE
-	Pairs   []KV        // SCANR
-	Results []TxnResult // TXNR
+	Code    ErrCode      // ERR
+	Msg     string       // ERR
+	Value   []byte       // VALUE
+	Pairs   []KV         // SCANR
+	Results []TxnResult  // TXNR
+	Entries []IndexEntry // ISCANR
 }
 
 // Err builds an ERR response.
@@ -286,6 +333,70 @@ func appendOpBody(dst []byte, op *Op) ([]byte, error) {
 	return dst, nil
 }
 
+// appendCreateIndex encodes a CREATE_INDEX body. Oversized or empty names
+// and malformed key specs are rejected outright — never silently truncated
+// — so what reaches the wire is exactly what was asked for.
+func appendCreateIndex(dst []byte, op *Op) ([]byte, error) {
+	if len(op.Index) == 0 || len(op.Index) > MaxIndexName {
+		return dst, fmt.Errorf("wire: index name %d bytes long (1..%d allowed)", len(op.Index), MaxIndexName)
+	}
+	if len(op.Table) == 0 || len(op.Table) > MaxTableLen {
+		return dst, fmt.Errorf("wire: table name %d bytes long (1..%d allowed)", len(op.Table), MaxTableLen)
+	}
+	if len(op.Segs) == 0 || len(op.Segs) > MaxIndexSegs {
+		return dst, fmt.Errorf("wire: index spec with %d segments (1..%d allowed)", len(op.Segs), MaxIndexSegs)
+	}
+	dst = append(dst, byte(len(op.Index)))
+	dst = append(dst, op.Index...)
+	dst = append(dst, byte(len(op.Table)))
+	dst = append(dst, op.Table...)
+	dst = append(dst, boolByte(op.Unique))
+	dst = append(dst, byte(len(op.Segs)))
+	for i := range op.Segs {
+		seg := &op.Segs[i]
+		if seg.Len == 0 {
+			return dst, fmt.Errorf("wire: index spec segment %d has zero length", i)
+		}
+		dst = append(dst, boolByte(seg.FromValue))
+		dst = appendU16(dst, seg.Off)
+		dst = appendU16(dst, seg.Len)
+	}
+	return dst, nil
+}
+
+// appendIScan encodes an ISCAN body.
+func appendIScan(dst []byte, op *Op) ([]byte, error) {
+	if len(op.Index) == 0 || len(op.Index) > MaxIndexName {
+		return dst, fmt.Errorf("wire: index name %d bytes long (1..%d allowed)", len(op.Index), MaxIndexName)
+	}
+	if len(op.Key) > 255 {
+		return dst, fmt.Errorf("wire: iscan bound %d bytes long", len(op.Key))
+	}
+	dst = append(dst, byte(len(op.Index)))
+	dst = append(dst, op.Index...)
+	dst = append(dst, byte(len(op.Key)))
+	dst = append(dst, op.Key...)
+	if op.HasHi {
+		if len(op.Hi) > 255 {
+			return dst, fmt.Errorf("wire: iscan bound %d bytes long", len(op.Hi))
+		}
+		dst = append(dst, 1, byte(len(op.Hi)))
+		dst = append(dst, op.Hi...)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU32(dst, op.Limit)
+	dst = append(dst, boolByte(op.Snapshot))
+	return dst, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // AppendRequest appends a complete frame (length prefix included) for r.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	dst, at := beginFrame(dst)
@@ -297,7 +408,8 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = appendU16(dst, uint16(len(r.Ops)))
 		for i := range r.Ops {
 			op := &r.Ops[i]
-			if op.Kind == KindScan || op.Kind == KindTxn {
+			switch op.Kind {
+			case KindScan, KindTxn, KindCreateIndex, KindIScan:
 				return dst[:at], fmt.Errorf("wire: %v not allowed inside txn", op.Kind)
 			}
 			dst = append(dst, byte(op.Kind))
@@ -312,14 +424,21 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		return dst[:at], fmt.Errorf("wire: single-op request with %d ops", len(r.Ops))
 	}
 	op := &r.Ops[0]
+	var err error
 	switch op.Kind {
 	case KindGet, KindPut, KindInsert, KindDelete, KindScan, KindAdd:
+		dst = append(dst, byte(op.Kind))
+		dst, err = appendOpBody(dst, op)
+	case KindCreateIndex:
+		dst = append(dst, byte(op.Kind))
+		dst, err = appendCreateIndex(dst, op)
+	case KindIScan:
+		dst = append(dst, byte(op.Kind))
+		dst, err = appendIScan(dst, op)
 	default:
 		return dst[:at], fmt.Errorf("wire: cannot encode request kind %v", op.Kind)
 	}
-	dst = append(dst, byte(op.Kind))
-	var err error
-	if dst, err = appendOpBody(dst, op); err != nil {
+	if err != nil {
 		return dst[:at], err
 	}
 	return endFrame(dst, at), nil
@@ -353,6 +472,20 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			dst = append(dst, p.Key...)
 			dst = appendU32(dst, uint32(len(p.Value)))
 			dst = append(dst, p.Value...)
+		}
+	case KindIScanR:
+		dst = appendU32(dst, uint32(len(r.Entries)))
+		for i := range r.Entries {
+			e := &r.Entries[i]
+			if len(e.SK) > 255 || len(e.PK) > 255 {
+				return dst[:at], fmt.Errorf("wire: index entry keys %d/%d bytes long", len(e.SK), len(e.PK))
+			}
+			dst = append(dst, byte(len(e.SK)))
+			dst = append(dst, e.SK...)
+			dst = append(dst, byte(len(e.PK)))
+			dst = append(dst, e.PK...)
+			dst = appendU32(dst, uint32(len(e.Value)))
+			dst = append(dst, e.Value...)
 		}
 	case KindTxnR:
 		if len(r.Results) > MaxTxnOps {
@@ -544,16 +677,114 @@ func DecodeRequest(payload []byte) (Request, error) {
 	op := Op{Kind: kind}
 	switch kind {
 	case KindGet, KindPut, KindInsert, KindDelete, KindScan, KindAdd:
+		if err := decodeOpBody(&rd, &op); err != nil {
+			return Request{}, err
+		}
+	case KindCreateIndex:
+		if err := decodeCreateIndex(&rd, &op); err != nil {
+			return Request{}, err
+		}
+	case KindIScan:
+		if err := decodeIScan(&rd, &op); err != nil {
+			return Request{}, err
+		}
 	default:
 		return Request{}, malformed("request kind %v", kind)
-	}
-	if err := decodeOpBody(&rd, &op); err != nil {
-		return Request{}, err
 	}
 	if rd.remaining() != 0 {
 		return Request{}, malformed("%d trailing bytes", rd.remaining())
 	}
 	return Request{Ops: []Op{op}}, nil
+}
+
+// decodeBool reads a canonical boolean byte; anything but 0 or 1 is
+// malformed (keeping the grammar canonical so decode∘encode is identity).
+func (rd *reader) decodeBool(what string) (bool, error) {
+	b, err := rd.byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, malformed("%s byte %d", what, b)
+}
+
+func decodeCreateIndex(rd *reader, op *Op) error {
+	name, err := rd.bytes8()
+	if err != nil {
+		return err
+	}
+	if len(name) == 0 {
+		return malformed("empty index name")
+	}
+	op.Index = string(name)
+	tbl, err := rd.bytes8()
+	if err != nil {
+		return err
+	}
+	if len(tbl) == 0 {
+		return malformed("empty table name")
+	}
+	op.Table = string(tbl)
+	if op.Unique, err = rd.decodeBool("unique"); err != nil {
+		return err
+	}
+	nsegs, err := rd.byte()
+	if err != nil {
+		return err
+	}
+	if nsegs == 0 || int(nsegs) > MaxIndexSegs {
+		return malformed("index spec with %d segments (1..%d allowed)", nsegs, MaxIndexSegs)
+	}
+	op.Segs = make([]IndexSeg, 0, nsegs)
+	for i := 0; i < int(nsegs); i++ {
+		var seg IndexSeg
+		if seg.FromValue, err = rd.decodeBool("segment source"); err != nil {
+			return err
+		}
+		if seg.Off, err = rd.u16(); err != nil {
+			return err
+		}
+		if seg.Len, err = rd.u16(); err != nil {
+			return err
+		}
+		if seg.Len == 0 {
+			return malformed("index spec segment %d has zero length", i)
+		}
+		op.Segs = append(op.Segs, seg)
+	}
+	return nil
+}
+
+func decodeIScan(rd *reader, op *Op) error {
+	name, err := rd.bytes8()
+	if err != nil {
+		return err
+	}
+	if len(name) == 0 {
+		return malformed("empty index name")
+	}
+	op.Index = string(name)
+	if op.Key, err = rd.bytes8(); err != nil {
+		return err
+	}
+	if op.HasHi, err = rd.decodeBool("iscan hasHi"); err != nil {
+		return err
+	}
+	if op.HasHi {
+		if op.Hi, err = rd.bytes8(); err != nil {
+			return err
+		}
+	}
+	if op.Limit, err = rd.u32(); err != nil {
+		return err
+	}
+	op.Snapshot, err = rd.decodeBool("iscan snapshot")
+	return err
 }
 
 // DecodeResponse parses a response payload. Byte-slice fields alias
@@ -605,6 +836,31 @@ func DecodeResponse(payload []byte) (Response, error) {
 				return Response{}, err
 			}
 			resp.Pairs = append(resp.Pairs, kv)
+		}
+	case KindIScanR:
+		n, err := rd.u32()
+		if err != nil {
+			return Response{}, err
+		}
+		// Each entry costs at least 6 bytes (two 1-byte and one 4-byte
+		// length prefix), so a hostile count cannot out-allocate its
+		// payload.
+		if uint64(n) > uint64(rd.remaining())/6+1 {
+			return Response{}, malformed("iscan claims %d entries in %d bytes", n, rd.remaining())
+		}
+		resp.Entries = make([]IndexEntry, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var e IndexEntry
+			if e.SK, err = rd.bytes8(); err != nil {
+				return Response{}, err
+			}
+			if e.PK, err = rd.bytes8(); err != nil {
+				return Response{}, err
+			}
+			if e.Value, err = rd.bytes32(); err != nil {
+				return Response{}, err
+			}
+			resp.Entries = append(resp.Entries, e)
 		}
 	case KindTxnR:
 		nres, err := rd.u16()

@@ -59,6 +59,15 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Kind: KindDelete, Table: "audit", Key: []byte("z")},
 			{Kind: KindPut, Table: "audit", Key: []byte("w"), Value: bytes.Repeat([]byte{7}, 300)},
 		}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "by_city", Table: "users", Unique: false, Segs: []IndexSeg{
+			{FromValue: true, Off: 0, Len: 4},
+		}}}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "by_name", Table: "users", Unique: true, Segs: []IndexSeg{
+			{Off: 0, Len: 8},
+			{FromValue: true, Off: 12, Len: 16},
+		}}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS")}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS"), HasHi: true, Hi: []byte("AMT"), Limit: 100, Snapshot: true}}},
 	}
 	for i, want := range cases {
 		frame := encodeReq(t, &want)
@@ -108,6 +117,11 @@ func TestResponseRoundTrip(t *testing.T) {
 			{HasValue: true, Value: []byte{}},
 		}},
 		{Kind: KindTxnR},
+		{Kind: KindIScanR, Entries: []IndexEntry{
+			{SK: []byte("AMS"), PK: []byte("u1"), Value: []byte("row-one")},
+			{SK: []byte("AMS"), PK: []byte("u2"), Value: nil},
+		}},
+		{Kind: KindIScanR},
 	}
 	for i, want := range cases {
 		frame := encodeResp(t, &want)
@@ -130,6 +144,14 @@ func TestResponseRoundTrip(t *testing.T) {
 					r.Results[j].Value = []byte{}
 				}
 			}
+			if len(r.Entries) == 0 {
+				r.Entries = nil
+			}
+			for j := range r.Entries {
+				if len(r.Entries[j].Value) == 0 {
+					r.Entries[j].Value = nil
+				}
+			}
 		}
 		canon(&want)
 		canon(&got)
@@ -149,6 +171,26 @@ func TestEncodeRejects(t *testing.T) {
 		{Txn: true, Ops: []Op{{Kind: KindTxn}}},                         // nested txn
 		{Ops: []Op{{Kind: KindGet, Table: strings.Repeat("x", 256)}}},   // long table
 		{Ops: []Op{{Kind: KindGet, Key: bytes.Repeat([]byte{1}, 256)}}}, // long key
+
+		// CREATE_INDEX / ISCAN shape violations: oversized or empty names
+		// and bad specs are hard errors, never truncated.
+		{Ops: []Op{{Kind: KindCreateIndex, Index: strings.Repeat("i", 256), Table: "t",
+			Segs: []IndexSeg{{Off: 0, Len: 1}}}}}, // long index name
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "", Table: "t",
+			Segs: []IndexSeg{{Off: 0, Len: 1}}}}}, // empty index name
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "",
+			Segs: []IndexSeg{{Off: 0, Len: 1}}}}}, // empty table name
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t"}}}, // no segments
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
+			Segs: make([]IndexSeg, MaxIndexSegs+1)}}}, // too many segments
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
+			Segs: []IndexSeg{{Off: 3, Len: 0}}}}}, // zero-length segment
+		{Ops: []Op{{Kind: KindIScan, Index: strings.Repeat("i", 256)}}},               // long index name
+		{Ops: []Op{{Kind: KindIScan, Index: ""}}},                                     // empty index name
+		{Ops: []Op{{Kind: KindIScan, Index: "i", Key: bytes.Repeat([]byte{1}, 256)}}}, // long lo bound
+		{Txn: true, Ops: []Op{{Kind: KindIScan, Index: "i"}}},                         // iscan in txn
+		{Txn: true, Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
+			Segs: []IndexSeg{{Off: 0, Len: 1}}}}}, // create-index in txn
 	}
 	for i := range bad {
 		if _, err := AppendRequest(nil, &bad[i]); err == nil {
@@ -175,6 +217,17 @@ func TestDecodeRejects(t *testing.T) {
 		{"txn op count beyond payload", []byte{byte(KindTxn), 0xff, 0xff, byte(KindGet), 0, 0}},
 		{"txn scan op", []byte{byte(KindTxn), 0, 1, byte(KindScan), 1, 't', 0, 0, 0, 0, 0, 0}},
 		{"trailing bytes", append([]byte{byte(KindGet), 1, 't', 1, 'k'}, 0)},
+		{"create-index empty name", []byte{byte(KindCreateIndex), 0, 1, 't', 0, 1, 0, 0, 0, 0, 1}},
+		{"create-index empty table", []byte{byte(KindCreateIndex), 1, 'i', 0, 0, 1, 0, 0, 0, 0, 1}},
+		{"create-index bad unique", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 2, 1, 0, 0, 0, 0, 1}},
+		{"create-index zero segs", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 0}},
+		{"create-index too many segs", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 255}},
+		{"create-index bad src", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 9, 0, 0, 0, 1}},
+		{"create-index zero-len seg", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 0}},
+		{"iscan empty name", []byte{byte(KindIScan), 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"iscan bad hasHi", []byte{byte(KindIScan), 1, 'i', 0, 7, 0, 0, 0, 0, 0}},
+		{"iscan bad snapshot", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 3}},
+		{"iscan truncated", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0}},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.payload); err == nil {
@@ -194,6 +247,8 @@ func TestDecodeRejects(t *testing.T) {
 		{"err truncated msg", []byte{byte(KindErr), 1, 0, 5, 'a'}},
 		{"scan pair count beyond payload", []byte{byte(KindScanR), 0xff, 0xff, 0xff, 0xff}},
 		{"txnr bad flag", []byte{byte(KindTxnR), 0, 1, 3}},
+		{"iscanr entry count beyond payload", []byte{byte(KindIScanR), 0xff, 0xff, 0xff, 0xff}},
+		{"iscanr truncated entry", []byte{byte(KindIScanR), 0, 0, 0, 1, 2, 's'}},
 		{"trailing bytes", []byte{byte(KindOK), 0}},
 	}
 	for _, tc := range respCases {
