@@ -50,22 +50,24 @@ func indexSegs() []wire.IndexSeg {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:4555", "server address")
-		clients  = flag.Int("clients", 8, "closed-loop client goroutines")
-		conns    = flag.Int("conns", 2, "pooled connections per client")
-		duration = flag.Duration("duration", 5*time.Second, "measured run length")
-		keys     = flag.Int("keys", 100000, "key-space size (paper: 160M)")
-		valSize  = flag.Int("valuesize", 100, "record size in bytes (paper: 100)")
-		readPct  = flag.Int("readpct", 80, "percentage of point ops that are reads (paper: 80)")
-		scanFrac = flag.Float64("scan-frac", 0, "fraction (0..1) of ops that are scans (YCSB-E style)")
-		scanLen  = flag.Int("scan-len", 100, "keys per scan")
-		useIndex = flag.Bool("index", false, "route scans through a secondary index on the counter field")
-		snapScan = flag.Bool("snapshot-scans", false, "run index scans against a consistent snapshot")
-		table    = flag.String("table", ycsb.TableName, "table name")
-		load     = flag.Bool("load", false, "preload the key space before the run")
-		txnOps   = flag.Int("txn", 0, "point ops per multi-op TXN frame (0 = single-op requests)")
-		embedded = flag.Bool("embedded", false, "run against an in-process database instead of a server")
-		seed     = flag.Uint64("seed", 1, "workload seed")
+		addr      = flag.String("addr", "localhost:4555", "server address")
+		clients   = flag.Int("clients", 8, "closed-loop client goroutines")
+		conns     = flag.Int("conns", 2, "pooled connections per client")
+		duration  = flag.Duration("duration", 5*time.Second, "measured run length")
+		keys      = flag.Int("keys", 100000, "key-space size (paper: 160M)")
+		valSize   = flag.Int("valuesize", 100, "record size in bytes (paper: 100)")
+		readPct   = flag.Int("readpct", 80, "percentage of point ops that are reads (paper: 80)")
+		scanFrac  = flag.Float64("scan-frac", 0, "fraction (0..1) of ops that are scans (YCSB-E style)")
+		scanLen   = flag.Int("scan-len", 100, "keys per scan")
+		useIndex  = flag.Bool("index", false, "route scans through a secondary index on the counter field")
+		snapScan  = flag.Bool("snapshot-scans", false, "run index scans against a consistent snapshot")
+		table     = flag.String("table", ycsb.TableName, "table name")
+		load      = flag.Bool("load", false, "preload the key space before the run")
+		txnOps    = flag.Int("txn", 0, "point ops per multi-op TXN frame (0 = single-op requests)")
+		embedded  = flag.Bool("embedded", false, "run against an in-process database instead of a server")
+		logDir    = flag.String("logdir", "", "embedded durability directory (default: a temp dir when -checkpoint-interval is set)")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "run the checkpoint daemon under load (embedded; 0 = off)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
@@ -76,10 +78,14 @@ func main() {
 	if *snapScan && !*useIndex {
 		fatal(fmt.Errorf("-snapshot-scans requires -index"))
 	}
+	if (*ckptEvery > 0 || *logDir != "") && !*embedded {
+		fatal(fmt.Errorf("-checkpoint-interval and -logdir drive an in-process database: add -embedded (use silo-server's flags for a remote daemon)"))
+	}
 
+	var db *silo.DB
 	var run func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error)
 	if *embedded {
-		run = setupEmbedded(cfg, *clients, *useIndex, *snapScan)
+		db, run = setupEmbedded(cfg, *clients, *useIndex, *snapScan, *logDir, *ckptEvery)
 	} else {
 		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, *useIndex, *snapScan)
 	}
@@ -142,6 +148,16 @@ func main() {
 	if len(all) > 0 {
 		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
 			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+	}
+	if db != nil {
+		if ds, ok := db.CheckpointDaemon(); ok {
+			fmt.Printf("checkpoint daemon: %d checkpoints (last CE=%d, %d rows, %v), %d log segments truncated\n",
+				ds.Checkpoints, ds.LastEpoch, ds.LastRows, ds.LastElapsed.Round(time.Millisecond), ds.TruncatedSegments)
+			if ds.LastErr != nil {
+				fmt.Printf("checkpoint daemon error: %v\n", ds.LastErr)
+			}
+		}
+		db.Close()
 	}
 }
 
@@ -299,9 +315,29 @@ func preload(addr, table string, cfg ycsb.Config, conns int) error {
 // setupEmbedded opens an in-process database with one worker per client,
 // loads the key space, optionally creates the counter index (through the
 // same backfill path a remote CREATE_INDEX takes), and returns a runner
-// executing the identical op mix directly on the engine.
-func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
-	db, err := silo.Open(silo.Options{Workers: clients})
+// executing the identical op mix directly on the engine. With ckptEvery
+// set, durability and the background checkpoint daemon run under the
+// load, so checkpointing's interference with p50/p99 latency shows up in
+// the standard report.
+func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool, logDir string, ckptEvery time.Duration) (*silo.DB, func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error)) {
+	opts := silo.Options{Workers: clients}
+	if ckptEvery > 0 || logDir != "" {
+		if logDir == "" {
+			var err error
+			logDir, err = os.MkdirTemp("", "silo-loadgen")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("durability dir: %s\n", logDir)
+		}
+		opts.Durability = &silo.DurabilityOptions{
+			Dir:                logDir,
+			Loggers:            2,
+			SegmentBytes:       16 << 20,
+			CheckpointInterval: ckptEvery,
+		}
+	}
+	db, err := silo.Open(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -319,7 +355,7 @@ func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool) func(i
 			fatal(fmt.Errorf("create index: %w", err))
 		}
 	}
-	return func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
+	return db, func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
 		w := db.Store().Worker(c)
 		var kb []byte
 		var fails uint64

@@ -1,22 +1,30 @@
-// Command silo-recover inspects and replays Silo log directories.
+// Command silo-recover inspects, replays, and maintains Silo durability
+// directories.
 //
-//	silo-recover -dir /path/to/logs            # summarize frames and D
+//	silo-recover -dir /path/to/logs            # summarize segments and D
 //	silo-recover -dir /path/to/logs -verbose   # dump every transaction
-//	silo-recover -dir /path/to/logs -replay    # replay into a fresh store
-//	                                           # and report recovered row counts
+//	silo-recover -dir /path/to/logs -replay    # parallel checkpoint+log
+//	                                           # recovery with a report
+//	silo-recover -dir /path/to/logs -replay -parallel 1   # sequential
 //
-// Replay creates the TPC-C schema by default (matching examples/tpcc and
-// silo-bench persistence runs); -tables overrides with a comma-separated
-// table list in creation order.
+// Replay restores from the newest complete checkpoint plus the log suffix
+// and prints a recovery report — txns/s and MB/s replayed, checkpoint load
+// time versus log replay time — so BENCH runs can track recovery speed
+// over time. It creates the TPC-C schema by default (matching
+// examples/tpcc and silo-bench persistence runs); -tables overrides with a
+// comma-separated table list in creation order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"silo/internal/core"
+	"silo/internal/recovery"
 	"silo/internal/tid"
 	"silo/internal/wal"
 	"silo/internal/workload/tpcc"
@@ -26,54 +34,50 @@ func main() {
 	var (
 		dir        = flag.String("dir", "", "log directory (required)")
 		verbose    = flag.Bool("verbose", false, "dump every logged transaction")
-		replay     = flag.Bool("replay", false, "replay the log into a fresh in-memory store")
+		replay     = flag.Bool("replay", false, "replay checkpoint+log into a fresh in-memory store")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "recovery workers for -replay (1 = single goroutine)")
 		tables     = flag.String("tables", "", "comma-separated table names in creation order (default: TPC-C schema)")
 		compressed = flag.Bool("compressed", false, "logs were written with compression")
-		useCkpt    = flag.Bool("checkpoint", false, "with -replay: restore from the newest checkpoint plus the log suffix")
 		truncate   = flag.Uint64("truncate", 0, "delete log files fully covered by a checkpoint at this epoch")
 	)
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: silo-recover -dir <logdir> [-verbose] [-replay]")
+		fmt.Fprintln(os.Stderr, "usage: silo-recover -dir <logdir> [-verbose] [-replay] [-parallel N]")
 		os.Exit(2)
 	}
 
-	var files [][]wal.TxnRecord
-	var durables []uint64
-	var err error
-	if *compressed {
-		files, durables, err = wal.ReadLogDirCompressed(*dir)
-	} else {
-		files, durables, err = wal.ReadLogDir(*dir)
-	}
+	infos, err := wal.ListLogFiles(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-
-	d := ^uint64(0)
+	if len(infos) == 0 {
+		fatal(fmt.Errorf("no log files in %s", *dir))
+	}
+	files := make([][]wal.TxnRecord, len(infos))
+	durables := make([]uint64, len(infos))
+	var totalBytes int64
 	totalTxns, totalEntries := 0, 0
-	for i, f := range files {
-		var bytes int
+	for i, fi := range infos {
+		var size int64
+		files[i], durables[i], size, err = wal.ParseLogFilePath(fi.Path, *compressed)
+		if err != nil {
+			fatal(err)
+		}
+		totalBytes += size
 		var maxTID uint64
-		for _, t := range f {
+		for _, t := range files[i] {
 			totalTxns++
 			totalEntries += len(t.Entries)
 			if t.TID > maxTID {
 				maxTID = t.TID
 			}
 		}
-		_ = bytes
-		fmt.Printf("log.%d: %d txns, last durable epoch d=%d, max TID epoch=%d\n",
-			i, len(f), durables[i], tid.Word(maxTID).Epoch())
-		if durables[i] < d {
-			d = durables[i]
-		}
+		fmt.Printf("%s: logger %d seq %d: %d txns, %.1f KB, last durable epoch d=%d, max TID epoch=%d\n",
+			fi.Path, fi.Logger, fi.Seq, len(files[i]), float64(size)/1024, durables[i], tid.Word(maxTID).Epoch())
 	}
-	if d == ^uint64(0) {
-		d = 0
-	}
-	fmt.Printf("global durable epoch D=%d; %d txns, %d record writes logged\n", d, totalTxns, totalEntries)
+	d := wal.DurableBound(infos, durables)
+	fmt.Printf("global durable epoch D=%d; %d txns, %d record writes, %.1f MB in %d segments\n",
+		d, totalTxns, totalEntries, float64(totalBytes)/(1<<20), len(infos))
 
 	if *verbose {
 		for i, f := range files {
@@ -83,7 +87,7 @@ func main() {
 				if w.Epoch() > d {
 					status = "beyond D (discarded on recovery)"
 				}
-				fmt.Printf("log.%d tid(e=%d,seq=%d) %d writes [%s]\n", i, w.Epoch(), w.Seq(), len(t.Entries), status)
+				fmt.Printf("%s tid(e=%d,seq=%d) %d writes [%s]\n", infos[i].Path, w.Epoch(), w.Seq(), len(t.Entries), status)
 				for _, e := range t.Entries {
 					op := "put"
 					if e.Delete {
@@ -105,23 +109,17 @@ func main() {
 				s.CreateTable(strings.TrimSpace(name))
 			}
 		}
-		var res wal.RecoveryResult
-		var err error
-		if *useCkpt {
-			var ce uint64
-			res, ce, err = wal.RecoverWithCheckpoint(s, *dir, *dir, *compressed)
-			if err == nil {
-				fmt.Printf("checkpoint epoch CE=%d\n", ce)
-			}
-		} else {
-			res, err = wal.Recover(s, *dir, *compressed)
-		}
+		start := time.Now()
+		res, err := recovery.Recover(s, *dir, recovery.Options{
+			Workers:    *parallel,
+			Compressed: *compressed,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("replayed: D=%d txns applied=%d skipped(beyond D)=%d entries=%d\n",
-			res.DurableEpoch, res.TxnsApplied, res.TxnsSkipped, res.EntriesApplied)
+		total := time.Since(start)
+		report(res, total)
 		for _, tbl := range s.Tables() {
 			fmt.Printf("  table %-20s %d keys\n", tbl.Name, tbl.Tree.Len())
 		}
@@ -136,4 +134,32 @@ func main() {
 		fmt.Printf("truncated %d log files covered by checkpoint epoch %d: %v\n",
 			len(removed), *truncate, removed)
 	}
+}
+
+// report prints the recovery report: what was restored, stage timings, and
+// replay throughput.
+func report(res recovery.Result, total time.Duration) {
+	fmt.Printf("recovery report (%d workers):\n", res.Workers)
+	if res.CheckpointEpoch > 0 {
+		fmt.Printf("  checkpoint: CE=%d, %d rows, loaded in %v\n",
+			res.CheckpointEpoch, res.CheckpointRows, res.CheckpointLoad.Round(time.Microsecond))
+	} else {
+		fmt.Printf("  checkpoint: none (full log replay)\n")
+	}
+	fmt.Printf("  log: %d segments, %.1f MB, parsed in %v\n",
+		res.LogFiles, float64(res.LogBytes)/(1<<20), res.LogRead.Round(time.Microsecond))
+	fmt.Printf("  replay: D=%d, %d txns applied (%d beyond D, %d below checkpoint), %d entries, applied in %v\n",
+		res.DurableEpoch, res.TxnsApplied, res.TxnsSkipped, res.TxnsBelowCheckpoint,
+		res.EntriesApplied, res.LogApply.Round(time.Microsecond))
+	secs := total.Seconds()
+	if secs > 0 {
+		fmt.Printf("  throughput: %.0f txns/s, %.1f MB/s over %v total (checkpoint %.0f%%, log %.0f%%)\n",
+			float64(res.TxnsApplied)/secs, float64(res.LogBytes)/(1<<20)/secs, total.Round(time.Microsecond),
+			100*res.CheckpointLoad.Seconds()/secs, 100*(res.LogRead+res.LogApply).Seconds()/secs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-recover:", err)
+	os.Exit(1)
 }

@@ -6,11 +6,17 @@
 //
 //	silo-server -addr :4555 -workers 8
 //	silo-server -addr :4555 -tables accounts,audit -logdir /var/lib/silo -sync
+//	silo-server -addr :4555 -tables accounts -logdir /var/lib/silo \
+//	    -checkpoint-interval 1m -segment-bytes 67108864
 //
 // Without -logdir the server runs as MemSilo (no persistence). With it,
 // committed transactions are redo-logged and group-committed; pass the same
 // -tables list (order matters: table IDs are part of the log format) to a
-// later run to recover with -recover.
+// later run to recover with -recover. -checkpoint-interval additionally
+// runs the background checkpoint daemon: partitioned checkpoints off
+// snapshot epochs while the server keeps serving, with automatic log
+// truncation (recovery then replays only the log suffix beyond the newest
+// checkpoint, in parallel).
 package main
 
 import (
@@ -24,28 +30,41 @@ import (
 	"time"
 
 	"silo"
+	"silo/internal/wal"
 	"silo/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":4555", "TCP listen address")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker contexts (one per core)")
-		epoch    = flag.Duration("epoch", 40*time.Millisecond, "epoch interval (paper: 40ms)")
-		tables   = flag.String("tables", "", "comma-separated tables to create at startup")
-		logDir   = flag.String("logdir", "", "durability directory (empty = no persistence)")
-		loggers  = flag.Int("loggers", 2, "logger threads when -logdir is set")
-		doSync   = flag.Bool("sync", false, "fsync log writes")
-		doRecov  = flag.Bool("recover", false, "recover from -logdir before serving")
-		pipeline = flag.Int("pipeline", 128, "per-connection in-flight request cap")
-		noCreate = flag.Bool("no-auto-create", false, "reject unknown tables instead of creating them")
-		stats    = flag.Duration("stats", 0, "print stats every interval (0 = off)")
+		addr      = flag.String("addr", ":4555", "TCP listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker contexts (one per core)")
+		epoch     = flag.Duration("epoch", 40*time.Millisecond, "epoch interval (paper: 40ms)")
+		tables    = flag.String("tables", "", "comma-separated tables to create at startup")
+		logDir    = flag.String("logdir", "", "durability directory (empty = no persistence)")
+		loggers   = flag.Int("loggers", 2, "logger threads when -logdir is set")
+		doSync    = flag.Bool("sync", false, "fsync log writes")
+		doRecov   = flag.Bool("recover", false, "recover from -logdir before serving")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "background checkpoint daemon period (0 = off; requires -logdir)")
+		ckptParts = flag.Int("checkpoint-parts", 4, "partition writers per checkpoint")
+		segBytes  = flag.Int64("segment-bytes", 64<<20, "log segment rotation size when the daemon runs (0 = no rotation)")
+		recovWkrs = flag.Int("recovery-workers", 0, "parallel recovery workers (0 = GOMAXPROCS)")
+		pipeline  = flag.Int("pipeline", 128, "per-connection in-flight request cap")
+		noCreate  = flag.Bool("no-auto-create", false, "reject unknown tables instead of creating them")
+		stats     = flag.Duration("stats", 0, "print stats every interval (0 = off)")
 	)
 	flag.Parse()
 
 	opts := silo.Options{Workers: *workers, EpochInterval: *epoch}
 	if *logDir != "" {
-		opts.Durability = &silo.DurabilityOptions{Dir: *logDir, Loggers: *loggers, Sync: *doSync}
+		opts.Durability = &silo.DurabilityOptions{
+			Dir: *logDir, Loggers: *loggers, Sync: *doSync,
+			CheckpointInterval:   *ckptEvery,
+			CheckpointPartitions: *ckptParts,
+			SegmentBytes:         *segBytes,
+			RecoveryWorkers:      *recovWkrs,
+		}
+	} else if *ckptEvery > 0 {
+		fatal(fmt.Errorf("-checkpoint-interval requires -logdir"))
 	}
 	db, err := silo.Open(opts)
 	if err != nil {
@@ -58,6 +77,12 @@ func main() {
 			db.CreateTable(name)
 		}
 	}
+	if *ckptEvery > 0 && !*doRecov && dirHasLogs(*logDir) {
+		// The daemon only starts after recovery on an existing log
+		// directory (an early checkpoint must never truncate unreplayed
+		// data); without -recover it would silently never run.
+		fatal(fmt.Errorf("-checkpoint-interval over an existing log directory requires -recover"))
+	}
 	if *doRecov {
 		if *logDir == "" {
 			fatal(fmt.Errorf("-recover requires -logdir"))
@@ -66,7 +91,10 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("recover: %w", err))
 		}
-		fmt.Printf("recovered %d transactions to epoch %d\n", res.TxnsApplied, res.DurableEpoch)
+		fmt.Printf("recovered %d transactions to epoch %d (%d workers: checkpoint CE=%d in %v, log %v)\n",
+			res.TxnsApplied, res.DurableEpoch, res.Workers,
+			res.CheckpointEpoch, res.CheckpointLoad.Round(time.Millisecond),
+			(res.LogRead + res.LogApply).Round(time.Millisecond))
 	}
 
 	srv := server.New(db, server.Options{
@@ -79,8 +107,13 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				ss, es := srv.Stats(), db.Stats()
-				fmt.Printf("conns=%d requests=%d errors=%d commits=%d aborts=%d\n",
+				line := fmt.Sprintf("conns=%d requests=%d errors=%d commits=%d aborts=%d",
 					ss.Conns, ss.Requests, ss.Errors, es.Commits, es.Aborts)
+				if ds, ok := db.CheckpointDaemon(); ok {
+					line += fmt.Sprintf(" checkpoints=%d last_ce=%d truncated=%d",
+						ds.Checkpoints, ds.LastEpoch, ds.TruncatedSegments)
+				}
+				fmt.Println(line)
 			}
 		}()
 	}
@@ -101,6 +134,21 @@ func main() {
 	ss := srv.Stats()
 	fmt.Printf("served %d requests on %d connections (%d errors)\n",
 		ss.Requests, ss.Conns, ss.Errors)
+}
+
+// dirHasLogs reports whether dir holds non-empty log segments from a
+// previous run.
+func dirHasLogs(dir string) bool {
+	infos, err := wal.ListLogFiles(dir)
+	if err != nil {
+		return false
+	}
+	for _, fi := range infos {
+		if st, err := os.Stat(fi.Path); err == nil && st.Size() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

@@ -44,6 +44,27 @@ func hammerSeedValue(t *testing.T) uint64 {
 // durability on — then recovers the log into a fresh database and checks
 // the invariant survived end to end.
 func TestHammerDurableConcurrent(t *testing.T) {
+	hammer(t, &silo.DurabilityOptions{Dir: "", Loggers: 2})
+}
+
+// TestHammerDaemonConcurrent is the same hammer with the background
+// checkpoint daemon running throughout: partitioned checkpoints are cut
+// off snapshot epochs while every worker commits, log segments rotate and
+// get truncated under the daemon, and the crash/recover cycle restores
+// from checkpoint + log suffix with parallel replay. Every invariant
+// check must still hold.
+func TestHammerDaemonConcurrent(t *testing.T) {
+	hammer(t, &silo.DurabilityOptions{
+		Dir:                  "",
+		Loggers:              2,
+		SegmentBytes:         8 << 10,
+		CheckpointInterval:   5 * time.Millisecond,
+		CheckpointPartitions: 3,
+		RecoveryWorkers:      4,
+	})
+}
+
+func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
 	const (
 		workers  = 4
 		accounts = 32
@@ -52,11 +73,12 @@ func TestHammerDurableConcurrent(t *testing.T) {
 	)
 	seed := hammerSeedValue(t)
 	dir := t.TempDir()
+	dopts.Dir = dir
 	db, err := silo.Open(silo.Options{
 		Workers:       workers,
 		EpochInterval: time.Millisecond,
 		SnapshotK:     2,
-		Durability:    &silo.DurabilityOptions{Dir: dir, Loggers: 2},
+		Durability:    dopts,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -259,10 +281,20 @@ func TestHammerDurableConcurrent(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	if ds, ok := db.CheckpointDaemon(); ok {
+		t.Logf("daemon: %d checkpoints (last CE=%d, %d rows), %d ticks skipped, %d segments truncated",
+			ds.Checkpoints, ds.LastEpoch, ds.LastRows, ds.Skipped, ds.TruncatedSegments)
+		if ds.LastErr != nil {
+			t.Errorf("checkpoint daemon error: %v", ds.LastErr)
+		}
+		if ds.Checkpoints == 0 {
+			t.Error("daemon never completed a checkpoint during the hammer")
+		}
+	}
 	db.Close()
 
 	db2, err := silo.Open(silo.Options{
-		Durability: &silo.DurabilityOptions{Dir: dir},
+		Durability: &silo.DurabilityOptions{Dir: dir, RecoveryWorkers: dopts.RecoveryWorkers},
 	})
 	if err != nil {
 		t.Fatal(err)

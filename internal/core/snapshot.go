@@ -94,6 +94,34 @@ func (stx *SnapTx) Get(t *Table, key []byte) ([]byte, error) {
 	return out, nil
 }
 
+// SnapshotScanAt visits keys in [lo, hi) of t at snapshot epoch sew,
+// calling fn with each visible key and value (valid only during the
+// callback). Unlike SnapTx.Scan it keeps no per-worker state, so any
+// number of goroutines may scan disjoint ranges concurrently — this is
+// what partitioned parallel checkpoints are built on.
+//
+// The caller must keep sew pinned against reclamation for the duration:
+// some snapshot transaction with Epoch() == sew must remain active (its
+// worker's epoch slot holds the snapshot reclamation horizon below sew).
+// Scanning at an unpinned epoch may miss versions that were reclaimed.
+func SnapshotScanAt(t *Table, sew uint64, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if !validKey(lo) || (hi != nil && len(hi) > btree.MaxKeyLen) {
+		return ErrKeyInvalid
+	}
+	var rbuf []byte
+	t.Tree.Scan(lo, hi,
+		func(*btree.Node, uint64) {},
+		func(key []byte, rec *record.Record) bool {
+			val, ok := snapshotVersion(rec, sew, rbuf)
+			rbuf = val[:0]
+			if !ok {
+				return true
+			}
+			return fn(key, val)
+		})
+	return nil
+}
+
 // Scan visits keys in [lo, hi) at the snapshot epoch. Values are valid only
 // during the callback. No node versions are recorded: snapshot scans cannot
 // be invalidated.

@@ -199,6 +199,7 @@ type Store struct {
 	tables  map[string]*Table
 	byID    []*Table
 	workers []*Worker
+	maint   *Worker
 
 	globalGen tid.GlobalGenerator
 	closed    bool
@@ -231,8 +232,11 @@ func NewStore(opts Options) *Store {
 		opts:   opts,
 		tables: make(map[string]*Table),
 	}
+	// One extra epoch slot backs the maintenance worker: background
+	// housekeeping (checkpointing) needs a snapshot pinned against
+	// reclamation without borrowing an application worker.
 	s.epochs = epoch.NewManager(epoch.Config{
-		Workers:    opts.Workers,
+		Workers:    opts.Workers + 1,
 		Interval:   opts.EpochInterval,
 		SnapshotK:  opts.SnapshotK,
 		StartEpoch: opts.StartEpoch,
@@ -241,6 +245,7 @@ func NewStore(opts Options) *Store {
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, i)
 	}
+	s.maint = newWorker(s, opts.Workers)
 	if !opts.ManualEpochs {
 		s.epochs.Start()
 	}
@@ -314,6 +319,15 @@ func (s *Store) Worker(i int) *Worker { return s.workers[i] }
 
 // Workers returns the number of workers.
 func (s *Store) Workers() int { return len(s.workers) }
+
+// Maintenance returns the store's hidden maintenance worker: an extra
+// worker context (with its own epoch slot) that does not count toward
+// Workers and is never handed to applications. Background housekeeping —
+// notably the checkpoint daemon — runs its snapshot transactions here, so
+// it can pin a snapshot epoch against reclamation while every application
+// worker keeps committing. Like any worker, it must be driven by at most
+// one goroutine at a time.
+func (s *Store) Maintenance() *Worker { return s.maint }
 
 // Stats aggregates all workers' counters.
 func (s *Store) Stats() Stats {

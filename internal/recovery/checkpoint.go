@@ -1,0 +1,622 @@
+// Package recovery owns Silo's parallel durability lifecycle: partitioned
+// checkpoints written and loaded by concurrent workers, multicore log
+// replay, and a background checkpoint daemon that turns checkpointing and
+// log truncation into operational properties (SiloR: on multicore hardware
+// both checkpointing and replay must be parallelized or recovery time
+// dwarfs runtime performance).
+//
+// The sequential reference paths live in internal/wal (WriteCheckpoint,
+// Recover); everything here must produce state identical to them, which
+// the equivalence tests assert. Two properties make the parallelism
+// order-free:
+//
+//   - Checkpoints are cut from one snapshot epoch CE: every partition
+//     writer reads the same consistent image (core.SnapshotScanAt), so the
+//     partition files compose into exactly the sequential image.
+//
+//   - Replay installs entries under the TID-max rule (wal.ApplyEntry): any
+//     interleaving of entries converges on the newest version per record,
+//     so workers need no coordination beyond the epoch ≤ D filter.
+//
+// # Partitioned checkpoint layout
+//
+// A partitioned checkpoint at snapshot epoch CE is the directory
+//
+//	checkpoint.<CE>/
+//	    part.0 … part.<N−1>   one disjoint key-range slice of every table
+//	    MANIFEST              written and fsynced last
+//
+// Partition k covers the key range [bound(k), bound(k+1)) where bounds
+// split the 16-bit key-prefix space evenly; every part holds rows from all
+// tables. Part files and the manifest carry CRC32 footers. Because the
+// manifest is written only after every part is durable, a crash
+// mid-checkpoint leaves a directory without a manifest, which loading
+// ignores — recovery falls back to the previous complete set.
+//
+//	part.<k>:  "SPC1" | u64 CE | u32 part
+//	           rows: 'R' | u32 table | u16 klen | key | u64 tid-slot |
+//	                 u32 vlen | value
+//	           'E' | u32 crc32(everything before the footer)
+//
+//	MANIFEST:  "SPM1" | u64 CE | u32 nparts
+//	           u32 ntables | ntables × (u32 id | u16 namelen | name)
+//	           u64 totalRows
+//	           'E' | u32 crc32(everything before the footer)
+//
+// The manifest records the table catalog (id → name) so that loading can
+// verify the declared schema matches the one checkpointed, and name the
+// offending table when it does not.
+package recovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/record"
+	"silo/internal/tid"
+	"silo/internal/wal"
+)
+
+const (
+	partMagic     = "SPC1"
+	manifestMagic = "SPM1"
+	manifestName  = "MANIFEST"
+)
+
+// errTorn marks an incomplete or corrupt checkpoint set; loading falls
+// back to the previous complete set. Schema mismatches are *not* torn —
+// they are hard errors naming the table, so a misdeclared schema cannot
+// silently recover from a stale checkpoint.
+var errTorn = errors.New("recovery: torn or corrupt checkpoint")
+
+// CheckpointResult describes a completed partitioned checkpoint.
+type CheckpointResult struct {
+	// Epoch is the snapshot epoch CE the image is consistent at.
+	Epoch uint64
+	// Rows is the number of records written across all partitions.
+	Rows int
+	// Bytes is the total size of the part files plus manifest.
+	Bytes int64
+	// Path is the checkpoint directory (checkpoint.<CE>).
+	Path string
+	// Partitions is the number of part files written.
+	Partitions int
+	// Elapsed is the wall-clock time of the checkpoint.
+	Elapsed time.Duration
+}
+
+// partBound returns the lower bound key of partition k out of n: the
+// 16-bit prefix space is split evenly, with partition 0 anchored at the
+// minimum valid key {0}. bound(n) is nil (+∞).
+func partBound(k, n int) []byte {
+	if k <= 0 {
+		return []byte{0}
+	}
+	if k >= n {
+		return nil
+	}
+	b := uint32(uint64(k) * 65536 / uint64(n))
+	return []byte{byte(b >> 8), byte(b)}
+}
+
+// WriteCheckpoint takes a transactionally consistent checkpoint of every
+// table in the store using parts writer goroutines that each walk a
+// disjoint key-range slice at one snapshot epoch. The snapshot is pinned
+// by a snapshot transaction on w, whose local epoch is refreshed
+// periodically so a long checkpoint never stalls the epoch advancer;
+// writers on other workers are not blocked (§4.9: snapshot reads never
+// abort). The worker must be otherwise idle — the checkpoint daemon uses
+// the store's dedicated maintenance worker.
+func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (CheckpointResult, error) {
+	var res CheckpointResult
+	start := time.Now()
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > 64 {
+		parts = 64
+	}
+	res.Partitions = parts
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return res, err
+	}
+	tables := s.Tables()
+
+	err := w.RunSnapshot(func(stx *core.SnapTx) error {
+		sew := stx.Epoch()
+		if sew == 0 {
+			return fmt.Errorf("recovery: no snapshot epoch available yet (epoch still warming up)")
+		}
+		res.Epoch = sew
+		ckptDir := filepath.Join(dir, fmt.Sprintf("checkpoint.%d", sew))
+		res.Path = ckptDir
+		// A complete set at this epoch is kept, never rewritten: the
+		// snapshot image at a given CE is deterministic, and destroying
+		// the only complete set before its replacement's manifest is
+		// durable would leave a crash window with nothing to fall back to
+		// (fatal if covered log segments were already truncated).
+		if m, err := readManifest(filepath.Join(ckptDir, manifestName)); err == nil && m.epoch == sew {
+			res.Rows = int(m.rows)
+			res.Partitions = m.parts
+			return nil
+		}
+		// A torn attempt at this epoch (no valid manifest) is replaced.
+		if err := os.RemoveAll(ckptDir); err != nil {
+			return err
+		}
+		if err := os.Mkdir(ckptDir, 0o755); err != nil {
+			return err
+		}
+
+		type partOut struct {
+			rows  int
+			bytes int64
+			err   error
+		}
+		outs := make([]partOut, parts)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for k := 0; k < parts; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				rows, n, err := writePart(ckptDir, k, sew, tables, partBound(k, parts), partBound(k+1, parts))
+				outs[k] = partOut{rows, n, err}
+			}(k)
+		}
+		go func() { wg.Wait(); close(done) }()
+		// Keep the pinned slot's local epoch fresh while the writers run:
+		// Refresh advances e_w (so E keeps moving) without touching the
+		// snapshot epoch that protects the versions being scanned.
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				for k := range outs {
+					if outs[k].err != nil {
+						return outs[k].err
+					}
+					res.Rows += outs[k].rows
+					res.Bytes += outs[k].bytes
+				}
+				n, err := writeManifest(ckptDir, sew, parts, tables, uint64(res.Rows))
+				if err != nil {
+					return err
+				}
+				res.Bytes += n
+				return syncDir(ckptDir)
+			case <-t.C:
+				w.RefreshEpoch()
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// writePart writes one partition file: the rows of every table whose keys
+// fall in [lo, hi) at snapshot epoch sew, fsynced before return.
+func writePart(ckptDir string, k int, sew uint64, tables []*core.Table, lo, hi []byte) (rows int, size int64, err error) {
+	f, err := os.Create(filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 0, 64<<10)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		crc.Write(buf)
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+		size += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+
+	buf = append(buf, partMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, sew)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	for _, tbl := range tables {
+		var inner error
+		serr := core.SnapshotScanAt(tbl, sew, lo, hi, func(key, val []byte) bool {
+			buf = append(buf, 'R')
+			buf = binary.LittleEndian.AppendUint32(buf, tbl.ID)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+			buf = append(buf, key...)
+			// Reserved per-row TID slot, as in the single-file format.
+			buf = binary.LittleEndian.AppendUint64(buf, 0)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+			buf = append(buf, val...)
+			rows++
+			if len(buf) >= 64<<10 {
+				if err := flush(); err != nil {
+					inner = err
+					return false
+				}
+			}
+			return true
+		})
+		if inner != nil {
+			return rows, size, inner
+		}
+		if serr != nil {
+			return rows, size, serr
+		}
+	}
+	if err := flush(); err != nil {
+		return rows, size, err
+	}
+	foot := make([]byte, 0, 5)
+	foot = append(foot, 'E')
+	foot = binary.LittleEndian.AppendUint32(foot, crc.Sum32())
+	if _, err := f.Write(foot); err != nil {
+		return rows, size, err
+	}
+	size += int64(len(foot))
+	if err := f.Sync(); err != nil {
+		return rows, size, err
+	}
+	return rows, size, f.Close()
+}
+
+// writeManifest writes and fsyncs the manifest — the commit point of the
+// checkpoint.
+func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, totalRows uint64) (int64, error) {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, sew)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(parts))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
+	for _, tbl := range tables {
+		buf = binary.LittleEndian.AppendUint32(buf, tbl.ID)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(tbl.Name)))
+		buf = append(buf, tbl.Name...)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, totalRows)
+	buf = append(buf, 'E')
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[:len(buf)-1]))
+
+	f, err := os.Create(filepath.Join(ckptDir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Write(buf); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), f.Close()
+}
+
+// syncDir fsyncs a directory so the files created in it are reachable
+// after a crash (best-effort on platforms where directories cannot be
+// opened for sync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// manifest is the parsed MANIFEST of a partitioned checkpoint.
+type manifest struct {
+	epoch  uint64
+	parts  int
+	tables []manifestTable
+	rows   uint64
+}
+
+type manifestTable struct {
+	id   uint32
+	name string
+}
+
+func readManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errTorn, err)
+	}
+	if len(data) < len(manifestMagic)+8+4+4+8+5 || string(data[:4]) != manifestMagic {
+		return nil, fmt.Errorf("%w: %s: bad manifest header", errTorn, path)
+	}
+	body, foot := data[:len(data)-5], data[len(data)-5:]
+	if foot[0] != 'E' || crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot[1:]) {
+		return nil, fmt.Errorf("%w: %s: bad manifest footer", errTorn, path)
+	}
+	m := &manifest{}
+	off := 4
+	m.epoch = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	m.parts = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	ntables := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	for i := 0; i < ntables; i++ {
+		if off+6 > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated table catalog", errTorn, path)
+		}
+		id := binary.LittleEndian.Uint32(body[off:])
+		nlen := int(binary.LittleEndian.Uint16(body[off+4:]))
+		off += 6
+		if off+nlen > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated table catalog", errTorn, path)
+		}
+		m.tables = append(m.tables, manifestTable{id, string(body[off : off+nlen])})
+		off += nlen
+	}
+	if off+8 > len(body) {
+		return nil, fmt.Errorf("%w: %s: truncated manifest", errTorn, path)
+	}
+	m.rows = binary.LittleEndian.Uint64(body[off:])
+	return m, nil
+}
+
+// checkSchema verifies that every table the manifest catalogued is
+// declared in the store under the same id and name, returning a
+// descriptive error naming the first missing or mismatched table.
+func checkSchema(store *core.Store, path string, tables []manifestTable) error {
+	for _, mt := range tables {
+		tbl := store.TableByID(mt.id)
+		if tbl == nil {
+			return fmt.Errorf(
+				"recovery: checkpoint %s contains table id %d (%q), but only %d tables are declared%s",
+				path, mt.id, mt.name, len(store.Tables()), declareHint(store))
+		}
+		if tbl.Name != mt.name {
+			return fmt.Errorf(
+				"recovery: checkpoint %s declares table id %d as %q, but the store declares it as %q%s",
+				path, mt.id, mt.name, tbl.Name, declareHint(store))
+		}
+	}
+	return nil
+}
+
+// declareHint is appended to schema-mismatch errors: the single statement
+// of the declare-before-recover contract.
+func declareHint(store *core.Store) string {
+	var names []string
+	for _, t := range store.Tables() {
+		names = append(names, t.Name)
+	}
+	return fmt.Sprintf(" (declared: %s); tables and indexes must be re-declared in their original creation order before recovery — table IDs are assigned in creation order and are part of the log and checkpoint formats",
+		strings.Join(names, ", "))
+}
+
+// loadPart reads, verifies, and installs one partition file. Verification
+// (footer CRC) completes before any row is installed, so a torn part never
+// contaminates the store. Rows are installed with a synthetic TID at the
+// last slot of epoch CE−1 — the checkpoint image holds exactly the
+// versions with epoch < CE, so a logged write with epoch ≥ CE must win the
+// replay's TID comparison and one with epoch < CE must lose.
+func loadPart(store *core.Store, path string, wantEpoch uint64) (rows int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errTorn, err)
+	}
+	hdr := len(partMagic) + 8 + 4
+	if len(data) < hdr+5 || string(data[:4]) != partMagic {
+		return 0, fmt.Errorf("%w: %s: bad part header", errTorn, path)
+	}
+	body, foot := data[:len(data)-5], data[len(data)-5:]
+	if foot[0] != 'E' || crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot[1:]) {
+		return 0, fmt.Errorf("%w: %s: bad part footer", errTorn, path)
+	}
+	epoch := binary.LittleEndian.Uint64(body[4:12])
+	if epoch != wantEpoch {
+		return 0, fmt.Errorf("%w: %s: part epoch %d, manifest %d", errTorn, path, epoch, wantEpoch)
+	}
+	rowTID := uint64(tid.Make(saturatingSub(epoch, 1), tid.MaxSeq))
+	off := hdr
+	for off < len(body) {
+		if body[off] != 'R' {
+			return rows, fmt.Errorf("%w: %s: bad row marker at %d", errTorn, path, off)
+		}
+		off++
+		if off+6 > len(body) {
+			return rows, fmt.Errorf("%w: %s: truncated row", errTorn, path)
+		}
+		table := binary.LittleEndian.Uint32(body[off:])
+		klen := int(binary.LittleEndian.Uint16(body[off+4:]))
+		off += 6
+		if off+klen+12 > len(body) {
+			return rows, fmt.Errorf("%w: %s: truncated row", errTorn, path)
+		}
+		key := body[off : off+klen]
+		off += klen + 8 // skip reserved TID slot
+		vlen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+vlen > len(body) {
+			return rows, fmt.Errorf("%w: %s: truncated row", errTorn, path)
+		}
+		val := body[off : off+vlen]
+		off += vlen
+
+		tbl := store.TableByID(table)
+		if tbl == nil {
+			// The manifest catalog is checked before any part is loaded,
+			// so this indicates a part/manifest mismatch.
+			return rows, fmt.Errorf(
+				"recovery: checkpoint part %s references table id %d, but only %d tables are declared%s",
+				path, table, len(store.Tables()), declareHint(store))
+		}
+		rec := record.New(tid.Word(rowTID).WithLatest(true), append([]byte(nil), val...))
+		if _, inserted, _ := tbl.Tree.InsertIfAbsent(append([]byte(nil), key...), rec); inserted {
+			rows++
+		}
+	}
+	return rows, nil
+}
+
+func saturatingSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// foundCheckpoint is one checkpoint candidate in a durability directory:
+// either a partitioned set (directory) or a pre-partitioning single file.
+type foundCheckpoint struct {
+	path  string
+	epoch uint64
+	isDir bool
+}
+
+// findCheckpoints lists checkpoint candidates in dir, oldest first.
+func findCheckpoints(dir string) ([]foundCheckpoint, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "checkpoint.*"))
+	if err != nil {
+		return nil, err
+	}
+	var found []foundCheckpoint
+	for _, n := range names {
+		suffix := strings.TrimPrefix(filepath.Base(n), "checkpoint.")
+		e, err := strconv.ParseUint(suffix, 10, 64)
+		if err != nil {
+			continue // temp or foreign file
+		}
+		st, err := os.Stat(n)
+		if err != nil {
+			continue
+		}
+		found = append(found, foundCheckpoint{path: n, epoch: e, isDir: st.IsDir()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].epoch < found[j].epoch })
+	return found, nil
+}
+
+// loadPartitioned verifies and installs one partitioned checkpoint set,
+// loading part files with up to workers goroutines. Integrity failures
+// return errTorn (callers fall back to an older set); schema mismatches
+// are hard errors.
+func loadPartitioned(store *core.Store, ckptDir string, workers int) (epoch uint64, rows int, err error) {
+	m, err := readManifest(filepath.Join(ckptDir, manifestName))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := checkSchema(store, ckptDir, m.tables); err != nil {
+		return 0, 0, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	type out struct {
+		rows int
+		err  error
+	}
+	outs := make([]out, m.parts)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < m.parts; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := loadPart(store, filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)), m.epoch)
+			outs[k] = out{r, err}
+		}(k)
+	}
+	wg.Wait()
+	for k := range outs {
+		if outs[k].err != nil {
+			return m.epoch, rows, outs[k].err
+		}
+		rows += outs[k].rows
+	}
+	return m.epoch, rows, nil
+}
+
+// loadNewestCheckpoint installs the newest complete checkpoint in dir —
+// partitioned sets and pre-partitioning single files alike — falling back
+// past torn or corrupt sets. It returns CE 0 when no usable checkpoint
+// exists. Schema mismatches abort immediately.
+func loadNewestCheckpoint(store *core.Store, dir string, workers int) (epoch uint64, rows int, err error) {
+	found, err := findCheckpoints(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := len(found) - 1; i >= 0; i-- {
+		f := found[i]
+		var e uint64
+		var r int
+		if f.isDir {
+			e, r, err = loadPartitioned(store, f.path, workers)
+		} else {
+			e, r, err = wal.LoadCheckpointFile(store, f.path)
+			if err != nil {
+				err = fmt.Errorf("%w: %v", errTorn, err)
+			}
+		}
+		if err == nil {
+			return e, r, nil
+		}
+		if !errors.Is(err, errTorn) {
+			return 0, 0, err // schema mismatch or other hard failure
+		}
+	}
+	return 0, 0, nil
+}
+
+// PruneCheckpoints removes all checkpoint sets in dir except the keep
+// newest complete ones; torn sets older than the newest complete one are
+// removed as well. It returns the removed paths. The daemon calls this
+// after each successful checkpoint.
+func PruneCheckpoints(dir string, keep int) (removed []string, err error) {
+	if keep < 1 {
+		keep = 1
+	}
+	found, err := findCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	complete := func(f foundCheckpoint) bool {
+		if !f.isDir {
+			return true // single files are renamed into place atomically
+		}
+		_, err := readManifest(filepath.Join(f.path, manifestName))
+		return err == nil
+	}
+	kept := 0
+	for i := len(found) - 1; i >= 0; i-- {
+		f := found[i]
+		if complete(f) && kept < keep {
+			kept++
+			continue
+		}
+		if kept == 0 {
+			// Nothing newer is complete: a torn newest set may be a
+			// checkpoint in progress — leave it alone.
+			continue
+		}
+		if err := os.RemoveAll(f.path); err != nil {
+			return removed, err
+		}
+		removed = append(removed, f.path)
+	}
+	return removed, nil
+}

@@ -1,0 +1,296 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+)
+
+// binKey spreads keys across the whole first-byte space so a partitioned
+// checkpoint exercises every partition.
+func binKey(i int) []byte {
+	b := make([]byte, 6)
+	b[0] = byte(i * 37)
+	b[1] = byte(i >> 8)
+	binary.BigEndian.PutUint32(b[2:], uint32(i))
+	return b
+}
+
+// ckptStore builds a store with manual epochs, loads n keys across the key
+// space, and pushes epochs far enough that a snapshot covers them.
+func ckptStore(t *testing.T, n int) (*core.Store, *core.Table) {
+	t.Helper()
+	opts := core.DefaultOptions(2)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	t.Cleanup(s.Close)
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, binKey(i), []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.AdvanceEpoch()
+	}
+	return s, tbl
+}
+
+// dump captures a table's logical contents.
+func dump(t *testing.T, s *core.Store, tbl *core.Table) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if err := s.Worker(0).Run(func(tx *core.Tx) error {
+		clear(out)
+		return tx.Scan(tbl, []byte{0}, nil, func(k, v []byte) bool {
+			out[string(k)] = string(v)
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPartitionedCheckpointRoundTrip(t *testing.T) {
+	const n = 500
+	s, tbl := ckptStore(t, n)
+	dir := t.TempDir()
+	res, err := WriteCheckpoint(s, s.Maintenance(), dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != n {
+		t.Fatalf("rows=%d want %d", res.Rows, n)
+	}
+	if res.Partitions != 4 {
+		t.Fatalf("partitions=%d", res.Partitions)
+	}
+	if res.Epoch == 0 {
+		t.Fatal("checkpoint epoch 0")
+	}
+	for k := 0; k < 4; k++ {
+		if _, err := os.Stat(filepath.Join(res.Path, fmt.Sprintf("part.%d", k))); err != nil {
+			t.Fatalf("part %d: %v", k, err)
+		}
+	}
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl2 := s2.CreateTable("t")
+	ce, rows, err := loadNewestCheckpoint(s2, dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != res.Epoch || rows != n {
+		t.Fatalf("loaded ce=%d rows=%d, want ce=%d rows=%d", ce, rows, res.Epoch, n)
+	}
+	want, got := dump(t, s, tbl), dump(t, s2, tbl2)
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %x: got %q want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestCheckpointNoSnapshotEpochYet(t *testing.T) {
+	opts := core.DefaultOptions(1)
+	opts.ManualEpochs = true // E stays at 1; SE stays 0
+	s := core.NewStore(opts)
+	defer s.Close()
+	s.CreateTable("t")
+	if _, err := WriteCheckpoint(s, s.Maintenance(), t.TempDir(), 2); err == nil {
+		t.Fatal("checkpoint at snapshot epoch 0 succeeded")
+	}
+}
+
+// TestTornCheckpointFallsBack is the crash-mid-checkpoint story: a newer
+// set with only a subset of its part files (and no manifest) must be
+// ignored in favor of the previous complete set.
+func TestTornCheckpointFallsBack(t *testing.T) {
+	const n = 200
+	s, tbl := ckptStore(t, n)
+	dir := t.TempDir()
+	first, err := WriteCheckpoint(s, s.Maintenance(), dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// More data, newer snapshot, newer checkpoint…
+	w := s.Worker(0)
+	for i := n; i < n+100; i++ {
+		i := i
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, binKey(i), []byte("late"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.AdvanceEpoch()
+	}
+	second, err := WriteCheckpoint(s, s.Maintenance(), dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Epoch <= first.Epoch {
+		t.Fatalf("second checkpoint epoch %d not beyond first %d", second.Epoch, first.Epoch)
+	}
+
+	// …then tear it: kill the manifest and a part, as if the writer died
+	// after a subset of parts hit disk.
+	if err := os.Remove(filepath.Join(second.Path, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(second.Path, "part.2")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	s2.CreateTable("t")
+	ce, rows, err := loadNewestCheckpoint(s2, dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != first.Epoch {
+		t.Fatalf("loaded ce=%d, want fallback to %d", ce, first.Epoch)
+	}
+	if rows != n {
+		t.Fatalf("fallback loaded %d rows, want %d", rows, n)
+	}
+
+	// A corrupt part (bad CRC) in an otherwise complete set also falls back.
+	part := filepath.Join(second.Path, "part.0")
+	data, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(part, data, 0o644)
+	s3 := core.NewStore(core.DefaultOptions(1))
+	defer s3.Close()
+	s3.CreateTable("t")
+	if ce, _, err := loadNewestCheckpoint(s3, dir, 4); err != nil || ce != first.Epoch {
+		t.Fatalf("corrupt-part fallback: ce=%d err=%v", ce, err)
+	}
+}
+
+func TestCheckpointSchemaMismatch(t *testing.T) {
+	s, _ := ckptStore(t, 10)
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(s, s.Maintenance(), dir, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same id, different name: hard error naming both.
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	s2.CreateTable("wrong")
+	_, _, err := loadNewestCheckpoint(s2, dir, 2)
+	if err == nil {
+		t.Fatal("schema mismatch not detected")
+	}
+	for _, want := range []string{`"t"`, `"wrong"`, "creation order"} {
+		if !contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+
+	// Missing table entirely: hard error, not silent fallback.
+	s3 := core.NewStore(core.DefaultOptions(1))
+	defer s3.Close()
+	if _, _, err := loadNewestCheckpoint(s3, dir, 2); err == nil {
+		t.Fatal("missing table not detected")
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	s, tbl := ckptStore(t, 20)
+	dir := t.TempDir()
+	var epochs []uint64
+	for round := 0; round < 3; round++ {
+		res, err := WriteCheckpoint(s, s.Maintenance(), dir, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, res.Epoch)
+		w := s.Worker(0)
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Put(tbl, binKey(0), []byte(fmt.Sprintf("r%d", round)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			s.AdvanceEpoch()
+		}
+	}
+	removed, err := PruneCheckpoints(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the 2 older sets", removed)
+	}
+	found, _ := findCheckpoints(dir)
+	if len(found) != 1 || found[0].epoch != epochs[2] {
+		t.Fatalf("left %+v, want only epoch %d", found, epochs[2])
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestPartBoundsCoverDisjoint checks the partition bounds tile the key
+// space: every key falls in exactly one [bound(k), bound(k+1)).
+func TestPartBoundsCoverDisjoint(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 64} {
+		keys := [][]byte{{0}, {0, 0}, {1}, {0x3f}, {0x3f, 0xff}, {0x40}, {0x80, 1, 2}, {0xff}, {0xff, 0xff, 0xff}}
+		for _, key := range keys {
+			in := 0
+			for k := 0; k < n; k++ {
+				lo, hi := partBound(k, n), partBound(k+1, n)
+				if cmp(key, lo) >= 0 && (hi == nil || cmp(key, hi) < 0) {
+					in++
+				}
+			}
+			if in != 1 {
+				t.Fatalf("n=%d key=%x in %d partitions", n, key, in)
+			}
+		}
+	}
+}
+
+func cmp(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// drainEpochs lets the time-based tests run with real epochs instead of
+// manual ones.
+func fastOpts(workers int) core.Options {
+	o := core.DefaultOptions(workers)
+	o.EpochInterval = time.Millisecond
+	o.SnapshotK = 2
+	return o
+}

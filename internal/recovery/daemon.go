@@ -1,0 +1,175 @@
+package recovery
+
+import (
+	"sync"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/wal"
+)
+
+// DaemonOptions configures the background checkpoint daemon.
+type DaemonOptions struct {
+	// Dir is the durability directory (checkpoints live beside the log).
+	Dir string
+	// Interval is the period between checkpoint attempts.
+	Interval time.Duration
+	// Partitions is the partition count per checkpoint (default 4).
+	Partitions int
+	// Keep is how many complete checkpoint sets to retain (default 1; the
+	// newest complete set is always kept).
+	Keep int
+}
+
+// DaemonStats is a snapshot of the daemon's counters.
+type DaemonStats struct {
+	// Checkpoints is the number of completed checkpoints.
+	Checkpoints int
+	// Skipped counts ticks that took no checkpoint (snapshot epoch not
+	// yet advanced past the newest set).
+	Skipped int
+	// LastEpoch, LastRows, and LastElapsed describe the newest checkpoint.
+	LastEpoch   uint64
+	LastRows    int
+	LastElapsed time.Duration
+	// TruncatedSegments counts log segments deleted because a checkpoint
+	// covered them.
+	TruncatedSegments int
+	// LastErr is the most recent failure (nil when healthy). A failed
+	// tick never damages durability: the previous complete checkpoint set
+	// and the full log remain.
+	LastErr error
+}
+
+// Daemon periodically takes partitioned checkpoints off snapshot epochs
+// while writers run, prunes superseded checkpoint sets, and truncates log
+// segments whose transactions all predate the checkpoint epoch. It runs
+// its snapshot transactions on the store's dedicated maintenance worker,
+// so application workers are never borrowed and never blocked.
+type Daemon struct {
+	store *core.Store
+	wal   *wal.Manager
+	opts  DaemonOptions
+
+	stop    chan struct{}
+	stopped chan struct{}
+	started bool
+
+	mu     sync.Mutex
+	stats  DaemonStats
+	lastCE uint64
+}
+
+// NewDaemon creates a daemon without starting it; RunOnce drives it
+// manually (tests), Start launches the background loop. m may be nil when
+// no live logger manager exists (checkpoint-only operation) — log
+// truncation is then skipped.
+func NewDaemon(store *core.Store, m *wal.Manager, opts DaemonOptions) *Daemon {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 4
+	}
+	if opts.Keep < 1 {
+		opts.Keep = 1
+	}
+	d := &Daemon{store: store, wal: m, opts: opts,
+		stop: make(chan struct{}), stopped: make(chan struct{})}
+	// Resume from the newest complete set on disk so a restart does not
+	// immediately rewrite an up-to-date checkpoint.
+	if found, err := findCheckpoints(opts.Dir); err == nil {
+		for i := len(found) - 1; i >= 0; i-- {
+			if found[i].isDir {
+				if m, err := readManifest(found[i].path + "/" + manifestName); err == nil {
+					d.lastCE = m.epoch
+					break
+				}
+				continue
+			}
+			d.lastCE = found[i].epoch
+			break
+		}
+	}
+	return d
+}
+
+// Start launches the daemon loop. The maintenance worker must not be
+// driven by anyone else while the daemon runs.
+func (d *Daemon) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	go d.run()
+}
+
+// Stop halts the loop and waits for an in-flight checkpoint to finish.
+func (d *Daemon) Stop() {
+	if !d.started {
+		return
+	}
+	d.started = false
+	close(d.stop)
+	<-d.stopped
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *Daemon) run() {
+	defer close(d.stopped)
+	t := time.NewTicker(d.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.RunOnce()
+		}
+	}
+}
+
+// RunOnce performs one daemon tick: checkpoint (if the snapshot epoch has
+// advanced past the newest set), prune, truncate. It must not be called
+// concurrently with a started daemon — it drives the maintenance worker.
+func (d *Daemon) RunOnce() error {
+	sew := d.store.Epochs().SnapshotGlobal()
+	d.mu.Lock()
+	last := d.lastCE
+	d.mu.Unlock()
+	if sew == 0 || sew <= last {
+		d.mu.Lock()
+		d.stats.Skipped++
+		d.mu.Unlock()
+		return nil
+	}
+
+	res, err := WriteCheckpoint(d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions)
+	if err != nil {
+		d.mu.Lock()
+		d.stats.LastErr = err
+		d.mu.Unlock()
+		return err
+	}
+
+	var truncated int
+	if _, err = PruneCheckpoints(d.opts.Dir, d.opts.Keep); err == nil && d.wal != nil {
+		var removed []string
+		removed, err = d.wal.TruncateCovered(res.Epoch)
+		truncated = len(removed)
+	}
+
+	d.mu.Lock()
+	d.lastCE = res.Epoch
+	d.stats.Checkpoints++
+	d.stats.LastEpoch = res.Epoch
+	d.stats.LastRows = res.Rows
+	d.stats.LastElapsed = res.Elapsed
+	d.stats.TruncatedSegments += truncated
+	d.stats.LastErr = err
+	d.mu.Unlock()
+	return err
+}

@@ -1,0 +1,152 @@
+package recovery
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+	"silo/internal/wal"
+)
+
+// benchLog builds one log directory for all replay benchmarks: ~40k
+// transactions over two tables from four concurrent workers.
+var benchLog struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+func buildBenchLog() {
+	dir, err := os.MkdirTemp("", "silo-replay-bench")
+	if err != nil {
+		benchLog.err = err
+		return
+	}
+	benchLog.dir = dir
+	const workers = 4
+	const rounds = 10000
+	opts := core.DefaultOptions(workers)
+	opts.EpochInterval = time.Millisecond
+	s := core.NewStore(opts)
+	m, err := wal.Attach(s, wal.Config{Dir: dir, Loggers: 2, PollInterval: time.Millisecond, SegmentBytes: 4 << 20})
+	if err != nil {
+		benchLog.err = err
+		return
+	}
+	a := s.CreateTable("a")
+	b := s.CreateTable("b")
+	m.Start()
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			val := make([]byte, 100)
+			for r := 0; r < rounds; r++ {
+				i := wid*rounds + r
+				copy(val, fmt.Sprintf("w%d-%d", wid, r))
+				if err := w.Run(func(tx *core.Tx) error {
+					if err := tx.Insert(a, binKey(i), val); err != nil {
+						return err
+					}
+					if r%4 == 0 {
+						k := binKey(i % 512)
+						if err := tx.Insert(b, k, val); err == core.ErrKeyExists {
+							return tx.Put(b, k, val)
+						} else if err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					benchLog.err = err
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	var target uint64
+	for w := 0; w < workers; w++ {
+		if e := tid.Word(s.Worker(w).LastCommitTID()).Epoch(); e > target {
+			target = e
+		}
+	}
+	for m.DurableEpoch() < target {
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	s.Close()
+}
+
+// BenchmarkReplay compares single-goroutine and multicore log replay over
+// the same log directory (no checkpoint: pure replay). Run with
+//
+//	go test -bench Replay -benchtime 5x ./internal/recovery
+func BenchmarkReplay(b *testing.B) {
+	benchLog.once.Do(buildBenchLog)
+	if benchLog.err != nil {
+		b.Fatal(benchLog.err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var txns int
+			for i := 0; i < b.N; i++ {
+				s := core.NewStore(core.DefaultOptions(1))
+				s.CreateTable("a")
+				s.CreateTable("b")
+				res, err := Recover(s, benchLog.dir, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				txns = res.TxnsApplied
+				s.Close()
+			}
+			b.ReportMetric(float64(txns)*float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+		})
+	}
+}
+
+// BenchmarkCheckpointWrite compares partition counts for checkpointing a
+// loaded store.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	const n = 100000
+	opts := core.DefaultOptions(2)
+	opts.ManualEpochs = true
+	opts.SnapshotK = 2
+	s := core.NewStore(opts)
+	defer s.Close()
+	tbl := s.CreateTable("t")
+	w := s.Worker(0)
+	val := make([]byte, 100)
+	for i := 0; i < n; i += 512 {
+		if err := w.Run(func(tx *core.Tx) error {
+			for j := i; j < i+512 && j < n; j++ {
+				if err := tx.Insert(tbl, binKey(j), val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.AdvanceEpoch()
+	}
+	for _, parts := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dir := b.TempDir()
+				if _, err := WriteCheckpoint(s, s.Maintenance(), dir, parts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+	"silo/internal/wal"
+)
+
+// waitDurable blocks until every commit so far is durable (D has reached
+// the maximum commit epoch across workers).
+func waitDurable(t *testing.T, s *core.Store, m *wal.Manager) {
+	t.Helper()
+	var target uint64
+	for w := 0; w < s.Workers(); w++ {
+		if e := tid.Word(s.Worker(w).LastCommitTID()).Epoch(); e > target {
+			target = e
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.DurableEpoch() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable epoch stuck at %d want %d", m.DurableEpoch(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelRecoveryEquivalence is the acceptance test for the parallel
+// path: a concurrent workload with segment rotation and a partitioned
+// checkpoint taken mid-run (while writers commit) must recover to the
+// same state through the sequential reference path (wal.Recover, log
+// only), the single-worker recovery path, and the 4-worker parallel path.
+func TestParallelRecoveryEquivalence(t *testing.T) {
+	const workers = 4
+	const rounds = 150
+	dir := t.TempDir()
+	s := core.NewStore(fastOpts(workers))
+	m, err := wal.Attach(s, wal.Config{
+		Dir: dir, Loggers: 2, PollInterval: time.Millisecond, SegmentBytes: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := s.CreateTable("acct")
+	audit := s.CreateTable("audit")
+	m.Start()
+	t.Cleanup(func() { m.Stop(); s.Close() }) // safe double-stop on failure paths
+
+	var wg sync.WaitGroup
+	var ckptRes CheckpointResult
+	var ckptErr error
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			for r := 0; r < rounds; r++ {
+				i := wid*rounds + r
+				if err := w.Run(func(tx *core.Tx) error {
+					if err := tx.Insert(acct, binKey(i), []byte(fmt.Sprintf("w%d-r%d", wid, r))); err != nil {
+						return err
+					}
+					if r%3 == 0 {
+						// Churn a shared audit key so updates and deletes
+						// cross the checkpoint boundary.
+						k := binKey(r % 16)
+						v := []byte(fmt.Sprintf("u%d", i))
+						if err := tx.Insert(audit, k, v); err == core.ErrKeyExists {
+							if err := tx.Put(audit, k, v); err != nil {
+								return err
+							}
+						} else if err != nil {
+							return err
+						}
+					}
+					if r%7 == 0 && r > 0 {
+						if err := tx.Delete(acct, binKey(wid*rounds+r-1)); err != nil && err != core.ErrNotFound {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("worker %d: %v", wid, err)
+					return
+				}
+				if wid == 0 && r == rounds/2 {
+					// Partitioned checkpoint concurrent with the writers,
+					// once a snapshot epoch covering the early rounds
+					// exists.
+					for s.Epochs().SnapshotGlobal() < 4 {
+						time.Sleep(time.Millisecond)
+					}
+					ckptRes, ckptErr = WriteCheckpoint(s, s.Maintenance(), dir, 4)
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	if ckptErr != nil {
+		t.Fatalf("concurrent checkpoint: %v", ckptErr)
+	}
+	if ckptRes.Epoch == 0 || ckptRes.Rows == 0 {
+		t.Fatalf("concurrent checkpoint wrote nothing: %+v", ckptRes)
+	}
+	waitDurable(t, s, m)
+	m.Stop()
+
+	want := [2]map[string]string{dump(t, s, acct), dump(t, s, audit)}
+	s.Close()
+
+	// Segments must actually have rotated, or the test is not exercising
+	// grouped durable bounds.
+	infos, err := wal.ListLogFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeq := uint64(0)
+	for _, fi := range infos {
+		if fi.Seq > maxSeq {
+			maxSeq = fi.Seq
+		}
+	}
+	if maxSeq == 0 {
+		t.Fatalf("no segment rotation happened across %d files", len(infos))
+	}
+
+	check := func(label string, recoverInto func(*core.Store) error) {
+		t.Helper()
+		s2 := core.NewStore(core.DefaultOptions(1))
+		defer s2.Close()
+		a2 := s2.CreateTable("acct")
+		u2 := s2.CreateTable("audit")
+		if err := recoverInto(s2); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got := [2]map[string]string{dump(t, s2, a2), dump(t, s2, u2)}
+		for ti := range want {
+			if len(got[ti]) != len(want[ti]) {
+				t.Fatalf("%s: table %d has %d keys, want %d", label, ti, len(got[ti]), len(want[ti]))
+			}
+			for k, v := range want[ti] {
+				if got[ti][k] != v {
+					t.Fatalf("%s: table %d key %x = %q, want %q", label, ti, k, got[ti][k], v)
+				}
+			}
+		}
+	}
+
+	check("sequential wal.Recover", func(s2 *core.Store) error {
+		_, err := wal.Recover(s2, dir, false)
+		return err
+	})
+	var res1, res4 Result
+	check("recovery.Recover workers=1", func(s2 *core.Store) error {
+		var err error
+		res1, err = Recover(s2, dir, Options{Workers: 1})
+		return err
+	})
+	check("recovery.Recover workers=4", func(s2 *core.Store) error {
+		var err error
+		res4, err = Recover(s2, dir, Options{Workers: 4})
+		return err
+	})
+	if res4.CheckpointEpoch != ckptRes.Epoch {
+		t.Errorf("parallel recovery used checkpoint %d, want %d", res4.CheckpointEpoch, ckptRes.Epoch)
+	}
+	if res4.TxnsBelowCheckpoint == 0 {
+		t.Error("no transactions were below the checkpoint — checkpoint did not save replay work")
+	}
+	if res1.TxnsApplied != res4.TxnsApplied || res1.TxnsSkipped != res4.TxnsSkipped {
+		t.Errorf("worker counts diverge: 1-worker %+v vs 4-worker %+v", res1.RecoveryResult, res4.RecoveryResult)
+	}
+}
+
+// TestReplayCrossLoggerDeleteOrder is the regression test for the
+// delete-resurrection bug: with per-worker loggers, a delete can sit in an
+// earlier-dispatched log file than the insert it supersedes (file order is
+// not TID order). Replay must install a tombstone for the delete so the
+// later-arriving older insert cannot resurrect the key.
+func TestReplayCrossLoggerDeleteOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := core.NewStore(fastOpts(2))
+	m, err := wal.Attach(s, wal.Config{Dir: dir, Loggers: 2, PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.CreateTable("t")
+	m.Start()
+	t.Cleanup(func() { m.Stop(); s.Close() })
+
+	// Worker 1 (→ logger 1, log.1) inserts; worker 0 (→ logger 0, log.0)
+	// then deletes K and overwrites L. The dispatcher walks log.0 before
+	// log.1, so the delete and overwrite replay before the inserts they
+	// supersede.
+	k, l := []byte("k"), []byte("l")
+	if err := s.Worker(1).Run(func(tx *core.Tx) error {
+		if err := tx.Insert(tbl, k, []byte("k-old")); err != nil {
+			return err
+		}
+		return tx.Insert(tbl, l, []byte("l-old"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Worker(0).Run(func(tx *core.Tx) error {
+		if err := tx.Delete(tbl, k); err != nil {
+			return err
+		}
+		return tx.Put(tbl, l, []byte("l-new"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitDurable(t, s, m)
+	m.Stop()
+	s.Close()
+
+	for _, workers := range []int{1, 4} {
+		s2 := core.NewStore(core.DefaultOptions(1))
+		tbl2 := s2.CreateTable("t")
+		if _, err := Recover(s2, dir, Options{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Worker(0).Run(func(tx *core.Tx) error {
+			if _, err := tx.Get(tbl2, k); err != core.ErrNotFound {
+				t.Errorf("workers=%d: deleted key resurrected (err=%v)", workers, err)
+			}
+			v, err := tx.Get(tbl2, l)
+			if err != nil || string(v) != "l-new" {
+				t.Errorf("workers=%d: l=%q err=%v, want l-new", workers, v, err)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+	}
+}
+
+func TestRecoverMissingTableNamed(t *testing.T) {
+	dir := t.TempDir()
+	s := core.NewStore(fastOpts(1))
+	m, err := wal.Attach(s, wal.Config{Dir: dir, PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := s.CreateTable("alpha")
+	t1 := s.CreateTable("beta")
+	m.Start()
+	w := s.Worker(0)
+	if err := w.Run(func(tx *core.Tx) error {
+		if err := tx.Insert(t0, []byte("a"), []byte("1")); err != nil {
+			return err
+		}
+		return tx.Insert(t1, []byte("b"), []byte("2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitDurable(t, s, m)
+	m.Stop()
+	s.Close()
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	s2.CreateTable("alpha") // "beta" not declared
+	_, err = Recover(s2, dir, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("recovery with missing table succeeded")
+	}
+	for _, wantSub := range []string{"table id 1", "declared: alpha", "creation order"} {
+		if !contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+}

@@ -162,7 +162,9 @@ func WriteCheckpoint(s *core.Store, worker int, dir string) (CheckpointResult, e
 	return res, nil
 }
 
-// findCheckpoints returns valid checkpoint files in dir, oldest first.
+// findCheckpoints returns single-file checkpoints in dir, oldest first.
+// Directories named checkpoint.<CE> are partitioned checkpoint sets owned
+// by internal/recovery and are skipped here.
 func findCheckpoints(dir string) ([]string, []uint64, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "checkpoint.*"))
 	if err != nil {
@@ -175,6 +177,9 @@ func findCheckpoints(dir string) ([]string, []uint64, error) {
 		e, err := strconv.ParseUint(suffix, 10, 64)
 		if err != nil {
 			continue // temp or foreign file
+		}
+		if st, err := os.Stat(n); err != nil || st.IsDir() {
+			continue // partitioned set (internal/recovery) or unreadable
 		}
 		files = append(files, n)
 		epochs = append(epochs, e)
@@ -195,10 +200,12 @@ func (c *ckptSort) Swap(i, j int) {
 	c.epochs[i], c.epochs[j] = c.epochs[j], c.epochs[i]
 }
 
-// loadCheckpoint reads and verifies a checkpoint file, installing its rows
-// into the store. Rows carry the checkpoint epoch as their TID so that log
-// replay's per-record TID comparison supersedes them correctly.
-func loadCheckpoint(store *core.Store, path string) (epoch uint64, rows int, err error) {
+// LoadCheckpointFile reads and verifies a single-file checkpoint,
+// installing its rows into the store. Rows carry a synthetic TID just below
+// the checkpoint epoch so that log replay's per-record TID comparison
+// supersedes them correctly. internal/recovery uses it to read
+// pre-partitioning checkpoints.
+func LoadCheckpointFile(store *core.Store, path string) (epoch uint64, rows int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
@@ -268,7 +275,7 @@ func RecoverWithCheckpoint(store *core.Store, ckptDir, logDir string, compressed
 	}
 	// Newest first; skip invalid (torn) checkpoints.
 	for i := len(files) - 1; i >= 0; i-- {
-		e, _, err := loadCheckpoint(store, files[i])
+		e, _, err := LoadCheckpointFile(store, files[i])
 		if err == nil {
 			ckptEpoch = e
 			break
@@ -285,38 +292,31 @@ func RecoverWithCheckpoint(store *core.Store, ckptDir, logDir string, compressed
 // checkpoint at epoch ce: every logged transaction in the file has epoch <
 // ce. (The checkpoint image holds versions with epoch strictly below its
 // snapshot epoch — see core.SnapTx — so epoch-ce transactions are not in
-// it and their log files must survive truncation.)
+// it and their log files must survive truncation.) Loggers must be stopped;
+// a live system truncates through Manager.TruncateCovered instead, which
+// skips the open segments.
 func TruncateLogs(logDir string, ce uint64, compressed bool) (removed []string, err error) {
-	var files [][]TxnRecord
-	if compressed {
-		files, _, err = ReadLogDirCompressed(logDir)
-	} else {
-		files, _, err = ReadLogDir(logDir)
-	}
+	infos, err := ListLogFiles(logDir)
 	if err != nil {
 		return nil, err
 	}
-	names, err := filepath.Glob(filepath.Join(logDir, "log.*"))
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(names)
-	for i, name := range names {
-		if i >= len(files) {
-			break
+	for _, fi := range infos {
+		txns, _, _, err := ParseLogFilePath(fi.Path, compressed)
+		if err != nil {
+			return removed, err
 		}
-		covered := true
-		for _, t := range files[i] {
-			if tid.Word(t.TID).Epoch() >= ce {
+		covered := len(txns) > 0
+		for i := range txns {
+			if tid.Word(txns[i].TID).Epoch() >= ce {
 				covered = false
 				break
 			}
 		}
-		if covered && len(files[i]) > 0 {
-			if err := os.Remove(name); err != nil {
+		if covered {
+			if err := os.Remove(fi.Path); err != nil {
 				return removed, err
 			}
-			removed = append(removed, name)
+			removed = append(removed, fi.Path)
 		}
 	}
 	return removed, nil

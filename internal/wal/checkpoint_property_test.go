@@ -86,7 +86,7 @@ func TestCheckpointRoundTripProperty(t *testing.T) {
 		for ti := 0; ti < nTables; ti++ {
 			s2.CreateTable(fmt.Sprintf("t%d", ti))
 		}
-		if _, _, err := loadCheckpoint(s2, res.Path); err != nil {
+		if _, _, err := LoadCheckpointFile(s2, res.Path); err != nil {
 			t.Logf("seed %d: load: %v", seed, err)
 			return false
 		}

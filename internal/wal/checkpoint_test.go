@@ -55,7 +55,7 @@ func TestCheckpointWriteAndLoad(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	tbl2 := s2.CreateTable("t")
-	e, rows, err := loadCheckpoint(s2, res.Path)
+	e, rows, err := LoadCheckpointFile(s2, res.Path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +91,12 @@ func TestCheckpointCorruptFooterRejected(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	s2.CreateTable("t")
-	if _, _, err := loadCheckpoint(s2, res.Path); err == nil {
+	if _, _, err := LoadCheckpointFile(s2, res.Path); err == nil {
 		t.Fatal("corrupt checkpoint accepted")
 	}
 	// Truncated checkpoint (crash mid-write) also rejected.
 	os.WriteFile(res.Path, data[:len(data)/2], 0o644)
-	if _, _, err := loadCheckpoint(s2, res.Path); err == nil {
+	if _, _, err := LoadCheckpointFile(s2, res.Path); err == nil {
 		t.Fatal("truncated checkpoint accepted")
 	}
 }

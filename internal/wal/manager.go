@@ -51,6 +51,13 @@ type Config struct {
 	// Compress DEFLATE-compresses each buffer frame's payload before
 	// writing ("+Compress"; the paper used LZ4 — see DESIGN.md).
 	Compress bool
+	// SegmentBytes rotates a logger to a fresh segment (log.<id>.<seq>)
+	// once its current segment exceeds this size. Rotation is what makes
+	// live log truncation possible: closed segments are immutable, so a
+	// checkpoint daemon can delete the fully-covered ones while loggers
+	// keep appending to their open segments (TruncateCovered). 0 disables
+	// rotation (each logger writes a single log.<id> forever).
+	SegmentBytes int64
 }
 
 func (c *Config) fill() {
@@ -75,6 +82,13 @@ type Manager struct {
 	durable atomic.Uint64 // D = min d_l
 	dmu     sync.Mutex
 	dcond   *sync.Cond
+
+	// segEpochs caches each closed segment's maximum transaction epoch
+	// (closed segments are immutable), so repeated TruncateCovered calls
+	// from the checkpoint daemon do not re-parse not-yet-covered segments
+	// on every tick. Guarded by segMu.
+	segMu     sync.Mutex
+	segEpochs map[string]uint64
 
 	stats ManagerStats
 }
@@ -276,7 +290,8 @@ func (wl *WorkerLog) Heartbeat() {
 	wl.mu.Unlock()
 }
 
-// logger owns one log file and a disjoint set of workers.
+// logger owns one log file (or chain of segments) and a disjoint set of
+// workers.
 type logger struct {
 	m        *Manager
 	id       int
@@ -289,6 +304,25 @@ type logger struct {
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wrote    bool
+
+	// seq is the open segment's sequence number; segments below it are
+	// closed and immutable (TruncateCovered reads this from other
+	// goroutines). segBytes is the open segment's size and segHasData
+	// whether it holds any buffer frames; both touched only by the logger
+	// goroutine.
+	seq        atomic.Uint64
+	segBytes   int64
+	segHasData bool
+}
+
+// SegmentName returns the file name of logger id's segment seq: the first
+// segment is plain log.<id> (the pre-rotation format), later ones
+// log.<id>.<seq>.
+func SegmentName(id int, seq uint64) string {
+	if seq == 0 {
+		return fmt.Sprintf("log.%d", id)
+	}
+	return fmt.Sprintf("log.%d.%d", id, seq)
 }
 
 func newLogger(m *Manager, id int) (*logger, error) {
@@ -303,15 +337,65 @@ func newLogger(m *Manager, id int) (*logger, error) {
 	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	// Append: an existing log may be about to be recovered, and post-
-	// recovery logging legitimately continues the same files (the epoch
-	// counter restarts above D, so appended TIDs sort after recovered ones).
-	f, err := os.OpenFile(filepath.Join(m.cfg.Dir, fmt.Sprintf("log.%d", id)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// Continue the newest existing segment: an existing log may be about
+	// to be recovered, and post-recovery logging legitimately appends to
+	// the same files (the epoch counter restarts above D, so appended TIDs
+	// sort after recovered ones).
+	seq := uint64(0)
+	infos, err := ListLogFiles(m.cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
+	for _, fi := range infos {
+		if fi.Logger == id && fi.Seq > seq {
+			seq = fi.Seq
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(m.cfg.Dir, SegmentName(id, seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil {
+		lg.segBytes = st.Size()
+		lg.segHasData = st.Size() > 0
+	}
+	lg.seq.Store(seq)
 	lg.file = f
 	return lg, nil
+}
+
+// maybeRotate closes the open segment and starts the next one when it has
+// outgrown Config.SegmentBytes. The fresh segment immediately receives a
+// durable frame carrying d_l forward, so every segment on disk ends up
+// holding at least one durable frame — recovery's per-logger durable bound
+// never regresses when older segments are truncated away.
+func (lg *logger) maybeRotate() {
+	// Segments holding only durable frames never rotate: an idle logger
+	// would otherwise slowly churn out empty segments.
+	if lg.m.cfg.SegmentBytes <= 0 || lg.file == nil || !lg.segHasData || lg.segBytes < lg.m.cfg.SegmentBytes {
+		return
+	}
+	lg.file.Sync()
+	lg.file.Close()
+	next := lg.seq.Load() + 1
+	f, err := os.OpenFile(filepath.Join(lg.m.cfg.Dir, SegmentName(lg.id, next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		panic(fmt.Sprintf("wal: segment rotation failed: %v", err))
+	}
+	lg.file = f
+	lg.segBytes = 0
+	lg.segHasData = false
+	lg.wrote = false
+	// Publish the new seq only after the segment exists, so TruncateCovered
+	// never considers a not-yet-created segment closed.
+	lg.seq.Store(next)
+	if d := lg.dl.Load(); d > 0 {
+		lg.writeDurable(d)
+		if lg.m.cfg.Sync {
+			lg.file.Sync()
+			lg.wrote = false
+		}
+	}
 }
 
 // run is the logger loop (§4.10): drain worker queues, append buffer
@@ -398,6 +482,10 @@ func (lg *logger) iterate() {
 	}
 	lg.dl.Store(d)
 	lg.m.publishDurable()
+	// Rotate only right after a durable frame: the closed segment then ends
+	// with its final d_l, so recovery of any segment prefix sees a durable
+	// bound consistent with its contents.
+	lg.maybeRotate()
 }
 
 func (lg *logger) writeBuffer(payload []byte) {
@@ -423,6 +511,8 @@ func (lg *logger) writeBuffer(payload []byte) {
 		panic(fmt.Sprintf("wal: log write failed: %v", err))
 	}
 	lg.wrote = true
+	lg.segBytes += int64(len(payload)) + 9
+	lg.segHasData = true
 	lg.m.stats.BytesWritten.Add(uint64(len(payload)) + 9)
 	lg.m.stats.BuffersWritten.Add(1)
 }
@@ -439,5 +529,63 @@ func (lg *logger) writeDurable(d uint64) {
 	if err != nil {
 		panic(fmt.Sprintf("wal: log write failed: %v", err))
 	}
+	lg.wrote = true
+	lg.segBytes += 13
 	lg.m.stats.BytesWritten.Add(13)
+}
+
+// TruncateCovered deletes closed log segments whose every transaction has
+// epoch < ce (they are fully covered by a checkpoint at epoch ce). It is
+// safe to call while loggers run: each logger's open segment is never
+// touched, and closed segments are immutable. It is a no-op for in-memory
+// logs. The checkpoint daemon calls this after each completed checkpoint;
+// use the package-level TruncateLogs for offline truncation between runs.
+func (m *Manager) TruncateCovered(ce uint64) (removed []string, err error) {
+	if m.cfg.InMemory || ce == 0 {
+		return nil, nil
+	}
+	open := make(map[int]uint64, len(m.loggers))
+	for _, lg := range m.loggers {
+		open[lg.id] = lg.seq.Load()
+	}
+	infos, err := ListLogFiles(m.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range infos {
+		if cur, ours := open[fi.Logger]; !ours || fi.Seq >= cur {
+			continue // open (or another process's) segment: never delete
+		}
+		m.segMu.Lock()
+		maxEpoch, cached := m.segEpochs[fi.Path]
+		m.segMu.Unlock()
+		if !cached {
+			txns, _, _, err := ParseLogFilePath(fi.Path, m.cfg.Compress)
+			if err != nil {
+				return removed, err
+			}
+			for i := range txns {
+				if e := tid.Word(txns[i].TID).Epoch(); e > maxEpoch {
+					maxEpoch = e
+				}
+			}
+			m.segMu.Lock()
+			if m.segEpochs == nil {
+				m.segEpochs = make(map[string]uint64)
+			}
+			m.segEpochs[fi.Path] = maxEpoch
+			m.segMu.Unlock()
+		}
+		if maxEpoch >= ce {
+			continue // not covered yet
+		}
+		if err := os.Remove(fi.Path); err != nil {
+			return removed, err
+		}
+		m.segMu.Lock()
+		delete(m.segEpochs, fi.Path)
+		m.segMu.Unlock()
+		removed = append(removed, fi.Path)
+	}
+	return removed, nil
 }

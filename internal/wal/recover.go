@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"silo/internal/core"
 	"silo/internal/record"
@@ -28,9 +30,99 @@ type RecoveryResult struct {
 	EntriesApplied int
 }
 
+// LogFileInfo identifies one log segment on disk. Loggers write log.<id>
+// for their first segment and log.<id>.<seq> after each rotation
+// (Config.SegmentBytes); recovery groups segments by logger to compute the
+// durable bound.
+type LogFileInfo struct {
+	Path   string
+	Logger int
+	Seq    uint64
+}
+
+// ListLogFiles returns the log segments in dir sorted by (logger, seq).
+// Files not matching the log.<id>[.<seq>] naming are ignored. An empty
+// directory yields an empty slice and no error.
+func ListLogFiles(dir string) ([]LogFileInfo, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "log.*"))
+	if err != nil {
+		return nil, err
+	}
+	var infos []LogFileInfo
+	for _, name := range names {
+		rest := strings.TrimPrefix(filepath.Base(name), "log.")
+		parts := strings.Split(rest, ".")
+		if len(parts) < 1 || len(parts) > 2 {
+			continue
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil || id < 0 {
+			continue
+		}
+		var seq uint64
+		if len(parts) == 2 {
+			seq, err = strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				continue
+			}
+		}
+		infos = append(infos, LogFileInfo{Path: name, Logger: id, Seq: seq})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Logger != infos[j].Logger {
+			return infos[i].Logger < infos[j].Logger
+		}
+		return infos[i].Seq < infos[j].Seq
+	})
+	return infos, nil
+}
+
+// ParseLogFilePath reads and parses one log segment, tolerating a torn
+// tail. It returns the segment's transactions, its last durable epoch, and
+// its size in bytes.
+func ParseLogFilePath(path string, compressed bool) (txns []TxnRecord, durable uint64, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if compressed {
+		txns, durable, err = parseCompressedFile(data)
+	} else {
+		txns, durable, err = parseFile(data, false)
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return txns, durable, int64(len(data)), nil
+}
+
+// DurableBound computes the global durable epoch D from per-segment last
+// durable epochs: segments of one logger share that logger's bound (its
+// maximum — d_l only advances), and D is the minimum over loggers. With
+// one segment per logger this is the plain minimum over files.
+func DurableBound(infos []LogFileInfo, durables []uint64) uint64 {
+	perLogger := map[int]uint64{}
+	for i, fi := range infos {
+		if durables[i] > perLogger[fi.Logger] {
+			perLogger[fi.Logger] = durables[i]
+		}
+	}
+	d := ^uint64(0)
+	for _, dl := range perLogger {
+		if dl < d {
+			d = dl
+		}
+	}
+	if d == ^uint64(0) {
+		d = 0
+	}
+	return d
+}
+
 // ReadLogDir parses every log file in dir, tolerating a torn tail (a
 // truncated final frame is treated as end-of-log). It returns the per-file
-// transaction records and each file's final durable epoch.
+// transaction records and each file's final durable epoch, ordered by
+// (logger, segment).
 func ReadLogDir(dir string) (files [][]TxnRecord, durables []uint64, err error) {
 	return readLogDir(dir, false)
 }
@@ -41,29 +133,29 @@ func ReadLogDirCompressed(dir string) (files [][]TxnRecord, durables []uint64, e
 }
 
 func readLogDir(dir string, compressed bool) ([][]TxnRecord, []uint64, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "log.*"))
+	files, durables, _, err := readLogDirInfos(dir, compressed)
+	return files, durables, err
+}
+
+func readLogDirInfos(dir string, compressed bool) ([][]TxnRecord, []uint64, []LogFileInfo, error) {
+	infos, err := ListLogFiles(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("wal: no log files in %s", dir)
+	if len(infos) == 0 {
+		return nil, nil, nil, fmt.Errorf("wal: no log files in %s", dir)
 	}
 	var files [][]TxnRecord
 	var durables []uint64
-	for _, name := range names {
-		data, err := os.ReadFile(name)
+	for _, fi := range infos {
+		txns, d, _, err := ParseLogFilePath(fi.Path, compressed)
 		if err != nil {
-			return nil, nil, err
-		}
-		txns, d, err := parseFile(data, compressed)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
+			return nil, nil, nil, err
 		}
 		files = append(files, txns)
 		durables = append(durables, d)
 	}
-	return files, durables, nil
+	return files, durables, infos, nil
 }
 
 // parseFile walks frames until EOF or a torn frame, returning all parsed
@@ -93,9 +185,7 @@ func parseFile(data []byte, compressed bool) ([]TxnRecord, uint64, error) {
 	return txns, durable, nil
 }
 
-// nextCompressed is used when frames were written compressed: the Reader
-// yields raw payloads only in uncompressed mode, so parseFile re-parses.
-// (Kept simple: compression is a factor-analysis knob, not the default.)
+// decompress inflates one buffer-frame payload written with Config.Compress.
 func decompress(p []byte) ([]byte, error) {
 	fr := flate.NewReader(bytes.NewReader(p))
 	defer fr.Close()
@@ -108,37 +198,24 @@ func decompress(p []byte) ([]byte, error) {
 // epoch D; the caller should restart the store's epoch counter above D
 // (§4.10: transactions with epochs after D are ignored — replaying a subset
 // of an epoch could produce an inconsistent state).
+//
+// Recover is the sequential reference implementation; internal/recovery
+// provides the partitioned parallel path, which must produce identical
+// state.
 func Recover(store *core.Store, dir string, compressed bool) (RecoveryResult, error) {
 	var res RecoveryResult
-	var files [][]TxnRecord
-	var durables []uint64
-	var err error
-
-	if compressed {
-		// Re-read with decompression of each buffer payload.
-		files, durables, err = readCompressedDir(dir)
-	} else {
-		files, durables, err = readLogDir(dir, false)
-	}
+	files, durables, infos, err := readLogDirInfos(dir, compressed)
 	if err != nil {
 		return res, err
 	}
-	d := ^uint64(0)
-	for _, dl := range durables {
-		if dl < d {
-			d = dl
-		}
-	}
-	if d == ^uint64(0) {
-		d = 0
-	}
-	res.DurableEpoch = d
+	res.DurableEpoch = DurableBound(infos, durables)
+	d := res.DurableEpoch
 
 	// Replay: log records for the same key must be applied in TID order;
 	// replaying entire transactions in TID order trivially satisfies that
 	// and matches the paper's description. (The paper notes replay can
 	// otherwise be concurrent; correctness needs only per-record TID
-	// order, which applyEntry enforces with a compare anyway.)
+	// order, which ApplyEntry enforces with a compare anyway.)
 	var all []TxnRecord
 	for _, f := range files {
 		all = append(all, f...)
@@ -153,40 +230,12 @@ func Recover(store *core.Store, dir string, compressed bool) (RecoveryResult, er
 		}
 		res.TxnsApplied++
 		for j := range t.Entries {
-			if applyEntry(store, &t.Entries[j], t.TID) {
+			if ApplyEntry(store, &t.Entries[j], t.TID) {
 				res.EntriesApplied++
 			}
 		}
 	}
 	return res, nil
-}
-
-// readCompressedDir parses log files whose buffer payloads are
-// DEFLATE-compressed.
-func readCompressedDir(dir string) ([][]TxnRecord, []uint64, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "log.*"))
-	if err != nil {
-		return nil, nil, err
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("wal: no log files in %s", dir)
-	}
-	var files [][]TxnRecord
-	var durables []uint64
-	for _, name := range names {
-		data, err := os.ReadFile(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		txns, d, err := parseCompressedFile(data)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		files = append(files, txns)
-		durables = append(durables, d)
-	}
-	return files, durables, nil
 }
 
 func parseCompressedFile(data []byte) ([]TxnRecord, uint64, error) {
@@ -220,36 +269,61 @@ func parseCompressedFile(data []byte) ([]TxnRecord, uint64, error) {
 	return txns, durable, nil
 }
 
-// applyEntry installs one logged modification if its TID is newer than what
-// the store already holds for the key. Recovery runs single-threaded per
-// store before workers start, but uses the normal record protocol for
-// safety.
-func applyEntry(store *core.Store, e *Entry, txnTID uint64) bool {
+// ApplyEntry installs one logged modification if its TID is newer than what
+// the store already holds for the key — the TID-max install rule that makes
+// replay order-free: any interleaving of entries converges on the newest
+// version per record. It uses the normal record lock protocol, so parallel
+// replay workers (internal/recovery) may apply entries concurrently, even
+// for the same key. It reports whether the entry changed the store; entries
+// for unknown table IDs are skipped (callers that require a complete schema
+// must check the table ID themselves first).
+func ApplyEntry(store *core.Store, e *Entry, txnTID uint64) bool {
 	tbl := store.TableByID(e.Table)
 	if tbl == nil {
 		return false
 	}
-	rec, _, _ := tbl.Tree.Get(e.Key)
-	if rec == nil {
-		if e.Delete {
-			return false // delete of a key we never saw: no-op
+	return ApplyEntryTable(tbl, e, txnTID)
+}
+
+// ApplyEntryTable is ApplyEntry with the table already resolved, so
+// parallel replay workers skip the store's table-registry lookup on every
+// entry. Replay is insert-mostly (a fresh store), so puts go straight
+// through insert-if-absent — one tree descent for new keys — and fall
+// back to the lock-and-compare path only when the key already exists.
+func ApplyEntryTable(tbl *core.Table, e *Entry, txnTID uint64) bool {
+	if e.Delete {
+		rec, _, _ := tbl.Tree.Get(e.Key)
+		if rec == nil {
+			// A delete of a key not yet seen must install an absent
+			// tombstone, not no-op: parallel replay applies entries in
+			// arbitrary cross-file order, so this transaction's insert may
+			// not have arrived yet — without the tombstone it would
+			// resurrect the key, breaking TID-max convergence.
+			nr := record.New(tid.Word(txnTID).WithLatest(true).WithAbsent(true), nil)
+			cur, inserted, _ := tbl.Tree.InsertIfAbsent(e.Key, nr)
+			if inserted {
+				return true
+			}
+			rec = cur
 		}
-		nr := record.New(tid.Word(txnTID).WithLatest(true), append([]byte(nil), e.Value...))
-		cur, inserted, _ := tbl.Tree.InsertIfAbsent(e.Key, nr)
-		if inserted {
-			return true
+		w := rec.Lock()
+		if w.TID() >= txnTID {
+			rec.Unlock(w)
+			return false
 		}
-		rec = cur
+		rec.SetDataLocked(nil, false)
+		rec.Unlock(tid.Word(txnTID).WithLatest(true).WithAbsent(true))
+		return true
+	}
+	nr := record.New(tid.Word(txnTID).WithLatest(true), append([]byte(nil), e.Value...))
+	rec, inserted, _ := tbl.Tree.InsertIfAbsent(e.Key, nr)
+	if inserted {
+		return true
 	}
 	w := rec.Lock()
 	if w.TID() >= txnTID {
 		rec.Unlock(w)
 		return false
-	}
-	if e.Delete {
-		rec.SetDataLocked(nil, false)
-		rec.Unlock(tid.Word(txnTID).WithLatest(true).WithAbsent(true))
-		return true
 	}
 	rec.SetDataLocked(e.Value, false)
 	rec.Unlock(tid.Word(txnTID).WithLatest(true).WithAbsent(false))

@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+)
+
+func TestListLogFilesNamingAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"log.0", "log.0.2", "log.0.10", "log.1", "log.x", "log.0.abc", "log", "checkpoint.5"} {
+		os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644)
+	}
+	infos, err := ListLogFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, fi := range infos {
+		got = append(got, fmt.Sprintf("%d.%d", fi.Logger, fi.Seq))
+	}
+	want := []string{"0.0", "0.2", "0.10", "1.0"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestDurableBoundGroupsByLogger: a logger's old segments carry stale
+// durable epochs; the bound must take each logger's maximum before the
+// cross-logger minimum. (A flat minimum over files would under-report D
+// and recovery would drop durable transactions.)
+func TestDurableBoundGroupsByLogger(t *testing.T) {
+	infos := []LogFileInfo{
+		{Logger: 0, Seq: 0}, {Logger: 0, Seq: 1}, {Logger: 1, Seq: 0},
+	}
+	durables := []uint64{5, 9, 7}
+	if d := DurableBound(infos, durables); d != 7 {
+		t.Fatalf("D=%d, want 7 (min over loggers of max over segments)", d)
+	}
+}
+
+// TestSegmentRotationRecovery drives a real logger past its segment size,
+// then checks the segment chain recovers completely and that live
+// truncation refuses to touch open segments.
+func TestSegmentRotationRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.DefaultOptions(1)
+	opts.EpochInterval = time.Millisecond
+	s := core.NewStore(opts)
+	m, err := Attach(s, Config{Dir: dir, PollInterval: time.Millisecond, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.CreateTable("t")
+	m.Start()
+	w := s.Worker(0)
+	const n = 100
+	val := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, []byte(fmt.Sprintf("k%04d", i)), val)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond / 4) // span several epochs
+	}
+	target := tid.Word(w.LastCommitTID()).Epoch()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.DurableEpoch() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable epoch stuck at %d want %d", m.DurableEpoch(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop the loggers so segment counts are stable; TruncateCovered still
+	// treats each logger's newest segment as open and spares it.
+	m.Stop()
+
+	infos, err := ListLogFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) < 2 {
+		t.Fatalf("no rotation: %d segments", len(infos))
+	}
+
+	// Truncation with an absurdly high epoch: every closed segment is
+	// "covered", but the open segment must survive.
+	removed, err := m.TruncateCovered(^uint64(0) >> 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != len(infos)-1 {
+		t.Fatalf("removed %d of %d segments, want all but the open one", len(removed), len(infos))
+	}
+	left, _ := ListLogFiles(dir)
+	if len(left) != 1 {
+		t.Fatalf("%d segments left, want 1", len(left))
+	}
+	// The open segment keeps receiving durable frames, so D recomputed
+	// from it alone must not regress below the pre-truncation bound.
+	_, durable, _, err := ParseLogFilePath(left[0].Path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable == 0 {
+		t.Fatal("open segment carries no durable frame after truncation")
+	}
+	s.Close()
+
+	// Full-chain recovery (fresh dir copy semantics: rerun without the
+	// truncation) is covered by the equivalence tests; here check the
+	// rotated-but-untruncated case recovers everything.
+	dir2 := t.TempDir()
+	s2 := core.NewStore(core.DefaultOptions(1))
+	m2, err := Attach(s2, Config{Dir: dir2, PollInterval: time.Millisecond, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := s2.CreateTable("t")
+	m2.Start()
+	w2 := s2.Worker(0)
+	for i := 0; i < n; i++ {
+		if err := w2.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl2, []byte(fmt.Sprintf("k%04d", i)), val)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target = tid.Word(w2.LastCommitTID()).Epoch()
+	deadline = time.Now().Add(10 * time.Second)
+	for m2.DurableEpoch() < target {
+		if time.Now().After(deadline) {
+			t.Fatal("durable epoch stuck")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m2.Stop()
+	s2.Close()
+
+	s3 := core.NewStore(core.DefaultOptions(1))
+	defer s3.Close()
+	tbl3 := s3.CreateTable("t")
+	res, err := Recover(s3, dir2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnsApplied == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if got := tbl3.Tree.Len(); got != n {
+		t.Fatalf("recovered %d keys, want %d", got, n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"silo/internal/core"
+	"silo/internal/recovery"
 	"silo/internal/tid"
 	"silo/internal/wal"
 )
@@ -46,6 +47,25 @@ func TestDurableTPCCRecovery(t *testing.T) {
 		}(wid)
 	}
 	wg.Wait()
+
+	// A partitioned checkpoint once a snapshot epoch exists (the epoch
+	// thread is still advancing): parallel recovery must restore from it
+	// plus the log suffix to the same state sequential log-only replay
+	// reaches.
+	ckptDeadline := time.Now().Add(10 * time.Second)
+	for s.Epochs().SnapshotGlobal() == 0 {
+		if time.Now().After(ckptDeadline) {
+			t.Fatal("no snapshot epoch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ck, err := recovery.WriteCheckpoint(s, s.Maintenance(), dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Rows == 0 {
+		t.Fatal("empty checkpoint")
+	}
 
 	// Everything committed; wait until it is durable, then stop cleanly.
 	var target uint64
@@ -122,5 +142,42 @@ func TestDurableTPCCRecovery(t *testing.T) {
 	}
 	if err := CheckIndexes(s2, tables2); err != nil {
 		t.Fatalf("recovered indexes: %v", err)
+	}
+
+	// Parallel recovery (checkpoint + log suffix, 4 replay workers) must
+	// reproduce the sequential state bit-for-bit and pass the same
+	// consistency conditions.
+	s3 := core.NewStore(core.DefaultOptions(1))
+	defer s3.Close()
+	tables3 := CreateTables(s3)
+	pres, err := recovery.Recover(s3, dir, recovery.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.CheckpointEpoch != ck.Epoch {
+		t.Errorf("parallel recovery used checkpoint %d, want %d", pres.CheckpointEpoch, ck.Epoch)
+	}
+	got3 := capture(s3, tables3)
+	for name, wantRows := range want {
+		gotRows := got3[name]
+		if len(gotRows) != len(wantRows) {
+			t.Errorf("parallel: table %s: %d rows recovered, want %d", name, len(gotRows), len(wantRows))
+			continue
+		}
+		for i := range wantRows {
+			if gotRows[i] != wantRows[i] {
+				t.Errorf("parallel: table %s row %d differs", name, i)
+				break
+			}
+		}
+	}
+	if err := CheckConsistency(s3, tables3, sc); err != nil {
+		t.Fatalf("parallel recovered consistency: %v", err)
+	}
+	if err := CheckMoney(s3, tables3, sc); err != nil {
+		t.Fatalf("parallel recovered money: %v", err)
+	}
+	if err := CheckIndexes(s3, tables3); err != nil {
+		t.Fatalf("parallel recovered indexes: %v", err)
 	}
 }

@@ -63,10 +63,13 @@ package silo
 
 import (
 	"errors"
+	"os"
+	"runtime"
 	"time"
 
 	"silo/internal/core"
 	"silo/internal/index"
+	"silo/internal/recovery"
 	"silo/internal/tid"
 	"silo/internal/wal"
 )
@@ -124,9 +127,10 @@ type Options struct {
 	GlobalTID bool
 }
 
-// DurabilityOptions configures the logging subsystem (§4.10 of the paper).
+// DurabilityOptions configures the logging subsystem (§4.10 of the paper)
+// and the parallel recovery subsystem built on it (internal/recovery).
 type DurabilityOptions struct {
-	// Dir holds the log files (one per logger).
+	// Dir holds the log files (one per logger) and checkpoints.
 	Dir string
 	// Loggers is the number of logger threads; workers are assigned
 	// round-robin. Default 1.
@@ -140,6 +144,34 @@ type DurabilityOptions struct {
 	TIDOnly bool
 	// Compress DEFLATE-compresses log buffers (Figure 11 "+Compress").
 	Compress bool
+
+	// SegmentBytes rotates each logger to a fresh log segment
+	// (log.<id>.<seq>) once its current segment exceeds this size. Closed
+	// segments are immutable, which is what lets the checkpoint daemon
+	// truncate fully-covered ones while loggers keep writing. 0 disables
+	// rotation — and with it, live truncation.
+	SegmentBytes int64
+
+	// CheckpointInterval enables the background checkpoint daemon: every
+	// interval it writes a partitioned checkpoint off a snapshot epoch
+	// (never blocking writers), prunes superseded checkpoint sets, and
+	// deletes log segments whose transactions all predate the checkpoint.
+	// Requires snapshots and an on-disk Dir. On a fresh database the
+	// daemon starts with Open; over an existing log directory it starts
+	// only after Recover succeeds, so an early checkpoint can never
+	// truncate data that has not been replayed yet. 0 disables the daemon
+	// (checkpoints are taken manually with DB.Checkpoint).
+	CheckpointInterval time.Duration
+	// CheckpointPartitions is the number of concurrent partition writers
+	// per checkpoint (both for the daemon and DB.Checkpoint). Default 4.
+	CheckpointPartitions int
+	// KeepCheckpoints is how many complete checkpoint sets the daemon
+	// retains. Default 1 (the newest complete set).
+	KeepCheckpoints int
+	// RecoveryWorkers is the parallelism of Recover: checkpoint part
+	// loading and log replay both fan out across this many goroutines.
+	// Default GOMAXPROCS; 1 recovers on a single goroutine.
+	RecoveryWorkers int
 }
 
 // DB is a Silo database.
@@ -147,6 +179,7 @@ type DB struct {
 	store   *core.Store
 	wal     *wal.Manager
 	indexes *index.Registry
+	daemon  *recovery.Daemon
 	opts    Options
 }
 
@@ -177,13 +210,37 @@ func Open(opts Options) (*DB, error) {
 		if d.TIDOnly {
 			mode = wal.ModeTIDOnly
 		}
+		if d.CheckpointInterval > 0 {
+			if opts.DisableSnapshots {
+				db.store.Close()
+				return nil, errors.New("silo: CheckpointInterval requires snapshots")
+			}
+			if d.InMemory || d.Dir == "" {
+				db.store.Close()
+				return nil, errors.New("silo: CheckpointInterval requires an on-disk Durability.Dir")
+			}
+		}
+		// Before Attach creates this run's (empty) log files: does the
+		// directory already hold data to recover?
+		hadLogs := false
+		if !d.InMemory && d.Dir != "" {
+			if infos, err := wal.ListLogFiles(d.Dir); err == nil {
+				for _, fi := range infos {
+					if st, err := os.Stat(fi.Path); err == nil && st.Size() > 0 {
+						hadLogs = true
+						break
+					}
+				}
+			}
+		}
 		m, err := wal.Attach(db.store, wal.Config{
-			Dir:      d.Dir,
-			Loggers:  d.Loggers,
-			Sync:     d.Sync,
-			InMemory: d.InMemory,
-			Mode:     mode,
-			Compress: d.Compress,
+			Dir:          d.Dir,
+			Loggers:      d.Loggers,
+			Sync:         d.Sync,
+			InMemory:     d.InMemory,
+			Mode:         mode,
+			Compress:     d.Compress,
+			SegmentBytes: d.SegmentBytes,
 		})
 		if err != nil {
 			db.store.Close()
@@ -191,13 +248,38 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = m
 		m.Start()
+		if d.CheckpointInterval > 0 && !hadLogs {
+			// A fresh database checkpoints from the start; over an
+			// existing log the daemon starts inside Recover, after the
+			// data it would otherwise truncate has been replayed.
+			db.startDaemon()
+		}
 	}
 	return db, nil
 }
 
-// Close stops background threads, flushing any buffered log data first.
-// All worker goroutines must have finished.
+// startDaemon launches the background checkpoint daemon (idempotent).
+func (db *DB) startDaemon() {
+	if db.daemon != nil {
+		return
+	}
+	d := db.opts.Durability
+	db.daemon = recovery.NewDaemon(db.store, db.wal, recovery.DaemonOptions{
+		Dir:        d.Dir,
+		Interval:   d.CheckpointInterval,
+		Partitions: d.CheckpointPartitions,
+		Keep:       d.KeepCheckpoints,
+	})
+	db.daemon.Start()
+}
+
+// Close stops background threads — the checkpoint daemon (waiting out an
+// in-flight checkpoint), then the loggers, flushing any buffered log data
+// — and finally the engine. All worker goroutines must have finished.
 func (db *DB) Close() {
+	if db.daemon != nil {
+		db.daemon.Stop()
+	}
 	if db.wal != nil {
 		db.wal.Stop()
 	}
@@ -379,42 +461,75 @@ func (db *DB) Epoch() uint64 { return db.store.Epochs().Global() }
 // Stats returns aggregate engine counters.
 func (db *DB) Stats() core.Stats { return db.store.Stats() }
 
-// RecoveryResult reports what a Recover pass did.
-type RecoveryResult = wal.RecoveryResult
+// RecoveryResult reports what a Recover pass did: the replay counters plus
+// checkpoint usage and per-stage timing (checkpoint load, log read, log
+// apply).
+type RecoveryResult = recovery.Result
 
 // Recover restores this database from its durability directory: the newest
-// valid checkpoint (if one exists), then the log suffix beyond it, up to
-// the durable epoch D. Call it on a freshly opened database after creating
-// the schema's tables in their original order and before running any
-// transactions. The epoch counter is restarted above the recovered durable
-// epoch, as required for the paper's epoch-prefix durability guarantee.
+// complete checkpoint (if one exists, partitioned or legacy single-file),
+// then the log suffix beyond it, up to the durable epoch D. Checkpoint
+// partitions load in parallel and log replay fans out across
+// Durability.RecoveryWorkers goroutines (default GOMAXPROCS) — per-record
+// TID-max installation makes replay order-free, so recovery scales with
+// cores. The epoch counter is restarted above the recovered epochs, as
+// required for the paper's epoch-prefix durability guarantee.
+//
+// The declare-before-recover contract: call Recover on a freshly opened
+// database after re-declaring every table (CreateTable) and index
+// (CreateIndex/CreateIndexSpec) in their original creation order, and
+// before running any transactions. Table IDs are assigned in creation
+// order and are part of the log and checkpoint formats; an index's entry
+// table is an ordinary table, so index declaration order matters equally.
+// A log or checkpoint record referencing an undeclared table fails
+// recovery with an error naming the table rather than recovering a
+// partial database.
+//
+// With Durability.CheckpointInterval set, the background checkpoint
+// daemon starts once Recover succeeds (on an existing directory; a fresh
+// database starts it at Open).
 func (db *DB) Recover() (RecoveryResult, error) {
 	if db.opts.Durability == nil {
 		return RecoveryResult{}, errors.New("silo: Recover requires Options.Durability")
 	}
 	d := db.opts.Durability
-	res, ckptEpoch, err := wal.RecoverWithCheckpoint(db.store, d.Dir, d.Dir, d.Compress)
+	workers := d.RecoveryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := recovery.Recover(db.store, d.Dir, recovery.Options{
+		Workers:    workers,
+		Compressed: d.Compress,
+	})
 	if err != nil {
 		return res, err
 	}
 	e := res.DurableEpoch
-	if ckptEpoch > e {
-		e = ckptEpoch
+	if res.CheckpointEpoch > e {
+		e = res.CheckpointEpoch
 	}
 	db.store.Epochs().AdvanceTo(e + 1)
+	if d.CheckpointInterval > 0 {
+		db.startDaemon()
+	}
 	return res, nil
 }
 
 // CheckpointResult describes a completed checkpoint.
-type CheckpointResult = wal.CheckpointResult
+type CheckpointResult = recovery.CheckpointResult
 
 // Checkpoint writes a transactionally consistent image of every table as
-// of a recent snapshot epoch into the durability directory, using a
-// snapshot transaction on the given worker (§4.10: checkpoints take
+// of a recent snapshot epoch into the durability directory: a partitioned
+// checkpoint set (checkpoint.<CE>/part.<k> under a manifest) produced by
+// Durability.CheckpointPartitions concurrent writers, each walking a
+// disjoint key range at the same snapshot epoch. The snapshot is pinned
+// by a snapshot transaction on the given worker (§4.10: checkpoints take
 // advantage of snapshots to avoid interfering with read/write
-// transactions). Recover prefers the newest checkpoint and replays only
-// the log suffix beyond it; TruncateLogs may then delete fully-covered log
-// files.
+// transactions); the worker must be otherwise idle. Recover prefers the
+// newest complete checkpoint and replays only the log suffix beyond it;
+// TruncateLogs may then delete fully-covered log files. With
+// Durability.CheckpointInterval set, the background daemon does all of
+// this on its own maintenance worker instead.
 func (db *DB) Checkpoint(worker int) (CheckpointResult, error) {
 	if db.opts.Durability == nil {
 		return CheckpointResult{}, errors.New("silo: Checkpoint requires Options.Durability")
@@ -422,7 +537,27 @@ func (db *DB) Checkpoint(worker int) (CheckpointResult, error) {
 	if db.opts.DisableSnapshots {
 		return CheckpointResult{}, errors.New("silo: Checkpoint requires snapshots")
 	}
-	return wal.WriteCheckpoint(db.store, worker, db.opts.Durability.Dir)
+	if db.opts.Durability.InMemory || db.opts.Durability.Dir == "" {
+		return CheckpointResult{}, errors.New("silo: Checkpoint requires an on-disk Durability.Dir")
+	}
+	parts := db.opts.Durability.CheckpointPartitions
+	if parts <= 0 {
+		parts = 4
+	}
+	return recovery.WriteCheckpoint(db.store, db.store.Worker(worker), db.opts.Durability.Dir, parts)
+}
+
+// CheckpointDaemonStats is a snapshot of the background checkpoint
+// daemon's counters.
+type CheckpointDaemonStats = recovery.DaemonStats
+
+// CheckpointDaemon reports the background checkpoint daemon's counters;
+// ok is false when no daemon is running.
+func (db *DB) CheckpointDaemon() (stats CheckpointDaemonStats, ok bool) {
+	if db.daemon == nil {
+		return CheckpointDaemonStats{}, false
+	}
+	return db.daemon.Stats(), true
 }
 
 // TruncateLogs deletes log files entirely covered by a checkpoint at epoch
