@@ -37,8 +37,11 @@ var (
 	ErrInvalid   = fmt.Errorf("client: %w", silo.ErrKeyInvalid)
 	ErrNoTable   = fmt.Errorf("client: %w", silo.ErrNoTable)
 	ErrNoIndex   = fmt.Errorf("client: %w", silo.ErrNoIndex)
-	ErrBadValue  = errors.New("client: value too short to hold a counter")
-	ErrClosed    = errors.New("client: connection closed")
+	// ErrNotCovering reports a covering scan of an index that was declared
+	// without an include list.
+	ErrNotCovering = fmt.Errorf("client: %w", silo.ErrNotCovering)
+	ErrBadValue    = errors.New("client: value too short to hold a counter")
+	ErrClosed      = errors.New("client: connection closed")
 )
 
 // ServerError is a server-reported failure that does not map to a
@@ -68,6 +71,8 @@ func codeError(code wire.ErrCode, msg string) error {
 		return ErrNoTable
 	case wire.CodeNoIndex:
 		return ErrNoIndex
+	case wire.CodeNotCovering:
+		return ErrNotCovering
 	}
 	return &ServerError{Code: code, Msg: msg}
 }
@@ -238,6 +243,23 @@ func (cl *Client) CreateIndex(index, table string, unique bool, segs []wire.Inde
 	}}})
 }
 
+// CreateCoveringIndex is CreateIndex for a covering index: the include
+// segments name fixed-position row fields whose bytes ride in every index
+// entry, so IndexScanCovering serves them without the server touching the
+// primary table. The include list is part of the declaration — recovery
+// on the server rejects a re-declaration whose include list no longer
+// matches the logged entries.
+func (cl *Client) CreateCoveringIndex(index, table string, unique bool, segs, include []wire.IndexSeg) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{{
+		Kind:   wire.KindCreateIndex,
+		Index:  index,
+		Table:  table,
+		Unique: unique,
+		Segs:   segs,
+		Incs:   include,
+	}}})
+}
+
 // IndexScan returns up to limit index entries with entry keys in [lo, hi),
 // each resolved to its primary row, as one serializable transaction with
 // phantom protection on both the index and the table (snapshot true
@@ -245,7 +267,20 @@ func (cl *Client) CreateIndex(index, table string, unique bool, segs []wire.Inde
 // start of the index; a nil hi means its end; limit <= 0 requests the
 // server's cap. Unknown index names return ErrNoIndex.
 func (cl *Client) IndexScan(index string, lo, hi []byte, limit int, snapshot bool) ([]wire.IndexEntry, error) {
-	op := wire.Op{Kind: wire.KindIScan, Index: index, Key: lo, Snapshot: snapshot}
+	return cl.indexScan(index, lo, hi, limit, snapshot, false)
+}
+
+// IndexScanCovering is IndexScan served entirely from a covering index's
+// entry values: each returned entry's Value holds the index's included
+// fields (in include-list order) instead of the full row, and the server
+// never resolves the primary table. The index must have been created with
+// an include list (ErrNotCovering otherwise).
+func (cl *Client) IndexScanCovering(index string, lo, hi []byte, limit int, snapshot bool) ([]wire.IndexEntry, error) {
+	return cl.indexScan(index, lo, hi, limit, snapshot, true)
+}
+
+func (cl *Client) indexScan(index string, lo, hi []byte, limit int, snapshot, covering bool) ([]wire.IndexEntry, error) {
+	op := wire.Op{Kind: wire.KindIScan, Index: index, Key: lo, Snapshot: snapshot, Covering: covering}
 	if hi != nil {
 		op.HasHi = true
 		op.Hi = hi

@@ -10,7 +10,12 @@
 // -scan-len); with -index the scans go through a secondary index on the
 // record's counter field instead of the primary key space, exercising
 // CREATE_INDEX/ISCAN over the wire and the index subsystem embedded
-// (-snapshot-scans reads the index at a consistent snapshot).
+// (-snapshot-scans reads the index at a consistent snapshot). Index scans
+// resolve rows with batched multi-get descents by default;
+// -per-entry-resolve (embedded only) restores the one-point-read-per-
+// entry baseline for comparison, and -covering declares the index with an
+// include list so scans are served from entry values alone, never
+// touching the primary table.
 //
 // Usage:
 //
@@ -44,8 +49,27 @@ import (
 // field occupying the first 8 bytes of every record.
 const indexName = "usertable_by_ctr"
 
-func indexSegs() []wire.IndexSeg {
-	return []wire.IndexSeg{{FromValue: true, Off: 0, Len: 8}}
+func indexSegs() []silo.IndexSeg {
+	return []silo.IndexSeg{{FromValue: true, Off: 0, Len: 8}}
+}
+
+// coveringWidth is how many leading record bytes -covering projects into
+// the index entries (counter + 8 payload bytes): the scan is then served
+// from entry values alone, no primary resolution at all.
+const coveringWidth = 16
+
+func coveringIncs() []silo.IndexSeg {
+	return []silo.IndexSeg{{FromValue: true, Off: 0, Len: coveringWidth}}
+}
+
+// toWireSegs converts the canonical silo-form specs above for the wire
+// client's CREATE_INDEX calls.
+func toWireSegs(in []silo.IndexSeg) []wire.IndexSeg {
+	segs := make([]wire.IndexSeg, 0, len(in))
+	for _, sg := range in {
+		segs = append(segs, wire.IndexSeg{FromValue: sg.FromValue, Off: uint16(sg.Off), Len: uint16(sg.Len)})
+	}
+	return segs
 }
 
 func main() {
@@ -60,6 +84,8 @@ func main() {
 		scanFrac  = flag.Float64("scan-frac", 0, "fraction (0..1) of ops that are scans (YCSB-E style)")
 		scanLen   = flag.Int("scan-len", 100, "keys per scan")
 		useIndex  = flag.Bool("index", false, "route scans through a secondary index on the counter field")
+		covering  = flag.Bool("covering", false, "make the scan index covering and serve scans from entry values only (implies -index)")
+		perEntry  = flag.Bool("per-entry-resolve", false, "resolve embedded index scans with per-entry point reads instead of batched multi-get (comparison baseline)")
 		snapScan  = flag.Bool("snapshot-scans", false, "run index scans against a consistent snapshot")
 		table     = flag.String("table", ycsb.TableName, "table name")
 		load      = flag.Bool("load", false, "preload the key space before the run")
@@ -75,19 +101,41 @@ func main() {
 		Keys: *keys, ValueSize: *valSize, ReadPct: *readPct,
 		ScanFrac: *scanFrac, ScanLen: *scanLen,
 	}
+	if *covering {
+		*useIndex = true
+		if cfg.ValueSize < coveringWidth {
+			fatal(fmt.Errorf("-covering projects the first %d record bytes; -valuesize %d is too small", coveringWidth, cfg.ValueSize))
+		}
+	}
 	if *snapScan && !*useIndex {
 		fatal(fmt.Errorf("-snapshot-scans requires -index"))
+	}
+	if *perEntry && !*useIndex {
+		fatal(fmt.Errorf("-per-entry-resolve requires -index"))
+	}
+	if *perEntry && !*embedded {
+		fatal(fmt.Errorf("-per-entry-resolve is an embedded-only baseline (the server always batches ISCAN resolution)"))
+	}
+	if *perEntry && *covering {
+		fatal(fmt.Errorf("-per-entry-resolve and -covering are exclusive (a covering scan resolves nothing)"))
 	}
 	if (*ckptEvery > 0 || *logDir != "") && !*embedded {
 		fatal(fmt.Errorf("-checkpoint-interval and -logdir drive an in-process database: add -embedded (use silo-server's flags for a remote daemon)"))
 	}
 
+	scanMode := scanModeOf(*useIndex, *covering, *perEntry)
+	if *snapScan && scanMode == scanBatched {
+		// Snapshot index scans resolve per-entry (there is no batched
+		// snapshot variant — snapshots never abort, so batching buys no
+		// validation-window shrinkage); label the report with what runs.
+		scanMode = scanPerEntry
+	}
 	var db *silo.DB
 	var run func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error)
 	if *embedded {
-		db, run = setupEmbedded(cfg, *clients, *useIndex, *snapScan, *logDir, *ckptEvery)
+		db, run = setupEmbedded(cfg, *clients, scanMode, *snapScan, *logDir, *ckptEvery)
 	} else {
-		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, *useIndex, *snapScan)
+		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, scanMode, *snapScan)
 	}
 
 	var (
@@ -135,7 +183,7 @@ func main() {
 	if *scanFrac > 0 {
 		scans = fmt.Sprintf("%.0f%%×%d primary", *scanFrac*100, *scanLen)
 		if *useIndex {
-			scans = fmt.Sprintf("%.0f%%×%d index", *scanFrac*100, *scanLen)
+			scans = fmt.Sprintf("%.0f%%×%d index (%s)", *scanFrac*100, *scanLen, scanMode)
 			if *snapScan {
 				scans += " (snapshot)"
 			}
@@ -161,22 +209,61 @@ func main() {
 	}
 }
 
+// scanMode names how -index scans resolve rows.
+type scanMode int
+
+const (
+	scanPrimary  scanMode = iota // no index: primary range scans
+	scanBatched                  // index scan, batched multi-get resolution (default)
+	scanPerEntry                 // index scan, one point read per entry (baseline)
+	scanCovering                 // covering index scan, no resolution at all
+)
+
+func (m scanMode) String() string {
+	switch m {
+	case scanBatched:
+		return "batched"
+	case scanPerEntry:
+		return "per-entry"
+	case scanCovering:
+		return "covering"
+	}
+	return "primary"
+}
+
+func scanModeOf(useIndex, covering, perEntry bool) scanMode {
+	switch {
+	case !useIndex:
+		return scanPrimary
+	case covering:
+		return scanCovering
+	case perEntry:
+		return scanPerEntry
+	}
+	return scanBatched
+}
+
 // ---------------------------------------------------------------------------
 // Over-the-wire mode
 
-func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load, useIndex, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
+func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load bool, mode scanMode, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
 	if load {
 		if err := preload(addr, table, cfg, conns); err != nil {
 			fatal(fmt.Errorf("preload: %w", err))
 		}
 		fmt.Printf("loaded %d keys of %d bytes into %q\n", cfg.Keys, cfg.ValueSize, table)
 	}
-	if useIndex {
+	if mode != scanPrimary {
 		cl, err := client.Dial(addr, client.Options{Conns: 1})
 		if err != nil {
 			fatal(fmt.Errorf("dial: %w", err))
 		}
-		if err := cl.CreateIndex(indexName, table, false, indexSegs()); err != nil {
+		if mode == scanCovering {
+			err = cl.CreateCoveringIndex(indexName+"_cov", table, false, toWireSegs(indexSegs()), toWireSegs(coveringIncs()))
+		} else {
+			err = cl.CreateIndex(indexName, table, false, toWireSegs(indexSegs()))
+		}
+		if err != nil {
 			fatal(fmt.Errorf("create index: %w", err))
 		}
 		cl.Close()
@@ -196,7 +283,7 @@ func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load, use
 			op := gen.Next()
 			switch {
 			case op.Scan:
-				err = runWireScan(cl, table, op, &kb, useIndex, snapScan)
+				err = runWireScan(cl, table, op, &kb, mode, snapScan)
 			case txnOps > 1:
 				err = runTxn(cl, table, gen, op, txnOps, &kb)
 			default:
@@ -224,15 +311,32 @@ func runOp(cl *client.Client, table string, op ycsb.Op, kb *[]byte) error {
 	return err
 }
 
+// indexScanLo builds the entry-key lower bound for an index scan starting
+// at op's key: the counter index is non-unique, so entry keys are
+// counter ‖ pk, and counters start at zero — (0 ‖ key) therefore begins
+// the scan at that user's entry, spreading scan ranges across the whole
+// index the way YCSB-E scans spread across the key space (instead of
+// every scan hammering the index head).
+func indexScanLo(dst []byte, op ycsb.Op) []byte {
+	dst = append(dst[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	return ycsb.AppendKey(op.Key, dst)
+}
+
 // runWireScan issues one scan: a primary range scan, or an index scan
-// through the counter index (counters are small, so an 8-byte zero lower
-// bound covers the populated secondary range).
-func runWireScan(cl *client.Client, table string, op ycsb.Op, kb *[]byte, useIndex, snapshot bool) error {
-	*kb = ycsb.Key(op.Key, *kb)
-	if useIndex {
-		_, err := cl.IndexScan(indexName, nil, nil, op.Len, snapshot)
+// through the counter index. Covering mode serves the projected record
+// prefix straight from entry values.
+func runWireScan(cl *client.Client, table string, op ycsb.Op, kb *[]byte, mode scanMode, snapshot bool) error {
+	switch mode {
+	case scanCovering:
+		*kb = indexScanLo(*kb, op)
+		_, err := cl.IndexScanCovering(indexName+"_cov", *kb, nil, op.Len, snapshot)
+		return err
+	case scanBatched, scanPerEntry:
+		*kb = indexScanLo(*kb, op)
+		_, err := cl.IndexScan(indexName, *kb, nil, op.Len, snapshot)
 		return err
 	}
+	*kb = ycsb.Key(op.Key, *kb)
 	_, err := cl.Scan(table, *kb, nil, op.Len)
 	return err
 }
@@ -319,7 +423,7 @@ func preload(addr, table string, cfg ycsb.Config, conns int) error {
 // set, durability and the background checkpoint daemon run under the
 // load, so checkpointing's interference with p50/p99 latency shows up in
 // the standard report.
-func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool, logDir string, ckptEvery time.Duration) (*silo.DB, func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error)) {
+func setupEmbedded(cfg ycsb.Config, clients int, mode scanMode, snapScan bool, logDir string, ckptEvery time.Duration) (*silo.DB, func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error)) {
 	opts := silo.Options{Workers: clients}
 	if ckptEvery > 0 || logDir != "" {
 		if logDir == "" {
@@ -345,12 +449,12 @@ func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool, logDir
 	tbl := db.Table(ycsb.TableName)
 	fmt.Printf("loaded %d keys of %d bytes (embedded)\n", cfg.Keys, cfg.ValueSize)
 	var ix *silo.Index
-	if useIndex {
-		segs := make([]silo.IndexSeg, 0, 1)
-		for _, sg := range indexSegs() {
-			segs = append(segs, silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)})
+	if mode != scanPrimary {
+		if mode == scanCovering {
+			ix, err = db.CreateCoveringIndexSpec(0, tbl, indexName+"_cov", false, indexSegs(), coveringIncs())
+		} else {
+			ix, err = db.CreateIndexSpec(0, tbl, indexName, false, indexSegs())
 		}
-		ix, err = db.CreateIndexSpec(0, tbl, indexName, false, segs)
 		if err != nil {
 			fatal(fmt.Errorf("create index: %w", err))
 		}
@@ -365,7 +469,8 @@ func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool, logDir
 			op := gen.Next()
 			ok := true
 			if op.Scan && ix != nil {
-				ok = runEmbeddedIndexScan(db, c, ix, op.Len, snapScan)
+				kb = indexScanLo(kb, op)
+				ok = runEmbeddedIndexScan(db, c, ix, kb, op.Len, mode, snapScan)
 			} else {
 				ok, kb = ycsb.RunSiloOp(w, tbl, op, kb)
 			}
@@ -379,24 +484,42 @@ func setupEmbedded(cfg ycsb.Config, clients int, useIndex, snapScan bool, logDir
 	}
 }
 
-// runEmbeddedIndexScan resolves up to n entries through the counter index,
-// serializably or at a snapshot.
-func runEmbeddedIndexScan(db *silo.DB, worker int, ix *silo.Index, n int, snapshot bool) bool {
+// runEmbeddedIndexScan reads up to n entries through the counter index
+// starting at entry key lo — resolving rows per entry or with batched
+// multi-get, or serving the covering projection straight from entry
+// values — serializably or at a snapshot.
+func runEmbeddedIndexScan(db *silo.DB, worker int, ix *silo.Index, lo []byte, n int, mode scanMode, snapshot bool) bool {
 	count := 0
 	visit := func(_, _, _ []byte) bool {
 		count++
 		return count < n
 	}
 	var err error
-	if snapshot {
+	switch {
+	case snapshot && mode == scanCovering:
 		err = db.RunSnapshot(worker, func(stx *silo.SnapTx) error {
 			count = 0
-			return silo.ScanIndexSnapshot(stx, ix, []byte{0}, nil, visit)
+			return silo.ScanIndexSnapshotCovering(stx, ix, lo, nil, visit)
 		})
-	} else {
+	case snapshot:
+		err = db.RunSnapshot(worker, func(stx *silo.SnapTx) error {
+			count = 0
+			return silo.ScanIndexSnapshot(stx, ix, lo, nil, visit)
+		})
+	case mode == scanCovering:
 		err = db.RunNoRetry(worker, func(tx *silo.Tx) error {
 			count = 0
-			return silo.ScanIndex(tx, ix, []byte{0}, nil, visit)
+			return silo.ScanIndexCovering(tx, ix, lo, nil, visit)
+		})
+	case mode == scanBatched:
+		err = db.RunNoRetry(worker, func(tx *silo.Tx) error {
+			count = 0
+			return silo.ScanIndexBatched(tx, ix, lo, nil, n, visit)
+		})
+	default:
+		err = db.RunNoRetry(worker, func(tx *silo.Tx) error {
+			count = 0
+			return silo.ScanIndex(tx, ix, lo, nil, visit)
 		})
 	}
 	return err == nil

@@ -44,7 +44,7 @@ func hammerSeedValue(t *testing.T) uint64 {
 // durability on — then recovers the log into a fresh database and checks
 // the invariant survived end to end.
 func TestHammerDurableConcurrent(t *testing.T) {
-	hammer(t, &silo.DurabilityOptions{Dir: "", Loggers: 2})
+	hammer(t, &silo.DurabilityOptions{Dir: "", Loggers: 2}, false)
 }
 
 // TestHammerDaemonConcurrent is the same hammer with the background
@@ -61,10 +61,28 @@ func TestHammerDaemonConcurrent(t *testing.T) {
 		CheckpointInterval:   5 * time.Millisecond,
 		CheckpointPartitions: 3,
 		RecoveryWorkers:      4,
-	})
+	}, false)
 }
 
-func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
+// TestHammerCoveringDaemonConcurrent churns a covering-indexed table
+// under the full concurrent mix with the checkpoint daemon running:
+// upserts and deletes rewrite included fields while covering scans assert
+// field freshness against the primary rows inside committed transactions,
+// and the crash/recover cycle (checkpoint + log replay) must restore the
+// covering entries bit-for-bit — Recover's per-entry covering audit plus
+// an explicit freshness scan both gate the finish.
+func TestHammerCoveringDaemonConcurrent(t *testing.T) {
+	hammer(t, &silo.DurabilityOptions{
+		Dir:                  "",
+		Loggers:              2,
+		SegmentBytes:         8 << 10,
+		CheckpointInterval:   5 * time.Millisecond,
+		CheckpointPartitions: 3,
+		RecoveryWorkers:      4,
+	}, true)
+}
+
+func hammer(t *testing.T, dopts *silo.DurabilityOptions, covering bool) {
 	const (
 		workers  = 4
 		accounts = 32
@@ -86,7 +104,7 @@ func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
 	tbl := db.CreateTable("accounts")
 	audit := db.CreateTable("audit")
 	users := db.CreateTable("users")
-	byCity, err := db.CreateIndex(0, users, "users_city", false, cityIndexKey)
+	byCity, err := createCityIndex(db, covering)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,6 +286,9 @@ func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
 					if rows != entries {
 						t.Errorf("city %d: %d rows but %d index entries", city, rows, entries)
 					}
+					if covering {
+						checkCoveringFresh(t, db, wid, byCity, city)
+					}
 				}
 			}
 		}(wid)
@@ -303,10 +324,13 @@ func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
 	tbl2 := db2.CreateTable("accounts")
 	db2.CreateTable("audit")
 	users2 := db2.CreateTable("users")
-	byCity2, err := db2.CreateIndex(0, users2, "users_city", false, cityIndexKey)
+	byCity2, err := createCityIndex(db2, covering)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// For the covering variant, Recover itself audits every recovered
+	// covering entry against the re-declared include list and the
+	// recovered rows — replay must reproduce the projection exactly.
 	if _, err := db2.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -350,6 +374,39 @@ func hammer(t *testing.T, dopts *silo.DurabilityOptions) {
 	}
 	if rows != entries {
 		t.Fatalf("recovered index has %d entries for %d rows", entries, rows)
+	}
+	if covering {
+		for city := 0; city < cities; city++ {
+			checkCoveringFresh(t, db2, 0, byCity2, city)
+		}
+	}
+}
+
+// citySpec and cityInclude are the declarative form of the hammer's city
+// index: key = the 1-byte city code at the start of the row, include =
+// the row's first 4 bytes (city code plus writer tag), so covering scans
+// can be checked for freshness against the primary row prefix.
+func citySpec() []silo.IndexSeg    { return []silo.IndexSeg{{FromValue: true, Off: 0, Len: 1}} }
+func cityInclude() []silo.IndexSeg { return []silo.IndexSeg{{FromValue: true, Off: 0, Len: 4}} }
+
+func createCityIndex(db *silo.DB, covering bool) (*silo.Index, error) {
+	if covering {
+		return db.CreateCoveringIndexSpec(0, db.Table("users"), "users_city", false, citySpec(), cityInclude())
+	}
+	return db.CreateIndex(0, db.Table("users"), "users_city", false, cityIndexKey)
+}
+
+// checkCoveringFresh audits one city's covering entries for included-
+// field freshness against their rows, in one committed transaction
+// (serializability makes any divergence a maintenance bug: an update
+// changed row bytes without rewriting the covering entry). Mid-audit
+// races surface as ErrConflict and retry inside db.Run.
+func checkCoveringFresh(t *testing.T, db *silo.DB, wid int, ix *silo.Index, city int) {
+	t.Helper()
+	if err := db.Run(wid, func(tx *silo.Tx) error {
+		return silo.VerifyIndexCovering(tx, ix, cityKey(city), cityKey(city+1))
+	}); err != nil {
+		t.Errorf("city %d covering freshness: %v", city, err)
 	}
 }
 

@@ -1,0 +1,133 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"silo/internal/record"
+)
+
+// TestGetBatchMatchesGet is the batched lookup's contract: for sorted keys
+// — present, absent, and duplicated — GetBatch must report exactly what
+// Get reports for each, record and guarding (node, version) alike, on a
+// quiescent tree.
+func TestGetBatchMatchesGet(t *testing.T) {
+	tr := New()
+	const n = 500
+	for i := 0; i < n; i += 2 { // even keys present, odd keys absent
+		tr.InsertIfAbsent(key(i), mkrec(byte(i)))
+	}
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, key(i))
+		if i%37 == 0 {
+			keys = append(keys, key(i)) // duplicates are allowed
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return bytes.Compare(keys[a], keys[b]) < 0 })
+
+	visited := 0
+	tr.GetBatch(keys, func(i int, rec *record.Record, node *Node, version uint64) bool {
+		if i != visited {
+			t.Fatalf("callback order: got index %d, want %d", i, visited)
+		}
+		visited++
+		wantRec, wantNode, wantVer := tr.Get(keys[i])
+		if rec != wantRec {
+			t.Fatalf("key %q: batch record %p, Get record %p", keys[i], rec, wantRec)
+		}
+		if node != wantNode || version != wantVer {
+			t.Fatalf("key %q: batch guard (%p,%d), Get guard (%p,%d)",
+				keys[i], node, version, wantNode, wantVer)
+		}
+		return true
+	})
+	if visited != len(keys) {
+		t.Fatalf("visited %d of %d keys", visited, len(keys))
+	}
+
+	// Early stop.
+	visited = 0
+	tr.GetBatch(keys, func(i int, _ *record.Record, _ *Node, _ uint64) bool {
+		visited++
+		return visited < 7
+	})
+	if visited != 7 {
+		t.Fatalf("early stop visited %d", visited)
+	}
+}
+
+// TestGetBatchUnderInserts hammers GetBatch while writers split leaves: a
+// batch must never misreport a key that was present before the batch
+// began (version validation may retry, never skip), and every reported
+// record must be the one actually mapped.
+func TestGetBatchUnderInserts(t *testing.T) {
+	tr := New()
+	const base = 2000
+	recs := make(map[string]*record.Record)
+	for i := 0; i < base; i += 2 {
+		r := mkrec(byte(i))
+		tr.InsertIfAbsent(key(i), r)
+		recs[string(key(i))] = r
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: inserts odd keys, splitting leaves throughout
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for !stop.Load() {
+			i := rng.Intn(base/2)*2 + 1
+			tr.InsertIfAbsent(key(i), mkrec(byte(i)))
+		}
+	}()
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 200; round++ {
+		var keys [][]byte
+		for j := 0; j < 64; j++ {
+			keys = append(keys, key(rng.Intn(base)))
+		}
+		sort.Slice(keys, func(a, b int) bool { return bytes.Compare(keys[a], keys[b]) < 0 })
+		tr.GetBatch(keys, func(i int, rec *record.Record, node *Node, _ uint64) bool {
+			want, present := recs[string(keys[i])]
+			if present && rec != want {
+				t.Errorf("key %q: got record %p want %p", keys[i], rec, want)
+				return false
+			}
+			if !present && rec != nil {
+				// An odd key the writer inserted: the record must carry the
+				// matching payload byte.
+				if got := recByte(rec); got != byte(keyNum(keys[i])) {
+					t.Errorf("key %q: racing insert surfaced wrong record (payload %d)", keys[i], got)
+					return false
+				}
+			}
+			if node == nil {
+				t.Errorf("key %q: no guarding node", keys[i])
+				return false
+			}
+			return true
+		})
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recByte(r *record.Record) byte {
+	v, _ := r.Read(nil)
+	return v[0]
+}
+
+func keyNum(k []byte) int {
+	var n int
+	fmt.Sscanf(string(k), "key%06d", &n)
+	return n
+}

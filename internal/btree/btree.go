@@ -334,6 +334,90 @@ func (t *Tree) Get(key []byte) (rec *record.Record, n *Node, version uint64) {
 	}
 }
 
+// GetBatch looks up keys — which must be sorted ascending — calling fn for
+// each in order with exactly what Get would have returned for it: the
+// record (nil if the key is not present) and the leaf and validated leaf
+// version that do or would contain the key. fn returning false stops the
+// batch. The win over repeated Get calls is one descent per leaf run
+// instead of one per key: after descending for a key, every following key
+// that is provably routed to the same leaf (≤ the leaf's last key, whose
+// separator range must therefore contain it) is served from that leaf
+// under a single version validation. Sorted primary-key resolution of
+// large index scans hits long runs in practice, since entries of one
+// secondary range tend to cluster in primary-key space.
+//
+// fn must not re-enter the tree (the transaction layer only records the
+// observation and copies the value out).
+func (t *Tree) GetBatch(keys [][]byte, fn func(i int, rec *record.Record, n *Node, version uint64) bool) {
+	t.raceRLock()
+	defer t.raceRUnlock()
+	for _, k := range keys {
+		checkKey(k)
+	}
+	// recs[j] holds the record found for keys[i+j] of the current leaf run
+	// (nil for absent); hits remembers whether the slot search matched, to
+	// distinguish "absent" from a torn value read that must retry.
+	var recs []*record.Record
+	var hits []bool
+	i := 0
+	for i < len(keys) {
+		var lf *leaf
+		var v uint64
+		var run int
+	retry:
+		for spins := 0; ; spins++ {
+			lf, v = t.descend(keys[i])
+			recs, hits = recs[:0], hits[:0]
+			// The run extends while keys stay ≤ the leaf's last key: the
+			// leaf's separator range contains its own keys, so any sorted
+			// key between the descent key and the last key routes here.
+			// The last key is read under the same version validation as
+			// the slots, so a concurrent split cannot extend a run into
+			// keys the leaf no longer owns.
+			nk := clampKeys(lf.nkeys.Load())
+			run = 1
+			idx, eq := lf.search(keys[i])
+			if eq {
+				recs = append(recs, lf.val(idx))
+			} else {
+				recs = append(recs, nil)
+			}
+			hits = append(hits, eq)
+			if nk > 0 {
+				last := lf.keys[nk-1].get()
+				for i+run < len(keys) && bytes.Compare(keys[i+run], last) <= 0 {
+					idx, eq := lf.search(keys[i+run])
+					if eq {
+						recs = append(recs, lf.val(idx))
+					} else {
+						recs = append(recs, nil)
+					}
+					hits = append(hits, eq)
+					run++
+				}
+			}
+			if lf.version.Load() != v {
+				backoff(spins)
+				continue retry
+			}
+			for j := 0; j < run; j++ {
+				if hits[j] && recs[j] == nil {
+					// Torn value slot; retry the whole leaf run.
+					backoff(spins)
+					continue retry
+				}
+			}
+			break
+		}
+		for j := 0; j < run; j++ {
+			if !fn(i+j, recs[j], &lf.node, v) {
+				return
+			}
+		}
+		i += run
+	}
+}
+
 // InsertIfAbsent maps key to rec unless key is already present. It returns
 // the record now in the tree (rec on success, the pre-existing record
 // otherwise), whether the insert happened, and the version changes of every

@@ -256,6 +256,57 @@ func (tx *Tx) GetAppend(t *Table, key, buf []byte) ([]byte, error) {
 	return append(buf, val...), nil
 }
 
+// GetBatch reads many keys in one pass. keys must be sorted ascending
+// (duplicates allowed); fn is called once per key, in order, with the
+// value or ErrNotFound, and fn returning false stops the batch early.
+// Values alias a transaction buffer valid only during the callback.
+//
+// Semantics per key are exactly Get's — present reads join the read-set,
+// misses register the guarding leaf in the node-set — but the tree is
+// walked with one descent per leaf run instead of one per key, which is
+// the point: resolving an index scan's primary keys in sorted order
+// touches long runs of keys on shared leaves. A superseded record version
+// aborts the batch with ErrConflict as in Get.
+func (tx *Tx) GetBatch(t *Table, keys [][]byte, fn func(i int, val []byte, err error) bool) error {
+	if !tx.active {
+		return ErrTxDone
+	}
+	for i, k := range keys {
+		if !validKey(k) {
+			return ErrKeyInvalid
+		}
+		if i > 0 && bytes.Compare(keys[i-1], k) > 0 {
+			return errors.New("silo: GetBatch keys not sorted")
+		}
+	}
+	var inner error
+	t.Tree.GetBatch(keys, func(i int, rec *record.Record, n *btree.Node, ver uint64) bool {
+		if wi := tx.findWrite(t, keys[i]); wi >= 0 {
+			if tx.writes[wi].kind == writeDelete {
+				return fn(i, nil, ErrNotFound)
+			}
+			return fn(i, tx.writes[wi].value, nil)
+		}
+		if rec == nil {
+			tx.addNode(n, ver)
+			return fn(i, nil, ErrNotFound)
+		}
+		val, w := rec.Read(tx.rbuf)
+		tx.rbuf = val[:0]
+		tx.addRead(rec, w)
+		tx.w.stats.Reads++
+		if w.Absent() {
+			return fn(i, nil, ErrNotFound)
+		}
+		if !w.Latest() {
+			inner = ErrConflict
+			return false
+		}
+		return fn(i, val, nil)
+	})
+	return inner
+}
+
 // Put replaces the value of an existing key. The key must be present;
 // writing a missing key requires Insert. Put registers the record in both
 // the read-set (presence is validated at commit, so a concurrent delete

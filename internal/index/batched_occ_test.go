@@ -1,0 +1,139 @@
+package index
+
+import (
+	"testing"
+
+	"silo/internal/core"
+)
+
+// batched_occ_test.go pins down the batched-resolution OCC path
+// deterministically: testHookAfterCollect lands a concurrent committed
+// write exactly between ScanBatched's entry collection and its batched
+// primary resolution. The scanning transaction must abort — at resolution
+// (row vanished) or at commit (read-/node-set validation) — and never
+// commit a torn result. A same-key update, which is serializable as
+// writer-before-scanner, is the positive control: it must commit and show
+// the new value for every affected row.
+
+func withCollectHook(t *testing.T, fn func()) {
+	t.Helper()
+	testHookAfterCollect = fn
+	t.Cleanup(func() { testHookAfterCollect = nil })
+}
+
+func batchedSetup(t *testing.T) (*core.Store, *core.Table, *Index) {
+	t.Helper()
+	s := newStore(t, 2)
+	users := s.CreateTable("users")
+	byCity := New(s, users, "users_by_city", false, cityKey)
+	w := s.Worker(0)
+	for i := 0; i < 8; i++ {
+		insertUser(t, w, users, i, "AMS", uint64(i), name(i))
+	}
+	return s, users, byCity
+}
+
+// TestBatchedResolveRowDeletedInGap: the concurrent writer deletes a
+// collected row; resolution finds the entry's row gone and must report
+// ErrConflict (retryable), not fabricate or skip a row.
+func TestBatchedResolveRowDeletedInGap(t *testing.T) {
+	s, users, byCity := batchedSetup(t)
+	w0, w1 := s.Worker(0), s.Worker(1)
+
+	withCollectHook(t, func() {
+		if err := w1.Run(func(tx *core.Tx) error {
+			return tx.Delete(users, []byte("u003"))
+		}); err != nil {
+			t.Fatalf("concurrent delete: %v", err)
+		}
+	})
+
+	tx := w0.Begin()
+	err := ScanBatched(tx, byCity, []byte("AMS"), []byte("AMT"), 0, func(_, _, _ []byte) bool { return true })
+	if err != core.ErrConflict {
+		tx.Abort()
+		t.Fatalf("batched scan over deleted row err = %v, want ErrConflict", err)
+	}
+	tx.Abort()
+}
+
+// TestBatchedResolveRowMovedInGap: the concurrent writer moves a row's
+// secondary key (entry delete + insert). Execution may or may not observe
+// the torn pairing, but the commit must abort: the collected entry joined
+// the read-set and its record changed.
+func TestBatchedResolveRowMovedInGap(t *testing.T) {
+	s, users, byCity := batchedSetup(t)
+	w0, w1 := s.Worker(0), s.Worker(1)
+
+	withCollectHook(t, func() {
+		if err := w1.Run(func(tx *core.Tx) error {
+			return tx.Put(users, []byte("u003"), userVal("BER", 3, name(3)))
+		}); err != nil {
+			t.Fatalf("concurrent move: %v", err)
+		}
+	})
+
+	tx := w0.Begin()
+	torn := false
+	err := ScanBatched(tx, byCity, []byte("AMS"), []byte("AMT"), 0, func(sk, pk, val []byte) bool {
+		if string(sk) != string(val[:len(sk)]) {
+			torn = true // AMS entry paired with a BER row: must not commit
+		}
+		return true
+	})
+	if err != nil && err != core.ErrConflict {
+		tx.Abort()
+		t.Fatalf("batched scan err = %v", err)
+	}
+	if err == nil {
+		err = tx.Commit()
+	} else {
+		tx.Abort()
+	}
+	if err != core.ErrConflict {
+		t.Fatalf("scan after concurrent secondary-key move committed (err=%v, torn=%v)", err, torn)
+	}
+}
+
+// TestBatchedResolveSameKeyUpdateInGap is the positive control: a
+// concurrent update that keeps the secondary key is serializable as
+// writer-before-scanner, so the scan commits and every resolved value is
+// the post-update one — all-or-nothing, never a mix rejected by
+// validation.
+func TestBatchedResolveSameKeyUpdateInGap(t *testing.T) {
+	s, users, byCity := batchedSetup(t)
+	w0, w1 := s.Worker(0), s.Worker(1)
+
+	withCollectHook(t, func() {
+		if err := w1.Run(func(tx *core.Tx) error {
+			return tx.Put(users, []byte("u003"), userVal("AMS", 333, name(3)))
+		}); err != nil {
+			t.Fatalf("concurrent update: %v", err)
+		}
+	})
+
+	tx := w0.Begin()
+	sawNew := false
+	n := 0
+	err := ScanBatched(tx, byCity, []byte("AMS"), []byte("AMT"), 0, func(sk, pk, val []byte) bool {
+		n++
+		if string(pk) == "u003" {
+			var u uint64
+			for _, b := range val[4:12] {
+				u = u<<8 | uint64(b)
+			}
+			sawNew = u == 333
+		}
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		t.Fatalf("batched scan err = %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("serializable writer-before-scanner order rejected: %v", err)
+	}
+	if n != 8 || !sawNew {
+		t.Fatalf("committed scan saw %d rows, sawNew=%v — torn or stale read committed", n, sawNew)
+	}
+}

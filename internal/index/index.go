@@ -26,6 +26,16 @@
 // against the full entry key; callers of non-unique indexes should use
 // fixed-width secondary keys (as TPC-C does) or full-width bounds.
 //
+// A covering index (NewCovering) additionally projects fixed-segment row
+// fields into its entry values, so ScanCovering can serve those fields
+// without touching the primary tree at all — the index-only scan of §4.7's
+// "index as ordinary table" taken to its logical end. Covering entry
+// values are length-prefixed: u8 pklen ‖ pk ‖ included-fields, where the
+// included fields are the concatenation of the Include segments (fixed
+// total width). The maintenance hooks keep the projection current: an
+// update that changes an included field but not the secondary key
+// rewrites the entry value in place, inside the same transaction.
+//
 // Entry tables are ordinary tables: they appear in Store.Tables(), are
 // checkpointed and recovered like any other, and their creation order
 // matters for the log format exactly like other tables'. Do not write them
@@ -60,6 +70,15 @@ type Index struct {
 	// there is one (nil for opaque KeyFuncs). Registries use it to decide
 	// whether a re-creation request matches the existing declaration.
 	Spec []Seg
+	// Include is the covering projection: fixed-position row segments whose
+	// bytes ride in every entry value so ScanCovering never resolves the
+	// primary tree. Nil for ordinary (non-covering) indexes.
+	Include []Seg
+
+	// include is the compiled projection extractor; width is the fixed
+	// total byte width of the projection (sum of Include segment lengths).
+	include KeyFunc
+	width   int
 }
 
 // New declares an index named name over table on: it creates the entry
@@ -80,6 +99,49 @@ func New(s *core.Store, on *core.Table, name string, unique bool, key KeyFunc) *
 	return ix
 }
 
+// NewCovering is New for a covering index: entry values additionally carry
+// the concatenated Include segments of the row, kept current by the
+// maintenance hooks, so ScanCovering serves them without primary-tree
+// resolution. A row too short for any include segment is left unindexed
+// (exactly like a row too short for a declarative key segment), keeping
+// projection width fixed. The include list is part of the index's
+// declaration: recovery verifies recovered entries against it and rejects
+// a re-declaration whose projection no longer matches the logged entries.
+func NewCovering(s *core.Store, on *core.Table, name string, unique bool, key KeyFunc, include []Seg) (*Index, error) {
+	proj, err := CompileSpec(include)
+	if err != nil {
+		return nil, fmt.Errorf("index %q include list: %w", name, err)
+	}
+	ix := &Index{
+		Name:    name,
+		On:      on,
+		Entries: s.CreateTable(name),
+		Unique:  unique,
+		Key:     key,
+		Include: append([]Seg(nil), include...),
+		include: proj,
+		width:   specWidth(include),
+	}
+	on.AddWriteHook(hook{ix})
+	return ix, nil
+}
+
+// specWidth is the fixed byte width of a segment spec's concatenation.
+func specWidth(segs []Seg) int {
+	w := 0
+	for _, s := range segs {
+		w += s.Len
+	}
+	return w
+}
+
+// Covering reports whether entry values carry included row fields.
+func (ix *Index) Covering() bool { return ix.Include != nil }
+
+// IncludeWidth returns the fixed byte width of the covering projection
+// (0 for non-covering indexes).
+func (ix *Index) IncludeWidth() int { return ix.width }
+
 // EntryKey appends the entry-table key for (sk, pk) to dst.
 func (ix *Index) EntryKey(dst, sk, pk []byte) []byte {
 	dst = append(dst, sk...)
@@ -98,13 +160,68 @@ func (ix *Index) entryKeyFrom(sk, pk []byte) []byte {
 	return append(sk, pk...)
 }
 
-// SecondaryKey recovers the secondary key from an entry's key and value
-// (the value is the primary key).
+// SecondaryKey recovers the secondary key from an entry's key and the
+// primary key it maps to.
 func (ix *Index) SecondaryKey(entryKey, pk []byte) []byte {
 	if ix.Unique {
 		return entryKey
 	}
 	return entryKey[:len(entryKey)-len(pk)]
+}
+
+// extract computes the secondary key and entry value for a row, appending
+// them to skdst/evdst. ok=false leaves the row unindexed: the key
+// extractor declined, or — covering only — the row is too short for an
+// include segment (mirroring declarative key-segment semantics, so the
+// projection width stays fixed).
+func (ix *Index) extract(skdst, evdst, pk, val []byte) (sk, ev []byte, ok bool) {
+	sk, ok = ix.Key(skdst, pk, val)
+	if !ok {
+		return sk, evdst, false
+	}
+	if ix.include == nil {
+		return sk, pk, true
+	}
+	// Covering value: u8 pklen ‖ pk ‖ included fields. Primary keys are
+	// tree keys, so their length always fits the one-byte prefix.
+	ev = append(evdst, byte(len(pk)))
+	ev = append(ev, pk...)
+	ev, ok = ix.include(ev, pk, val)
+	if !ok {
+		return sk, ev[:len(evdst)], false
+	}
+	return sk, ev, true
+}
+
+// EntryValuePK returns the primary key held in an entry value.
+func (ix *Index) EntryValuePK(ev []byte) ([]byte, error) {
+	if !ix.Covering() {
+		return ev, nil
+	}
+	pk, _, err := ix.SplitEntryValue(ev)
+	return pk, err
+}
+
+// SplitEntryValue decomposes a covering entry value into its primary key
+// and included fields, validating the declared shape (u8 pklen ‖ pk ‖
+// exactly IncludeWidth field bytes). A mismatch means the entry was
+// written under a different include list than the index now declares —
+// recovery uses this to refuse a changed declaration — or the entry table
+// was written directly. For a non-covering index the value is the primary
+// key and fields is nil.
+func (ix *Index) SplitEntryValue(ev []byte) (pk, fields []byte, err error) {
+	if !ix.Covering() {
+		return ev, nil, nil
+	}
+	if len(ev) == 0 {
+		return nil, nil, fmt.Errorf("index %q: empty covering entry value", ix.Name)
+	}
+	n := int(ev[0])
+	if len(ev) != 1+n+ix.width {
+		return nil, nil, fmt.Errorf("index %q: entry value of %d bytes does not match the declared include list (pk %d + include %d bytes)",
+			ix.Name, len(ev), n, ix.width)
+	}
+	return ev[1 : 1+n], ev[1+n:], nil
 }
 
 // hook adapts an Index to core.WriteHook. All entry writes go through the
@@ -115,24 +232,42 @@ type hook struct{ ix *Index }
 
 func (h hook) OnInsert(tx *core.Tx, pk, val []byte) error {
 	ix := h.ix
-	sk, ok := ix.Key(nil, pk, val)
+	sk, ev, ok := ix.extract(nil, nil, pk, val)
 	if !ok {
 		return nil
 	}
 	// A unique index refuses a second row with the same secondary key:
 	// the entry insert observes the existing entry (read-set) and fails
 	// with ErrKeyExists, aborting the triggering transaction.
-	return tx.Insert(ix.Entries, ix.entryKeyFrom(sk, pk), pk)
+	return tx.Insert(ix.Entries, ix.entryKeyFrom(sk, pk), ev)
 }
 
 func (h hook) OnUpdate(tx *core.Tx, pk, oldVal, newVal []byte) error {
 	ix := h.ix
-	// Both secondary keys are computed before any nested operation: the
+	// Both extractions are computed before any nested operation: the
 	// old/new value slices may alias transaction buffers.
-	oldSk, oldOk := ix.Key(nil, pk, oldVal)
-	newSk, newOk := ix.Key(nil, pk, newVal)
+	oldSk, oldEv, oldOk := ix.extract(nil, nil, pk, oldVal)
+	newSk, newEv, newOk := ix.extract(nil, nil, pk, newVal)
 	if oldOk && newOk && bytes.Equal(oldSk, newSk) {
-		return nil // entry unchanged (value is the primary key either way)
+		if !ix.Covering() || bytes.Equal(oldEv, newEv) {
+			return nil // entry unchanged
+		}
+		// Same entry key, fresher included fields: rewrite the value in
+		// place so covering scans always serve current bytes. The entry
+		// joins the read- and write-sets, so a covering scan racing this
+		// update validates against it like any other write.
+		ek := ix.EntryKey(nil, newSk, pk)
+		err := tx.Put(ix.Entries, ek, newEv)
+		if err == core.ErrNotFound {
+			// No entry yet: this row predates the index and a concurrent
+			// Backfill has not reached it. Install the fresh value
+			// directly — backfillOne tolerates (and preserves) it.
+			return tx.Insert(ix.Entries, ek, newEv)
+		}
+		if err != nil {
+			return err
+		}
+		return nil
 	}
 	if oldOk {
 		if err := tx.Delete(ix.Entries, ix.EntryKey(nil, oldSk, pk)); err != nil {
@@ -140,14 +275,14 @@ func (h hook) OnUpdate(tx *core.Tx, pk, oldVal, newVal []byte) error {
 		}
 	}
 	if newOk {
-		return tx.Insert(ix.Entries, ix.entryKeyFrom(newSk, pk), pk)
+		return tx.Insert(ix.Entries, ix.entryKeyFrom(newSk, pk), newEv)
 	}
 	return nil
 }
 
 func (h hook) OnDelete(tx *core.Tx, pk, oldVal []byte) error {
 	ix := h.ix
-	sk, ok := ix.Key(nil, pk, oldVal)
+	sk, _, ok := ix.extract(nil, nil, pk, oldVal)
 	if !ok {
 		return nil
 	}
@@ -192,13 +327,16 @@ func (ix *Index) Backfill(w *core.Worker) error {
 			}
 			n := 0
 			var ierr error
-			var skb, ekb []byte
+			var skb, ekb, evb []byte
 			serr := tx.Scan(ix.On, lo, nil, func(k, v []byte) bool {
-				sk, ok := ix.Key(skb[:0], k, v)
+				sk, ev, ok := ix.extract(skb[:0], evb[:0], k, v)
 				skb = sk
+				if ix.Covering() {
+					evb = ev[:0]
+				}
 				if ok {
 					ekb = ix.EntryKey(ekb[:0], sk, k)
-					if ierr = backfillOne(tx, ix, ekb, k); ierr != nil {
+					if ierr = backfillOne(tx, ix, ekb, k, ev); ierr != nil {
 						return false
 					}
 				}
@@ -227,18 +365,29 @@ func (ix *Index) Backfill(w *core.Worker) error {
 // backfillOne inserts one entry unless an equivalent entry already exists
 // (idempotent against batch-boundary rescans and concurrently maintained
 // rows). An existing entry for a different primary key is a uniqueness
-// violation.
-func backfillOne(tx *core.Tx, ix *Index, entryKey, pk []byte) error {
+// violation; an existing entry for the same primary key but a different
+// value (covering fields written under an older include list) is
+// refreshed in place.
+func backfillOne(tx *core.Tx, ix *Index, entryKey, pk, ev []byte) error {
 	cur, err := tx.Get(ix.Entries, entryKey)
 	switch {
 	case err == core.ErrNotFound:
-		return tx.Insert(ix.Entries, entryKey, pk)
+		return tx.Insert(ix.Entries, entryKey, ev)
 	case err != nil:
 		return err
-	case bytes.Equal(cur, pk):
-		return nil
-	default:
-		return fmt.Errorf("index %q: unique key violated by existing rows %x and %x",
-			ix.Name, cur, pk)
 	}
+	curPK, err := ix.EntryValuePK(cur)
+	if err != nil {
+		// A malformed covering value cannot name its primary key; surface
+		// the shape mismatch rather than guessing.
+		return err
+	}
+	if !bytes.Equal(curPK, pk) {
+		return fmt.Errorf("index %q: unique key violated by existing rows %x and %x",
+			ix.Name, curPK, pk)
+	}
+	if bytes.Equal(cur, ev) {
+		return nil
+	}
+	return tx.Put(ix.Entries, entryKey, ev)
 }

@@ -142,6 +142,52 @@ func TestMaintenanceAndScan(t *testing.T) {
 	}
 }
 
+// TestCoveringRewriteDuringBackfillWindow pins the pre-backfill race: a
+// covering index is declared over existing rows (hook live, backfill not
+// yet run) and a writer updates a row's included field without moving its
+// secondary key. The hook must install the fresh entry rather than
+// failing the writer (the rewrite path's Put finds no entry yet), and a
+// subsequent Backfill must converge on exactly one fresh entry per row.
+func TestCoveringRewriteDuringBackfillWindow(t *testing.T) {
+	s := newStore(t, 1)
+	users := s.CreateTable("users")
+	w := s.Worker(0)
+	insertUser(t, w, users, 1, "AMS", 10, "ada")
+	insertUser(t, w, users, 2, "AMS", 20, "bob")
+
+	byCity, err := NewCovering(s, users, "users_by_city", false, cityKey,
+		[]Seg{{FromValue: true, Off: 4, Len: 8}}) // the score field
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hook live, zero entries: update u001's score (sk unchanged).
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Put(users, []byte("u001"), userVal("AMS", 11, "ada"))
+	}); err != nil {
+		t.Fatalf("update during backfill window: %v", err)
+	}
+	if got := byCity.Entries.Tree.Len(); got != 1 {
+		t.Fatalf("hook installed %d entries, want 1", got)
+	}
+	if err := byCity.Backfill(w); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one entry per row, each carrying the current score.
+	var got []string
+	if err := w.Run(func(tx *core.Tx) error {
+		got = got[:0]
+		return ScanCovering(tx, byCity, []byte("AMS"), []byte("AMT"), func(_, pk, fields []byte) bool {
+			got = append(got, fmt.Sprintf("%s=%d", pk, binary.BigEndian.Uint64(fields)))
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[u001=11 u002=20]" {
+		t.Fatalf("after backfill: %v", got)
+	}
+}
+
 func TestBackfillAndIdempotence(t *testing.T) {
 	s := newStore(t, 1)
 	users := s.CreateTable("users")
@@ -370,7 +416,7 @@ func TestRegistryCreate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := r.Create(s, w, users, "users_by_city", false, key, spec)
+	ix, err := r.Create(s, w, users, "users_by_city", false, key, spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,21 +431,21 @@ func TestRegistryCreate(t *testing.T) {
 	}
 	// Idempotent re-create with the identical declaration; everything the
 	// registry cannot verify as identical is rejected.
-	if again, err := r.Create(s, w, users, "users_by_city", false, key, spec); err != nil || again != ix {
+	if again, err := r.Create(s, w, users, "users_by_city", false, key, spec, nil); err != nil || again != ix {
 		t.Fatalf("re-create = %v, %v", again, err)
 	}
-	if _, err := r.Create(s, w, users, "users_by_city", true, key, spec); err == nil {
+	if _, err := r.Create(s, w, users, "users_by_city", true, key, spec, nil); err == nil {
 		t.Fatal("mismatched uniqueness accepted")
 	}
 	other := []Seg{{FromValue: true, Off: 4, Len: 8}}
-	if _, err := r.Create(s, w, users, "users_by_city", false, key, other); err == nil {
+	if _, err := r.Create(s, w, users, "users_by_city", false, key, other, nil); err == nil {
 		t.Fatal("mismatched spec accepted")
 	}
-	if _, err := r.Create(s, w, users, "users_by_city", false, cityKey, nil); err == nil {
+	if _, err := r.Create(s, w, users, "users_by_city", false, cityKey, nil, nil); err == nil {
 		t.Fatal("opaque key function re-create accepted")
 	}
 	// Name collisions with plain tables are rejected.
-	if _, err := r.Create(s, w, users, "users", false, cityKey, nil); err == nil {
+	if _, err := r.Create(s, w, users, "users", false, cityKey, nil, nil); err == nil {
 		t.Fatal("index named after an existing table accepted")
 	}
 	if all := r.All(); len(all) != 1 || all[0] != ix {
@@ -418,7 +464,7 @@ func TestCreateBackfillFailureCleansUp(t *testing.T) {
 	insertUser(t, w, users, 2, "BER", 2, "dup") // same name: unique violation
 
 	r := NewRegistry()
-	if _, err := r.Create(s, w, users, "users_by_name", true, nameKey, nil); err == nil {
+	if _, err := r.Create(s, w, users, "users_by_name", true, nameKey, nil, nil); err == nil {
 		t.Fatal("unique backfill over colliding rows succeeded")
 	}
 	if r.Get("users_by_name") != nil {
@@ -452,7 +498,7 @@ func TestCreateBackfillFailureCleansUp(t *testing.T) {
 	}
 	// The name is retryable with a workable declaration, adopting the
 	// orphaned entry table.
-	ix, err := r.Create(s, w, users, "users_by_name", false, nameKey, nil)
+	ix, err := r.Create(s, w, users, "users_by_name", false, nameKey, nil, nil)
 	if err != nil {
 		t.Fatalf("retry after failed create: %v", err)
 	}

@@ -47,10 +47,13 @@ func (r *Registry) All() []*Index {
 // on the registry (normal transactions are unaffected).
 //
 // spec is the declarative segment spec key was compiled from, or nil for
-// an opaque KeyFunc. Re-creating an existing name returns the existing
-// index only when the declaration verifiably matches (same table, same
-// uniqueness, and equal non-nil specs); opaque key functions cannot be
-// compared, so re-creating a KeyFunc index is an error.
+// an opaque KeyFunc. include, when non-nil, makes the index covering:
+// entry values carry the concatenated include segments of each row.
+// Re-creating an existing name returns the existing index only when the
+// declaration verifiably matches (same table, same uniqueness, equal
+// non-nil specs, and an identical include list — nil matching nil);
+// opaque key functions cannot be compared, so re-creating a KeyFunc index
+// is an error.
 //
 // The backfill runs in batched transactions on worker w. Writes racing
 // the creation are handled: after the maintenance hook is registered,
@@ -61,14 +64,14 @@ func (r *Registry) All() []*Index {
 // backfill fails (e.g. a unique violation between existing rows), the
 // hook is withdrawn and the partially built entries wiped, so the table
 // keeps working and the name can be retried.
-func (r *Registry) Create(s *core.Store, w *core.Worker, on *core.Table, name string, unique bool, key KeyFunc, spec []Seg) (*Index, error) {
+func (r *Registry) Create(s *core.Store, w *core.Worker, on *core.Table, name string, unique bool, key KeyFunc, spec, include []Seg) (*Index, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ix := r.byName[name]; ix != nil {
-		if ix.On == on && ix.Unique == unique && specsEqual(ix.Spec, spec) {
+		if ix.On == on && ix.Unique == unique && specsEqual(ix.Spec, spec) && includesEqual(ix.Include, include) {
 			return ix, nil
 		}
-		if ix.Spec == nil || spec == nil {
+		if (ix.Spec == nil || spec == nil) && ix.On == on && ix.Unique == unique && includesEqual(ix.Include, include) {
 			return nil, fmt.Errorf("index %q already exists and its declaration cannot be compared (opaque key function)", name)
 		}
 		return nil, fmt.Errorf("index %q already exists with a different declaration", name)
@@ -79,7 +82,15 @@ func (r *Registry) Create(s *core.Store, w *core.Worker, on *core.Table, name st
 	if s.Table(name) != nil && !r.orphans[name] {
 		return nil, fmt.Errorf("index %q: a table with that name already exists", name)
 	}
-	ix := New(s, on, name, unique, key)
+	var ix *Index
+	if include != nil {
+		var err error
+		if ix, err = NewCovering(s, on, name, unique, key, include); err != nil {
+			return nil, err
+		}
+	} else {
+		ix = New(s, on, name, unique, key)
+	}
 	ix.Spec = append([]Seg(nil), spec...)
 	if on.Tree.Len() == 0 {
 		// Nothing to backfill, so the pre-registration fence has nothing to
@@ -133,6 +144,16 @@ func specsEqual(a, b []Seg) bool {
 		}
 	}
 	return true
+}
+
+// includesEqual compares two include lists. Unlike key specs — where nil
+// means "opaque, incomparable" — a nil include list is a definite
+// statement (not covering), so nil equals nil.
+func includesEqual(a, b []Seg) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return specsEqual(a, b)
 }
 
 // waitPreRegistrationTxns waits until every transaction that began before

@@ -1,13 +1,20 @@
 package index
 
 import (
+	"bytes"
 	"errors"
+	"sort"
+	"sync"
 
 	"silo/internal/core"
 )
 
 // ErrNotUnique reports a point lookup on a non-unique index.
 var ErrNotUnique = errors.New("silo: index lookup requires a unique index")
+
+// ErrNotCovering reports a covering scan of an index declared without an
+// include list.
+var ErrNotCovering = errors.New("silo: index is not covering (declared without an include list)")
 
 // Scan visits index entries with entry keys in [lo, hi) in order, resolving
 // each to its primary row and calling fn(secondaryKey, primaryKey, value);
@@ -21,10 +28,22 @@ var ErrNotUnique = errors.New("silo: index lookup requires a unique index")
 // transaction at commit. An entry whose primary row is missing during
 // execution means a concurrent writer got between the two trees; the scan
 // returns ErrConflict so the caller retries.
+//
+// Scan resolves rows one point read per entry and streams results, which
+// is the right shape when the caller stops early (TPC-C's "most recent
+// order" reads one entry). For large ranges consumed in full, ScanBatched
+// resolves with ordered multi-get descents instead, and for queries that
+// only need included fields a covering index skips resolution entirely
+// (ScanCovering).
 func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
 	var inner error
 	var pkb, vbuf []byte
-	err := tx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, perr := ix.EntryValuePK(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
 		// The entry value aliases the transaction's read buffer, which the
 		// nested primary read reuses: copy the primary key out first.
 		pkb = append(pkb[:0], pk...)
@@ -46,6 +65,190 @@ func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) boo
 	return inner
 }
 
+// testHookAfterCollect, when non-nil, runs between ScanBatched's entry
+// collection and its batched primary resolution. Tests use it to commit a
+// concurrent write deterministically inside that window and assert the
+// OCC machinery aborts the scanning transaction rather than returning a
+// torn row.
+var testHookAfterCollect func()
+
+// batchedEnt is one collected entry awaiting batched resolution; offsets
+// index the shared collection buffer.
+type batchedEnt struct {
+	ekEnd int // entry key bytes end at this offset (start = previous end)
+	pkEnd int // primary key bytes end at this offset
+}
+
+// batchScratch is the reusable working state of one ScanBatched call,
+// pooled so steady-state batched scans allocate nothing: the collection
+// buffer, the sort permutation, the sorted key views, and the resolved-
+// value arena all reuse prior capacity.
+type batchScratch struct {
+	buf   []byte       // entry keys ‖ primary keys, concatenated
+	ents  []batchedEnt // offsets into buf
+	order []int        // sort permutation (empty when already sorted)
+	keys  [][]byte     // primary keys in sorted order (views into buf)
+	vals  []byte       // resolved row bytes, appended in sorted order
+	valAt [][2]int     // per-entry [start, end) into vals
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// ScanBatched is Scan with batched primary-row resolution: it first
+// collects up to max matching entries (0 means no bound) from the entry
+// tree, then resolves their primary keys in sorted order with a single
+// ordered multi-get pass over the primary tree (one descent per leaf run
+// instead of one per entry), and finally emits results to fn in entry-key
+// order. OCC semantics are identical to Scan: collected entries and
+// resolved rows join the read-set, entry leaves join the node-set, and a
+// concurrent write landing between collection and resolution either
+// surfaces as ErrConflict here (a resolved row gone missing) or aborts
+// the transaction at commit (read-set/node-set validation) — never as a
+// torn row in a committed transaction.
+//
+// Unlike Scan it buffers the entire result before emitting, so fn
+// returning false saves callback work but not resolution work; pass max
+// when the caller wants a bounded prefix.
+func ScanBatched(tx *core.Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk, val []byte) bool) error {
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	sc.buf, sc.ents = sc.buf[:0], sc.ents[:0]
+
+	// Phase 1: collect the matching entries. Entry keys and primary keys
+	// are copied into one grow-only buffer; entries are offsets into it.
+	// Sortedness is tracked as we go — a secondary order that parallels
+	// primary order (clustered indexes, TPC-C composites) skips the
+	// permutation entirely.
+	var inner error
+	sorted := true
+	prevPK := 0     // buf offset where the previous pk starts
+	prevPKLen := -1 // previous pk's length; -1 before the first entry
+	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, perr := ix.EntryValuePK(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
+		sc.buf = append(sc.buf, ek...)
+		ekEnd := len(sc.buf)
+		sc.buf = append(sc.buf, pk...)
+		if prevPKLen >= 0 && sorted {
+			sorted = bytes.Compare(sc.buf[prevPK:prevPK+prevPKLen], pk) <= 0
+		}
+		prevPK, prevPKLen = ekEnd, len(pk)
+		sc.ents = append(sc.ents, batchedEnt{ekEnd: ekEnd, pkEnd: len(sc.buf)})
+		return max <= 0 || len(sc.ents) < max
+	})
+	if err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	n := len(sc.ents)
+	if n == 0 {
+		return nil
+	}
+	if testHookAfterCollect != nil {
+		testHookAfterCollect()
+	}
+
+	// Phase 2: resolve primary keys in sorted order; order maps sorted
+	// positions back to collected entries (identity when already sorted).
+	pkOf := func(i int) []byte { return sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd] }
+	sc.order = sc.order[:0]
+	if !sorted {
+		for i := 0; i < n; i++ {
+			sc.order = append(sc.order, i)
+		}
+		sort.Slice(sc.order, func(a, b int) bool {
+			return bytes.Compare(pkOf(sc.order[a]), pkOf(sc.order[b])) < 0
+		})
+	}
+	sc.keys = sc.keys[:0]
+	for i := 0; i < n; i++ {
+		e := i
+		if !sorted {
+			e = sc.order[i]
+		}
+		sc.keys = append(sc.keys, pkOf(e))
+	}
+	if cap(sc.valAt) < n {
+		sc.valAt = make([][2]int, n)
+	} else {
+		sc.valAt = sc.valAt[:n]
+	}
+	sc.vals = sc.vals[:0]
+	gerr := tx.GetBatch(ix.On, sc.keys, func(i int, val []byte, err error) bool {
+		if err == core.ErrNotFound {
+			// Entry without its row: a concurrent writer got between the
+			// two trees; the caller retries.
+			inner = core.ErrConflict
+			return false
+		}
+		if err != nil {
+			inner = err
+			return false
+		}
+		e := i
+		if !sorted {
+			e = sc.order[i]
+		}
+		start := len(sc.vals)
+		sc.vals = append(sc.vals, val...)
+		sc.valAt[e] = [2]int{start, len(sc.vals)}
+		return true
+	})
+	if gerr != nil {
+		return gerr
+	}
+	if inner != nil {
+		return inner
+	}
+
+	// Phase 3: emit in entry-key (secondary) order.
+	prev := 0
+	for i := 0; i < n; i++ {
+		ek := sc.buf[prev:sc.ents[i].ekEnd]
+		pk := sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd]
+		prev = sc.ents[i].pkEnd
+		v := sc.vals[sc.valAt[i][0]:sc.valAt[i][1]]
+		if !fn(ix.SecondaryKey(ek, pk), pk, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanCovering visits covering-index entries in [lo, hi), serving the
+// included row fields straight from the entry values: fn receives
+// (secondaryKey, primaryKey, includedFields) and the primary tree is
+// never touched. Phantom safety comes from node-set validation on the
+// index tree alone, and freshness from the entries themselves joining the
+// read-set — the maintenance hooks rewrite an entry whenever an included
+// field changes, so a committed covering scan observed exactly the fields
+// the serial order prescribes. Returns ErrNotCovering for an index
+// declared without an include list. Slices are valid only during the
+// callback.
+func ScanCovering(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, fields []byte) bool) error {
+	if !ix.Covering() {
+		return ErrNotCovering
+	}
+	var inner error
+	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, fields, perr := ix.SplitEntryValue(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
+		return fn(ix.SecondaryKey(ek, pk), pk, fields)
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
 // ScanEntries visits index entries in [lo, hi) without resolving primary
 // rows, calling fn(secondaryKey, primaryKey). It is phantom-safe on the
 // entry tree only — cheaper than Scan when the primary keys themselves are
@@ -54,20 +257,34 @@ func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) boo
 // and alias transaction buffers: copy pk out before issuing further reads
 // on tx.
 func ScanEntries(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk []byte) bool) error {
-	return tx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+	var inner error
+	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, perr := ix.EntryValuePK(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
 		return fn(ix.SecondaryKey(ek, pk), pk)
 	})
+	if err != nil {
+		return err
+	}
+	return inner
 }
 
 // Lookup resolves a secondary key on a unique index to its primary key and
-// row value. A missing secondary key returns ErrNotFound (and registers the
-// observation, so the absence is validated at commit). The returned slices
-// are owned by the caller.
+// row value (ErrNotFound if absent; the observation is registered, so the
+// absence is validated at commit). The returned slices are owned by the
+// caller.
 func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
 	if !ix.Unique {
 		return nil, nil, ErrNotUnique
 	}
-	pk, err = tx.Get(ix.Entries, sk)
+	ev, err := tx.Get(ix.Entries, sk)
+	if err != nil {
+		return nil, nil, err
+	}
+	pk, err = ix.EntryValuePK(ev)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -92,7 +309,12 @@ func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
 func SnapScan(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
 	var inner error
 	var pkb []byte
-	err := stx.Scan(ix.Entries, lo, hi, func(ek, pk []byte) bool {
+	err := stx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, perr := ix.EntryValuePK(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
 		// As in Scan, the entry value aliases the snapshot read buffer that
 		// the nested row read reuses.
 		pkb = append(pkb[:0], pk...)
@@ -105,6 +327,28 @@ func SnapScan(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, val []
 			return false
 		}
 		return fn(ix.SecondaryKey(ek, pkb), pkb, v)
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// SnapScanCovering is ScanCovering against a snapshot transaction: the
+// included fields are served from entry values as of the snapshot epoch,
+// consistent by construction and never aborting.
+func SnapScanCovering(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, fields []byte) bool) error {
+	if !ix.Covering() {
+		return ErrNotCovering
+	}
+	var inner error
+	err := stx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
+		pk, fields, perr := ix.SplitEntryValue(ev)
+		if perr != nil {
+			inner = perr
+			return false
+		}
+		return fn(ix.SecondaryKey(ek, pk), pk, fields)
 	})
 	if err != nil {
 		return err

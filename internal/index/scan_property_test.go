@@ -1,0 +1,226 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silo/internal/core"
+)
+
+// scan_property_test.go is the scan-equivalence property battery: for
+// randomized tables, specs, include lists, and workloads, the three scan
+// paths — per-entry resolving Scan, batched-resolution ScanBatched, and
+// index-only ScanCovering — must agree exactly with a naive reference
+// (entries-only scan + one Get per entry) at the same epoch.
+
+const propRowWidth = 24 // fixed row width; specs index fixed offsets
+
+// propSpec draws a random segment list over the row layout, keeping total
+// width small enough for entry keys (pk is 5 bytes, entry key ≤ 62).
+func propSpec(rng *rand.Rand, maxSegs, maxWidth int) []Seg {
+	n := 1 + rng.Intn(maxSegs)
+	var segs []Seg
+	width := 0
+	for i := 0; i < n; i++ {
+		ln := 1 + rng.Intn(4)
+		if width+ln > maxWidth {
+			break
+		}
+		width += ln
+		if rng.Intn(4) == 0 {
+			// From the primary key ("p%04d": 5 bytes).
+			off := rng.Intn(5 - minInt(ln, 5) + 1)
+			segs = append(segs, Seg{Off: off, Len: minInt(ln, 5)})
+		} else {
+			segs = append(segs, Seg{FromValue: true, Off: rng.Intn(propRowWidth - ln + 1), Len: ln})
+		}
+	}
+	if len(segs) == 0 {
+		segs = []Seg{{FromValue: true, Off: 0, Len: 2}}
+	}
+	return segs
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type propTriple struct{ sk, pk, val string }
+
+func TestScanEquivalenceProperty(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)*7919 + 17))
+			s := newStore(t, 2)
+			tbl := s.CreateTable("rows")
+			w := s.Worker(0)
+
+			keySpec := propSpec(rng, 3, 12)
+			include := propSpec(rng, 3, 12)
+			keyFn, err := CompileSpec(keySpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := NewCovering(s, tbl, "rows_ix", false, keyFn, include)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Random workload: inserts, updates, deletes over a small key
+			// space so updates and deletes hit existing rows often.
+			const keys = 80
+			ops := 150 + rng.Intn(150)
+			pk := func(i int) []byte { return []byte(fmt.Sprintf("p%04d", i)) }
+			rowOf := func() []byte {
+				v := make([]byte, propRowWidth)
+				rng.Read(v)
+				return v
+			}
+			for i := 0; i < ops; i++ {
+				k := pk(rng.Intn(keys))
+				if err := w.Run(func(tx *core.Tx) error {
+					switch rng.Intn(5) {
+					case 0: // delete (missing is fine)
+						if err := tx.Delete(tbl, k); err != core.ErrNotFound {
+							return err
+						}
+						return nil
+					default: // upsert
+						err := tx.Insert(tbl, k, rowOf())
+						if err == core.ErrKeyExists {
+							return tx.Put(tbl, k, rowOf())
+						}
+						return err
+					}
+				}); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+
+			// Random scan bounds over entry-key space (nil hi sometimes).
+			lo := []byte{0}
+			var hi []byte
+			if rng.Intn(2) == 0 {
+				b := make([]byte, 1+rng.Intn(3))
+				rng.Read(b)
+				lo = b
+			}
+			if rng.Intn(2) == 0 {
+				b := make([]byte, 1+rng.Intn(3))
+				rng.Read(b)
+				if bytes.Compare(b, lo) > 0 {
+					hi = b
+				}
+			}
+
+			proj, err := CompileSpec(include)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// All four paths inside one transaction: identical epoch and
+			// state by construction, and the whole comparison commits (so
+			// every observation validated).
+			if err := w.Run(func(tx *core.Tx) error {
+				// Naive reference: entries-only scan, then resolve each pk
+				// with an independent point read.
+				var ref []propTriple
+				var pks [][]byte
+				if err := ScanEntries(tx, ix, lo, hi, func(sk, pk []byte) bool {
+					ref = append(ref, propTriple{sk: string(sk), pk: string(pk)})
+					pks = append(pks, append([]byte(nil), pk...))
+					return true
+				}); err != nil {
+					return err
+				}
+				for i := range ref {
+					v, err := tx.Get(tbl, pks[i])
+					if err != nil {
+						return fmt.Errorf("reference resolve %q: %w", pks[i], err)
+					}
+					ref[i].val = string(v)
+				}
+
+				var perEntry, batched []propTriple
+				if err := Scan(tx, ix, lo, hi, func(sk, pk, val []byte) bool {
+					perEntry = append(perEntry, propTriple{string(sk), string(pk), string(val)})
+					return true
+				}); err != nil {
+					return err
+				}
+				if err := ScanBatched(tx, ix, lo, hi, 0, func(sk, pk, val []byte) bool {
+					batched = append(batched, propTriple{string(sk), string(pk), string(val)})
+					return true
+				}); err != nil {
+					return err
+				}
+				var covering []propTriple
+				if err := ScanCovering(tx, ix, lo, hi, func(sk, pk, fields []byte) bool {
+					covering = append(covering, propTriple{string(sk), string(pk), string(fields)})
+					return true
+				}); err != nil {
+					return err
+				}
+
+				if fmt.Sprint(perEntry) != fmt.Sprint(ref) {
+					t.Errorf("per-entry scan diverged from reference:\n got %v\nwant %v", perEntry, ref)
+				}
+				if fmt.Sprint(batched) != fmt.Sprint(ref) {
+					t.Errorf("batched scan diverged from reference:\n got %v\nwant %v", batched, ref)
+				}
+				if len(covering) != len(ref) {
+					t.Errorf("covering scan returned %d entries, reference %d", len(covering), len(ref))
+					return nil
+				}
+				var pb []byte
+				for i := range ref {
+					want, ok := proj(pb[:0], []byte(ref[i].pk), []byte(ref[i].val))
+					pb = want
+					if !ok {
+						t.Errorf("entry %d: row no longer projects under the include list", i)
+						continue
+					}
+					if covering[i].sk != ref[i].sk || covering[i].pk != ref[i].pk || covering[i].val != string(want) {
+						t.Errorf("covering entry %d = %+v, want sk=%q pk=%q fields=%x",
+							i, covering[i], ref[i].sk, ref[i].pk, want)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Bounded batched scans agree with a truncated reference.
+			if err := w.Run(func(tx *core.Tx) error {
+				var full, capped []propTriple
+				if err := Scan(tx, ix, lo, hi, func(sk, pk, val []byte) bool {
+					full = append(full, propTriple{string(sk), string(pk), string(val)})
+					return len(full) < 5
+				}); err != nil {
+					return err
+				}
+				if err := ScanBatched(tx, ix, lo, hi, 5, func(sk, pk, val []byte) bool {
+					capped = append(capped, propTriple{string(sk), string(pk), string(val)})
+					return true
+				}); err != nil {
+					return err
+				}
+				if fmt.Sprint(capped) != fmt.Sprint(full) {
+					t.Errorf("max-bounded batched scan:\n got %v\nwant %v", capped, full)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

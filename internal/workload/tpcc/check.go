@@ -162,9 +162,10 @@ func checkDistrict(tx *core.Tx, t *Tables, sc Scale, wh, d int) error {
 
 // CheckIndexes verifies that the two secondary indexes exactly cover their
 // tables: every entry resolves to a row whose recomputed secondary key
-// matches, and entry counts equal row counts (so no row is missing an
-// entry and no entry is stale). Bespoke maintenance is gone — this is the
-// subsystem's contract, checked end to end.
+// matches, covering entries carry exactly the included fields recomputed
+// from their row, and entry counts equal row counts (so no row is missing
+// an entry and no entry is stale). Bespoke maintenance is gone — this is
+// the subsystem's contract, checked end to end.
 func CheckIndexes(s *core.Store, t *Tables) error {
 	w := s.Worker(0)
 	var fail error
@@ -200,6 +201,16 @@ func CheckIndexes(s *core.Store, t *Tables) error {
 			}
 			if entries != rows {
 				fail = fmt.Errorf("index %s: %d entries for %d rows", ix.Name, entries, rows)
+				return nil
+			}
+			// The freshness half of the covering contract: included
+			// fields re-derived from rows inside this same transaction
+			// (ErrConflict passes through for the retry loop).
+			if err := index.VerifyCoveringFresh(tx, ix, []byte{0}, nil); err != nil {
+				if err == core.ErrConflict {
+					return err
+				}
+				fail = err
 				return nil
 			}
 		}

@@ -16,7 +16,7 @@ type Tables struct {
 	Warehouse    *core.Table
 	District     *core.Table
 	Customer     *core.Table
-	CustomerName *index.Index // on customer: (w,d,last,first), non-unique
+	CustomerName *index.Index // on customer: (w,d,last,first), non-unique, covering (balance, credit, first)
 	History      *core.Table
 	NewOrder     *core.Table
 	Order        *core.Table
@@ -46,7 +46,12 @@ func CreateTables(s *core.Store) *Tables {
 			if err != nil {
 				panic("tpcc: customer-name index spec: " + err.Error())
 			}
-			t.CustomerName = index.New(s, t.Customer, name, false, key)
+			// Covering: entry values carry (balance, credit, first) so
+			// order-status by name never resolves customer rows.
+			t.CustomerName, err = index.NewCovering(s, t.Customer, name, false, key, CustomerNameIncludeSpec())
+			if err != nil {
+				panic("tpcc: customer-name include spec: " + err.Error())
+			}
 		case THistory:
 			t.History = s.CreateTable(name)
 		case TNewOrder:

@@ -168,6 +168,37 @@ func CustomerNameIndexSpec() []index.Seg {
 	}
 }
 
+// CustomerNameIncludeSpec is the covering projection of the customer-name
+// index: the three customer fields order-status reads (clause 2.6's
+// C_BALANCE, C_CREDIT, C_FIRST; last and first names already live in the
+// entry key). With these riding in the entry values, the by-name
+// order-status path never resolves a customer row at all.
+func CustomerNameIncludeSpec() []index.Seg {
+	return []index.Seg{
+		{FromValue: true, Off: 0, Len: 8},   // Balance
+		{FromValue: true, Off: 28, Len: 2},  // Credit
+		{FromValue: true, Off: 46, Len: 16}, // First
+	}
+}
+
+// CustomerNameFields is the decoded covering projection of one
+// customer-name entry (the CustomerNameIncludeSpec layout).
+type CustomerNameFields struct {
+	Balance int64
+	Credit  [2]byte
+	First   [16]byte
+}
+
+// UnmarshalCustomerNameFields decodes covering fields served by a
+// customer-name ScanCovering.
+func UnmarshalCustomerNameFields(b []byte) CustomerNameFields {
+	var f CustomerNameFields
+	f.Balance = int64(binary.LittleEndian.Uint64(b[0:8]))
+	copy(f.Credit[:], b[8:10])
+	copy(f.First[:], b[10:26])
+	return f
+}
+
 // OrderCustIndexKey extracts the customer-order secondary key (w, d, c, ^o)
 // from an order row: (w, d) and o come from the primary key, the customer
 // id from the row (converted from the value encoding's little-endian to the

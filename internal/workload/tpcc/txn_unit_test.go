@@ -192,11 +192,22 @@ func TestPaymentByNamePicksMiddleCustomer(t *testing.T) {
 		ids = ids[:0]
 		lo := CustomerNamePrefixLo(nil, 1, 1, last)
 		hi := CustomerNamePrefixHi(nil, 1, 1, last)
-		// Entry values are customer primary keys (w,d,c).
-		return tx.Scan(tb.CustomerName.Entries, lo, hi, func(_, v []byte) bool {
-			ids = append(ids, int(bigEndianU32(v[8:12])))
+		// Entry values hold the customer primary key (w,d,c) behind the
+		// covering length prefix.
+		var perr error
+		serr := tx.Scan(tb.CustomerName.Entries, lo, hi, func(_, v []byte) bool {
+			pk, err := tb.CustomerName.EntryValuePK(v)
+			if err != nil {
+				perr = err
+				return false
+			}
+			ids = append(ids, int(bigEndianU32(pk[8:12])))
 			return true
 		})
+		if serr != nil {
+			return serr
+		}
+		return perr
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -469,8 +469,35 @@ func bigEndianU32(b []byte) uint32 {
 
 // ---- Order-Status (clause 2.6) ----
 
+// lookupByNameCovering resolves the clause-2.6 by-name path entirely from
+// the covering customer-name index: all matching customers, already
+// sorted by first name in the entry keys, with C_BALANCE/C_CREDIT/C_FIRST
+// served from each entry's included fields; pick the one at position
+// ⌈n/2⌉. No customer row is resolved — the primary tree is never touched.
+func (c *Client) lookupByNameCovering(tx *core.Tx, w, d int, last string) (int, CustomerNameFields, error) {
+	var ids []int
+	var fbuf []byte
+	c.kb = CustomerNamePrefixLo(c.kb, w, d, last)
+	c.kb2 = CustomerNamePrefixHi(c.kb2, w, d, last)
+	err := index.ScanCovering(tx, c.T.CustomerName, c.kb, c.kb2, func(_, pk, fields []byte) bool {
+		ids = append(ids, int(bigEndianU32(pk[8:12])))
+		fbuf = append(fbuf, fields...)
+		return true
+	})
+	if err != nil {
+		return 0, CustomerNameFields{}, err
+	}
+	if len(ids) == 0 {
+		return 0, CustomerNameFields{}, core.ErrNotFound
+	}
+	mid := (len(ids)+1)/2 - 1
+	fw := c.T.CustomerName.IncludeWidth()
+	return ids[mid], UnmarshalCustomerNameFields(fbuf[mid*fw : (mid+1)*fw]), nil
+}
+
 // OrderStatus reads a customer's balance and their most recent order with
-// its lines.
+// its lines. The by-name variant serves the customer fields straight from
+// the covering name index; only the by-id variant reads the customer row.
 func (c *Client) OrderStatus() error {
 	d := rnd(c.rng, 1, c.SC.DistrictsPerWH)
 	byName := c.rng.Intn(100) < 60
@@ -484,20 +511,26 @@ func (c *Client) OrderStatus() error {
 
 	return c.W.RunOnce(func(tx *core.Tx) error {
 		id := cid
-		var err error
+		var balance int64
 		if byName {
-			id, err = c.lookupByName(tx, c.Home, d, last)
+			var f CustomerNameFields
+			var err error
+			id, f, err = c.lookupByNameCovering(tx, c.Home, d, last)
 			if err != nil {
 				return err
 			}
+			balance = f.Balance
+		} else {
+			var cu Customer
+			c.kb = CustomerKey(c.kb, c.Home, d, id)
+			v, err := tx.Get(c.T.Customer, c.kb)
+			if err != nil {
+				return err
+			}
+			cu.Unmarshal(v)
+			balance = cu.Balance
 		}
-		var cu Customer
-		c.kb = CustomerKey(c.kb, c.Home, d, id)
-		v, err := tx.Get(c.T.Customer, c.kb)
-		if err != nil {
-			return err
-		}
-		cu.Unmarshal(v)
+		_ = balance // returned to the "client"
 
 		// Most recent order: first entry of the reversed-id index, resolved
 		// straight to the order row by the index scan.
@@ -505,7 +538,7 @@ func (c *Client) OrderStatus() error {
 		var ord Order
 		c.kb = OrderCustPrefixLo(c.kb, c.Home, d, id)
 		c.kb2 = OrderCustPrefixHi(c.kb2, c.Home, d, id)
-		err = index.Scan(tx, c.T.OrderCust, c.kb, c.kb2, func(_, pk, v []byte) bool {
+		err := index.Scan(tx, c.T.OrderCust, c.kb, c.kb2, func(_, pk, v []byte) bool {
 			oid = int(bigEndianU32(pk[8:12]))
 			ord.Unmarshal(v)
 			return false

@@ -38,11 +38,19 @@ func DefaultConfig(keys int) Config {
 	return Config{Keys: keys, ValueSize: 100, ReadPct: 80}
 }
 
-// Key encodes record i into an 8-byte big-endian key appended to buf.
+// Key encodes record i into an 8-byte big-endian key, overwriting buf.
 func Key(i uint64, buf []byte) []byte {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], i)
 	return append(buf[:0], b[:]...)
+}
+
+// AppendKey is Key appending to buf instead of overwriting it (for
+// composite bounds like entry-key prefixes).
+func AppendKey(i uint64, buf []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return append(buf, b[:]...)
 }
 
 // RNG is a per-worker SplitMix64 generator: cheap, decent quality, no
@@ -144,7 +152,12 @@ func LoadSilo(s *core.Store, cfg Config) *core.Table {
 		err := w.Run(func(tx *core.Tx) error {
 			for i := lo; i < hi; i++ {
 				kb = Key(uint64(i), kb)
-				val[0] = byte(i)
+				// Vary the record in its LAST byte, like the wire
+				// preloader: the first 8 bytes are the ADD counter, and
+				// clobbering its high byte would scatter the counter
+				// index's entries (and start counters at i<<56 instead
+				// of 0), making embedded and wire runs incomparable.
+				val[len(val)-1] = byte(i)
 				if err := tx.Insert(tbl, kb, val); err != nil {
 					return err
 				}
@@ -164,7 +177,7 @@ func LoadKV(kv *kvstore.Store, cfg Config) {
 	var kb []byte
 	for i := 0; i < cfg.Keys; i++ {
 		kb = Key(uint64(i), kb)
-		val[0] = byte(i)
+		val[len(val)-1] = byte(i) // matches LoadSilo and the wire preloader
 		kv.Put(kb, val)
 	}
 }

@@ -71,6 +71,8 @@ func errResponse(err error) wire.Response {
 		code = wire.CodeNoTable
 	case errors.Is(err, silo.ErrNoIndex):
 		code = wire.CodeNoIndex
+	case errors.Is(err, silo.ErrNotCovering):
+		code = wire.CodeNotCovering
 	case errors.Is(err, errBadValue):
 		code = wire.CodeBadValue
 	case errors.Is(err, errIndexTable):
@@ -206,15 +208,20 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 }
 
 // execCreateIndex creates (idempotently) a secondary index from a
-// declarative key spec, backfilling any existing rows on this worker.
+// declarative key spec, backfilling any existing rows on this worker. A
+// frame with include segments declares a covering index whose entry
+// values carry those row fields.
 func (s *Server) execCreateIndex(w int, op *wire.Op) wire.Response {
 	t, err := s.table(op.Table)
 	if err != nil {
 		return errResponse(err)
 	}
-	segs := make([]silo.IndexSeg, len(op.Segs))
-	for i, sg := range op.Segs {
-		segs[i] = silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)}
+	segs := wireSegs(op.Segs)
+	if len(op.Incs) > 0 {
+		if _, err := s.db.CreateCoveringIndexSpec(w, t, op.Index, op.Unique, segs, wireSegs(op.Incs)); err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Kind: wire.KindOK}
 	}
 	if _, err := s.db.CreateIndexSpec(w, t, op.Index, op.Unique, segs); err != nil {
 		return errResponse(err)
@@ -222,9 +229,20 @@ func (s *Server) execCreateIndex(w int, op *wire.Op) wire.Response {
 	return wire.Response{Kind: wire.KindOK}
 }
 
-// execIScan runs a resolving index scan — serializable with phantom
-// protection on both trees, or against a recent consistent snapshot when
-// the frame asks for one.
+func wireSegs(in []wire.IndexSeg) []silo.IndexSeg {
+	segs := make([]silo.IndexSeg, len(in))
+	for i, sg := range in {
+		segs[i] = silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)}
+	}
+	return segs
+}
+
+// execIScan runs an index scan. A covering frame is served from entry
+// values alone (the response values are the included fields); otherwise
+// entries resolve to primary rows — serializably with batched resolution
+// (entries collected, primary keys sorted, rows fetched with ordered
+// multi-get descents) and phantom protection on both trees, or against a
+// recent consistent snapshot when the frame asks for one.
 func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
 	ix := s.db.Index(op.Index)
 	if ix == nil {
@@ -256,15 +274,26 @@ func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
 		return len(entries) < limit
 	}
 	var err error
-	if op.Snapshot {
+	switch {
+	case op.Covering && op.Snapshot:
+		err = s.db.RunSnapshot(w, func(stx *silo.SnapTx) error {
+			entries = entries[:0]
+			return silo.ScanIndexSnapshotCovering(stx, ix, lo, hiBound(op), collect)
+		})
+	case op.Covering:
+		err = s.db.Run(w, func(tx *silo.Tx) error {
+			entries = entries[:0] // retried transactions restart the scan
+			return silo.ScanIndexCovering(tx, ix, lo, hiBound(op), collect)
+		})
+	case op.Snapshot:
 		err = s.db.RunSnapshot(w, func(stx *silo.SnapTx) error {
 			entries = entries[:0]
 			return silo.ScanIndexSnapshot(stx, ix, lo, hiBound(op), collect)
 		})
-	} else {
+	default:
 		err = s.db.Run(w, func(tx *silo.Tx) error {
 			entries = entries[:0] // retried transactions restart the scan
-			return silo.ScanIndex(tx, ix, lo, hiBound(op), collect)
+			return silo.ScanIndexBatched(tx, ix, lo, hiBound(op), limit, collect)
 		})
 	}
 	if err != nil {

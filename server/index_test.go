@@ -94,6 +94,74 @@ func TestIndexOverTheWire(t *testing.T) {
 	}
 }
 
+// TestCoveringIndexOverTheWire drives the covering lifecycle through
+// frames: CREATE_INDEX with an include list, covering ISCANs serving
+// included fields (never full rows), field freshness after updates, and
+// the ErrNotCovering sentinel for a covering scan of an ordinary index.
+func TestCoveringIndexOverTheWire(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{}, client.Options{})
+
+	for i, city := range []string{"AMS", "BER", "AMS"} {
+		if err := cl.Insert("users", []byte(fmt.Sprintf("u%d", i)), row(city, "pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := []wire.IndexSeg{{FromValue: true, Off: 0, Len: 4}}
+	incs := []wire.IndexSeg{{FromValue: true, Off: 4, Len: 3}} // first 3 payload bytes
+	if err := cl.CreateCoveringIndex("users_by_city", "users", false, spec, incs); err != nil {
+		t.Fatalf("create covering index: %v", err)
+	}
+	// Idempotent re-create with the identical declaration; a different
+	// include list is rejected.
+	if err := cl.CreateCoveringIndex("users_by_city", "users", false, spec, incs); err != nil {
+		t.Fatalf("re-create covering index: %v", err)
+	}
+	if err := cl.CreateCoveringIndex("users_by_city", "users", false, spec,
+		[]wire.IndexSeg{{FromValue: true, Off: 4, Len: 5}}); err == nil {
+		t.Fatal("re-create with a different include list accepted")
+	}
+
+	entries, err := cl.IndexScanCovering("users_by_city", []byte("AMS"), []byte("AMT"), 0, false)
+	if err != nil {
+		t.Fatalf("covering iscan: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("AMS covering entries = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if string(e.Value) != "pre" {
+			t.Fatalf("covering entry %q carries fields %q, want %q", e.PK, e.Value, "pre")
+		}
+	}
+
+	// An update that changes an included field but not the secondary key
+	// must refresh the entry value.
+	if err := cl.Put("users", []byte("u0"), row("AMS", "new")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = cl.IndexScanCovering("users_by_city", []byte("AMS"), []byte("AMT"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, e := range entries {
+		got[string(e.PK)] = string(e.Value)
+	}
+	if got["u0"] != "new" || got["u2"] != "pre" {
+		t.Fatalf("covering fields after update = %v", got)
+	}
+
+	// Covering scans of a non-covering index are refused with the typed
+	// sentinel end to end.
+	if err := cl.CreateIndex("users_plain", "users", false, spec); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.IndexScanCovering("users_plain", nil, nil, 0, false)
+	if !errors.Is(err, client.ErrNotCovering) || !errors.Is(err, silo.ErrNotCovering) {
+		t.Errorf("covering scan of plain index: %v does not match both sentinels", err)
+	}
+}
+
 // TestIndexSnapshotOverTheWire checks the snapshot flag: an ISCAN with
 // snapshot set reads a consistent past index state.
 func TestIndexSnapshotOverTheWire(t *testing.T) {

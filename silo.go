@@ -63,6 +63,7 @@ package silo
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -90,6 +91,9 @@ var (
 	// ErrNoIndex reports an operation against an index name that does not
 	// exist.
 	ErrNoIndex = index.ErrNoIndex
+	// ErrNotCovering reports a covering scan of an index declared without
+	// an include list.
+	ErrNotCovering = index.ErrNotCovering
 )
 
 // Options configures a database.
@@ -330,7 +334,7 @@ type IndexSeg = index.Seg
 // through this entry point is an error — use CreateIndexSpec when
 // idempotent re-creation matters.
 func (db *DB) CreateIndex(worker int, on *Table, name string, unique bool, key IndexKeyFunc) (*Index, error) {
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil)
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil, nil)
 }
 
 // CreateIndexSpec is CreateIndex with a declarative fixed-segment key spec
@@ -343,7 +347,31 @@ func (db *DB) CreateIndexSpec(worker int, on *Table, name string, unique bool, s
 	if err != nil {
 		return nil, err
 	}
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs)
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs, nil)
+}
+
+// CreateCoveringIndex is CreateIndex for a covering index: include lists
+// fixed-position row segments whose bytes are projected into every entry
+// value and kept current by the maintenance hooks, so ScanIndexCovering
+// serves them without touching the primary table at all. A row too short
+// for an include segment is left unindexed, exactly like a row too short
+// for a declarative key segment. The include list is part of the index's
+// declaration: Recover verifies recovered entries against it and fails —
+// naming the index — if the index was re-declared with a different
+// include list than the one its logged entries were written under.
+func (db *DB) CreateCoveringIndex(worker int, on *Table, name string, unique bool, key IndexKeyFunc, include []IndexSeg) (*Index, error) {
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil, include)
+}
+
+// CreateCoveringIndexSpec is CreateIndexSpec with an include list (see
+// CreateCoveringIndex) — the fully wire-expressible covering form:
+// clients request it with include segments on CREATE_INDEX frames.
+func (db *DB) CreateCoveringIndexSpec(worker int, on *Table, name string, unique bool, segs, include []IndexSeg) (*Index, error) {
+	key, err := index.CompileSpec(segs)
+	if err != nil {
+		return nil, err
+	}
+	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs, include)
 }
 
 // Index returns the named index, or nil.
@@ -361,6 +389,34 @@ func ScanIndex(tx *Tx, ix *Index, lo, hi []byte, fn func(sk, pk, value []byte) b
 	return index.Scan(tx, ix, lo, hi, fn)
 }
 
+// ScanIndexBatched is ScanIndex with batched primary-row resolution:
+// matching entries are collected first (up to max; 0 means unbounded),
+// their primary keys sorted, and the rows resolved with ordered
+// multi-get descents over the primary tree — one descent per leaf run
+// instead of one point read per entry — before fn receives the results
+// in entry-key order. OCC read-set and node-set semantics are identical
+// to ScanIndex: a concurrent write landing between collection and
+// resolution either surfaces as ErrConflict or aborts the transaction at
+// commit, never as a torn row in a committed transaction. Prefer it over
+// ScanIndex for large ranges consumed in full (it is what the network
+// server runs for ISCAN); prefer ScanIndex when stopping after a few
+// entries.
+func ScanIndexBatched(tx *Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk, value []byte) bool) error {
+	return index.ScanBatched(tx, ix, lo, hi, max, fn)
+}
+
+// ScanIndexCovering serves a covering index's included row fields straight
+// from its entry values: fn receives (secondaryKey, primaryKey,
+// includedFields) and the primary tree is never touched — no per-entry
+// shared-memory round trip at all. Phantom safety comes from node-set
+// validation on the index tree alone; freshness from the entries
+// themselves joining the read-set (maintenance rewrites an entry whenever
+// an included field changes). ErrNotCovering reports an index declared
+// without an include list.
+func ScanIndexCovering(tx *Tx, ix *Index, lo, hi []byte, fn func(sk, pk, fields []byte) bool) error {
+	return index.ScanCovering(tx, ix, lo, hi, fn)
+}
+
 // ScanIndexEntries is ScanIndex without resolving primary rows: fn
 // receives (secondaryKey, primaryKey) only, and only the entry tree is
 // phantom-protected. Copy pk before issuing further reads on tx.
@@ -373,6 +429,23 @@ func ScanIndexEntries(tx *Tx, ix *Index, lo, hi []byte, fn func(sk, pk []byte) b
 // and never aborts.
 func ScanIndexSnapshot(stx *SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, value []byte) bool) error {
 	return index.SnapScan(stx, ix, lo, hi, fn)
+}
+
+// ScanIndexSnapshotCovering is ScanIndexCovering against a snapshot
+// transaction: included fields are served from entry values as of the
+// snapshot epoch, consistent by construction and never aborting.
+func ScanIndexSnapshotCovering(stx *SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, fields []byte) bool) error {
+	return index.SnapScanCovering(stx, ix, lo, hi, fn)
+}
+
+// VerifyIndexCovering re-derives the included fields of every covering
+// entry in [lo, hi) from its primary row, inside tx, and fails on the
+// first divergence (a row vanished mid-audit returns ErrConflict, the
+// usual two-tree race — retry). Consistency audits and tests use it to
+// check covering freshness live; Recover runs the offline equivalent
+// automatically.
+func VerifyIndexCovering(tx *Tx, ix *Index, lo, hi []byte) error {
+	return index.VerifyCoveringFresh(tx, ix, lo, hi)
 }
 
 // LookupIndex resolves a secondary key on a unique index to its primary
@@ -483,7 +556,15 @@ type RecoveryResult = recovery.Result
 // table is an ordinary table, so index declaration order matters equally.
 // A log or checkpoint record referencing an undeclared table fails
 // recovery with an error naming the table rather than recovering a
-// partial database.
+// partial database. Indexes get the equivalent guard for their
+// declarations: after replay, every covering index declared through this
+// DB is audited entry by entry against its include list and primary
+// rows, and every non-covering index is shape-checked in full with a
+// bounded sample resolved against rows — so re-declaring a covering
+// index with a different include list, or without one, or adding one to
+// a previously non-covering index, fails recovery with an error naming
+// the index instead of serving misaligned covering fields or resolving
+// garbage primary keys.
 //
 // With Durability.CheckpointInterval set, the background checkpoint
 // daemon starts once Recover succeeds (on an existing directory; a fresh
@@ -503,6 +584,15 @@ func (db *DB) Recover() (RecoveryResult, error) {
 	})
 	if err != nil {
 		return res, err
+	}
+	// Replayed index entries must match the declarations made this run —
+	// including covering include lists in both directions (changed,
+	// dropped, or added) — or the index would silently serve misaligned
+	// fields or resolve garbage primary keys.
+	for _, ix := range db.indexes.All() {
+		if err := ix.VerifyEntries(); err != nil {
+			return res, fmt.Errorf("silo: recovery: %w", err)
+		}
 	}
 	e := res.DurableEpoch
 	if res.CheckpointEpoch > e {

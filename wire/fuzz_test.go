@@ -27,8 +27,16 @@ func FuzzDecodeFrame(f *testing.F) {
 			{FromValue: true, Off: 4, Len: 8},
 			{Off: 0, Len: 2},
 		}}}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "cov", Table: "t", Segs: []IndexSeg{
+			{FromValue: true, Off: 0, Len: 4},
+		}, Incs: []IndexSeg{
+			{FromValue: true, Off: 8, Len: 8},
+			{Off: 0, Len: 1},
+		}}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), HasHi: true, Hi: []byte("z"), Limit: 9, Snapshot: true}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), Limit: 0}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "cov", Key: []byte("a"), Limit: 3, Covering: true}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "cov", Key: []byte("a"), HasHi: true, Hi: []byte("b"), Snapshot: true, Covering: true}}},
 	}
 	for i := range seedReqs {
 		frame, err := AppendRequest(nil, &seedReqs[i])

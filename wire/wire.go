@@ -21,11 +21,18 @@
 //	ADD         u8 tlen | table | u8 klen | key | u64 delta (two's complement)
 //	SCAN        u8 tlen | table | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] | u32 limit
 //	CREATE_INDEX u8 ilen | index | u8 tlen | table | u8 unique | u8 nsegs |
-//	            nsegs × (u8 src | u16 off | u16 len)
+//	            nsegs × (u8 src | u16 off | u16 len) | u8 nincs |
+//	            nincs × (u8 src | u16 off | u16 len)
 //	ISCAN       u8 ilen | index | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] |
-//	            u32 limit | u8 snapshot
+//	            u32 limit | u8 snapshot | u8 covering
 //	TXN         u16 nops | nops × (u8 kind | body as above; SCAN, CREATE_INDEX
 //	            and ISCAN excluded)
+//
+// CREATE_INDEX's nincs block is the covering include list: fixed-position
+// row segments projected into every entry value. nincs 0 declares an
+// ordinary (non-covering) index. An ISCAN with the covering flag set is
+// served from entry values alone (its ISCANR values are the included
+// fields, not full rows) and is rejected for non-covering indexes.
 //
 //	OK          (empty)
 //	VALUE       u32 vlen | value
@@ -124,6 +131,9 @@ const (
 	// CodeIndexTable rejects a direct write to an index entry table (write
 	// the primary table instead; the index maintains itself).
 	CodeIndexTable ErrCode = 10
+	// CodeNotCovering rejects a covering ISCAN of an index that was
+	// declared without an include list.
+	CodeNotCovering ErrCode = 11
 )
 
 func (c ErrCode) String() string {
@@ -148,6 +158,8 @@ func (c ErrCode) String() string {
 		return "no such index"
 	case CodeIndexTable:
 		return "index entry table is not directly writable"
+	case CodeNotCovering:
+		return "index is not covering"
 	}
 	return fmt.Sprintf("ErrCode(%d)", byte(c))
 }
@@ -203,7 +215,9 @@ type Op struct {
 	Index    string     // CREATE_INDEX, ISCAN: index name
 	Unique   bool       // CREATE_INDEX
 	Segs     []IndexSeg // CREATE_INDEX key spec
+	Incs     []IndexSeg // CREATE_INDEX covering include list (nil: not covering)
 	Snapshot bool       // ISCAN: read a consistent snapshot instead of serializable
+	Covering bool       // ISCAN: serve included fields from entry values only
 }
 
 // Request is a decoded request frame.
@@ -334,8 +348,9 @@ func appendOpBody(dst []byte, op *Op) ([]byte, error) {
 }
 
 // appendCreateIndex encodes a CREATE_INDEX body. Oversized or empty names
-// and malformed key specs are rejected outright — never silently truncated
-// — so what reaches the wire is exactly what was asked for.
+// and malformed key specs or include lists are rejected outright — never
+// silently truncated — so what reaches the wire is exactly what was asked
+// for.
 func appendCreateIndex(dst []byte, op *Op) ([]byte, error) {
 	if len(op.Index) == 0 || len(op.Index) > MaxIndexName {
 		return dst, fmt.Errorf("wire: index name %d bytes long (1..%d allowed)", len(op.Index), MaxIndexName)
@@ -346,16 +361,28 @@ func appendCreateIndex(dst []byte, op *Op) ([]byte, error) {
 	if len(op.Segs) == 0 || len(op.Segs) > MaxIndexSegs {
 		return dst, fmt.Errorf("wire: index spec with %d segments (1..%d allowed)", len(op.Segs), MaxIndexSegs)
 	}
+	if len(op.Incs) > MaxIndexSegs {
+		return dst, fmt.Errorf("wire: index include list with %d segments (0..%d allowed)", len(op.Incs), MaxIndexSegs)
+	}
 	dst = append(dst, byte(len(op.Index)))
 	dst = append(dst, op.Index...)
 	dst = append(dst, byte(len(op.Table)))
 	dst = append(dst, op.Table...)
 	dst = append(dst, boolByte(op.Unique))
-	dst = append(dst, byte(len(op.Segs)))
-	for i := range op.Segs {
-		seg := &op.Segs[i]
+	var err error
+	if dst, err = appendSegs(dst, op.Segs, "spec"); err != nil {
+		return dst, err
+	}
+	return appendSegs(dst, op.Incs, "include list")
+}
+
+// appendSegs encodes a segment list as u8 count | count × (src, off, len).
+func appendSegs(dst []byte, segs []IndexSeg, what string) ([]byte, error) {
+	dst = append(dst, byte(len(segs)))
+	for i := range segs {
+		seg := &segs[i]
 		if seg.Len == 0 {
-			return dst, fmt.Errorf("wire: index spec segment %d has zero length", i)
+			return dst, fmt.Errorf("wire: index %s segment %d has zero length", what, i)
 		}
 		dst = append(dst, boolByte(seg.FromValue))
 		dst = appendU16(dst, seg.Off)
@@ -387,6 +414,7 @@ func appendIScan(dst []byte, op *Op) ([]byte, error) {
 	}
 	dst = appendU32(dst, op.Limit)
 	dst = append(dst, boolByte(op.Snapshot))
+	dst = append(dst, boolByte(op.Covering))
 	return dst, nil
 }
 
@@ -733,31 +761,46 @@ func decodeCreateIndex(rd *reader, op *Op) error {
 	if op.Unique, err = rd.decodeBool("unique"); err != nil {
 		return err
 	}
-	nsegs, err := rd.byte()
-	if err != nil {
+	if op.Segs, err = decodeSegs(rd, "spec", 1); err != nil {
 		return err
 	}
-	if nsegs == 0 || int(nsegs) > MaxIndexSegs {
-		return malformed("index spec with %d segments (1..%d allowed)", nsegs, MaxIndexSegs)
+	op.Incs, err = decodeSegs(rd, "include list", 0)
+	return err
+}
+
+// decodeSegs parses a segment list (u8 count | count × (src, off, len)),
+// rejecting counts outside [min, MaxIndexSegs] and zero-length segments.
+// A zero count decodes to nil, keeping decode∘encode identity (the
+// encoder writes nil and empty lists identically).
+func decodeSegs(rd *reader, what string, min int) ([]IndexSeg, error) {
+	n, err := rd.byte()
+	if err != nil {
+		return nil, err
 	}
-	op.Segs = make([]IndexSeg, 0, nsegs)
-	for i := 0; i < int(nsegs); i++ {
+	if int(n) < min || int(n) > MaxIndexSegs {
+		return nil, malformed("index %s with %d segments (%d..%d allowed)", what, n, min, MaxIndexSegs)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	segs := make([]IndexSeg, 0, n)
+	for i := 0; i < int(n); i++ {
 		var seg IndexSeg
 		if seg.FromValue, err = rd.decodeBool("segment source"); err != nil {
-			return err
+			return nil, err
 		}
 		if seg.Off, err = rd.u16(); err != nil {
-			return err
+			return nil, err
 		}
 		if seg.Len, err = rd.u16(); err != nil {
-			return err
+			return nil, err
 		}
 		if seg.Len == 0 {
-			return malformed("index spec segment %d has zero length", i)
+			return nil, malformed("index %s segment %d has zero length", what, i)
 		}
-		op.Segs = append(op.Segs, seg)
+		segs = append(segs, seg)
 	}
-	return nil
+	return segs, nil
 }
 
 func decodeIScan(rd *reader, op *Op) error {
@@ -783,7 +826,10 @@ func decodeIScan(rd *reader, op *Op) error {
 	if op.Limit, err = rd.u32(); err != nil {
 		return err
 	}
-	op.Snapshot, err = rd.decodeBool("iscan snapshot")
+	if op.Snapshot, err = rd.decodeBool("iscan snapshot"); err != nil {
+		return err
+	}
+	op.Covering, err = rd.decodeBool("iscan covering")
 	return err
 }
 

@@ -66,8 +66,16 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Off: 0, Len: 8},
 			{FromValue: true, Off: 12, Len: 16},
 		}}}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "by_city_cov", Table: "users", Segs: []IndexSeg{
+			{FromValue: true, Off: 0, Len: 4},
+		}, Incs: []IndexSeg{
+			{FromValue: true, Off: 4, Len: 8},
+			{Off: 0, Len: 2},
+		}}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS")}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS"), HasHi: true, Hi: []byte("AMT"), Limit: 100, Snapshot: true}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "by_city_cov", Key: []byte("AMS"), Covering: true}}},
+		{Ops: []Op{{Kind: KindIScan, Index: "by_city_cov", Key: nil, Limit: 5, Snapshot: true, Covering: true}}},
 	}
 	for i, want := range cases {
 		frame := encodeReq(t, &want)
@@ -185,6 +193,12 @@ func TestEncodeRejects(t *testing.T) {
 			Segs: make([]IndexSeg, MaxIndexSegs+1)}}}, // too many segments
 		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
 			Segs: []IndexSeg{{Off: 3, Len: 0}}}}}, // zero-length segment
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
+			Segs: []IndexSeg{{Off: 0, Len: 1}},
+			Incs: make([]IndexSeg, MaxIndexSegs+1)}}}, // too many include segments
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
+			Segs: []IndexSeg{{Off: 0, Len: 1}},
+			Incs: []IndexSeg{{FromValue: true, Off: 9, Len: 0}}}}}, // zero-length include segment
 		{Ops: []Op{{Kind: KindIScan, Index: strings.Repeat("i", 256)}}},               // long index name
 		{Ops: []Op{{Kind: KindIScan, Index: ""}}},                                     // empty index name
 		{Ops: []Op{{Kind: KindIScan, Index: "i", Key: bytes.Repeat([]byte{1}, 256)}}}, // long lo bound
@@ -224,10 +238,22 @@ func TestDecodeRejects(t *testing.T) {
 		{"create-index too many segs", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 255}},
 		{"create-index bad src", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 9, 0, 0, 0, 1}},
 		{"create-index zero-len seg", []byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 0}},
+		{"create-index truncated before include count",
+			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1}},
+		{"create-index too many include segs",
+			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 255}},
+		{"create-index truncated include seg",
+			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0}},
+		{"create-index zero-len include seg",
+			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0}},
+		{"create-index bad include src",
+			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 1, 7, 0, 0, 0, 1}},
 		{"iscan empty name", []byte{byte(KindIScan), 0, 0, 0, 0, 0, 0, 0, 0}},
 		{"iscan bad hasHi", []byte{byte(KindIScan), 1, 'i', 0, 7, 0, 0, 0, 0, 0}},
-		{"iscan bad snapshot", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 3}},
+		{"iscan bad snapshot", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 3, 0}},
 		{"iscan truncated", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0}},
+		{"iscan truncated before covering", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 1}},
+		{"iscan bad covering", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 1, 2}},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.payload); err == nil {
