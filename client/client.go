@@ -260,6 +260,25 @@ func (cl *Client) CreateCoveringIndex(index, table string, unique bool, segs, in
 	}}})
 }
 
+// Schema returns the server's schema catalog: every table (id, name) and
+// every index declaration (uniqueness, key-spec segments with transforms,
+// covering include lists, or an opaque marker for indexes declared
+// embedded with a Go key function). One round trip reconstructs the full
+// DDL state — what CreateIndex calls would reproduce it elsewhere.
+func (cl *Client) Schema() (*wire.Schema, error) {
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{{Kind: wire.KindSchema}}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KindErr {
+		return nil, codeError(resp.Code, resp.Msg)
+	}
+	if resp.Kind != wire.KindSchemaR || resp.Schema == nil {
+		return nil, unexpected(resp)
+	}
+	return resp.Schema, nil
+}
+
 // IndexScan returns up to limit index entries with entry keys in [lo, hi),
 // each resolved to its primary row, as one serializable transaction with
 // phantom protection on both the index and the table (snapshot true

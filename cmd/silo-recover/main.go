@@ -10,9 +10,12 @@
 // Replay restores from the newest complete checkpoint plus the log suffix
 // and prints a recovery report — txns/s and MB/s replayed, checkpoint load
 // time versus log replay time — so BENCH runs can track recovery speed
-// over time. It creates the TPC-C schema by default (matching
-// examples/tpcc and silo-bench persistence runs); -tables overrides with a
-// comma-separated table list in creation order.
+// over time, followed by the recovered schema. Directories written by
+// silo.DB are self-describing: the durable schema catalog reconstructs
+// every table and index (ids, uniqueness, key-spec transforms, covering
+// include lists), so no schema flags exist. Replay is read-only: an index
+// creation the crash interrupted is reported as pending, not completed
+// (a real Recover through silo.Open rolls it forward).
 package main
 
 import (
@@ -20,14 +23,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"silo/internal/catalog"
 	"silo/internal/core"
+	"silo/internal/index"
 	"silo/internal/recovery"
 	"silo/internal/tid"
 	"silo/internal/wal"
-	"silo/internal/workload/tpcc"
 )
 
 func main() {
@@ -36,7 +39,6 @@ func main() {
 		verbose    = flag.Bool("verbose", false, "dump every logged transaction")
 		replay     = flag.Bool("replay", false, "replay checkpoint+log into a fresh in-memory store")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "recovery workers for -replay (1 = single goroutine)")
-		tables     = flag.String("tables", "", "comma-separated table names in creation order (default: TPC-C schema)")
 		compressed = flag.Bool("compressed", false, "logs were written with compression")
 		truncate   = flag.Uint64("truncate", 0, "delete log files fully covered by a checkpoint at this epoch")
 	)
@@ -102,17 +104,13 @@ func main() {
 	if *replay {
 		s := core.NewStore(core.DefaultOptions(1))
 		defer s.Close()
-		if *tables == "" {
-			tpcc.CreateTables(s)
-		} else {
-			for _, name := range strings.Split(*tables, ",") {
-				s.CreateTable(strings.TrimSpace(name))
-			}
-		}
+		reg := index.NewRegistry()
+		cat := catalog.New(s, reg)
 		start := time.Now()
 		res, err := recovery.Recover(s, *dir, recovery.Options{
 			Workers:    *parallel,
 			Compressed: *compressed,
+			Schema:     cat,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -120,8 +118,32 @@ func main() {
 		}
 		total := time.Since(start)
 		report(res, total)
+		fmt.Printf("recovered schema:\n")
 		for _, tbl := range s.Tables() {
-			fmt.Printf("  table %-20s %d keys\n", tbl.Name, tbl.Tree.Len())
+			kind := "table"
+			switch {
+			case tbl.Name == catalog.TableName:
+				kind = "catalog"
+			case reg.Get(tbl.Name) != nil:
+				kind = "index"
+			}
+			fmt.Printf("  %-7s id=%-3d %-24s %d keys\n", kind, tbl.ID, tbl.Name, tbl.Tree.Len())
+		}
+		for _, ix := range reg.All() {
+			attrs := ""
+			if ix.Unique {
+				attrs += " unique"
+			}
+			if ix.Covering() {
+				attrs += fmt.Sprintf(" covering(%d segs)", len(ix.Include))
+			}
+			if ix.Spec != nil {
+				attrs += fmt.Sprintf(" spec(%d segs)", len(ix.Spec))
+			}
+			fmt.Printf("  index %s on %s:%s\n", ix.Name, ix.On.Name, attrs)
+		}
+		for _, name := range cat.Pending() {
+			fmt.Printf("  index %s: creation interrupted mid-backfill; Recover through silo.Open will finish or roll it back\n", name)
 		}
 	}
 

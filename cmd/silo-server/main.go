@@ -10,13 +10,18 @@
 //	    -checkpoint-interval 1m -segment-bytes 67108864
 //
 // Without -logdir the server runs as MemSilo (no persistence). With it,
-// committed transactions are redo-logged and group-committed; pass the same
-// -tables list (order matters: table IDs are part of the log format) to a
-// later run to recover with -recover. -checkpoint-interval additionally
-// runs the background checkpoint daemon: partitioned checkpoints off
-// snapshot epochs while the server keeps serving, with automatic log
-// truncation (recovery then replays only the log suffix beyond the newest
-// checkpoint, in parallel).
+// committed transactions are redo-logged and group-committed, and every
+// DDL action — table creation, CREATE_INDEX — is recorded in the durable
+// schema catalog, so a later run recovers with -recover alone: the full
+// schema (tables, indexes, covering include lists, key-spec transforms)
+// is reconstructed from disk and printed, no re-declaration flags needed.
+// -tables remains as a convenience for creating fresh tables at startup
+// (it runs after recovery and is idempotent for recovered names).
+// -checkpoint-interval additionally runs the background checkpoint
+// daemon: partitioned checkpoints off snapshot epochs while the server
+// keeps serving, a forced log rotation after each checkpoint, and
+// automatic truncation of covered segments (recovery then replays only
+// the log suffix beyond the newest checkpoint, in parallel).
 package main
 
 import (
@@ -72,11 +77,6 @@ func main() {
 	}
 	defer db.Close()
 
-	for _, name := range strings.Split(*tables, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			db.CreateTable(name)
-		}
-	}
 	if *ckptEvery > 0 && !*doRecov && dirHasLogs(*logDir) {
 		// The daemon only starts after recovery on an existing log
 		// directory (an early checkpoint must never truncate unreplayed
@@ -87,6 +87,8 @@ func main() {
 		if *logDir == "" {
 			fatal(fmt.Errorf("-recover requires -logdir"))
 		}
+		// Recovery is self-describing: the schema catalog reconstructs
+		// every table and index from disk; nothing is declared beforehand.
 		res, err := db.Recover()
 		if err != nil {
 			fatal(fmt.Errorf("recover: %w", err))
@@ -95,6 +97,20 @@ func main() {
 			res.TxnsApplied, res.DurableEpoch, res.Workers,
 			res.CheckpointEpoch, res.CheckpointLoad.Round(time.Millisecond),
 			(res.LogRead + res.LogApply).Round(time.Millisecond))
+		for _, name := range res.IndexesRolledForward {
+			fmt.Printf("  finished interrupted creation of index %s\n", name)
+		}
+		for _, name := range res.IndexesRolledBack {
+			fmt.Printf("  rolled back interrupted creation of index %s\n", name)
+		}
+		printSchema(db)
+	}
+	// Fresh tables (idempotent for names recovery already reconstructed);
+	// runs after recovery so creations append to the recovered catalog.
+	for _, name := range strings.Split(*tables, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			db.CreateTable(name)
+		}
 	}
 
 	srv := server.New(db, server.Options{
@@ -134,6 +150,37 @@ func main() {
 	ss := srv.Stats()
 	fmt.Printf("served %d requests on %d connections (%d errors)\n",
 		ss.Requests, ss.Conns, ss.Errors)
+}
+
+// printSchema prints the recovered schema: tables in id order, then index
+// declarations.
+func printSchema(db *silo.DB) {
+	fmt.Println("recovered schema:")
+	for _, t := range db.Tables() {
+		if t.Name == silo.CatalogTableName {
+			continue
+		}
+		kind := "table"
+		if db.Index(t.Name) != nil {
+			kind = "index"
+		}
+		fmt.Printf("  %-5s id=%-3d %-24s %d keys\n", kind, t.ID, t.Name, t.Tree.Len())
+	}
+	for _, ix := range db.Indexes() {
+		attrs := ""
+		if ix.Unique {
+			attrs += " unique"
+		}
+		if ix.Covering() {
+			attrs += fmt.Sprintf(" covering(%d segs)", len(ix.Include))
+		}
+		if ix.Spec == nil {
+			attrs += " opaque-keyfunc"
+		} else {
+			attrs += fmt.Sprintf(" spec(%d segs)", len(ix.Spec))
+		}
+		fmt.Printf("  index %s on %s:%s\n", ix.Name, ix.On.Name, attrs)
+	}
 }
 
 // dirHasLogs reports whether dir holds non-empty log segments from a

@@ -1,0 +1,365 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"silo/internal/core"
+	"silo/internal/index"
+)
+
+func newStore(t *testing.T) (*core.Store, *index.Registry, *Catalog) {
+	t.Helper()
+	opts := core.DefaultOptions(1)
+	opts.ManualEpochs = true
+	s := core.NewStore(opts)
+	t.Cleanup(s.Close)
+	reg := index.NewRegistry()
+	return s, reg, New(s, reg)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range []Record{
+		{Kind: KindCreateTable, Name: "users", ID: 3},
+		{Kind: KindIndexReady, Name: "ix"},
+		{Kind: KindDropIndex, Name: "ix"},
+		{Kind: KindCreateIndex, Name: "ix", ID: 2, On: "users", Unique: true,
+			Spec: []index.Seg{
+				{Off: 0, Len: 8},
+				{FromValue: true, Off: 0, Len: 4, Xform: index.XformReverse},
+				{Off: 8, Len: 4, Xform: index.XformInvert},
+			}},
+		{Kind: KindCreateIndex, Name: "cov", ID: 5, On: "users",
+			Spec:    []index.Seg{{FromValue: true, Off: 0, Len: 1}},
+			Include: []index.Seg{{FromValue: true, Off: 0, Len: 4}}},
+		{Kind: KindCreateIndex, Name: "opq", ID: 7, On: "users", Opaque: true},
+	} {
+		got, err := DecodeRecord(rec.Encode(nil))
+		if err != nil {
+			t.Fatalf("%+v: %v", rec, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+		}
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{0},
+		{99, KindCreateTable, 0, 0, 0, 0, 0, 0}, // unknown version
+		{recordVersion, 77, 0, 0, 0, 0, 0, 0},   // unknown kind
+		{recordVersion, KindCreateTable, 0, 0, 0, 0, 5, 0}, // truncated name
+	} {
+		if _, err := DecodeRecord(bad); err == nil {
+			t.Fatalf("malformed record %x decoded", bad)
+		}
+	}
+}
+
+// TestLiveDDLAndReplay is the catalog's core contract: every DDL action on
+// a live catalog is recorded such that applying the recorded rows to a
+// fresh, empty store reconstructs the identical schema — ids, uniqueness,
+// specs with transforms, include lists, drops.
+func TestLiveDDLAndReplay(t *testing.T) {
+	s, reg, c := newStore(t)
+	c.SetLive()
+	w := s.Worker(0)
+
+	users, err := c.CreateTable("users")
+	if err != nil || users.ID != 1 {
+		t.Fatalf("users: %v id=%d", err, users.ID)
+	}
+	if again, err := c.CreateTable("users"); err != nil || again != users {
+		t.Fatalf("idempotent create: %v", err)
+	}
+	if _, err := c.CreateTable(TableName); err == nil {
+		t.Fatal("reserved name accepted")
+	}
+	spec := []index.Seg{{FromValue: true, Off: 0, Len: 4, Xform: index.XformReverse}}
+	key, _ := index.CompileSpec(spec)
+	if _, err := c.CreateIndex(w, users, "users_ix", true, key, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	inc := []index.Seg{{FromValue: true, Off: 0, Len: 2}}
+	covKey, _ := index.CompileSpec(spec)
+	if _, err := c.CreateIndex(w, users, "users_cov", false, covKey, spec, inc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("posts"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex(w, users, "users_tmp", false, covKey, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("users_tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("users_tmp"); !errors.Is(err, index.ErrNoIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+
+	// Replay the recorded rows into a fresh store with zero declarations.
+	s2, reg2, c2 := newStore(t)
+	var rows [][2][]byte
+	if err := s.Worker(0).Run(func(tx *core.Tx) error {
+		rows = rows[:0]
+		return tx.Scan(c.Table(), []byte{0}, nil, func(k, v []byte) bool {
+			rows = append(rows, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range rows {
+		if err := c2.ApplyCatalogRow(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tbl := range s.Tables() {
+		got := s2.TableByID(tbl.ID)
+		if got == nil || got.Name != tbl.Name {
+			t.Fatalf("table %d %q not reconstructed (got %v)", tbl.ID, tbl.Name, got)
+		}
+	}
+	for _, name := range []string{"users_ix", "users_cov"} {
+		a, b := reg.Get(name), reg2.Get(name)
+		if b == nil {
+			t.Fatalf("index %q not reconstructed", name)
+		}
+		if a.Unique != b.Unique || a.Entries.ID != b.Entries.ID || a.On.Name != b.On.Name ||
+			!index.SpecsEqual(a.Spec, b.Spec) || !index.IncludesEqual(a.Include, b.Include) {
+			t.Fatalf("index %q declaration mismatch", name)
+		}
+	}
+	if reg2.Get("users_tmp") != nil {
+		t.Fatal("dropped index reconstructed")
+	}
+}
+
+// TestReplayValidatesPreDeclarations: a pre-declared schema that deviates
+// from the catalog fails with an error naming the table or index.
+func TestReplayValidatesPreDeclarations(t *testing.T) {
+	s, _, c := newStore(t)
+	c.SetLive()
+	w := s.Worker(0)
+	users, _ := c.CreateTable("users")
+	spec := []index.Seg{{FromValue: true, Off: 0, Len: 4}}
+	key, _ := index.CompileSpec(spec)
+	if _, err := c.CreateIndex(w, users, "users_ix", false, key, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][2][]byte
+	if err := w.Run(func(tx *core.Tx) error {
+		rows = rows[:0]
+		return tx.Scan(c.Table(), []byte{0}, nil, func(k, v []byte) bool {
+			rows = append(rows, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	apply := func(c2 *Catalog) error {
+		for _, kv := range rows {
+			if err := c2.ApplyCatalogRow(kv[0], kv[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Wrong table order.
+	s2, _, c2 := newStore(t)
+	if _, err := c2.CreateTable("other"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s2
+	if err := apply(c2); err == nil || !strings.Contains(err.Error(), "users") {
+		t.Fatalf("misordered pre-declaration not rejected naming the table: %v", err)
+	}
+
+	// Changed uniqueness on a pre-declared index.
+	s3, _, c3 := newStore(t)
+	u3, _ := c3.CreateTable("users")
+	k3, _ := index.CompileSpec(spec)
+	if _, err := c3.CreateIndex(s3.Worker(0), u3, "users_ix", true, k3, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(c3); err == nil || !strings.Contains(err.Error(), "users_ix") {
+		t.Fatalf("changed uniqueness not rejected naming the index: %v", err)
+	}
+
+	// Opaque catalog record without a pre-declaration is an explicit error.
+	s4, _, c4 := newStore(t)
+	_ = s4
+	opq := Record{Kind: KindCreateIndex, Name: "opq_ix", ID: 2, On: "users", Opaque: true}
+	var seq uint64 = uint64(len(rows)) + 1
+	if err := apply(c4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.ApplyCatalogRow(SeqKey(seq+2), opq.Encode(nil)); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+	err := c4.ApplyCatalogRow(SeqKey(seq), opq.Encode(nil))
+	if err == nil || !strings.Contains(err.Error(), "opq_ix") {
+		t.Fatalf("opaque reconstruction not rejected naming the index: %v", err)
+	}
+}
+
+// TestCatalogRecordsSurviveAsRows sanity-checks the storage shape: one row
+// per DDL action, keyed by sequence number, decodable in order.
+func TestCatalogRecordsSurviveAsRows(t *testing.T) {
+	s, _, c := newStore(t)
+	c.SetLive()
+	if _, err := c.CreateTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("b"); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := s.Worker(0).Run(func(tx *core.Tx) error {
+		names = names[:0]
+		return tx.Scan(c.Table(), []byte{0}, nil, func(k, v []byte) bool {
+			seq, err := ParseSeqKey(k)
+			if err != nil {
+				t.Errorf("bad key %x: %v", k, err)
+			}
+			rec, err := DecodeRecord(v)
+			if err != nil {
+				t.Errorf("bad record at %d: %v", seq, err)
+			}
+			names = append(names, fmt.Sprintf("%d:%s", seq, rec.Name))
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1:a", "2:b"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("catalog rows %v, want %v", names, want)
+	}
+}
+
+// TestCreateIndexNameCollisionLogsNothing pins the review finding that a
+// CREATE_INDEX whose name collides with an existing table must be
+// rejected before any record is logged: a create record adopting the
+// collided table's id would make the next recovery treat that table as a
+// dropped index's entry table and wipe its rows.
+func TestCreateIndexNameCollisionLogsNothing(t *testing.T) {
+	s, _, c := newStore(t)
+	c.SetLive()
+	w := s.Worker(0)
+	users, _ := c.CreateTable("users")
+	orders, _ := c.CreateTable("orders")
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Insert(orders, []byte("o1"), []byte("rowdata"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := []index.Seg{{FromValue: true, Off: 0, Len: 2}}
+	key, _ := index.CompileSpec(spec)
+	if _, err := c.CreateIndex(w, users, "orders", false, key, spec, nil); err == nil {
+		t.Fatal("index named after an existing table accepted")
+	}
+	// And a bad include list is rejected before logging, too.
+	if _, err := c.CreateIndex(w, users, "users_cov", false, key, spec, []index.Seg{{Off: 0, Len: 0}}); err == nil {
+		t.Fatal("invalid include list accepted")
+	}
+	// Nothing but the two table creates may be in the catalog.
+	n := 0
+	if err := w.Run(func(tx *core.Tx) error {
+		n = 0
+		return tx.Scan(c.Table(), []byte{0}, nil, func(_, v []byte) bool {
+			rec, err := DecodeRecord(v)
+			if err != nil {
+				t.Errorf("bad record: %v", err)
+			} else if rec.Kind != KindCreateTable {
+				t.Errorf("unexpected record %d for %q after rejected DDL", rec.Kind, rec.Name)
+			}
+			n++
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("%d catalog records after rejected DDL, want 2 table creates", n)
+	}
+
+	// Replaying this catalog must keep the orders table and its row.
+	s2, _, c2 := newStore(t)
+	var rows [][2][]byte
+	if err := w.Run(func(tx *core.Tx) error {
+		rows = rows[:0]
+		return tx.Scan(c.Table(), []byte{0}, nil, func(k, v []byte) bool {
+			rows = append(rows, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range rows {
+		if err := c2.ApplyCatalogRow(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c2.FinishRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if tb := s2.Table("orders"); tb == nil || tb.ID != 2 {
+		t.Fatalf("orders table not reconstructed at its id: %v", tb)
+	}
+}
+
+// TestReplayToleratesBrokenCreateResolvedByDrop pins the second review
+// finding: a create record that no longer constructs (simulating a
+// corrupt declaration) must not brick recovery when the drop record that
+// resolved it follows; only an unresolved broken create fails, naming
+// the index.
+func TestReplayToleratesBrokenCreateResolvedByDrop(t *testing.T) {
+	bad := Record{Kind: KindCreateIndex, Name: "bad_ix", ID: 2, On: "users",
+		Spec: []index.Seg{{Off: 0, Len: 4}}, Include: []index.Seg{{Off: 0, Len: 0}}}
+	// Encode bypasses validation (the live path validates first), standing
+	// in for a corrupt row.
+	tbl := Record{Kind: KindCreateTable, Name: "users", ID: 1}
+	drop := Record{Kind: KindDropIndex, Name: "bad_ix"}
+
+	s, reg, c := newStore(t)
+	_ = reg
+	if err := c.ApplyCatalogRow(SeqKey(1), tbl.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyCatalogRow(SeqKey(2), bad.Encode(nil)); err != nil {
+		t.Fatalf("broken create not tolerated: %v", err)
+	}
+	if err := c.ApplyCatalogRow(SeqKey(3), drop.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FinishRecovery(); err != nil {
+		t.Fatalf("drop-resolved broken create failed recovery: %v", err)
+	}
+	// Entry-table id accounting must not have skewed.
+	if tb := s.Table("bad_ix"); tb == nil || tb.ID != 2 {
+		t.Fatalf("broken create's entry table not materialized at its id: %v", tb)
+	}
+
+	// Without the resolving drop, recovery fails naming the index.
+	_, _, c2 := newStore(t)
+	if err := c2.ApplyCatalogRow(SeqKey(1), tbl.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ApplyCatalogRow(SeqKey(2), bad.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.FinishRecovery(); err == nil || !strings.Contains(err.Error(), "bad_ix") {
+		t.Fatalf("unresolved broken create not rejected naming the index: %v", err)
+	}
+}

@@ -200,6 +200,7 @@ type Store struct {
 	byID    []*Table
 	workers []*Worker
 	maint   *Worker
+	ddl     *Worker
 
 	globalGen tid.GlobalGenerator
 	closed    bool
@@ -232,11 +233,13 @@ func NewStore(opts Options) *Store {
 		opts:   opts,
 		tables: make(map[string]*Table),
 	}
-	// One extra epoch slot backs the maintenance worker: background
+	// Two extra epoch slots back the hidden workers: background
 	// housekeeping (checkpointing) needs a snapshot pinned against
-	// reclamation without borrowing an application worker.
+	// reclamation without borrowing an application worker, and schema DDL
+	// (catalog appends) needs a transaction context callable from any
+	// goroutine without overlapping an application worker's.
 	s.epochs = epoch.NewManager(epoch.Config{
-		Workers:    opts.Workers + 1,
+		Workers:    opts.Workers + 2,
 		Interval:   opts.EpochInterval,
 		SnapshotK:  opts.SnapshotK,
 		StartEpoch: opts.StartEpoch,
@@ -246,6 +249,7 @@ func NewStore(opts Options) *Store {
 		s.workers[i] = newWorker(s, i)
 	}
 	s.maint = newWorker(s, opts.Workers)
+	s.ddl = newWorker(s, opts.Workers+1)
 	if !opts.ManualEpochs {
 		s.epochs.Start()
 	}
@@ -328,6 +332,16 @@ func (s *Store) Workers() int { return len(s.workers) }
 // worker keeps committing. Like any worker, it must be driven by at most
 // one goroutine at a time.
 func (s *Store) Maintenance() *Worker { return s.maint }
+
+// DDL returns the store's hidden DDL worker: a second extra worker context
+// reserved for schema-change bookkeeping (the silo-level catalog logs each
+// DDL action as an ordinary transactional write). Keeping DDL on its own
+// worker lets CreateTable-style entry points remain callable from any
+// goroutine — including several concurrently, serialized by the caller —
+// without borrowing an application worker or colliding with the checkpoint
+// daemon on the maintenance worker. Like any worker, it must be driven by
+// at most one goroutine at a time.
+func (s *Store) DDL() *Worker { return s.ddl }
 
 // Stats aggregates all workers' counters.
 func (s *Store) Stats() Stats {

@@ -315,6 +315,17 @@ const backfillBatch = 256
 // are maintained by their own transactions, and Backfill skips entries
 // already present. A unique-key violation among existing rows aborts the
 // backfill with an error.
+//
+// For an index declared by a segment spec (Spec non-nil), an existing row
+// too short for a spec segment fails the backfill with an error naming the
+// offending key: a declarative declaration states the row layout, so a row
+// that cannot satisfy it is a schema mismatch, not a partial-index choice
+// — silently skipping it would leave the index quietly missing rows the
+// caller believes are covered. (Rows written after creation keep the
+// partial-index semantics: a too-short future row is simply unindexed.)
+// Opaque KeyFunc indexes keep skip semantics throughout — a KeyFunc
+// declining a row is an intentional predicate, indistinguishable from a
+// length check.
 func (ix *Index) Backfill(w *core.Worker) error {
 	var cursor []byte // last key processed; next batch rescans from it
 	for {
@@ -333,6 +344,11 @@ func (ix *Index) Backfill(w *core.Worker) error {
 				skb = sk
 				if ix.Covering() {
 					evb = ev[:0]
+				}
+				if !ok && ix.Spec != nil {
+					ierr = fmt.Errorf("index %q: row %x (%d value bytes) is too short for the declared spec",
+						ix.Name, k, len(v))
+					return false
 				}
 				if ok {
 					ekb = ix.EntryKey(ekb[:0], sk, k)

@@ -134,6 +134,54 @@ func (r *Registry) Register(ix *Index) {
 	}
 }
 
+// Remove unregisters the named index and withdraws its maintenance hook —
+// the teardown half of DropIndex and of replaying a logged drop. The entry
+// table remains (tables cannot be dropped; its id stays part of the log
+// format) and is remembered as an orphan so a later Create under the same
+// name can adopt it. The caller is responsible for wiping the entries
+// (WipeEntries) when dropping live; a replayed drop gets the wipe from the
+// log. Returns the removed index, or nil if the name is not registered.
+func (r *Registry) Remove(name string) *Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix := r.byName[name]
+	if ix == nil {
+		return nil
+	}
+	ix.On.RemoveWriteHook(hook{ix})
+	delete(r.byName, name)
+	for i, n := range r.names {
+		if n == name {
+			r.names = append(r.names[:i], r.names[i+1:]...)
+			break
+		}
+	}
+	r.orphans[name] = true
+	return ix
+}
+
+// Orphan reports whether name is an entry table left behind by a failed
+// or dropped index, adoptable by a new Create under the same name.
+func (r *Registry) Orphan(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.orphans[name]
+}
+
+// WipeEntries deletes every row of an index entry table in batched
+// transactions — used when dropping an index (the maintenance hook must
+// already be withdrawn).
+func WipeEntries(w *core.Worker, t *core.Table) error { return wipeTable(w, t) }
+
+// SpecsEqual reports whether two declarative key specs are verifiably
+// equal. A nil spec means an opaque KeyFunc, which can never be proven
+// equal to anything — including another nil.
+func SpecsEqual(a, b []Seg) bool { return specsEqual(a, b) }
+
+// IncludesEqual compares two include lists. Unlike key specs, a nil
+// include list is a definite statement (not covering), so nil equals nil.
+func IncludesEqual(a, b []Seg) bool { return includesEqual(a, b) }
+
 func specsEqual(a, b []Seg) bool {
 	if a == nil || b == nil || len(a) != len(b) {
 		return false

@@ -5,16 +5,40 @@ import (
 	"fmt"
 )
 
+// Transform flags for declarative key-spec segments. A segment's extracted
+// bytes pass through its transform before joining the concatenated key, so
+// specs can express the byte-order conversions that previously forced an
+// opaque Go KeyFunc (and with it, a non-recoverable index declaration):
+//
+//   - XformReverse reverses the segment's bytes, turning a little-endian
+//     row field into the big-endian form tree order wants.
+//   - XformInvert complements every bit, so a numerically ascending field
+//     sorts descending (the standard most-recent-first trick).
+//
+// The flags compose: Reverse|Invert reverses first, then inverts — a
+// little-endian field indexed most-recent-first. Composite keys are the
+// spec itself: segments concatenate in declaration order.
+const (
+	XformNone    uint8 = 0
+	XformReverse uint8 = 1 << 0
+	XformInvert  uint8 = 1 << 1
+
+	xformMask = XformReverse | XformInvert
+)
+
 // A Seg is one fixed-position segment of a declarative key spec: Len bytes
-// at offset Off of either the primary key or the row value. Declarative
-// specs are how clients create indexes over the wire, where a Go KeyFunc
-// cannot travel; they cover fixed-offset row encodings (TPC-C-style
-// structs, counters in YCSB records). Embedded callers with richer needs
-// (byte-order conversion, conditional indexing) pass an arbitrary KeyFunc
-// instead.
+// at offset Off of either the primary key or the row value, passed through
+// Xform. Declarative specs are how clients create indexes over the wire,
+// where a Go KeyFunc cannot travel — and how the schema catalog persists
+// index declarations, which a KeyFunc cannot. They cover fixed-offset row
+// encodings (TPC-C-style structs, counters in YCSB records) including
+// byte-order and sort-direction conversions; embedded callers with richer
+// needs (conditional indexing, variable-width fields) pass an arbitrary
+// KeyFunc instead, at the cost of having to re-declare it before recovery.
 type Seg struct {
 	FromValue bool // take bytes from the row value instead of the primary key
 	Off, Len  int
+	Xform     uint8 // XformReverse | XformInvert
 }
 
 // MaxSpecSegs bounds a declarative spec's segment count (also enforced by
@@ -35,14 +59,17 @@ func ValidateSpec(segs []Seg) error {
 		if s.Off < 0 || s.Len <= 0 {
 			return fmt.Errorf("index spec: segment %d has offset %d length %d", i, s.Off, s.Len)
 		}
+		if s.Xform&^xformMask != 0 {
+			return fmt.Errorf("index spec: segment %d has unknown transform bits 0x%x", i, s.Xform)
+		}
 	}
 	return nil
 }
 
 // CompileSpec turns a declarative spec into a KeyFunc: the secondary key is
-// the concatenation of the segments. A row too short for any segment is
-// left unindexed (ok=false), which lets specs index optional fixed-offset
-// fields.
+// the concatenation of the (transformed) segments. A row too short for any
+// segment is left unindexed (ok=false), which lets specs index optional
+// fixed-offset fields.
 func CompileSpec(segs []Seg) (KeyFunc, error) {
 	if err := ValidateSpec(segs); err != nil {
 		return nil, err
@@ -58,8 +85,24 @@ func CompileSpec(segs []Seg) (KeyFunc, error) {
 			if s.Off+s.Len > len(src) {
 				return dst[:start], false
 			}
+			at := len(dst)
 			dst = append(dst, src[s.Off:s.Off+s.Len]...)
+			applyXform(dst[at:], s.Xform)
 		}
 		return dst, true
 	}, nil
+}
+
+// applyXform rewrites one extracted segment in place.
+func applyXform(b []byte, x uint8) {
+	if x&XformReverse != 0 {
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+	}
+	if x&XformInvert != 0 {
+		for i := range b {
+			b[i] = ^b[i]
+		}
+	}
 }

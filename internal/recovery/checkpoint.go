@@ -38,14 +38,23 @@
 //	                 u32 vlen | value
 //	           'E' | u32 crc32(everything before the footer)
 //
-//	MANIFEST:  "SPM1" | u64 CE | u32 nparts
+//	MANIFEST:  "SPM2" | u64 CE | u32 nparts
 //	           u32 ntables | ntables × (u32 id | u16 namelen | name)
 //	           u64 totalRows
+//	           u32 nschema | nschema × (u16 klen | key | u32 vlen | value)
 //	           'E' | u32 crc32(everything before the footer)
 //
 // The manifest records the table catalog (id → name) so that loading can
 // verify the declared schema matches the one checkpointed, and name the
-// offending table when it does not.
+// offending table when it does not. The schema section (v2) embeds the
+// rows of the silo-level DDL catalog table as of CE: recovery applies
+// them before loading any part, which is what lets a checkpointed store
+// reconstruct its full schema — tables and index declarations — with zero
+// re-declarations even after the pre-checkpoint log segments carrying the
+// original DDL records have been truncated. The v1 manifest format (no
+// schema section) still parses; note that directories written before the
+// catalog existed are nevertheless incompatible at the silo layer, where
+// the catalog now claims table id 0 (see the README's format note).
 package recovery
 
 import (
@@ -68,9 +77,10 @@ import (
 )
 
 const (
-	partMagic     = "SPC1"
-	manifestMagic = "SPM1"
-	manifestName  = "MANIFEST"
+	partMagic       = "SPC1"
+	manifestMagicV1 = "SPM1"
+	manifestMagicV2 = "SPM2"
+	manifestName    = "MANIFEST"
 )
 
 // errTorn marks an incomplete or corrupt checkpoint set; loading falls
@@ -118,6 +128,17 @@ func partBound(k, n int) []byte {
 // abort). The worker must be otherwise idle — the checkpoint daemon uses
 // the store's dedicated maintenance worker.
 func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (CheckpointResult, error) {
+	return WriteCheckpointSchema(s, w, dir, parts, nil)
+}
+
+// WriteCheckpointSchema is WriteCheckpoint with a schema catalog: when
+// catalog is non-nil, its rows as of the snapshot epoch are embedded in
+// the manifest's schema section, making the checkpoint self-describing
+// (recovery reconstructs tables and index declarations from the manifest
+// before loading a single part). silo.DB passes its DDL catalog table;
+// stores managed below the silo layer pass nil and keep the
+// declare-before-recover contract.
+func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int, catalog *core.Table) (CheckpointResult, error) {
 	var res CheckpointResult
 	start := time.Now()
 	if parts <= 0 {
@@ -163,6 +184,23 @@ func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (Chec
 			bytes int64
 			err   error
 		}
+		// The schema section is read under the same pinned snapshot epoch
+		// as the part writers, so the manifest's catalog rows describe
+		// exactly the schema the parts were cut under.
+		var schema []schemaRow
+		if catalog != nil {
+			serr := core.SnapshotScanAt(catalog, sew, []byte{0}, nil, func(key, val []byte) bool {
+				schema = append(schema, schemaRow{
+					key: append([]byte(nil), key...),
+					val: append([]byte(nil), val...),
+				})
+				return true
+			})
+			if serr != nil {
+				return serr
+			}
+		}
+
 		outs := make([]partOut, parts)
 		done := make(chan struct{})
 		var wg sync.WaitGroup
@@ -190,7 +228,7 @@ func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (Chec
 					res.Rows += outs[k].rows
 					res.Bytes += outs[k].bytes
 				}
-				n, err := writeManifest(ckptDir, sew, parts, tables, uint64(res.Rows))
+				n, err := writeManifest(ckptDir, sew, parts, tables, uint64(res.Rows), schema)
 				if err != nil {
 					return err
 				}
@@ -278,11 +316,17 @@ func writePart(ckptDir string, k int, sew uint64, tables []*core.Table, lo, hi [
 	return rows, size, f.Close()
 }
 
+// schemaRow is one DDL-catalog row embedded in a manifest's schema
+// section.
+type schemaRow struct {
+	key, val []byte
+}
+
 // writeManifest writes and fsyncs the manifest — the commit point of the
 // checkpoint.
-func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, totalRows uint64) (int64, error) {
+func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, totalRows uint64, schema []schemaRow) (int64, error) {
 	buf := make([]byte, 0, 256)
-	buf = append(buf, manifestMagic...)
+	buf = append(buf, manifestMagicV2...)
 	buf = binary.LittleEndian.AppendUint64(buf, sew)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(parts))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
@@ -292,6 +336,13 @@ func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, 
 		buf = append(buf, tbl.Name...)
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, totalRows)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(schema)))
+	for i := range schema {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(schema[i].key)))
+		buf = append(buf, schema[i].key...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(schema[i].val)))
+		buf = append(buf, schema[i].val...)
+	}
 	buf = append(buf, 'E')
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[:len(buf)-1]))
 
@@ -328,6 +379,7 @@ type manifest struct {
 	parts  int
 	tables []manifestTable
 	rows   uint64
+	schema []schemaRow // DDL catalog rows at CE (v2 manifests; nil for v1)
 }
 
 type manifestTable struct {
@@ -340,7 +392,11 @@ func readManifest(path string) (*manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errTorn, err)
 	}
-	if len(data) < len(manifestMagic)+8+4+4+8+5 || string(data[:4]) != manifestMagic {
+	if len(data) < len(manifestMagicV1)+8+4+4+8+5 {
+		return nil, fmt.Errorf("%w: %s: bad manifest header", errTorn, path)
+	}
+	magic := string(data[:4])
+	if magic != manifestMagicV1 && magic != manifestMagicV2 {
 		return nil, fmt.Errorf("%w: %s: bad manifest header", errTorn, path)
 	}
 	body, foot := data[:len(data)-5], data[len(data)-5:]
@@ -372,16 +428,53 @@ func readManifest(path string) (*manifest, error) {
 		return nil, fmt.Errorf("%w: %s: truncated manifest", errTorn, path)
 	}
 	m.rows = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	if magic == manifestMagicV1 {
+		return m, nil
+	}
+	if off+4 > len(body) {
+		return nil, fmt.Errorf("%w: %s: truncated schema section", errTorn, path)
+	}
+	nschema := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	for i := 0; i < nschema; i++ {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated schema section", errTorn, path)
+		}
+		klen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+klen+4 > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated schema section", errTorn, path)
+		}
+		key := body[off : off+klen]
+		off += klen
+		vlen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+vlen > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated schema section", errTorn, path)
+		}
+		m.schema = append(m.schema, schemaRow{key: key, val: body[off : off+vlen]})
+		off += vlen
+	}
 	return m, nil
 }
 
 // checkSchema verifies that every table the manifest catalogued is
 // declared in the store under the same id and name, returning a
-// descriptive error naming the first missing or mismatched table.
-func checkSchema(store *core.Store, path string, tables []manifestTable) error {
+// descriptive error naming the first missing or mismatched table. In
+// lenient mode (self-describing recovery) a missing table is not an
+// error: the manifest's table list is taken at checkpoint-write time, so
+// a table created after the snapshot epoch CE legitimately appears there
+// while its DDL record — and every row that could reference it — still
+// lives in the log suffix, which is replayed (schema records first) after
+// the checkpoint loads. Name mismatches stay hard errors in both modes.
+func checkSchema(store *core.Store, path string, tables []manifestTable, lenient bool) error {
 	for _, mt := range tables {
 		tbl := store.TableByID(mt.id)
 		if tbl == nil {
+			if lenient {
+				continue
+			}
 			return fmt.Errorf(
 				"recovery: checkpoint %s contains table id %d (%q), but only %d tables are declared%s",
 				path, mt.id, mt.name, len(store.Tables()), declareHint(store))
@@ -512,13 +605,22 @@ func findCheckpoints(dir string) ([]foundCheckpoint, error) {
 // loadPartitioned verifies and installs one partitioned checkpoint set,
 // loading part files with up to workers goroutines. Integrity failures
 // return errTorn (callers fall back to an older set); schema mismatches
-// are hard errors.
-func loadPartitioned(store *core.Store, ckptDir string, workers int) (epoch uint64, rows int, err error) {
+// are hard errors. With a schema applier, the manifest's embedded catalog
+// rows are applied first — materializing the checkpointed schema — before
+// the table catalog is checked and any part is loaded.
+func loadPartitioned(store *core.Store, ckptDir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
 	m, err := readManifest(filepath.Join(ckptDir, manifestName))
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := checkSchema(store, ckptDir, m.tables); err != nil {
+	if schema != nil {
+		for i := range m.schema {
+			if err := schema.ApplyCatalogRow(m.schema[i].key, m.schema[i].val); err != nil {
+				return 0, 0, fmt.Errorf("recovery: %s schema section: %w", ckptDir, err)
+			}
+		}
+	}
+	if err := checkSchema(store, ckptDir, m.tables, schema != nil); err != nil {
 		return 0, 0, err
 	}
 	if workers <= 0 {
@@ -555,7 +657,7 @@ func loadPartitioned(store *core.Store, ckptDir string, workers int) (epoch uint
 // partitioned sets and pre-partitioning single files alike — falling back
 // past torn or corrupt sets. It returns CE 0 when no usable checkpoint
 // exists. Schema mismatches abort immediately.
-func loadNewestCheckpoint(store *core.Store, dir string, workers int) (epoch uint64, rows int, err error) {
+func loadNewestCheckpoint(store *core.Store, dir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
 	found, err := findCheckpoints(dir)
 	if err != nil {
 		return 0, 0, err
@@ -565,7 +667,7 @@ func loadNewestCheckpoint(store *core.Store, dir string, workers int) (epoch uin
 		var e uint64
 		var r int
 		if f.isDir {
-			e, r, err = loadPartitioned(store, f.path, workers)
+			e, r, err = loadPartitioned(store, f.path, workers, schema)
 		} else {
 			e, r, err = wal.LoadCheckpointFile(store, f.path)
 			if err != nil {

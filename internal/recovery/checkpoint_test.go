@@ -89,7 +89,7 @@ func TestPartitionedCheckpointRoundTrip(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	tbl2 := s2.CreateTable("t")
-	ce, rows, err := loadNewestCheckpoint(s2, dir, 4)
+	ce, rows, err := loadNewestCheckpoint(s2, dir, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestTornCheckpointFallsBack(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	s2.CreateTable("t")
-	ce, rows, err := loadNewestCheckpoint(s2, dir, 4)
+	ce, rows, err := loadNewestCheckpoint(s2, dir, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestTornCheckpointFallsBack(t *testing.T) {
 	s3 := core.NewStore(core.DefaultOptions(1))
 	defer s3.Close()
 	s3.CreateTable("t")
-	if ce, _, err := loadNewestCheckpoint(s3, dir, 4); err != nil || ce != first.Epoch {
+	if ce, _, err := loadNewestCheckpoint(s3, dir, 4, nil); err != nil || ce != first.Epoch {
 		t.Fatalf("corrupt-part fallback: ce=%d err=%v", ce, err)
 	}
 }
@@ -201,7 +201,7 @@ func TestCheckpointSchemaMismatch(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	s2.CreateTable("wrong")
-	_, _, err := loadNewestCheckpoint(s2, dir, 2)
+	_, _, err := loadNewestCheckpoint(s2, dir, 2, nil)
 	if err == nil {
 		t.Fatal("schema mismatch not detected")
 	}
@@ -214,7 +214,7 @@ func TestCheckpointSchemaMismatch(t *testing.T) {
 	// Missing table entirely: hard error, not silent fallback.
 	s3 := core.NewStore(core.DefaultOptions(1))
 	defer s3.Close()
-	if _, _, err := loadNewestCheckpoint(s3, dir, 2); err == nil {
+	if _, _, err := loadNewestCheckpoint(s3, dir, 2, nil); err == nil {
 		t.Fatal("missing table not detected")
 	}
 }

@@ -19,6 +19,11 @@ type DaemonOptions struct {
 	// Keep is how many complete checkpoint sets to retain (default 1; the
 	// newest complete set is always kept).
 	Keep int
+	// Catalog, when non-nil, is the silo-level DDL catalog table: its rows
+	// are embedded in each checkpoint manifest's schema section
+	// (WriteCheckpointSchema), keeping checkpoints self-describing so log
+	// truncation can never strand the schema.
+	Catalog *core.Table
 }
 
 // DaemonStats is a snapshot of the daemon's counters.
@@ -147,7 +152,7 @@ func (d *Daemon) RunOnce() error {
 		return nil
 	}
 
-	res, err := WriteCheckpoint(d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions)
+	res, err := WriteCheckpointSchema(d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions, d.opts.Catalog)
 	if err != nil {
 		d.mu.Lock()
 		d.stats.LastErr = err
@@ -157,6 +162,12 @@ func (d *Daemon) RunOnce() error {
 
 	var truncated int
 	if _, err = PruneCheckpoints(d.opts.Dir, d.opts.Keep); err == nil && d.wal != nil {
+		// Checkpoint-triggered rotation: ask every logger to close its open
+		// segment so the pre-checkpoint prefix becomes truncatable on the
+		// next tick, tightening the log-space bound to roughly one
+		// checkpoint interval of writes. Then truncate what previous
+		// rotations already closed.
+		d.wal.RequestRotate()
 		var removed []string
 		removed, err = d.wal.TruncateCovered(res.Epoch)
 		truncated = len(removed)

@@ -1,7 +1,9 @@
 package recovery
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,6 +11,22 @@ import (
 	"silo/internal/tid"
 	"silo/internal/wal"
 )
+
+// SchemaApplier reconstructs a store's schema from replayed DDL-catalog
+// rows (internal/catalog implements it). Recovery feeds it the checkpoint
+// manifest's schema section first, then the catalog-table entries found in
+// the log (epoch ≤ D), in sequence-key order, all before any data row is
+// installed — so every table and index exists, at its original id, by the
+// time the first data entry is dispatched. The applier must tolerate
+// overlap: rows already applied from the manifest reappear in the log
+// around the checkpoint epoch and must be skipped by sequence number.
+type SchemaApplier interface {
+	ApplyCatalogRow(key, val []byte) error
+}
+
+// CatalogTableID is the table id of the silo-level DDL catalog when a
+// SchemaApplier is in use: the catalog is always the store's first table.
+const CatalogTableID = 0
 
 // Options configures a parallel recovery pass.
 type Options struct {
@@ -18,6 +36,13 @@ type Options struct {
 	Workers int
 	// Compressed marks logs written with wal.Config.Compress.
 	Compressed bool
+	// Schema, when non-nil, makes recovery self-describing: table
+	// CatalogTableID holds DDL records that are applied — manifest schema
+	// section first, then the log's catalog entries — before data replay,
+	// reconstructing the full schema with zero re-declarations. Nil keeps
+	// the declare-before-recover contract (the caller created every table
+	// in original order).
+	Schema SchemaApplier
 }
 
 // Result reports what a recovery pass did, with per-stage timing so
@@ -46,6 +71,14 @@ type Result struct {
 	CheckpointLoad time.Duration
 	LogRead        time.Duration
 	LogApply       time.Duration
+
+	// IndexesRolledForward and IndexesRolledBack name indexes whose
+	// interrupted creation (a crash between the catalog's create record
+	// and the backfill completing) recovery finished or rolled back
+	// cleanly. Filled by the silo layer's DDL lifecycle, not by Recover
+	// itself.
+	IndexesRolledForward []string
+	IndexesRolledBack    []string
 }
 
 // missingTableErr names the undeclared table a log record references —
@@ -72,7 +105,7 @@ func Recover(store *core.Store, dir string, opts Options) (Result, error) {
 	res.Workers = opts.Workers
 
 	t0 := time.Now()
-	ce, rows, err := loadNewestCheckpoint(store, dir, opts.Workers)
+	ce, rows, err := loadNewestCheckpoint(store, dir, opts.Workers, opts.Schema)
 	if err != nil {
 		return res, err
 	}
@@ -138,6 +171,17 @@ func replay(store *core.Store, logDir string, opts *Options, minEpoch uint64, re
 	res.LogRead = time.Since(t0)
 	d := wal.DurableBound(infos, durables)
 	res.DurableEpoch = d
+
+	// Schema pre-pass: apply the log's DDL-catalog entries (in sequence-
+	// key order, which is commit order — DDL appends are serialized) so
+	// every table a data entry references exists before dispatch. Entries
+	// beyond D are skipped like any other; entries the checkpoint manifest
+	// already applied are deduplicated by the applier.
+	if opts.Schema != nil {
+		if err := applySchemaEntries(files, d, opts.Schema); err != nil {
+			return err
+		}
+	}
 
 	// Stage 2: fan out to appliers.
 	t1 := time.Now()
@@ -210,6 +254,40 @@ dispatch:
 	}
 	res.LogApply = time.Since(t1)
 	return dispatchErr
+}
+
+// applySchemaEntries collects the durable catalog-table entries from every
+// parsed segment and feeds them to the schema applier in key order.
+// Catalog rows are insert-only with monotone 8-byte sequence keys, so key
+// order is append order; deletes never appear (drops are themselves
+// records).
+func applySchemaEntries(files [][]wal.TxnRecord, d uint64, schema SchemaApplier) error {
+	type row struct {
+		key, val []byte
+	}
+	var rows []row
+	for _, f := range files {
+		for ti := range f {
+			t := &f[ti]
+			if tid.Word(t.TID).Epoch() > d {
+				continue
+			}
+			for j := range t.Entries {
+				e := &t.Entries[j]
+				if e.Table != CatalogTableID || e.Delete {
+					continue
+				}
+				rows = append(rows, row{e.Key, e.Value})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].key, rows[j].key) < 0 })
+	for i := range rows {
+		if err := schema.ApplyCatalogRow(rows[i].key, rows[i].val); err != nil {
+			return fmt.Errorf("recovery: log schema replay: %w", err)
+		}
+	}
+	return nil
 }
 
 // entryHash routes an entry to an applier: FNV-1a over the table id and

@@ -78,6 +78,7 @@ type Manager struct {
 	epochs  *epoch.Manager
 	loggers []*logger
 	byWkr   []*WorkerLog
+	ddlLog  *WorkerLog
 
 	durable atomic.Uint64 // D = min d_l
 	dmu     sync.Mutex
@@ -122,6 +123,15 @@ func Attach(s *core.Store, cfg Config) (*Manager, error) {
 		m.byWkr[i] = wl
 		s.Worker(i).SetLogFunc(wl.onCommit)
 	}
+	// The hidden DDL worker logs through logger 0 like any worker: catalog
+	// records are ordinary transactional writes, so schema changes share
+	// the epoch-prefix durability guarantee of the data they precede (a
+	// durable data write implies its table's earlier create record is
+	// durable too — same epoch order, same D).
+	ddl := newWorkerLog(m, m.loggers[0], s.Workers()+1)
+	m.loggers[0].workers = append(m.loggers[0].workers, ddl)
+	m.ddlLog = ddl
+	s.DDL().SetLogFunc(ddl.onCommit)
 	return m, nil
 }
 
@@ -138,6 +148,9 @@ func (m *Manager) Stop() {
 	for _, wl := range m.byWkr {
 		wl.Heartbeat()
 	}
+	if m.ddlLog != nil {
+		m.ddlLog.Heartbeat()
+	}
 	for _, lg := range m.loggers {
 		lg.stopOnce.Do(func() { close(lg.stop) })
 		<-lg.stopped
@@ -146,6 +159,28 @@ func (m *Manager) Stop() {
 
 // WorkerLog returns worker i's log handle (for heartbeats and waits).
 func (m *Manager) WorkerLog(i int) *WorkerLog { return m.byWkr[i] }
+
+// DDLLog returns the hidden DDL worker's log handle, so catalog appends
+// can be pushed toward the log eagerly.
+func (m *Manager) DDLLog() *WorkerLog { return m.ddlLog }
+
+// RequestRotate asks every logger to rotate its open segment at the next
+// opportunity (right after its next durable-frame write), regardless of
+// size. The checkpoint daemon calls this after each successful checkpoint
+// so the open segment's pre-checkpoint prefix lands in a closed — and
+// therefore truncatable — segment, tightening the log-space bound from
+// "checkpoint interval + whatever the open segment accumulated" to
+// roughly one checkpoint interval of writes. Segments holding no buffer
+// frames are not rotated (nothing to truncate). It is asynchronous: the
+// rotation happens on each logger's own goroutine.
+func (m *Manager) RequestRotate() {
+	if m.cfg.InMemory {
+		return
+	}
+	for _, lg := range m.loggers {
+		lg.rotateReq.Store(true)
+	}
+}
 
 // DurableEpoch returns the global durable epoch D.
 func (m *Manager) DurableEpoch() uint64 { return m.durable.Load() }
@@ -313,6 +348,11 @@ type logger struct {
 	seq        atomic.Uint64
 	segBytes   int64
 	segHasData bool
+
+	// rotateReq is set by Manager.RequestRotate (checkpoint-triggered
+	// rotation); the logger goroutine honours and clears it after its next
+	// durable-frame write.
+	rotateReq atomic.Bool
 }
 
 // SegmentName returns the file name of logger id's segment seq: the first
@@ -371,10 +411,16 @@ func newLogger(m *Manager, id int) (*logger, error) {
 // never regresses when older segments are truncated away.
 func (lg *logger) maybeRotate() {
 	// Segments holding only durable frames never rotate: an idle logger
-	// would otherwise slowly churn out empty segments.
-	if lg.m.cfg.SegmentBytes <= 0 || lg.file == nil || !lg.segHasData || lg.segBytes < lg.m.cfg.SegmentBytes {
+	// would otherwise slowly churn out empty segments (this also makes a
+	// pending rotation request a no-op until there is data worth closing).
+	if lg.file == nil || !lg.segHasData {
 		return
 	}
+	forced := lg.rotateReq.Load()
+	if !forced && (lg.m.cfg.SegmentBytes <= 0 || lg.segBytes < lg.m.cfg.SegmentBytes) {
+		return
+	}
+	lg.rotateReq.Store(false)
 	lg.file.Sync()
 	lg.file.Close()
 	next := lg.seq.Load() + 1

@@ -163,3 +163,116 @@ func TestSegmentRotationRecovery(t *testing.T) {
 		t.Fatalf("recovered %d keys, want %d", got, n)
 	}
 }
+
+// TestCheckpointTriggeredRotation pins the tightened log-space bound:
+// RequestRotate closes a data-bearing open segment at the logger's next
+// durable pass even when size-based rotation is disabled, so a checkpoint
+// covering that data can truncate it immediately — the on-disk log after
+// each checkpoint+rotate+truncate cycle is bounded by one checkpoint
+// interval of writes, not by the open segment's unbounded growth. Idle
+// segments (no buffer frames) must not rotate, so a request over an idle
+// log cannot churn out empty segments.
+func TestCheckpointTriggeredRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := core.DefaultOptions(1)
+	opts.EpochInterval = time.Millisecond
+	s := core.NewStore(opts)
+	defer s.Close()
+	// SegmentBytes 0: size-based rotation off — only forced rotation can
+	// close a segment.
+	m, err := Attach(s, Config{Dir: dir, PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.CreateTable("t")
+	m.Start()
+	defer m.Stop()
+	w := s.Worker(0)
+
+	write := func(k string) {
+		if err := w.Run(func(tx *core.Tx) error {
+			return tx.Insert(tbl, []byte(k), []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDurable := func() uint64 {
+		t.Helper()
+		target := tid.Word(w.LastCommitTID()).Epoch()
+		m.WorkerLog(0).Heartbeat()
+		deadline := time.Now().Add(10 * time.Second)
+		for m.DurableEpoch() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("durable epoch %d never reached %d", m.DurableEpoch(), target)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return target
+	}
+	segments := func() int {
+		t.Helper()
+		infos, err := ListLogFiles(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(infos)
+	}
+
+	write("a")
+	covered := waitDurable()
+	if n := segments(); n != 1 {
+		t.Fatalf("%d segments before any rotation, want 1", n)
+	}
+
+	// Force the rotation a checkpoint at epoch > covered would request.
+	m.RequestRotate()
+	deadline := time.Now().Add(10 * time.Second)
+	for segments() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("forced rotation never closed the open segment")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The closed segment is now truncatable by a checkpoint covering its
+	// epochs — the tightened bound: pre-checkpoint data no longer rides in
+	// the open segment.
+	removed, err := m.TruncateCovered(covered + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("truncated %d segments, want 1 (%v)", len(removed), removed)
+	}
+
+	// A rotation request over an idle log (no buffer frames in the open
+	// segment) must not create empty segments.
+	before := segments()
+	m.RequestRotate()
+	time.Sleep(20 * time.Millisecond)
+	if n := segments(); n != before {
+		t.Fatalf("idle rotation churned segments: %d -> %d", before, n)
+	}
+
+	// New data after the idle request still rotates (the request is
+	// sticky), and the log keeps recovering across the whole chain.
+	write("b")
+	waitDurable()
+	deadline = time.Now().Add(10 * time.Second)
+	for segments() < before+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("sticky rotation request never honoured after new data")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	s2.CreateTable("t")
+	res, err := Recover(s2, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnsApplied != 1 {
+		t.Fatalf("recovered %d txns after truncation, want 1 (only the post-checkpoint write)", res.TxnsApplied)
+	}
+}

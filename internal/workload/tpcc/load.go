@@ -52,6 +52,7 @@ func CreateTables(s *core.Store) *Tables {
 			if err != nil {
 				panic("tpcc: customer-name include spec: " + err.Error())
 			}
+			t.CustomerName.Spec = CustomerNameIndexSpec()
 		case THistory:
 			t.History = s.CreateTable(name)
 		case TNewOrder:
@@ -59,7 +60,12 @@ func CreateTables(s *core.Store) *Tables {
 		case TOrder:
 			t.Order = s.CreateTable(name)
 		case TOrderCust:
-			t.OrderCust = index.New(s, t.Order, name, true, OrderCustIndexKey)
+			key, err := index.CompileSpec(OrderCustIndexSpec())
+			if err != nil {
+				panic("tpcc: order-cust index spec: " + err.Error())
+			}
+			t.OrderCust = index.New(s, t.Order, name, true, key)
+			t.OrderCust.Spec = OrderCustIndexSpec()
 		case TOrderLine:
 			t.OrderLine = s.CreateTable(name)
 		case TItem:

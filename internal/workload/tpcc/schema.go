@@ -199,20 +199,20 @@ func UnmarshalCustomerNameFields(b []byte) CustomerNameFields {
 	return f
 }
 
-// OrderCustIndexKey extracts the customer-order secondary key (w, d, c, ^o)
-// from an order row: (w, d) and o come from the primary key, the customer
-// id from the row (converted from the value encoding's little-endian to the
-// key encoding's big-endian) — a transformation only a KeyFunc, not a
-// fixed-segment spec, can express.
-func OrderCustIndexKey(dst, pk, val []byte) ([]byte, bool) {
-	if len(pk) < 12 || len(val) < 4 {
-		return dst, false
+// OrderCustIndexSpec is the declarative key spec of the customer-order
+// index: (w, d, c, ^o) from an order row. (w, d) and o come from the
+// primary key; the customer id comes from the row, byte-reversed from the
+// value encoding's little-endian to the key encoding's big-endian
+// (XformReverse); the order id is bit-inverted (XformInvert) so an
+// ascending scan yields the customer's most recent order first. Before
+// the transform vocabulary this index needed an opaque Go KeyFunc — now
+// it is wire-expressible and catalog-persistable like every other spec.
+func OrderCustIndexSpec() []index.Seg {
+	return []index.Seg{
+		{Off: 0, Len: 8}, // (w, d) from the order primary key
+		{FromValue: true, Off: 0, Len: 4, Xform: index.XformReverse}, // CID, little-endian in the row
+		{Off: 8, Len: 4, Xform: index.XformInvert},                   // ^o from the primary key
 	}
-	dst = append(dst, pk[:8]...) // (w, d)
-	cid := binary.LittleEndian.Uint32(val[0:4])
-	dst = binary.BigEndian.AppendUint32(dst, cid)
-	o := binary.BigEndian.Uint32(pk[8:12])
-	return binary.BigEndian.AppendUint32(dst, ^o), true
 }
 
 // OrderCustPrefixLo/Hi bound a customer's order index entries.

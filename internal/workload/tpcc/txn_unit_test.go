@@ -1,9 +1,11 @@
 package tpcc
 
 import (
+	"bytes"
 	"testing"
 
 	"silo/internal/core"
+	"silo/internal/index"
 )
 
 // Per-transaction semantic tests: each transaction's database effects are
@@ -510,5 +512,35 @@ func TestKeyOrderingMatchesClustering(t *testing.T) {
 	n2 := OrderCustKey(nil, 1, 1, 1, 11)
 	if string(n2) >= string(n1) {
 		t.Error("newer order does not sort first in customer-order index")
+	}
+}
+
+// TestOrderCustSpecMatchesKeyEncoding pins the declarative order-cust
+// spec (reverse + invert transforms) to the canonical OrderCustKey
+// encoding: the spec-extracted secondary key of an order row must be
+// byte-identical to OrderCustKey(w, d, c, ^o), so the prefix bounds and
+// most-recent-first scan order keep working.
+func TestOrderCustSpecMatchesKeyEncoding(t *testing.T) {
+	key, err := index.CompileSpec(OrderCustIndexSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ w, d, c, o int }{
+		{1, 1, 1, 1},
+		{3, 9, 2999, 3000},
+		{7, 2, 1, 255},
+		{255, 10, 300, 256},
+	} {
+		ord := Order{CID: uint32(tc.c), EntryDate: 42, OLCount: 5, AllLocal: 1}
+		pk := OrderKey(nil, tc.w, tc.d, tc.o)
+		val := ord.Marshal(nil)
+		got, ok := key(nil, pk, val)
+		if !ok {
+			t.Fatalf("spec declined order row %+v", tc)
+		}
+		want := OrderCustKey(nil, tc.w, tc.d, tc.c, tc.o)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("spec key %x != OrderCustKey %x for %+v", got, want, tc)
+		}
 	}
 }

@@ -39,16 +39,21 @@ func (s *Server) table(name string) (*silo.Table, error) {
 }
 
 var (
-	errNoTable    = silo.ErrNoTable
-	errBadValue   = errors.New("server: ADD requires a value of at least 8 bytes")
-	errIndexTable = errors.New("server: table is an index entry table; write its primary table instead")
+	errNoTable      = silo.ErrNoTable
+	errBadValue     = errors.New("server: ADD requires a value of at least 8 bytes")
+	errIndexTable   = errors.New("server: table is an index entry table; write its primary table instead")
+	errCatalogTable = errors.New("server: table is the schema catalog; it is maintained by DDL operations only")
 )
 
-// writable rejects direct writes to index entry tables, which would
-// silently desynchronize the index from its primary table. Reads and scans
-// of entry tables remain allowed (they are harmless and occasionally
-// useful for debugging).
+// writable rejects direct writes to index entry tables — which would
+// silently desynchronize the index from its primary table — and to the
+// schema catalog, whose rows recovery trusts to reconstruct the schema.
+// Reads and scans of both remain allowed (they are harmless and
+// occasionally useful for debugging).
 func (s *Server) writable(name string) error {
+	if name == silo.CatalogTableName {
+		return errCatalogTable
+	}
 	if s.db.Index(name) != nil {
 		return errIndexTable
 	}
@@ -75,7 +80,7 @@ func errResponse(err error) wire.Response {
 		code = wire.CodeNotCovering
 	case errors.Is(err, errBadValue):
 		code = wire.CodeBadValue
-	case errors.Is(err, errIndexTable):
+	case errors.Is(err, errIndexTable), errors.Is(err, errCatalogTable):
 		// Deliberately not CodeInvalid: the key is fine, the target is
 		// wrong, and clients should see the explanatory message (it
 		// arrives as a ServerError preserving code and text).
@@ -117,6 +122,8 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return s.execCreateIndex(w, op)
 	case wire.KindIScan:
 		return s.execIScan(w, op)
+	case wire.KindSchema:
+		return s.execSchema()
 	}
 	t, err := s.table(op.Table)
 	if err != nil {
@@ -232,9 +239,60 @@ func (s *Server) execCreateIndex(w int, op *wire.Op) wire.Response {
 func wireSegs(in []wire.IndexSeg) []silo.IndexSeg {
 	segs := make([]silo.IndexSeg, len(in))
 	for i, sg := range in {
-		segs[i] = silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len)}
+		segs[i] = silo.IndexSeg{FromValue: sg.FromValue, Off: int(sg.Off), Len: int(sg.Len), Xform: sg.Xform}
 	}
 	return segs
+}
+
+// segsWire converts engine segments back to their wire form; ok is false
+// when a segment cannot be expressed (offsets beyond the wire's u16 range
+// — only constructible by embedded callers), in which case the index is
+// reported as opaque.
+func segsWire(in []silo.IndexSeg) ([]wire.IndexSeg, bool) {
+	if in == nil {
+		return nil, true
+	}
+	segs := make([]wire.IndexSeg, len(in))
+	for i, sg := range in {
+		if sg.Off > 65535 || sg.Len > 65535 {
+			return nil, false
+		}
+		segs[i] = wire.IndexSeg{FromValue: sg.FromValue, Off: uint16(sg.Off), Len: uint16(sg.Len), Xform: sg.Xform}
+	}
+	return segs, true
+}
+
+// execSchema serves the catalog-introspection frame: every table (id and
+// name, the schema catalog itself included) and every index declaration.
+// A remote client can reconstruct the server's full DDL state from one
+// SCHEMA round trip — uniqueness, key specs with transforms, covering
+// include lists — or discover that an index is opaque (declared embedded
+// with a Go key function).
+func (s *Server) execSchema() wire.Response {
+	sch := &wire.Schema{}
+	for _, t := range s.db.Tables() {
+		sch.Tables = append(sch.Tables, wire.SchemaTable{ID: t.ID, Name: t.Name})
+	}
+	for _, ix := range s.db.Indexes() {
+		si := wire.SchemaIndex{Name: ix.Name, Table: ix.On.Name, Unique: ix.Unique}
+		segs, ok := segsWire(ix.Spec)
+		if !ok || segs == nil {
+			si.Opaque = true
+		} else {
+			si.Segs = segs
+		}
+		if incs, ok := segsWire(ix.Include); ok {
+			si.Incs = incs
+		} else {
+			// An include list outside the wire's range cannot be declared
+			// remotely; report the index opaque rather than lying about
+			// its projection.
+			si.Opaque = true
+			si.Segs = nil
+		}
+		sch.Indexes = append(sch.Indexes, si)
+	}
+	return wire.Response{Kind: wire.KindSchemaR, Schema: sch}
 }
 
 // execIScan runs an index scan. A covering frame is served from entry

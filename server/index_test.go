@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"testing"
@@ -242,5 +243,103 @@ func TestUnknownTableSentinel(t *testing.T) {
 	if err := cl.CreateIndex("ix", "ghost", false,
 		[]wire.IndexSeg{{Off: 0, Len: 1}}); !errors.Is(err, silo.ErrNoTable) {
 		t.Errorf("create index on unknown table: %v", err)
+	}
+}
+
+// TestTransformIndexAndSchemaOverTheWire drives the transform vocabulary
+// and the catalog-introspection frame end to end: an index whose key spec
+// byte-reverses a little-endian row field and bit-inverts a key field is
+// declared over the wire, scans serve most-recent-first order, and SCHEMA
+// reports the full declaration back — segments, transforms, include
+// lists, uniqueness — exactly as declared.
+func TestTransformIndexAndSchemaOverTheWire(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{}, client.Options{})
+
+	// Rows: key = big-endian (group, seq); value = little-endian owner id
+	// plus filler. The index key is (owner big-endian, ^seq), so a scan
+	// finds an owner's newest seq first.
+	key := func(group, seq uint32) []byte {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint32(k, group)
+		binary.BigEndian.PutUint32(k[4:], seq)
+		return k
+	}
+	val := func(owner uint32) []byte {
+		v := make([]byte, 8)
+		binary.LittleEndian.PutUint32(v, owner)
+		return v
+	}
+	for seq := uint32(1); seq <= 5; seq++ {
+		if err := cl.Insert("events", key(1, seq), val(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := []wire.IndexSeg{
+		{FromValue: true, Off: 0, Len: 4, Xform: wire.XformReverse}, // owner LE → BE
+		{Off: 4, Len: 4, Xform: wire.XformInvert},                   // ^seq
+	}
+	incs := []wire.IndexSeg{{FromValue: true, Off: 0, Len: 4}}
+	if err := cl.CreateCoveringIndex("events_by_owner", "events", true, segs, incs); err != nil {
+		t.Fatalf("create transform index: %v", err)
+	}
+
+	ownerLo := make([]byte, 4)
+	binary.BigEndian.PutUint32(ownerLo, 7)
+	ownerHi := make([]byte, 4)
+	binary.BigEndian.PutUint32(ownerHi, 8)
+	entries, err := cl.IndexScan("events_by_owner", ownerLo, ownerHi, 0, false)
+	if err != nil {
+		t.Fatalf("iscan: %v", err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("owner 7 entries = %d, want 5", len(entries))
+	}
+	// Most recent first: the first entry's primary key carries seq 5.
+	if got := binary.BigEndian.Uint32(entries[0].PK[4:]); got != 5 {
+		t.Fatalf("first entry resolves seq %d, want 5 (most recent first)", got)
+	}
+	for i := 1; i < len(entries); i++ {
+		a := binary.BigEndian.Uint32(entries[i-1].PK[4:])
+		b := binary.BigEndian.Uint32(entries[i].PK[4:])
+		if a <= b {
+			t.Fatalf("entries not in descending seq order: %d then %d", a, b)
+		}
+	}
+
+	sch, err := cl.Schema()
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	var ix *wire.SchemaIndex
+	for i := range sch.Indexes {
+		if sch.Indexes[i].Name == "events_by_owner" {
+			ix = &sch.Indexes[i]
+		}
+	}
+	if ix == nil {
+		t.Fatalf("SCHEMA response does not list events_by_owner (got %+v)", sch.Indexes)
+	}
+	if !ix.Unique || ix.Opaque || ix.Table != "events" {
+		t.Fatalf("schema declaration mismatch: %+v", ix)
+	}
+	if len(ix.Segs) != len(segs) || len(ix.Incs) != len(incs) {
+		t.Fatalf("schema segs/incs = %d/%d, want %d/%d", len(ix.Segs), len(ix.Incs), len(segs), len(incs))
+	}
+	for i := range segs {
+		if ix.Segs[i] != segs[i] {
+			t.Fatalf("schema seg %d = %+v, want %+v", i, ix.Segs[i], segs[i])
+		}
+	}
+	if ix.Incs[0] != incs[0] {
+		t.Fatalf("schema include = %+v, want %+v", ix.Incs[0], incs[0])
+	}
+	// The catalog's own table is listed (id 0) and rejects direct writes.
+	if len(sch.Tables) == 0 || sch.Tables[0].ID != 0 || sch.Tables[0].Name != silo.CatalogTableName {
+		t.Fatalf("schema tables do not lead with the catalog: %+v", sch.Tables)
+	}
+	err = cl.Put(silo.CatalogTableName, []byte("x"), []byte("y"))
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeIndexTable {
+		t.Fatalf("direct catalog write not rejected: %v", err)
 	}
 }

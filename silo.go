@@ -68,6 +68,7 @@ import (
 	"runtime"
 	"time"
 
+	"silo/internal/catalog"
 	"silo/internal/core"
 	"silo/internal/index"
 	"silo/internal/recovery"
@@ -183,13 +184,16 @@ type DB struct {
 	store   *core.Store
 	wal     *wal.Manager
 	indexes *index.Registry
+	catalog *catalog.Catalog
 	daemon  *recovery.Daemon
 	opts    Options
 }
 
-// Open creates a database. With Durability set, logging starts immediately;
-// to recover an existing log directory, create the same tables in the same
-// order and then call Recover before running transactions.
+// Open creates a database. With Durability set, logging starts immediately.
+// An existing log directory is self-describing: call Recover before running
+// transactions and the schema catalog reconstructs every table and index
+// from disk — no re-declarations. (Indexes declared with an opaque Go
+// KeyFunc are the one exception; see Recover.)
 func Open(opts Options) (*DB, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
@@ -208,6 +212,10 @@ func Open(opts Options) (*DB, error) {
 	copts.GlobalTID = opts.GlobalTID
 
 	db := &DB{store: core.NewStore(copts), indexes: index.NewRegistry(), opts: opts}
+	// The schema catalog claims table id 0 before any user table exists;
+	// every DDL action routed through this DB is recorded there as an
+	// ordinary logged row, which is what makes recovery self-describing.
+	db.catalog = catalog.New(db.store, db.indexes)
 	if opts.Durability != nil {
 		d := opts.Durability
 		mode := wal.ModeFull
@@ -252,12 +260,21 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = m
 		m.Start()
+		if !hadLogs {
+			// Fresh directory: nothing to recover, record DDL from the
+			// first creation. Over an existing log the catalog goes live
+			// inside Recover, after the replayed records have been
+			// validated against (or have reconstructed) the schema.
+			db.catalog.SetLive()
+		}
 		if d.CheckpointInterval > 0 && !hadLogs {
 			// A fresh database checkpoints from the start; over an
 			// existing log the daemon starts inside Recover, after the
 			// data it would otherwise truncate has been replayed.
 			db.startDaemon()
 		}
+	} else {
+		db.catalog.SetLive()
 	}
 	return db, nil
 }
@@ -273,6 +290,7 @@ func (db *DB) startDaemon() {
 		Interval:   d.CheckpointInterval,
 		Partitions: d.CheckpointPartitions,
 		Keep:       d.KeepCheckpoints,
+		Catalog:    db.catalog.Table(),
 	})
 	db.daemon.Start()
 }
@@ -295,11 +313,34 @@ func (db *DB) Close() {
 // values are primary keys, maintained by transaction code (§4.7).
 type Table = core.Table
 
+// CatalogTableName is the reserved name of the schema catalog's system
+// table (always table id 0). It appears in Tables like any table; reading
+// it is allowed (each row is one logged DDL record), but it must never be
+// written directly — the network server rejects writes to it, and
+// CreateTable refuses the name.
+const CatalogTableName = catalog.TableName
+
 // CreateTable creates (or returns) the named table. Tables must be created
-// before transactions use them; creation is not transactional. Table IDs
-// are assigned in creation order and are part of the log format, so
-// recovery requires recreating tables in the same order.
-func (db *DB) CreateTable(name string) *Table { return db.store.CreateTable(name) }
+// before transactions use them. Creation is recorded in the schema
+// catalog as a logged DDL record, so recovery reconstructs the table — at
+// its original id — with no re-declaration. The creation itself is not
+// transactional (there is no DDL rollback), but the record shares the
+// epoch-prefix durability guarantee of every write that follows it.
+// The reserved catalog table name returns nil. Safe for concurrent use;
+// DDL actions serialize on the catalog.
+func (db *DB) CreateTable(name string) *Table {
+	t, err := db.catalog.CreateTable(name)
+	if err != nil {
+		if name == catalog.TableName {
+			return nil
+		}
+		// A failed catalog append means the DDL worker could not commit a
+		// single insert into a quiet system table — the database is not in
+		// a state where continuing is meaningful.
+		panic(fmt.Sprintf("silo: recording table creation: %v", err))
+	}
+	return t
+}
 
 // Table returns the named table, or nil.
 func (db *DB) Table(name string) *Table { return db.store.Table(name) }
@@ -309,9 +350,10 @@ func (db *DB) Tables() []*Table { return db.store.Tables() }
 
 // Index is a declared secondary index (see internal/index). Its entry
 // table is an ordinary table — it appears in Tables, is logged,
-// checkpointed, and recovered like any other — so recovery requires
-// recreating indexes in their original creation order along with the
-// tables.
+// checkpointed, and recovered like any other — and its declaration is
+// recorded in the schema catalog, so recovery reconstructs it (entry
+// table id, uniqueness, key spec, include list) with no re-declaration.
+// Only opaque KeyFunc indexes still need re-declaring before Recover.
 type Index = index.Index
 
 // IndexKeyFunc extracts a row's secondary key: it appends the key for
@@ -319,8 +361,21 @@ type Index = index.Index
 type IndexKeyFunc = index.KeyFunc
 
 // IndexSeg is one fixed-position segment of a declarative index key spec —
-// the wire-friendly subset of IndexKeyFunc (see CreateIndexSpec).
+// the wire-friendly, catalog-persistable subset of IndexKeyFunc (see
+// CreateIndexSpec).
 type IndexSeg = index.Seg
+
+// Transform flags for IndexSeg.Xform: IndexXformReverse reverses the
+// extracted bytes (a little-endian row field becomes a big-endian,
+// tree-ordered key field); IndexXformInvert complements them (ascending
+// values sort descending — the most-recent-first trick). The flags
+// compose, reverse first. They make byte-order-converting indexes — like
+// TPC-C's order_cust — expressible without a Go KeyFunc, so they travel
+// over the wire and persist in the schema catalog.
+const (
+	IndexXformReverse = index.XformReverse
+	IndexXformInvert  = index.XformInvert
+)
 
 // CreateIndex declares a secondary index named name over table on,
 // backfills any existing rows in batched transactions on the given worker
@@ -334,7 +389,7 @@ type IndexSeg = index.Seg
 // through this entry point is an error — use CreateIndexSpec when
 // idempotent re-creation matters.
 func (db *DB) CreateIndex(worker int, on *Table, name string, unique bool, key IndexKeyFunc) (*Index, error) {
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil, nil)
+	return db.catalog.CreateIndex(db.store.Worker(worker), on, name, unique, key, nil, nil)
 }
 
 // CreateIndexSpec is CreateIndex with a declarative fixed-segment key spec
@@ -347,7 +402,7 @@ func (db *DB) CreateIndexSpec(worker int, on *Table, name string, unique bool, s
 	if err != nil {
 		return nil, err
 	}
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs, nil)
+	return db.catalog.CreateIndex(db.store.Worker(worker), on, name, unique, key, segs, nil)
 }
 
 // CreateCoveringIndex is CreateIndex for a covering index: include lists
@@ -360,7 +415,7 @@ func (db *DB) CreateIndexSpec(worker int, on *Table, name string, unique bool, s
 // naming the index — if the index was re-declared with a different
 // include list than the one its logged entries were written under.
 func (db *DB) CreateCoveringIndex(worker int, on *Table, name string, unique bool, key IndexKeyFunc, include []IndexSeg) (*Index, error) {
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, nil, include)
+	return db.catalog.CreateIndex(db.store.Worker(worker), on, name, unique, key, nil, include)
 }
 
 // CreateCoveringIndexSpec is CreateIndexSpec with an include list (see
@@ -371,8 +426,15 @@ func (db *DB) CreateCoveringIndexSpec(worker int, on *Table, name string, unique
 	if err != nil {
 		return nil, err
 	}
-	return db.indexes.Create(db.store, db.store.Worker(worker), on, name, unique, key, segs, include)
+	return db.catalog.CreateIndex(db.store.Worker(worker), on, name, unique, key, segs, include)
 }
+
+// DropIndex withdraws a secondary index: maintenance stops, the entries
+// are deleted, and the drop is recorded in the schema catalog so recovery
+// does not resurrect it. The entry table's id remains reserved (table ids
+// are part of the log format); re-creating an index under the same name
+// later reuses it. Like other DDL, dropping is not transactional.
+func (db *DB) DropIndex(name string) error { return db.catalog.DropIndex(name) }
 
 // Index returns the named index, or nil.
 func (db *DB) Index(name string) *Index { return db.indexes.Get(name) }
@@ -548,23 +610,31 @@ type RecoveryResult = recovery.Result
 // cores. The epoch counter is restarted above the recovered epochs, as
 // required for the paper's epoch-prefix durability guarantee.
 //
-// The declare-before-recover contract: call Recover on a freshly opened
-// database after re-declaring every table (CreateTable) and index
-// (CreateIndex/CreateIndexSpec) in their original creation order, and
-// before running any transactions. Table IDs are assigned in creation
-// order and are part of the log and checkpoint formats; an index's entry
-// table is an ordinary table, so index declaration order matters equally.
-// A log or checkpoint record referencing an undeclared table fails
-// recovery with an error naming the table rather than recovering a
-// partial database. Indexes get the equivalent guard for their
-// declarations: after replay, every covering index declared through this
-// DB is audited entry by entry against its include list and primary
-// rows, and every non-covering index is shape-checked in full with a
-// bounded sample resolved against rows — so re-declaring a covering
-// index with a different include list, or without one, or adding one to
-// a previously non-covering index, fails recovery with an error naming
-// the index instead of serving misaligned covering fields or resolving
-// garbage primary keys.
+// Recovery is self-describing: before any data row is installed, the
+// schema catalog's logged DDL records — the checkpoint manifest's schema
+// section, then the log's catalog suffix — are replayed in order,
+// reconstructing every table and index (ids, uniqueness, key specs and
+// transforms, covering include lists) with zero re-declarations. Call
+// Recover on a freshly opened database, before running any transactions.
+//
+// Re-declaring schema before Recover remains allowed and is validated: a
+// declaration that deviates from the catalog — wrong order, changed
+// uniqueness or key spec, a covering include list that differs from the
+// one the logged entries were written under (changed, dropped, or added)
+// — fails recovery with an error naming the table or index. The covering
+// audit is a constant-time comparison of declarations, not a walk of the
+// recovered entries. The one declaration the catalog cannot reconstruct
+// is an index created with an opaque Go KeyFunc (CreateIndex /
+// CreateCoveringIndex): re-declare those, in their original creation
+// order, before Recover — their recovered entries are then additionally
+// shape-audited (covering ones in full, plain ones by a bounded resolved
+// sample), since byte records cannot vouch for an opaque function.
+//
+// A DDL action interrupted by the crash is finished here: an index whose
+// create record is durable but whose backfill never completed is rolled
+// forward (the backfill re-runs) or, if it cannot complete, rolled back
+// cleanly — entries wiped, drop recorded — with the outcome reported in
+// the result.
 //
 // With Durability.CheckpointInterval set, the background checkpoint
 // daemon starts once Recover succeeds (on an existing directory; a fresh
@@ -581,17 +651,23 @@ func (db *DB) Recover() (RecoveryResult, error) {
 	res, err := recovery.Recover(db.store, d.Dir, recovery.Options{
 		Workers:    workers,
 		Compressed: d.Compress,
+		Schema:     db.catalog,
 	})
 	if err != nil {
 		return res, err
 	}
-	// Replayed index entries must match the declarations made this run —
-	// including covering include lists in both directions (changed,
-	// dropped, or added) — or the index would silently serve misaligned
-	// fields or resolve garbage primary keys.
+	// Declarative index declarations with a catalog record were validated
+	// record-for-record by the replay (constant time). Everything else —
+	// opaque KeyFunc declarations, whose bytes no record can vouch for,
+	// and indexes re-declared over a directory whose catalog never
+	// recorded them — gets the per-entry audit against the re-declared
+	// definition: covering ones in full, plain ones by shape plus a
+	// bounded resolved sample.
 	for _, ix := range db.indexes.All() {
-		if err := ix.VerifyEntries(); err != nil {
-			return res, fmt.Errorf("silo: recovery: %w", err)
+		if ix.Spec == nil || !db.catalog.Recorded(ix.Name) {
+			if err := ix.VerifyEntries(); err != nil {
+				return res, fmt.Errorf("silo: recovery: %w", err)
+			}
 		}
 	}
 	e := res.DurableEpoch
@@ -599,6 +675,15 @@ func (db *DB) Recover() (RecoveryResult, error) {
 		e = res.CheckpointEpoch
 	}
 	db.store.Epochs().AdvanceTo(e + 1)
+	// With the epoch counter restarted, the catalog can go live: roll
+	// interrupted DDL forward (or back), and record any schema this run
+	// declared that the catalog does not know yet.
+	completed, rolledBack, err := db.catalog.FinishRecovery()
+	res.IndexesRolledForward = completed
+	res.IndexesRolledBack = rolledBack
+	if err != nil {
+		return res, fmt.Errorf("silo: recovery: %w", err)
+	}
 	if d.CheckpointInterval > 0 {
 		db.startDaemon()
 	}
@@ -634,7 +719,7 @@ func (db *DB) Checkpoint(worker int) (CheckpointResult, error) {
 	if parts <= 0 {
 		parts = 4
 	}
-	return recovery.WriteCheckpoint(db.store, db.store.Worker(worker), db.opts.Durability.Dir, parts)
+	return recovery.WriteCheckpointSchema(db.store, db.store.Worker(worker), db.opts.Durability.Dir, parts, db.catalog.Table())
 }
 
 // CheckpointDaemonStats is a snapshot of the background checkpoint

@@ -37,6 +37,19 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), Limit: 0}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "cov", Key: []byte("a"), Limit: 3, Covering: true}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "cov", Key: []byte("a"), HasHi: true, Hi: []byte("b"), Snapshot: true, Covering: true}}},
+		// Transform segments: byte-reversed, inverted, and composed — the
+		// wire-expressible form of TPC-C's order_cust index.
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "oc", Table: "oorder", Unique: true, Segs: []IndexSeg{
+			{Off: 0, Len: 8},
+			{FromValue: true, Off: 0, Len: 4, Xform: XformReverse},
+			{Off: 8, Len: 4, Xform: XformInvert},
+		}}}},
+		{Ops: []Op{{Kind: KindCreateIndex, Index: "rx", Table: "t", Segs: []IndexSeg{
+			{FromValue: true, Off: 2, Len: 2, Xform: XformReverse | XformInvert},
+		}, Incs: []IndexSeg{
+			{FromValue: true, Off: 0, Len: 1, Xform: XformInvert},
+		}}}},
+		{Ops: []Op{{Kind: KindSchema}}},
 	}
 	for i := range seedReqs {
 		frame, err := AppendRequest(nil, &seedReqs[i])
@@ -54,6 +67,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Kind: KindIScanR, Entries: []IndexEntry{
 			{SK: []byte("sk"), PK: []byte("pk"), Value: []byte("row")},
 			{SK: []byte(""), PK: []byte("p"), Value: nil},
+		}},
+		{Kind: KindSchemaR, Schema: &Schema{
+			Tables: []SchemaTable{{ID: 1, Name: "t"}, {ID: 2, Name: "ix"}},
+			Indexes: []SchemaIndex{
+				{Name: "ix", Table: "t", Unique: true, Segs: []IndexSeg{
+					{FromValue: true, Off: 0, Len: 4, Xform: XformReverse},
+				}},
+				{Name: "cov", Table: "t", Segs: []IndexSeg{
+					{Off: 0, Len: 2, Xform: XformInvert},
+				}, Incs: []IndexSeg{{FromValue: true, Off: 4, Len: 8}}},
+				{Name: "opq", Table: "t", Opaque: true},
+			},
 		}},
 	}
 	for i := range seedResps {

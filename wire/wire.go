@@ -21,12 +21,13 @@
 //	ADD         u8 tlen | table | u8 klen | key | u64 delta (two's complement)
 //	SCAN        u8 tlen | table | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] | u32 limit
 //	CREATE_INDEX u8 ilen | index | u8 tlen | table | u8 unique | u8 nsegs |
-//	            nsegs × (u8 src | u16 off | u16 len) | u8 nincs |
-//	            nincs × (u8 src | u16 off | u16 len)
+//	            nsegs × (u8 src | u8 xform | u16 off | u16 len) | u8 nincs |
+//	            nincs × (u8 src | u8 xform | u16 off | u16 len)
 //	ISCAN       u8 ilen | index | u8 lolen | lo | u8 hasHi | [u8 hilen | hi] |
 //	            u32 limit | u8 snapshot | u8 covering
 //	TXN         u16 nops | nops × (u8 kind | body as above; SCAN, CREATE_INDEX
 //	            and ISCAN excluded)
+//	SCHEMA      (empty)
 //
 // CREATE_INDEX's nincs block is the covering include list: fixed-position
 // row segments projected into every entry value. nincs 0 declares an
@@ -34,10 +35,25 @@
 // served from entry values alone (its ISCANR values are the included
 // fields, not full rows) and is rejected for non-covering indexes.
 //
+// A segment's xform byte selects transforms applied to the extracted
+// bytes before they join the key: bit 0 reverses the bytes (a
+// little-endian row field becomes a big-endian, tree-ordered key field),
+// bit 1 complements them (ascending values sort descending — the
+// most-recent-first trick). The bits compose (reverse first); other bits
+// are rejected. SCHEMA asks the server for its schema catalog: the
+// SCHEMAR response lists every table (id, name) and every index
+// declaration — uniqueness, covering include list, key-spec segments with
+// transforms, or an opaque marker for indexes whose Go key function
+// cannot travel.
+//
 //	OK          (empty)
 //	VALUE       u32 vlen | value
 //	ERR         u8 code | u16 mlen | msg
 //	SCANR       u32 npairs | npairs × (u8 klen | key | u32 vlen | value)
+//	SCHEMAR     u16 ntables | ntables × (u32 id | u8 nlen | name) |
+//	            u16 nindexes | nindexes × (u8 ilen | index | u8 tlen | table |
+//	            u8 flags (1 unique, 2 covering, 4 opaque) | u8 nsegs | segs |
+//	            u8 nincs | incs)
 //	ISCANR      u32 n | n × (u8 sklen | sk | u8 pklen | pk | u32 vlen | value)
 //	TXNR        u16 nresults | nresults × (u8 hasValue | [u32 vlen | value])
 package wire
@@ -66,16 +82,18 @@ const (
 	KindTxn         Kind = 0x07
 	KindCreateIndex Kind = 0x08
 	KindIScan       Kind = 0x09
+	KindSchema      Kind = 0x0A
 )
 
 // Response frame kinds.
 const (
-	KindOK     Kind = 0x81
-	KindValue  Kind = 0x82
-	KindErr    Kind = 0x83
-	KindScanR  Kind = 0x84
-	KindTxnR   Kind = 0x85
-	KindIScanR Kind = 0x86
+	KindOK      Kind = 0x81
+	KindValue   Kind = 0x82
+	KindErr     Kind = 0x83
+	KindScanR   Kind = 0x84
+	KindTxnR    Kind = 0x85
+	KindIScanR  Kind = 0x86
+	KindSchemaR Kind = 0x87
 )
 
 func (k Kind) String() string {
@@ -98,6 +116,8 @@ func (k Kind) String() string {
 		return "CREATE_INDEX"
 	case KindIScan:
 		return "ISCAN"
+	case KindSchema:
+		return "SCHEMA"
 	case KindOK:
 		return "OK"
 	case KindValue:
@@ -110,6 +130,8 @@ func (k Kind) String() string {
 		return "TXNR"
 	case KindIScanR:
 		return "ISCANR"
+	case KindSchemaR:
+		return "SCHEMAR"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }
@@ -186,13 +208,26 @@ func malformed(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
 }
 
+// Transform bits of an IndexSeg's Xform byte.
+const (
+	// XformReverse reverses the segment's bytes (little-endian field →
+	// big-endian key order).
+	XformReverse uint8 = 1 << 0
+	// XformInvert complements the segment's bytes (ascending values sort
+	// descending).
+	XformInvert uint8 = 1 << 1
+
+	xformMask = XformReverse | XformInvert
+)
+
 // IndexSeg is one fixed-position segment of a CREATE_INDEX key spec: Len
 // bytes at offset Off of the primary key (FromValue false) or the row
-// value (FromValue true); the secondary key is the concatenation of the
-// segments.
+// value (FromValue true), passed through the Xform transforms; the
+// secondary key is the concatenation of the segments.
 type IndexSeg struct {
 	FromValue bool
 	Off, Len  uint16
+	Xform     uint8
 }
 
 // IndexEntry is one resolved entry of an ISCANR response.
@@ -218,6 +253,31 @@ type Op struct {
 	Incs     []IndexSeg // CREATE_INDEX covering include list (nil: not covering)
 	Snapshot bool       // ISCAN: read a consistent snapshot instead of serializable
 	Covering bool       // ISCAN: serve included fields from entry values only
+}
+
+// SchemaTable is one table row of a SCHEMAR response.
+type SchemaTable struct {
+	ID   uint32
+	Name string
+}
+
+// SchemaIndex is one index declaration of a SCHEMAR response. Opaque
+// marks an index whose key function is a Go closure the server cannot
+// express as segments (Segs is then empty); Incs non-nil marks a covering
+// index whose entry values carry those row segments.
+type SchemaIndex struct {
+	Name   string
+	Table  string
+	Unique bool
+	Opaque bool
+	Segs   []IndexSeg
+	Incs   []IndexSeg
+}
+
+// Schema is a decoded SCHEMAR response: the server's schema catalog.
+type Schema struct {
+	Tables  []SchemaTable
+	Indexes []SchemaIndex
 }
 
 // Request is a decoded request frame.
@@ -250,6 +310,7 @@ type Response struct {
 	Pairs   []KV         // SCANR
 	Results []TxnResult  // TXNR
 	Entries []IndexEntry // ISCANR
+	Schema  *Schema      // SCHEMAR
 }
 
 // Err builds an ERR response.
@@ -376,7 +437,8 @@ func appendCreateIndex(dst []byte, op *Op) ([]byte, error) {
 	return appendSegs(dst, op.Incs, "include list")
 }
 
-// appendSegs encodes a segment list as u8 count | count × (src, off, len).
+// appendSegs encodes a segment list as u8 count | count × (src, xform,
+// off, len).
 func appendSegs(dst []byte, segs []IndexSeg, what string) ([]byte, error) {
 	dst = append(dst, byte(len(segs)))
 	for i := range segs {
@@ -384,7 +446,10 @@ func appendSegs(dst []byte, segs []IndexSeg, what string) ([]byte, error) {
 		if seg.Len == 0 {
 			return dst, fmt.Errorf("wire: index %s segment %d has zero length", what, i)
 		}
-		dst = append(dst, boolByte(seg.FromValue))
+		if seg.Xform&^xformMask != 0 {
+			return dst, fmt.Errorf("wire: index %s segment %d has unknown transform bits 0x%x", what, i, seg.Xform)
+		}
+		dst = append(dst, boolByte(seg.FromValue), seg.Xform)
 		dst = appendU16(dst, seg.Off)
 		dst = appendU16(dst, seg.Len)
 	}
@@ -463,6 +528,8 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case KindIScan:
 		dst = append(dst, byte(op.Kind))
 		dst, err = appendIScan(dst, op)
+	case KindSchema:
+		dst = append(dst, byte(op.Kind))
 	default:
 		return dst[:at], fmt.Errorf("wire: cannot encode request kind %v", op.Kind)
 	}
@@ -514,6 +581,59 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			dst = append(dst, e.PK...)
 			dst = appendU32(dst, uint32(len(e.Value)))
 			dst = append(dst, e.Value...)
+		}
+	case KindSchemaR:
+		sch := r.Schema
+		if sch == nil {
+			sch = &Schema{}
+		}
+		if len(sch.Tables) > 65535 || len(sch.Indexes) > 65535 {
+			return dst[:at], fmt.Errorf("wire: schema with %d tables, %d indexes", len(sch.Tables), len(sch.Indexes))
+		}
+		dst = appendU16(dst, uint16(len(sch.Tables)))
+		for i := range sch.Tables {
+			st := &sch.Tables[i]
+			if len(st.Name) == 0 || len(st.Name) > MaxTableLen {
+				return dst[:at], fmt.Errorf("wire: schema table name %d bytes long", len(st.Name))
+			}
+			dst = appendU32(dst, st.ID)
+			dst = append(dst, byte(len(st.Name)))
+			dst = append(dst, st.Name...)
+		}
+		dst = appendU16(dst, uint16(len(sch.Indexes)))
+		for i := range sch.Indexes {
+			si := &sch.Indexes[i]
+			if len(si.Name) == 0 || len(si.Name) > MaxIndexName || len(si.Table) == 0 || len(si.Table) > MaxTableLen {
+				return dst[:at], fmt.Errorf("wire: schema index %q on %q has a bad name length", si.Name, si.Table)
+			}
+			if si.Opaque != (len(si.Segs) == 0) {
+				return dst[:at], fmt.Errorf("wire: schema index %q: opaque flag inconsistent with %d segments", si.Name, len(si.Segs))
+			}
+			if len(si.Segs) > MaxIndexSegs || len(si.Incs) > MaxIndexSegs {
+				return dst[:at], fmt.Errorf("wire: schema index %q has %d/%d segments", si.Name, len(si.Segs), len(si.Incs))
+			}
+			dst = append(dst, byte(len(si.Name)))
+			dst = append(dst, si.Name...)
+			dst = append(dst, byte(len(si.Table)))
+			dst = append(dst, si.Table...)
+			var flags byte
+			if si.Unique {
+				flags |= 1
+			}
+			if si.Incs != nil {
+				flags |= 2
+			}
+			if si.Opaque {
+				flags |= 4
+			}
+			dst = append(dst, flags)
+			var err error
+			if dst, err = appendSegs(dst, si.Segs, "spec"); err != nil {
+				return dst[:at], err
+			}
+			if dst, err = appendSegs(dst, si.Incs, "include list"); err != nil {
+				return dst[:at], err
+			}
 		}
 	case KindTxnR:
 		if len(r.Results) > MaxTxnOps {
@@ -716,6 +836,8 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if err := decodeIScan(&rd, &op); err != nil {
 			return Request{}, err
 		}
+	case KindSchema:
+		// No body.
 	default:
 		return Request{}, malformed("request kind %v", kind)
 	}
@@ -789,6 +911,12 @@ func decodeSegs(rd *reader, what string, min int) ([]IndexSeg, error) {
 		if seg.FromValue, err = rd.decodeBool("segment source"); err != nil {
 			return nil, err
 		}
+		if seg.Xform, err = rd.byte(); err != nil {
+			return nil, err
+		}
+		if seg.Xform&^xformMask != 0 {
+			return nil, malformed("index %s segment %d has unknown transform bits 0x%x", what, i, seg.Xform)
+		}
 		if seg.Off, err = rd.u16(); err != nil {
 			return nil, err
 		}
@@ -831,6 +959,87 @@ func decodeIScan(rd *reader, op *Op) error {
 	}
 	op.Covering, err = rd.decodeBool("iscan covering")
 	return err
+}
+
+// decodeSchema parses a SCHEMAR body, enforcing the canonical grammar
+// (flag bits must agree with the segment lists, so decode∘encode is
+// identity).
+func decodeSchema(rd *reader) (*Schema, error) {
+	sch := &Schema{}
+	ntables, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	// Each table costs at least 6 bytes (id + length prefix + 1-byte name).
+	if int(ntables) > rd.remaining()/6+1 {
+		return nil, malformed("schema claims %d tables in %d bytes", ntables, rd.remaining())
+	}
+	for i := 0; i < int(ntables); i++ {
+		var st SchemaTable
+		if st.ID, err = rd.u32(); err != nil {
+			return nil, err
+		}
+		name, err := rd.bytes8()
+		if err != nil {
+			return nil, err
+		}
+		if len(name) == 0 {
+			return nil, malformed("empty schema table name")
+		}
+		st.Name = string(name)
+		sch.Tables = append(sch.Tables, st)
+	}
+	nindexes, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	// Each index costs at least 7 bytes (two 1-byte names, flags, two
+	// segment counts).
+	if int(nindexes) > rd.remaining()/7+1 {
+		return nil, malformed("schema claims %d indexes in %d bytes", nindexes, rd.remaining())
+	}
+	for i := 0; i < int(nindexes); i++ {
+		var si SchemaIndex
+		name, err := rd.bytes8()
+		if err != nil {
+			return nil, err
+		}
+		if len(name) == 0 {
+			return nil, malformed("empty schema index name")
+		}
+		si.Name = string(name)
+		tbl, err := rd.bytes8()
+		if err != nil {
+			return nil, err
+		}
+		if len(tbl) == 0 {
+			return nil, malformed("empty schema index table")
+		}
+		si.Table = string(tbl)
+		flags, err := rd.byte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^byte(7) != 0 {
+			return nil, malformed("schema index flags 0x%x", flags)
+		}
+		si.Unique = flags&1 != 0
+		si.Opaque = flags&4 != 0
+		if si.Segs, err = decodeSegs(rd, "spec", 0); err != nil {
+			return nil, err
+		}
+		if si.Opaque != (si.Segs == nil) {
+			return nil, malformed("schema index %q: opaque flag inconsistent with %d segments", si.Name, len(si.Segs))
+		}
+		if si.Incs, err = decodeSegs(rd, "include list", 0); err != nil {
+			return nil, err
+		}
+		if (flags&2 != 0) != (si.Incs != nil) {
+			return nil, malformed("schema index %q: covering flag inconsistent with %d include segments", si.Name, len(si.Incs))
+		}
+		sch.Indexes = append(sch.Indexes, si)
+	}
+	return sch, nil
 }
 
 // DecodeResponse parses a response payload. Byte-slice fields alias
@@ -908,6 +1117,12 @@ func DecodeResponse(payload []byte) (Response, error) {
 			}
 			resp.Entries = append(resp.Entries, e)
 		}
+	case KindSchemaR:
+		sch, err := decodeSchema(&rd)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Schema = sch
 	case KindTxnR:
 		nres, err := rd.u16()
 		if err != nil {
