@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"silo"
 	"silo/internal/core"
 	"silo/internal/kvstore"
 	"silo/internal/tid"
@@ -109,19 +110,16 @@ func BenchmarkFig5_TPCC_Silo(b *testing.B)    { benchTPCC(b, true) }
 func benchTPCC(b *testing.B, durable bool) {
 	for _, workers := range workerCounts {
 		sc := tpcc.DefaultScale(workers)
-		s := core.NewStore(core.DefaultOptions(workers))
-		var m *wal.Manager
+		opts := silo.Options{Workers: workers}
 		if durable {
-			var err error
-			m, err = wal.Attach(s, wal.Config{Dir: b.TempDir(), Loggers: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
+			opts.Durability = &silo.DurabilityOptions{Dir: b.TempDir(), Loggers: 1}
 		}
-		tables := tpcc.Load(s, sc)
-		if m != nil {
-			m.Start()
+		db, err := silo.Open(opts)
+		if err != nil {
+			b.Fatal(err)
 		}
+		s := db.Store()
+		tables := tpcc.Load(db, sc)
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			clients := make([]*tpcc.Client, workers)
 			for w := 0; w < workers; w++ {
@@ -142,10 +140,7 @@ func benchTPCC(b *testing.B, durable bool) {
 			})
 			b.ReportMetric(float64(aborts.Load()), "aborts")
 		})
-		if m != nil {
-			m.Stop()
-		}
-		s.Close()
+		db.Close()
 	}
 }
 
@@ -166,7 +161,7 @@ func BenchmarkFig7_DurableLatency(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			tables := tpcc.Load(s, sc)
+			tables := tpcc.LoadStore(s, sc)
 			m.Start()
 			cl := tpcc.NewClient(tables, sc, s.Worker(0), 1, tpcc.StandardConfig(), 3)
 			var total time.Duration
@@ -210,8 +205,12 @@ func BenchmarkFig8_CrossPartition(b *testing.B) {
 			runParallel(b, workers, func(wid, _ int) { clients[wid].NewOrder() })
 		})
 
-		s := core.NewStore(core.DefaultOptions(workers))
-		tables := tpcc.Load(s, sc)
+		db, err := silo.Open(silo.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := db.Store()
+		tables := tpcc.Load(db, sc)
 		b.Run(fmt.Sprintf("MemSilo/remote=%d", remotePct), func(b *testing.B) {
 			clients := make([]*tpcc.Client, workers)
 			for w := range clients {
@@ -225,7 +224,7 @@ func BenchmarkFig8_CrossPartition(b *testing.B) {
 				}
 			})
 		})
-		s.Close()
+		db.Close()
 	}
 }
 
@@ -251,8 +250,12 @@ func BenchmarkFig9_Skew(b *testing.B) {
 			name    string
 			fastIDs bool
 		}{{"MemSilo", false}, {"MemSiloFastIds", true}} {
-			s := core.NewStore(core.DefaultOptions(workers))
-			tables := tpcc.Load(s, sc)
+			db, err := silo.Open(silo.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := db.Store()
+			tables := tpcc.Load(db, sc)
 			vcfg := cfg
 			vcfg.FastIDs = variant.fastIDs
 			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
@@ -273,7 +276,7 @@ func BenchmarkFig9_Skew(b *testing.B) {
 				})
 				b.ReportMetric(float64(aborts.Load()), "aborts")
 			})
-			s.Close()
+			db.Close()
 		}
 	}
 }
@@ -290,11 +293,16 @@ func BenchmarkFig10_Snapshots(b *testing.B) {
 		name     string
 		snapshot bool
 	}{{"MemSilo", true}, {"MemSiloNoSS", false}} {
-		opts := core.DefaultOptions(workers)
-		opts.EpochInterval = 5 * time.Millisecond
-		opts.SnapshotK = 5
-		s := core.NewStore(opts)
-		tables := tpcc.Load(s, sc)
+		db, err := silo.Open(silo.Options{
+			Workers:       workers,
+			EpochInterval: 5 * time.Millisecond,
+			SnapshotK:     5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := db.Store()
+		tables := tpcc.Load(db, sc)
 		time.Sleep(100 * time.Millisecond) // form a snapshot covering the load
 		b.Run(variant.name, func(b *testing.B) {
 			cfg := tpcc.StandardConfig()
@@ -321,7 +329,7 @@ func BenchmarkFig10_Snapshots(b *testing.B) {
 			})
 			b.ReportMetric(float64(aborts.Load()), "aborts")
 		})
-		s.Close()
+		db.Close()
 	}
 }
 
@@ -332,19 +340,23 @@ func BenchmarkFig11_Factors(b *testing.B) {
 	sc := tpcc.DefaultScale(workers)
 	factors := []struct {
 		name   string
-		mutate func(*core.Options)
+		mutate func(*silo.Options)
 	}{
-		{"Simple", func(o *core.Options) { o.Arena = false; o.Overwrites = false }},
-		{"Allocator", func(o *core.Options) { o.Overwrites = false }},
-		{"Overwrites", func(o *core.Options) {}},
-		{"NoSnapshots", func(o *core.Options) { o.Snapshots = false }},
-		{"NoGC", func(o *core.Options) { o.Snapshots = false; o.GC = false }},
+		{"Simple", func(o *silo.Options) { o.DisableArena = true; o.DisableOverwrites = true }},
+		{"Allocator", func(o *silo.Options) { o.DisableOverwrites = true }},
+		{"Overwrites", func(o *silo.Options) {}},
+		{"NoSnapshots", func(o *silo.Options) { o.DisableSnapshots = true }},
+		{"NoGC", func(o *silo.Options) { o.DisableSnapshots = true; o.DisableGC = true }},
 	}
 	for _, f := range factors {
-		opts := core.DefaultOptions(workers)
+		opts := silo.Options{Workers: workers}
 		f.mutate(&opts)
-		s := core.NewStore(opts)
-		tables := tpcc.Load(s, sc)
+		db, err := silo.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := db.Store()
+		tables := tpcc.Load(db, sc)
 		b.Run(f.name, func(b *testing.B) {
 			clients := make([]*tpcc.Client, workers)
 			for w := range clients {
@@ -360,7 +372,7 @@ func BenchmarkFig11_Factors(b *testing.B) {
 				}
 			})
 		})
-		s.Close()
+		db.Close()
 	}
 
 	pfactors := []struct {
@@ -384,7 +396,7 @@ func BenchmarkFig11_Factors(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		tables := tpcc.Load(s, sc)
+		tables := tpcc.LoadStore(s, sc)
 		if m != nil {
 			m.Start()
 		}

@@ -260,6 +260,16 @@ func (cl *Client) CreateCoveringIndex(index, table string, unique bool, segs, in
 	}}})
 }
 
+// DropIndex drops the named secondary index. The drop is logged DDL:
+// after recovery the index stays dropped, and a later CreateIndex may
+// reuse the name. Dropping an unknown name returns ErrNoIndex.
+func (cl *Client) DropIndex(index string) error {
+	return cl.expectOK(&wire.Request{Ops: []wire.Op{{
+		Kind:  wire.KindDropIndex,
+		Index: index,
+	}}})
+}
+
 // Schema returns the server's schema catalog: every table (id, name) and
 // every index declaration (uniqueness, key-spec segments with transforms,
 // covering include lists, or an opaque marker for indexes declared

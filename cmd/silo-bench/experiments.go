@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"silo"
 	"silo/internal/bench"
 	"silo/internal/core"
 	"silo/internal/kvstore"
@@ -29,6 +30,21 @@ func newStore(workers int, mutate func(*core.Options)) *core.Store {
 		mutate(&opts)
 	}
 	return core.NewStore(opts)
+}
+
+// newDB opens a catalog-backed database for the experiment groups that
+// exercise the public API; groups that need the raw wal.Manager handle
+// (latency heartbeats, log-mode sweeps) still assemble a bare store.
+func newDB(workers int, mutate func(*silo.Options)) *silo.DB {
+	opts := silo.Options{Workers: workers}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	db, err := silo.Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
 // ---- Figure 4: overhead of small transactions (YCSB variant) ----
@@ -123,23 +139,25 @@ func fig5and6(cfg config) {
 		ccfg := tpcc.StandardConfig()
 
 		// MemSilo.
-		s := newStore(workers, nil)
-		t := tpcc.Load(s, sc)
+		db := newDB(workers, nil)
+		t := tpcc.Load(db, sc)
 		r := bench.Median(cfg.runs, func() bench.Result {
-			return tpccMixRun("MemSilo", s, t, sc, workers, ccfg, cfg, nil)
+			return tpccMixRun("MemSilo", db.Store(), t, sc, workers, ccfg, cfg, nil)
 		})
 		fmt.Println(r)
-		s.Close()
+		db.Close()
 
-		// Silo: full persistence.
+		// Silo: full persistence. The raw manager handle feeds the
+		// heartbeat/durability plumbing of tpccMixRun, so this group
+		// stays on the store-level loader.
 		dir := filepath.Join(cfg.logDir, fmt.Sprintf("fig5-w%d", workers))
 		os.MkdirAll(dir, 0o755)
-		s = newStore(workers, nil)
+		s := newStore(workers, nil)
 		m, err := wal.Attach(s, wal.Config{Dir: dir, Loggers: cfg.loggers, Sync: cfg.sync})
 		if err != nil {
 			panic(err)
 		}
-		t = tpcc.Load(s, sc)
+		t = tpcc.LoadStore(s, sc)
 		m.Start()
 		r = bench.Median(cfg.runs, func() bench.Result {
 			return tpccMixRun("Silo", s, t, sc, workers, ccfg, cfg, m)
@@ -170,7 +188,7 @@ func fig7(cfg config) {
 			if err != nil {
 				panic(err)
 			}
-			t := tpcc.Load(s, sc)
+			t := tpcc.LoadStore(s, sc)
 			m.Start()
 			hist := &bench.Histogram{}
 			ccfg := tpcc.StandardConfig()
@@ -275,12 +293,12 @@ func fig8(cfg config) {
 		s.Close()
 
 		// MemSilo (shared store).
-		s = newStore(workers, nil)
-		t := tpcc.Load(s, sc)
+		db := newDB(workers, nil)
+		t := tpcc.Load(db, sc)
 		r = bench.Median(cfg.runs, func() bench.Result {
 			return bench.Run("MemSilo "+label, workers, cfg.warmup, cfg.seconds,
 				func(wid int, stop *atomic.Bool, ops, aborts *atomic.Uint64) {
-					cl := tpcc.NewClient(t, sc, s.Worker(wid), wid%sc.Warehouses+1, ccfg, uint64(wid)*29+4)
+					cl := tpcc.NewClient(t, sc, db.Store().Worker(wid), wid%sc.Warehouses+1, ccfg, uint64(wid)*29+4)
 					for !stop.Load() {
 						for {
 							err := cl.RunOnce(tpcc.TxnNewOrder)
@@ -295,7 +313,7 @@ func fig8(cfg config) {
 				})
 		})
 		fmt.Println(r)
-		s.Close()
+		db.Close()
 	}
 }
 
@@ -330,14 +348,14 @@ func fig9(cfg config) {
 			name    string
 			fastIDs bool
 		}{{"MemSilo", false}, {"MemSilo+FastIds", true}} {
-			s := newStore(workers, nil)
-			t := tpcc.Load(s, sc)
+			db := newDB(workers, nil)
+			t := tpcc.Load(db, sc)
 			vcfg := ccfg
 			vcfg.FastIDs = variant.fastIDs
 			r := bench.Median(cfg.runs, func() bench.Result {
 				return bench.Run(variant.name, workers, cfg.warmup, cfg.seconds,
 					func(wid int, stop *atomic.Bool, ops, aborts *atomic.Uint64) {
-						cl := tpcc.NewClient(t, sc, s.Worker(wid), wid%warehouses+1, vcfg, uint64(wid)*41+8)
+						cl := tpcc.NewClient(t, sc, db.Store().Worker(wid), wid%warehouses+1, vcfg, uint64(wid)*41+8)
 						for !stop.Load() {
 							for {
 								err := cl.RunOnce(tpcc.TxnNewOrder)
@@ -352,7 +370,7 @@ func fig9(cfg config) {
 					})
 			})
 			fmt.Println(r)
-			s.Close()
+			db.Close()
 		}
 	}
 }
@@ -369,14 +387,14 @@ func fig10(cfg config) {
 		name     string
 		snapshot bool
 	}{{"MemSilo (snapshot stock-level)", true}, {"MemSilo+NoSS", false}} {
-		s := newStore(workers, nil)
-		t := tpcc.Load(s, sc)
+		db := newDB(workers, nil)
+		t := tpcc.Load(db, sc)
 		ccfg := tpcc.StandardConfig()
 		ccfg.SnapshotStockLevel = variant.snapshot
 		r := bench.Median(cfg.runs, func() bench.Result {
 			return bench.Run(variant.name, workers, cfg.warmup, cfg.seconds,
 				func(wid int, stop *atomic.Bool, ops, aborts *atomic.Uint64) {
-					cl := tpcc.NewClient(t, sc, s.Worker(wid), wid%warehouses+1, ccfg, uint64(wid)*43+6)
+					cl := tpcc.NewClient(t, sc, db.Store().Worker(wid), wid%warehouses+1, ccfg, uint64(wid)*43+6)
 					for !stop.Load() {
 						tt := tpcc.TxnNewOrder
 						if cl.RNG().Intn(2) == 0 {
@@ -395,7 +413,7 @@ func fig10(cfg config) {
 				})
 		})
 		fmt.Printf("%-32s txns/sec=%-12.0f aborts/sec=%.0f\n", variant.name, r.TPS(), r.AbortRate())
-		s.Close()
+		db.Close()
 	}
 }
 
@@ -409,28 +427,28 @@ func fig11(cfg config) {
 
 	type factor struct {
 		name   string
-		mutate func(*core.Options)
+		mutate func(*silo.Options)
 	}
 	regular := []factor{
-		{"Simple", func(o *core.Options) { o.Arena = false; o.Overwrites = false }},
-		{"+Allocator", func(o *core.Options) { o.Overwrites = false }},
-		{"+Overwrites (MemSilo)", func(o *core.Options) {}},
-		{"+NoSnapshots", func(o *core.Options) { o.Snapshots = false }},
-		{"+NoGC", func(o *core.Options) { o.Snapshots = false; o.GC = false }},
+		{"Simple", func(o *silo.Options) { o.DisableArena = true; o.DisableOverwrites = true }},
+		{"+Allocator", func(o *silo.Options) { o.DisableOverwrites = true }},
+		{"+Overwrites (MemSilo)", func(o *silo.Options) {}},
+		{"+NoSnapshots", func(o *silo.Options) { o.DisableSnapshots = true }},
+		{"+NoGC", func(o *silo.Options) { o.DisableSnapshots = true; o.DisableGC = true }},
 	}
 	var baseline float64
 	fmt.Println("-- Regular group (cumulative, left to right) --")
 	for i, f := range regular {
-		s := newStore(workers, f.mutate)
-		t := tpcc.Load(s, sc)
+		db := newDB(workers, f.mutate)
+		t := tpcc.Load(db, sc)
 		r := bench.Median(cfg.runs, func() bench.Result {
-			return tpccMixRun(f.name, s, t, sc, workers, ccfg, cfg, nil)
+			return tpccMixRun(f.name, db.Store(), t, sc, workers, ccfg, cfg, nil)
 		})
 		if i == 0 {
 			baseline = r.TPS()
 		}
 		fmt.Printf("%-24s txns/sec=%-12.0f relative=%.2f\n", f.name, r.TPS(), r.TPS()/baseline)
-		s.Close()
+		db.Close()
 	}
 
 	fmt.Println("-- Persistence group (cumulative, left to right) --")
@@ -461,7 +479,7 @@ func fig11(cfg config) {
 				panic(err)
 			}
 		}
-		t := tpcc.Load(s, sc)
+		t := tpcc.LoadStore(s, sc)
 		if m != nil {
 			m.Start()
 		}

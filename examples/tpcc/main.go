@@ -48,7 +48,7 @@ func main() {
 	sc := tpcc.DefaultScale(*warehouses)
 	fmt.Printf("loading %d warehouses (%d items, %d customers/district)...\n",
 		sc.Warehouses, sc.Items, sc.CustomersPerDist)
-	tables := tpcc.Load(db.Store(), sc)
+	tables := tpcc.Load(db, sc)
 
 	fmt.Printf("running standard mix on %d workers for %.1fs...\n", *warehouses, *seconds)
 	stopAt := time.Now().Add(time.Duration(*seconds * float64(time.Second)))

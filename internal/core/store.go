@@ -22,6 +22,7 @@ import (
 	"silo/internal/epoch"
 	"silo/internal/race"
 	"silo/internal/tid"
+	"silo/internal/vfs"
 )
 
 // Sentinel errors returned by transaction operations.
@@ -71,6 +72,10 @@ type Options struct {
 	// ManualEpochs suppresses the epoch-advancing goroutine; tests drive
 	// epochs with Store.AdvanceEpoch.
 	ManualEpochs bool
+	// Clock drives the epoch-advancing thread; nil means real time. The
+	// deterministic simulation harness (internal/sim) substitutes a
+	// manually stepped clock.
+	Clock vfs.Clock
 }
 
 // DefaultOptions returns the full-Silo configuration for n workers.
@@ -243,6 +248,7 @@ func NewStore(opts Options) *Store {
 		Interval:   opts.EpochInterval,
 		SnapshotK:  opts.SnapshotK,
 		StartEpoch: opts.StartEpoch,
+		Clock:      opts.Clock,
 	})
 	s.workers = make([]*Worker, opts.Workers)
 	for i := range s.workers {

@@ -41,6 +41,7 @@ type writeEntry struct {
 	kind    writeKind
 	ours    bool     // placeholder installed by this transaction
 	prelock tid.Word // record word captured when Phase 1 locked it
+	seq     uint32   // statement order, preserved across the Phase 1 sort
 }
 
 type nodeEntry struct {
@@ -146,6 +147,7 @@ func (tx *Tx) pushWrite(t *Table, rec *record.Record, key, value []byte, kind wr
 	we.kind = kind
 	we.ours = ours
 	we.prelock = 0
+	we.seq = uint32(len(tx.writes) - 1)
 	tx.w.stats.Writes++
 }
 
@@ -608,14 +610,21 @@ func (tx *Tx) Commit() error {
 	// because log replay orders by TID per record and recovery truncates at
 	// epoch granularity.
 	if w.logFn != nil && len(tx.writes) > 0 {
-		w.wbuf = w.wbuf[:0]
+		// Emit records in statement order, not the Phase 1 address-sorted
+		// order: replay is order-free (TID-max install), but heap addresses
+		// vary run to run, and deterministic log bytes are what let the
+		// simulation harness replay a seed into an identical disk image.
+		if cap(w.wbuf) < len(tx.writes) {
+			w.wbuf = make([]LoggedWrite, len(tx.writes))
+		}
+		w.wbuf = w.wbuf[:len(tx.writes)]
 		for i := range tx.writes {
-			w.wbuf = append(w.wbuf, LoggedWrite{
+			w.wbuf[tx.writes[i].seq] = LoggedWrite{
 				Table:  tx.writes[i].table.ID,
 				Key:    tx.writes[i].key,
 				Value:  tx.writes[i].value,
 				Delete: tx.writes[i].kind == writeDelete,
-			})
+			}
 		}
 		w.logFn(commit, w.wbuf)
 	}

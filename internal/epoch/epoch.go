@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"silo/internal/vfs"
 )
 
 // DefaultInterval is the paper's epoch advance period (40 ms).
@@ -61,12 +63,12 @@ type Manager struct {
 
 	k        uint64
 	interval time.Duration
+	clock    vfs.Clock
 
 	slots []*Slot
 
 	mu      sync.Mutex
-	stop    chan struct{}
-	stopped chan struct{}
+	ticker  vfs.Stopper
 	running bool
 }
 
@@ -81,6 +83,10 @@ type Config struct {
 	// StartEpoch is the initial value of E. Recovery starts the system at
 	// D+1; fresh databases start at 1 so that epoch 0 means "never".
 	StartEpoch uint64
+	// Clock drives the advancing thread started by Start; nil means real
+	// time. The simulation harness substitutes a manually stepped clock so
+	// epoch advancement becomes an explicit, replayable event.
+	Clock vfs.Clock
 }
 
 // NewManager allocates a manager with cfg.Workers slots. The advancing
@@ -99,6 +105,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		k:        uint64(cfg.SnapshotK),
 		interval: cfg.Interval,
+		clock:    vfs.DefaultClock(cfg.Clock),
 		slots:    make([]*Slot, cfg.Workers),
 	}
 	for i := range m.slots {
@@ -251,7 +258,8 @@ func (m *Manager) AdvanceTo(e uint64) {
 	m.recompute()
 }
 
-// Start launches the epoch-advancing goroutine. It is idempotent.
+// Start launches the epoch-advancing thread (a clock ticker calling
+// Advance every interval). It is idempotent.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -259,24 +267,11 @@ func (m *Manager) Start() {
 		return
 	}
 	m.running = true
-	m.stop = make(chan struct{})
-	m.stopped = make(chan struct{})
-	go func(stop, stopped chan struct{}) {
-		defer close(stopped)
-		t := time.NewTicker(m.interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				m.Advance()
-			}
-		}
-	}(m.stop, m.stopped)
+	m.ticker = m.clock.Ticker(m.interval, func() { m.Advance() })
 }
 
-// Stop halts the advancing goroutine and waits for it to exit.
+// Stop halts the advancing thread and waits for an in-flight step to
+// finish.
 func (m *Manager) Stop() {
 	m.mu.Lock()
 	if !m.running {
@@ -284,8 +279,7 @@ func (m *Manager) Stop() {
 		return
 	}
 	m.running = false
-	stop, stopped := m.stop, m.stopped
+	ticker := m.ticker
 	m.mu.Unlock()
-	close(stop)
-	<-stopped
+	ticker.Stop()
 }

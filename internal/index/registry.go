@@ -212,13 +212,24 @@ func includesEqual(a, b []Seg) bool {
 // manually-stepped stores (tests drive their own concurrency). The one
 // caveat is Worker.RefreshEpoch, which lifts a still-running
 // transaction's local epoch; nothing in the tree uses it today.
+//
+// Rather than waiting out the background advancer's period, the loop
+// attempts the advance itself: Advance enforces the E ≤ e_w + 1 invariant,
+// so it succeeds exactly when every pre-registration transaction has
+// refreshed or finished — the condition being waited for. This keeps DDL
+// latency at the transaction horizon instead of two advancer ticks, and
+// it is what lets the deterministic simulation clock (whose advancer only
+// ticks when the — currently blocked — driving goroutine steps it) run
+// index DDL at all.
 func waitPreRegistrationTxns(s *core.Store) {
 	if s.Options().ManualEpochs {
 		return
 	}
 	target := s.Epochs().Global() + 2
 	for s.Epochs().Global() < target {
-		time.Sleep(time.Millisecond)
+		if !s.AdvanceEpoch() {
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 

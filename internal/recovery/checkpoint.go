@@ -62,7 +62,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -73,6 +72,7 @@ import (
 	"silo/internal/core"
 	"silo/internal/record"
 	"silo/internal/tid"
+	"silo/internal/vfs"
 	"silo/internal/wal"
 )
 
@@ -128,7 +128,7 @@ func partBound(k, n int) []byte {
 // abort). The worker must be otherwise idle — the checkpoint daemon uses
 // the store's dedicated maintenance worker.
 func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (CheckpointResult, error) {
-	return WriteCheckpointSchema(s, w, dir, parts, nil)
+	return WriteCheckpointFS(vfs.OS, s, w, dir, parts, nil)
 }
 
 // WriteCheckpointSchema is WriteCheckpoint with a schema catalog: when
@@ -139,6 +139,12 @@ func WriteCheckpoint(s *core.Store, w *core.Worker, dir string, parts int) (Chec
 // stores managed below the silo layer pass nil and keep the
 // declare-before-recover contract.
 func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int, catalog *core.Table) (CheckpointResult, error) {
+	return WriteCheckpointFS(vfs.OS, s, w, dir, parts, catalog)
+}
+
+// WriteCheckpointFS is WriteCheckpointSchema against an explicit
+// filesystem (the simulation harness passes its fault-injecting one).
+func WriteCheckpointFS(fs vfs.FS, s *core.Store, w *core.Worker, dir string, parts int, catalog *core.Table) (CheckpointResult, error) {
 	var res CheckpointResult
 	start := time.Now()
 	if parts <= 0 {
@@ -148,7 +154,7 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 		parts = 64
 	}
 	res.Partitions = parts
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir); err != nil {
 		return res, err
 	}
 	tables := s.Tables()
@@ -166,16 +172,16 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 		// the only complete set before its replacement's manifest is
 		// durable would leave a crash window with nothing to fall back to
 		// (fatal if covered log segments were already truncated).
-		if m, err := readManifest(filepath.Join(ckptDir, manifestName)); err == nil && m.epoch == sew {
+		if m, err := readManifest(fs, filepath.Join(ckptDir, manifestName)); err == nil && m.epoch == sew {
 			res.Rows = int(m.rows)
 			res.Partitions = m.parts
 			return nil
 		}
 		// A torn attempt at this epoch (no valid manifest) is replaced.
-		if err := os.RemoveAll(ckptDir); err != nil {
+		if err := fs.RemoveAll(ckptDir); err != nil {
 			return err
 		}
-		if err := os.Mkdir(ckptDir, 0o755); err != nil {
+		if err := fs.Mkdir(ckptDir); err != nil {
 			return err
 		}
 
@@ -201,6 +207,27 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 			}
 		}
 
+		// Concurrent part writers are a real-disk throughput optimization;
+		// on any other filesystem (the deterministic simulation's, notably)
+		// the parts are written sequentially so the byte stream reaching
+		// the filesystem is a pure function of the store state.
+		if fs != vfs.OS {
+			for k := 0; k < parts; k++ {
+				rows, n, err := writePart(fs, ckptDir, k, sew, tables, partBound(k, parts), partBound(k+1, parts))
+				if err != nil {
+					return err
+				}
+				res.Rows += rows
+				res.Bytes += n
+			}
+			n, err := writeManifest(fs, ckptDir, sew, parts, tables, uint64(res.Rows), schema)
+			if err != nil {
+				return err
+			}
+			res.Bytes += n
+			return syncDir(fs, ckptDir)
+		}
+
 		outs := make([]partOut, parts)
 		done := make(chan struct{})
 		var wg sync.WaitGroup
@@ -208,7 +235,7 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				rows, n, err := writePart(ckptDir, k, sew, tables, partBound(k, parts), partBound(k+1, parts))
+				rows, n, err := writePart(fs, ckptDir, k, sew, tables, partBound(k, parts), partBound(k+1, parts))
 				outs[k] = partOut{rows, n, err}
 			}(k)
 		}
@@ -228,12 +255,12 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 					res.Rows += outs[k].rows
 					res.Bytes += outs[k].bytes
 				}
-				n, err := writeManifest(ckptDir, sew, parts, tables, uint64(res.Rows), schema)
+				n, err := writeManifest(fs, ckptDir, sew, parts, tables, uint64(res.Rows), schema)
 				if err != nil {
 					return err
 				}
 				res.Bytes += n
-				return syncDir(ckptDir)
+				return syncDir(fs, ckptDir)
 			case <-t.C:
 				w.RefreshEpoch()
 			}
@@ -248,8 +275,8 @@ func WriteCheckpointSchema(s *core.Store, w *core.Worker, dir string, parts int,
 
 // writePart writes one partition file: the rows of every table whose keys
 // fall in [lo, hi) at snapshot epoch sew, fsynced before return.
-func writePart(ckptDir string, k int, sew uint64, tables []*core.Table, lo, hi []byte) (rows int, size int64, err error) {
-	f, err := os.Create(filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)))
+func writePart(fs vfs.FS, ckptDir string, k int, sew uint64, tables []*core.Table, lo, hi []byte) (rows int, size int64, err error) {
+	f, err := fs.Create(filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -324,7 +351,7 @@ type schemaRow struct {
 
 // writeManifest writes and fsyncs the manifest — the commit point of the
 // checkpoint.
-func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, totalRows uint64, schema []schemaRow) (int64, error) {
+func writeManifest(fs vfs.FS, ckptDir string, sew uint64, parts int, tables []*core.Table, totalRows uint64, schema []schemaRow) (int64, error) {
 	buf := make([]byte, 0, 256)
 	buf = append(buf, manifestMagicV2...)
 	buf = binary.LittleEndian.AppendUint64(buf, sew)
@@ -346,7 +373,7 @@ func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, 
 	buf = append(buf, 'E')
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[:len(buf)-1]))
 
-	f, err := os.Create(filepath.Join(ckptDir, manifestName))
+	f, err := fs.Create(filepath.Join(ckptDir, manifestName))
 	if err != nil {
 		return 0, err
 	}
@@ -363,13 +390,8 @@ func writeManifest(ckptDir string, sew uint64, parts int, tables []*core.Table, 
 // syncDir fsyncs a directory so the files created in it are reachable
 // after a crash (best-effort on platforms where directories cannot be
 // opened for sync).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	d.Sync()
+func syncDir(fs vfs.FS, dir string) error {
+	fs.SyncDir(dir)
 	return nil
 }
 
@@ -387,8 +409,8 @@ type manifestTable struct {
 	name string
 }
 
-func readManifest(path string) (*manifest, error) {
-	data, err := os.ReadFile(path)
+func readManifest(fs vfs.FS, path string) (*manifest, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errTorn, err)
 	}
@@ -505,8 +527,8 @@ func declareHint(store *core.Store) string {
 // last slot of epoch CE−1 — the checkpoint image holds exactly the
 // versions with epoch < CE, so a logged write with epoch ≥ CE must win the
 // replay's TID comparison and one with epoch < CE must lose.
-func loadPart(store *core.Store, path string, wantEpoch uint64) (rows int, err error) {
-	data, err := os.ReadFile(path)
+func loadPart(fs vfs.FS, store *core.Store, path string, wantEpoch uint64) (rows int, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", errTorn, err)
 	}
@@ -580,8 +602,8 @@ type foundCheckpoint struct {
 }
 
 // findCheckpoints lists checkpoint candidates in dir, oldest first.
-func findCheckpoints(dir string) ([]foundCheckpoint, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "checkpoint.*"))
+func findCheckpoints(fs vfs.FS, dir string) ([]foundCheckpoint, error) {
+	names, err := fs.Glob(filepath.Join(dir, "checkpoint.*"))
 	if err != nil {
 		return nil, err
 	}
@@ -592,11 +614,11 @@ func findCheckpoints(dir string) ([]foundCheckpoint, error) {
 		if err != nil {
 			continue // temp or foreign file
 		}
-		st, err := os.Stat(n)
+		_, isDir, err := fs.Stat(n)
 		if err != nil {
 			continue
 		}
-		found = append(found, foundCheckpoint{path: n, epoch: e, isDir: st.IsDir()})
+		found = append(found, foundCheckpoint{path: n, epoch: e, isDir: isDir})
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].epoch < found[j].epoch })
 	return found, nil
@@ -608,8 +630,8 @@ func findCheckpoints(dir string) ([]foundCheckpoint, error) {
 // are hard errors. With a schema applier, the manifest's embedded catalog
 // rows are applied first — materializing the checkpointed schema — before
 // the table catalog is checked and any part is loaded.
-func loadPartitioned(store *core.Store, ckptDir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
-	m, err := readManifest(filepath.Join(ckptDir, manifestName))
+func loadPartitioned(fs vfs.FS, store *core.Store, ckptDir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
+	m, err := readManifest(fs, filepath.Join(ckptDir, manifestName))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -639,7 +661,7 @@ func loadPartitioned(store *core.Store, ckptDir string, workers int, schema Sche
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := loadPart(store, filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)), m.epoch)
+			r, err := loadPart(fs, store, filepath.Join(ckptDir, fmt.Sprintf("part.%d", k)), m.epoch)
 			outs[k] = out{r, err}
 		}(k)
 	}
@@ -657,8 +679,8 @@ func loadPartitioned(store *core.Store, ckptDir string, workers int, schema Sche
 // partitioned sets and pre-partitioning single files alike — falling back
 // past torn or corrupt sets. It returns CE 0 when no usable checkpoint
 // exists. Schema mismatches abort immediately.
-func loadNewestCheckpoint(store *core.Store, dir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
-	found, err := findCheckpoints(dir)
+func loadNewestCheckpoint(fs vfs.FS, store *core.Store, dir string, workers int, schema SchemaApplier) (epoch uint64, rows int, err error) {
+	found, err := findCheckpoints(fs, dir)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -667,7 +689,7 @@ func loadNewestCheckpoint(store *core.Store, dir string, workers int, schema Sch
 		var e uint64
 		var r int
 		if f.isDir {
-			e, r, err = loadPartitioned(store, f.path, workers, schema)
+			e, r, err = loadPartitioned(fs, store, f.path, workers, schema)
 		} else {
 			e, r, err = wal.LoadCheckpointFile(store, f.path)
 			if err != nil {
@@ -689,10 +711,15 @@ func loadNewestCheckpoint(store *core.Store, dir string, workers int, schema Sch
 // removed as well. It returns the removed paths. The daemon calls this
 // after each successful checkpoint.
 func PruneCheckpoints(dir string, keep int) (removed []string, err error) {
+	return PruneCheckpointsFS(vfs.OS, dir, keep)
+}
+
+// PruneCheckpointsFS is PruneCheckpoints against an explicit filesystem.
+func PruneCheckpointsFS(fs vfs.FS, dir string, keep int) (removed []string, err error) {
 	if keep < 1 {
 		keep = 1
 	}
-	found, err := findCheckpoints(dir)
+	found, err := findCheckpoints(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -700,7 +727,7 @@ func PruneCheckpoints(dir string, keep int) (removed []string, err error) {
 		if !f.isDir {
 			return true // single files are renamed into place atomically
 		}
-		_, err := readManifest(filepath.Join(f.path, manifestName))
+		_, err := readManifest(fs, filepath.Join(f.path, manifestName))
 		return err == nil
 	}
 	kept := 0
@@ -715,7 +742,7 @@ func PruneCheckpoints(dir string, keep int) (removed []string, err error) {
 			// checkpoint in progress — leave it alone.
 			continue
 		}
-		if err := os.RemoveAll(f.path); err != nil {
+		if err := fs.RemoveAll(f.path); err != nil {
 			return removed, err
 		}
 		removed = append(removed, f.path)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"silo/internal/core"
+	"silo/internal/vfs"
 )
 
 // binKey spreads keys across the whole first-byte space so a partitioned
@@ -89,7 +90,7 @@ func TestPartitionedCheckpointRoundTrip(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	tbl2 := s2.CreateTable("t")
-	ce, rows, err := loadNewestCheckpoint(s2, dir, 4, nil)
+	ce, rows, err := loadNewestCheckpoint(vfs.OS, s2, dir, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestTornCheckpointFallsBack(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	s2.CreateTable("t")
-	ce, rows, err := loadNewestCheckpoint(s2, dir, 4, nil)
+	ce, rows, err := loadNewestCheckpoint(vfs.OS, s2, dir, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTornCheckpointFallsBack(t *testing.T) {
 	s3 := core.NewStore(core.DefaultOptions(1))
 	defer s3.Close()
 	s3.CreateTable("t")
-	if ce, _, err := loadNewestCheckpoint(s3, dir, 4, nil); err != nil || ce != first.Epoch {
+	if ce, _, err := loadNewestCheckpoint(vfs.OS, s3, dir, 4, nil); err != nil || ce != first.Epoch {
 		t.Fatalf("corrupt-part fallback: ce=%d err=%v", ce, err)
 	}
 }
@@ -201,7 +202,7 @@ func TestCheckpointSchemaMismatch(t *testing.T) {
 	s2 := core.NewStore(core.DefaultOptions(1))
 	defer s2.Close()
 	s2.CreateTable("wrong")
-	_, _, err := loadNewestCheckpoint(s2, dir, 2, nil)
+	_, _, err := loadNewestCheckpoint(vfs.OS, s2, dir, 2, nil)
 	if err == nil {
 		t.Fatal("schema mismatch not detected")
 	}
@@ -214,7 +215,7 @@ func TestCheckpointSchemaMismatch(t *testing.T) {
 	// Missing table entirely: hard error, not silent fallback.
 	s3 := core.NewStore(core.DefaultOptions(1))
 	defer s3.Close()
-	if _, _, err := loadNewestCheckpoint(s3, dir, 2, nil); err == nil {
+	if _, _, err := loadNewestCheckpoint(vfs.OS, s3, dir, 2, nil); err == nil {
 		t.Fatal("missing table not detected")
 	}
 }
@@ -246,7 +247,7 @@ func TestPruneCheckpoints(t *testing.T) {
 	if len(removed) != 2 {
 		t.Fatalf("removed %v, want the 2 older sets", removed)
 	}
-	found, _ := findCheckpoints(dir)
+	found, _ := findCheckpoints(vfs.OS, dir)
 	if len(found) != 1 || found[0].epoch != epochs[2] {
 		t.Fatalf("left %+v, want only epoch %d", found, epochs[2])
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"silo/internal/core"
+	"silo/internal/vfs"
 	"silo/internal/wal"
 )
 
@@ -24,6 +25,11 @@ type DaemonOptions struct {
 	// (WriteCheckpointSchema), keeping checkpoints self-describing so log
 	// truncation can never strand the schema.
 	Catalog *core.Table
+	// FS is the filesystem checkpoints are written to; nil means the real
+	// one. Clock drives the background loop; nil means real time. The
+	// simulation harness substitutes both.
+	FS    vfs.FS
+	Clock vfs.Clock
 }
 
 // DaemonStats is a snapshot of the daemon's counters.
@@ -56,8 +62,7 @@ type Daemon struct {
 	wal   *wal.Manager
 	opts  DaemonOptions
 
-	stop    chan struct{}
-	stopped chan struct{}
+	ticker  vfs.Stopper
 	started bool
 
 	mu     sync.Mutex
@@ -76,14 +81,15 @@ func NewDaemon(store *core.Store, m *wal.Manager, opts DaemonOptions) *Daemon {
 	if opts.Keep < 1 {
 		opts.Keep = 1
 	}
-	d := &Daemon{store: store, wal: m, opts: opts,
-		stop: make(chan struct{}), stopped: make(chan struct{})}
+	opts.FS = vfs.DefaultFS(opts.FS)
+	opts.Clock = vfs.DefaultClock(opts.Clock)
+	d := &Daemon{store: store, wal: m, opts: opts}
 	// Resume from the newest complete set on disk so a restart does not
 	// immediately rewrite an up-to-date checkpoint.
-	if found, err := findCheckpoints(opts.Dir); err == nil {
+	if found, err := findCheckpoints(opts.FS, opts.Dir); err == nil {
 		for i := len(found) - 1; i >= 0; i-- {
 			if found[i].isDir {
-				if m, err := readManifest(found[i].path + "/" + manifestName); err == nil {
+				if m, err := readManifest(opts.FS, found[i].path+"/"+manifestName); err == nil {
 					d.lastCE = m.epoch
 					break
 				}
@@ -103,7 +109,7 @@ func (d *Daemon) Start() {
 		return
 	}
 	d.started = true
-	go d.run()
+	d.ticker = d.opts.Clock.Ticker(d.opts.Interval, func() { d.RunOnce() })
 }
 
 // Stop halts the loop and waits for an in-flight checkpoint to finish.
@@ -112,8 +118,7 @@ func (d *Daemon) Stop() {
 		return
 	}
 	d.started = false
-	close(d.stop)
-	<-d.stopped
+	d.ticker.Stop()
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -121,20 +126,6 @@ func (d *Daemon) Stats() DaemonStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
-}
-
-func (d *Daemon) run() {
-	defer close(d.stopped)
-	t := time.NewTicker(d.opts.Interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-d.stop:
-			return
-		case <-t.C:
-			d.RunOnce()
-		}
-	}
 }
 
 // RunOnce performs one daemon tick: checkpoint (if the snapshot epoch has
@@ -152,7 +143,7 @@ func (d *Daemon) RunOnce() error {
 		return nil
 	}
 
-	res, err := WriteCheckpointSchema(d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions, d.opts.Catalog)
+	res, err := WriteCheckpointFS(d.opts.FS, d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions, d.opts.Catalog)
 	if err != nil {
 		d.mu.Lock()
 		d.stats.LastErr = err
@@ -161,7 +152,7 @@ func (d *Daemon) RunOnce() error {
 	}
 
 	var truncated int
-	if _, err = PruneCheckpoints(d.opts.Dir, d.opts.Keep); err == nil && d.wal != nil {
+	if _, err = PruneCheckpointsFS(d.opts.FS, d.opts.Dir, d.opts.Keep); err == nil && d.wal != nil {
 		// Checkpoint-triggered rotation: ask every logger to close its open
 		// segment so the pre-checkpoint prefix becomes truncatable on the
 		// next tick, tightening the log-space bound to roughly one

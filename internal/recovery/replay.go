@@ -9,6 +9,7 @@ import (
 
 	"silo/internal/core"
 	"silo/internal/tid"
+	"silo/internal/vfs"
 	"silo/internal/wal"
 )
 
@@ -43,6 +44,10 @@ type Options struct {
 	// the declare-before-recover contract (the caller created every table
 	// in original order).
 	Schema SchemaApplier
+	// FS is the filesystem to recover from; nil means the real one. The
+	// simulation harness recovers from its fault-injected in-memory
+	// filesystem.
+	FS vfs.FS
 }
 
 // Result reports what a recovery pass did, with per-stage timing so
@@ -103,9 +108,10 @@ func Recover(store *core.Store, dir string, opts Options) (Result, error) {
 		opts.Workers = 1
 	}
 	res.Workers = opts.Workers
+	opts.FS = vfs.DefaultFS(opts.FS)
 
 	t0 := time.Now()
-	ce, rows, err := loadNewestCheckpoint(store, dir, opts.Workers, opts.Schema)
+	ce, rows, err := loadNewestCheckpoint(opts.FS, store, dir, opts.Workers, opts.Schema)
 	if err != nil {
 		return res, err
 	}
@@ -135,7 +141,7 @@ const applyBatch = 256
 // route to one applier, so per-key apply order matches log order — though
 // even cross-worker races would converge under TID-max.
 func replay(store *core.Store, logDir string, opts *Options, minEpoch uint64, res *Result) error {
-	infos, err := wal.ListLogFiles(logDir)
+	infos, err := wal.ListLogFilesFS(opts.FS, logDir)
 	if err != nil {
 		return err
 	}
@@ -158,7 +164,7 @@ func replay(store *core.Store, logDir string, opts *Options, minEpoch uint64, re
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			files[i], durables[i], sizes[i], errs[i] = wal.ParseLogFilePath(infos[i].Path, opts.Compressed)
+			files[i], durables[i], sizes[i], errs[i] = wal.ParseLogFileFS(opts.FS, infos[i].Path, opts.Compressed)
 		}(i)
 	}
 	wg.Wait()

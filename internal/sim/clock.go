@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"silo/internal/vfs"
+)
+
+// Clock is a manually stepped vfs.Clock. Tickers never fire on their own;
+// Advance moves virtual time forward and runs every due callback
+// synchronously on the caller's goroutine, in a deterministic order
+// (earliest due time first, registration order breaking ties). Under this
+// clock the epoch advancer, the logger passes, and the checkpoint daemon
+// have no goroutines at all — background activity becomes an explicit,
+// replayable event stream.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	nextID  int
+	tickers []*simTicker
+}
+
+type simTicker struct {
+	id      int
+	period  time.Duration
+	next    time.Duration
+	fn      func()
+	stopped bool
+}
+
+// NewClock returns a clock at virtual time zero with no tickers.
+func NewClock() *Clock { return &Clock{} }
+
+// Ticker implements vfs.Clock.
+func (c *Clock) Ticker(d time.Duration, fn func()) vfs.Stopper {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	t := &simTicker{id: c.nextID, period: d, next: c.now + d, fn: fn}
+	c.nextID++
+	c.tickers = append(c.tickers, t)
+	return &simStopper{c: c, t: t}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d, firing every ticker that comes
+// due, in due-time order, synchronously. A callback may register or stop
+// tickers; it runs without the clock lock held.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now + d
+	for {
+		var due *simTicker
+		for _, t := range c.tickers {
+			if t.stopped || t.next > target {
+				continue
+			}
+			if due == nil || t.next < due.next || (t.next == due.next && t.id < due.id) {
+				due = t
+			}
+		}
+		if due == nil {
+			break
+		}
+		c.now = due.next
+		due.next += due.period
+		fn := due.fn
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+type simStopper struct {
+	c *Clock
+	t *simTicker
+}
+
+// Stop implements vfs.Stopper. Callbacks run synchronously from Advance,
+// so once Stop returns (on any goroutine that isn't inside Advance) no
+// callback is in flight.
+func (s *simStopper) Stop() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.t.stopped = true
+}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -15,6 +14,7 @@ import (
 	"silo/internal/core"
 	"silo/internal/record"
 	"silo/internal/tid"
+	"silo/internal/vfs"
 )
 
 // RecoveryResult summarizes a recovery pass.
@@ -44,7 +44,12 @@ type LogFileInfo struct {
 // Files not matching the log.<id>[.<seq>] naming are ignored. An empty
 // directory yields an empty slice and no error.
 func ListLogFiles(dir string) ([]LogFileInfo, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "log.*"))
+	return ListLogFilesFS(vfs.OS, dir)
+}
+
+// ListLogFilesFS is ListLogFiles against an explicit filesystem.
+func ListLogFilesFS(fs vfs.FS, dir string) ([]LogFileInfo, error) {
+	names, err := fs.Glob(filepath.Join(dir, "log.*"))
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +86,12 @@ func ListLogFiles(dir string) ([]LogFileInfo, error) {
 // tail. It returns the segment's transactions, its last durable epoch, and
 // its size in bytes.
 func ParseLogFilePath(path string, compressed bool) (txns []TxnRecord, durable uint64, size int64, err error) {
-	data, err := os.ReadFile(path)
+	return ParseLogFileFS(vfs.OS, path, compressed)
+}
+
+// ParseLogFileFS is ParseLogFilePath against an explicit filesystem.
+func ParseLogFileFS(fs vfs.FS, path string, compressed bool) (txns []TxnRecord, durable uint64, size int64, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"testing"
+
+	"silo/internal/core"
+	"silo/internal/tid"
+)
+
+// stoppedStore commits one transaction at the store's start epoch and shuts
+// the manager down cleanly, without any durability waiting in between —
+// exactly the shutdown path an embedded application takes. ManualEpochs
+// pins the commit at epoch 1, so the outcome is deterministic.
+func stoppedStore(t *testing.T, legacy bool) (dir string, commitEpoch uint64) {
+	t.Helper()
+	dir = t.TempDir()
+	opts := core.DefaultOptions(1)
+	opts.ManualEpochs = true
+	s := core.NewStore(opts)
+	s.CreateTable("t")
+	m, err := Attach(s, Config{Dir: dir, LegacyStopDrain: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	w := s.Worker(0)
+	if err := w.Run(func(tx *core.Tx) error {
+		return tx.Insert(s.Table("t"), []byte("last"), []byte("write"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	commitEpoch = tid.Word(w.LastCommitTID()).Epoch()
+	m.Stop()
+	s.Close()
+	return dir, commitEpoch
+}
+
+// TestStopDrainsFinalEpoch is the regression test for the clean-shutdown
+// drain bug: a commit in the current epoch, followed immediately by Stop,
+// must be recovered. Historically Stop flushed the buffers (the bytes were
+// on disk) but never advanced the epoch, so the final durable marker stayed
+// one epoch behind and recovery — correctly honouring D — discarded the
+// final epoch's acknowledged commits.
+func TestStopDrainsFinalEpoch(t *testing.T) {
+	dir, commitEpoch := stoppedStore(t, false)
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl := s2.CreateTable("t")
+	res, err := Recover(s2, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurableEpoch < commitEpoch {
+		t.Fatalf("clean shutdown left D=%d behind the last commit epoch %d", res.DurableEpoch, commitEpoch)
+	}
+	if err := s2.Worker(0).Run(func(tx *core.Tx) error {
+		v, err := tx.Get(tbl, []byte("last"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "write" {
+			t.Fatalf("recovered %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final-epoch commit lost on clean shutdown: %v", err)
+	}
+}
+
+// TestLegacyStopDrainLosesFinalEpoch pins the historical behavior the fix
+// removed: with LegacyStopDrain the commit's bytes reach disk but the
+// durable marker stays at commitEpoch−1, so recovery must skip the
+// transaction. If this test ever starts failing, the legacy path no longer
+// reproduces the bug and the simulation corpus entry for it is stale.
+func TestLegacyStopDrainLosesFinalEpoch(t *testing.T) {
+	dir, commitEpoch := stoppedStore(t, true)
+
+	s2 := core.NewStore(core.DefaultOptions(1))
+	defer s2.Close()
+	tbl := s2.CreateTable("t")
+	res, err := Recover(s2, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurableEpoch >= commitEpoch {
+		t.Fatalf("legacy drain unexpectedly durable: D=%d commit epoch %d", res.DurableEpoch, commitEpoch)
+	}
+	if res.TxnsSkipped != 1 || res.TxnsApplied != 0 {
+		t.Fatalf("legacy drain: applied=%d skipped=%d, want the commit skipped", res.TxnsApplied, res.TxnsSkipped)
+	}
+	if err := s2.Worker(0).Run(func(tx *core.Tx) error {
+		_, err := tx.Get(tbl, []byte("last"))
+		return err
+	}); err != core.ErrNotFound {
+		t.Fatalf("want ErrNotFound under legacy drain, got %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package tpcc
 import (
 	"fmt"
 
+	"silo"
 	"silo/internal/core"
 	"silo/internal/index"
 )
@@ -26,12 +27,97 @@ type Tables struct {
 	Stock        *core.Table
 }
 
-// CreateTables creates the TPC-C tables and declares the secondary indexes
-// on s in the canonical order (index entry tables occupy their table-name's
-// ordinal), so table IDs are stable for logging/recovery — recovery replays
-// entry-table writes from the log like any other table's. Call once per
-// store.
-func CreateTables(s *core.Store) *Tables {
+// CreateTables declares the TPC-C schema on db in the canonical order.
+// Every declaration goes through the schema catalog — tables and both
+// secondary indexes are logged DDL — so a durable database recovered from
+// its log reconstructs the whole schema by itself: the recovery side calls
+// Handles, never CreateTables. The two index declarations are the
+// wire-expressible spec forms (the customer-name index covering, the
+// order-cust index transform-keyed), exactly as a client could request
+// them over CREATE_INDEX frames. Call once per database.
+func CreateTables(db *silo.DB) *Tables {
+	t := &Tables{}
+	for _, name := range TableNames {
+		switch name {
+		case TWarehouse:
+			t.Warehouse = db.CreateTable(name)
+		case TDistrict:
+			t.District = db.CreateTable(name)
+		case TCustomer:
+			t.Customer = db.CreateTable(name)
+		case TCustomerName:
+			// Covering: entry values carry (balance, credit, first) so
+			// order-status by name never resolves customer rows.
+			ix, err := db.CreateCoveringIndexSpec(0, t.Customer, name, false,
+				CustomerNameIndexSpec(), CustomerNameIncludeSpec())
+			if err != nil {
+				panic("tpcc: customer-name index: " + err.Error())
+			}
+			t.CustomerName = ix
+		case THistory:
+			t.History = db.CreateTable(name)
+		case TNewOrder:
+			t.NewOrder = db.CreateTable(name)
+		case TOrder:
+			t.Order = db.CreateTable(name)
+		case TOrderCust:
+			ix, err := db.CreateIndexSpec(0, t.Order, name, true, OrderCustIndexSpec())
+			if err != nil {
+				panic("tpcc: order-cust index: " + err.Error())
+			}
+			t.OrderCust = ix
+		case TOrderLine:
+			t.OrderLine = db.CreateTable(name)
+		case TItem:
+			t.Item = db.CreateTable(name)
+		case TStock:
+			t.Stock = db.CreateTable(name)
+		}
+	}
+	return t
+}
+
+// Handles resolves the TPC-C table and index handles of a database whose
+// schema already exists — the lookup-side complement of CreateTables, for
+// databases recovered from a self-describing log. It panics on a missing
+// table or index: a recovered TPC-C database that lacks part of the schema
+// is a recovery bug, not a condition callers handle.
+func Handles(db *silo.DB) *Tables {
+	tbl := func(name string) *core.Table {
+		t := db.Table(name)
+		if t == nil {
+			panic("tpcc: recovered database missing table " + name)
+		}
+		return t
+	}
+	ix := func(name string) *index.Index {
+		i := db.Index(name)
+		if i == nil {
+			panic("tpcc: recovered database missing index " + name)
+		}
+		return i
+	}
+	return &Tables{
+		Warehouse:    tbl(TWarehouse),
+		District:     tbl(TDistrict),
+		Customer:     tbl(TCustomer),
+		CustomerName: ix(TCustomerName),
+		History:      tbl(THistory),
+		NewOrder:     tbl(TNewOrder),
+		Order:        tbl(TOrder),
+		OrderCust:    ix(TOrderCust),
+		OrderLine:    tbl(TOrderLine),
+		Item:         tbl(TItem),
+		Stock:        tbl(TStock),
+	}
+}
+
+// CreateTablesStore is CreateTables for a bare core.Store, bypassing the
+// schema catalog: table IDs are assigned by creation order and nothing is
+// logged as DDL, so a recovery over this schema must re-declare it first.
+// It exists for harnesses that attach logging manually (wal.Attach) to
+// measure the raw subsystems; everything else uses CreateTables.
+func CreateTablesStore(s *core.Store) *Tables {
 	t := &Tables{}
 	for _, name := range TableNames {
 		switch name {
@@ -77,13 +163,28 @@ func CreateTables(s *core.Store) *Tables {
 	return t
 }
 
-// Load populates the database at the given scale, committing in batches on
-// worker 0. The initial population mirrors TPC-C 4.3.3 at the configured
-// cardinalities: every customer has one initial order; the most recent
-// third of orders per district are undelivered (present in new_order with
-// no carrier), matching the standard's 900-of-3000 ratio.
-func Load(s *core.Store, sc Scale) *Tables {
-	t := CreateTables(s)
+// Load declares the schema on db (see CreateTables) and populates it at
+// the given scale, committing in batches on worker 0. The initial
+// population mirrors TPC-C 4.3.3 at the configured cardinalities: every
+// customer has one initial order; the most recent third of orders per
+// district are undelivered (present in new_order with no carrier),
+// matching the standard's 900-of-3000 ratio.
+func Load(db *silo.DB, sc Scale) *Tables {
+	t := CreateTables(db)
+	loadRows(db.Store(), t, sc)
+	return t
+}
+
+// LoadStore is Load over a bare core.Store (see CreateTablesStore).
+func LoadStore(s *core.Store, sc Scale) *Tables {
+	t := CreateTablesStore(s)
+	loadRows(s, t, sc)
+	return t
+}
+
+// loadRows performs the initial population of Load into already-created
+// tables.
+func loadRows(s *core.Store, t *Tables, sc Scale) {
 	w := s.Worker(0)
 	rng := NewRNG(12345)
 
@@ -201,7 +302,6 @@ func Load(s *core.Store, sc Scale) *Tables {
 		}
 	}
 	batch.flush()
-	return t
 }
 
 // batcher groups loader inserts into transactions.

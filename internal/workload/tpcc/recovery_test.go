@@ -5,30 +5,34 @@ import (
 	"testing"
 	"time"
 
+	"silo"
 	"silo/internal/core"
-	"silo/internal/recovery"
-	"silo/internal/tid"
-	"silo/internal/wal"
 )
 
-// TestDurableTPCCRecovery is the end-to-end §4.10 test: run the standard
-// mix concurrently with logging, quiesce, recover into a fresh store, and
-// check that the recovered database passes every TPC-C consistency
-// condition and matches the original table contents exactly.
+// TestDurableTPCCRecovery is the end-to-end §4.10 test, run through the
+// public database API: run the standard mix concurrently with logging,
+// write a partitioned checkpoint, close cleanly, and recover — twice,
+// sequentially and in parallel — into fresh databases whose schema comes
+// entirely from the self-describing log (no re-declaration: the loader's
+// DDL replays). The capture happens immediately after the last commit,
+// before Close, so the comparison doubles as the TPC-C-scale regression
+// for the shutdown drain: a Close that loses the final epoch's
+// acknowledged commits fails the exact-content check here.
 func TestDurableTPCCRecovery(t *testing.T) {
 	const workers = 3
 	dir := t.TempDir()
 
-	opts := core.DefaultOptions(workers)
-	opts.EpochInterval = time.Millisecond
-	s := core.NewStore(opts)
-	m, err := wal.Attach(s, wal.Config{Dir: dir, Loggers: 2, PollInterval: time.Millisecond})
+	db, err := silo.Open(silo.Options{
+		Workers:       workers,
+		EpochInterval: time.Millisecond,
+		Durability:    &silo.DurabilityOptions{Dir: dir, Loggers: 2},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	s := db.Store()
 	sc := tinyScale(workers)
-	tables := Load(s, sc)
-	m.Start()
+	tables := Load(db, sc)
 
 	var wg sync.WaitGroup
 	for wid := 0; wid < workers; wid++ {
@@ -59,7 +63,7 @@ func TestDurableTPCCRecovery(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	ck, err := recovery.WriteCheckpoint(s, s.Maintenance(), dir, 4)
+	ck, err := db.Checkpoint(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,23 +71,9 @@ func TestDurableTPCCRecovery(t *testing.T) {
 		t.Fatal("empty checkpoint")
 	}
 
-	// Everything committed; wait until it is durable, then stop cleanly.
-	var target uint64
-	for w := 0; w < workers; w++ {
-		if e := tid.Word(s.Worker(w).LastCommitTID()).Epoch(); e > target {
-			target = e
-		}
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for m.DurableEpoch() < target {
-		if time.Now().After(deadline) {
-			t.Fatalf("durable epoch stuck at %d want %d", m.DurableEpoch(), target)
-		}
-		time.Sleep(time.Millisecond)
-	}
-	m.Stop()
-
-	// Capture the logical content of every table.
+	// Capture the logical content of every table — including the schema
+	// catalog's own — then close. No durability wait: Close's drain owes
+	// us every acknowledged commit.
 	type row struct{ k, v string }
 	capture := func(store *core.Store, tbls *Tables) map[string][]row {
 		out := map[string][]row{}
@@ -104,20 +94,28 @@ func TestDurableTPCCRecovery(t *testing.T) {
 		return out
 	}
 	want := capture(s, tables)
-	s.Close()
+	db.Close()
 
-	// Recover into a fresh store.
-	s2 := core.NewStore(core.DefaultOptions(1))
-	defer s2.Close()
-	tables2 := CreateTables(s2)
-	res, err := wal.Recover(s2, dir, false)
+	// Sequential recovery (one replay worker) into a fresh database. The
+	// schema — every table id, both index declarations — replays from the
+	// catalog records the loader logged; Handles just looks them up.
+	db2, err := silo.Open(silo.Options{
+		Workers:    1,
+		Durability: &silo.DurabilityOptions{Dir: dir, Loggers: 2, RecoveryWorkers: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TxnsApplied == 0 {
+	defer db2.Close()
+	res, err := db2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnsApplied == 0 && res.CheckpointRows == 0 {
 		t.Fatal("nothing recovered")
 	}
-	got := capture(s2, tables2)
+	tables2 := Handles(db2)
+	got := capture(db2.Store(), tables2)
 
 	for name, wantRows := range want {
 		gotRows := got[name]
@@ -134,30 +132,36 @@ func TestDurableTPCCRecovery(t *testing.T) {
 	}
 
 	// The recovered database satisfies TPC-C's consistency conditions.
-	if err := CheckConsistency(s2, tables2, sc); err != nil {
+	if err := CheckConsistency(db2.Store(), tables2, sc); err != nil {
 		t.Fatalf("recovered consistency: %v", err)
 	}
-	if err := CheckMoney(s2, tables2, sc); err != nil {
+	if err := CheckMoney(db2.Store(), tables2, sc); err != nil {
 		t.Fatalf("recovered money: %v", err)
 	}
-	if err := CheckIndexes(s2, tables2); err != nil {
+	if err := CheckIndexes(db2.Store(), tables2); err != nil {
 		t.Fatalf("recovered indexes: %v", err)
 	}
 
 	// Parallel recovery (checkpoint + log suffix, 4 replay workers) must
 	// reproduce the sequential state bit-for-bit and pass the same
 	// consistency conditions.
-	s3 := core.NewStore(core.DefaultOptions(1))
-	defer s3.Close()
-	tables3 := CreateTables(s3)
-	pres, err := recovery.Recover(s3, dir, recovery.Options{Workers: 4})
+	db3, err := silo.Open(silo.Options{
+		Workers:    1,
+		Durability: &silo.DurabilityOptions{Dir: dir, Loggers: 2, RecoveryWorkers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	pres, err := db3.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pres.CheckpointEpoch != ck.Epoch {
 		t.Errorf("parallel recovery used checkpoint %d, want %d", pres.CheckpointEpoch, ck.Epoch)
 	}
-	got3 := capture(s3, tables3)
+	tables3 := Handles(db3)
+	got3 := capture(db3.Store(), tables3)
 	for name, wantRows := range want {
 		gotRows := got3[name]
 		if len(gotRows) != len(wantRows) {
@@ -171,13 +175,13 @@ func TestDurableTPCCRecovery(t *testing.T) {
 			}
 		}
 	}
-	if err := CheckConsistency(s3, tables3, sc); err != nil {
+	if err := CheckConsistency(db3.Store(), tables3, sc); err != nil {
 		t.Fatalf("parallel recovered consistency: %v", err)
 	}
-	if err := CheckMoney(s3, tables3, sc); err != nil {
+	if err := CheckMoney(db3.Store(), tables3, sc); err != nil {
 		t.Fatalf("parallel recovered money: %v", err)
 	}
-	if err := CheckIndexes(s3, tables3); err != nil {
+	if err := CheckIndexes(db3.Store(), tables3); err != nil {
 		t.Fatalf("parallel recovered indexes: %v", err)
 	}
 }

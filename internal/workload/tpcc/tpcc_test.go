@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"silo"
 	"silo/internal/core"
 )
 
@@ -27,10 +28,23 @@ func newTestStore(t *testing.T, workers int) *core.Store {
 	return s
 }
 
+// newTestDB opens a catalog-backed database: the loader declares the
+// TPC-C schema through logged DDL exactly as production callers do.
+func newTestDB(t *testing.T, workers int) *silo.DB {
+	t.Helper()
+	db, err := silo.Open(silo.Options{Workers: workers, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
 func TestLoadAndConsistency(t *testing.T) {
-	s := newTestStore(t, 1)
+	db := newTestDB(t, 1)
+	s := db.Store()
 	sc := tinyScale(2)
-	tables := Load(s, sc)
+	tables := Load(db, sc)
 
 	if n := tables.Item.Tree.Len(); n != sc.Items {
 		t.Errorf("items: %d want %d", n, sc.Items)
@@ -53,9 +67,10 @@ func TestLoadAndConsistency(t *testing.T) {
 }
 
 func TestTransactionsSequential(t *testing.T) {
-	s := newTestStore(t, 1)
+	db := newTestDB(t, 1)
+	s := db.Store()
 	sc := tinyScale(2)
-	tables := Load(s, sc)
+	tables := Load(db, sc)
 	cfg := StandardConfig()
 	cfg.SnapshotStockLevel = true
 	c := NewClient(tables, sc, s.Worker(0), 1, cfg, 7)
@@ -81,9 +96,10 @@ func TestTransactionsSequential(t *testing.T) {
 
 func TestTransactionsConcurrent(t *testing.T) {
 	const workers = 4
-	s := newTestStore(t, workers)
+	db := newTestDB(t, workers)
+	s := db.Store()
 	sc := tinyScale(workers)
-	tables := Load(s, sc)
+	tables := Load(db, sc)
 
 	var wg sync.WaitGroup
 	for wid := 0; wid < workers; wid++ {
@@ -174,9 +190,10 @@ func TestFullScaleLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale load is slow; -short skips it")
 	}
-	s := newTestStore(t, 1)
+	db := newTestDB(t, 1)
+	s := db.Store()
 	sc := FullScale(1)
-	tables := Load(s, sc)
+	tables := Load(db, sc)
 	if tables.Stock.Tree.Len() != 100000 {
 		t.Fatalf("stock=%d", tables.Stock.Tree.Len())
 	}

@@ -13,9 +13,10 @@ import (
 
 func setupClient(t *testing.T, warehouses int) (*core.Store, *Tables, Scale, *Client) {
 	t.Helper()
-	s := newTestStore(t, 1)
+	db := newTestDB(t, 1)
+	s := db.Store()
 	sc := tinyScale(warehouses)
-	tables := Load(s, sc)
+	tables := Load(db, sc)
 	cfg := StandardConfig()
 	cfg.RollbackPct = 0 // deterministic tests drive rollback explicitly
 	c := NewClient(tables, sc, s.Worker(0), 1, cfg, 42)

@@ -120,6 +120,8 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 	switch op.Kind {
 	case wire.KindCreateIndex:
 		return s.execCreateIndex(w, op)
+	case wire.KindDropIndex:
+		return s.execDropIndex(op)
 	case wire.KindIScan:
 		return s.execIScan(w, op)
 	case wire.KindSchema:
@@ -231,6 +233,16 @@ func (s *Server) execCreateIndex(w int, op *wire.Op) wire.Response {
 		return wire.Response{Kind: wire.KindOK}
 	}
 	if _, err := s.db.CreateIndexSpec(w, t, op.Index, op.Unique, segs); err != nil {
+		return errResponse(err)
+	}
+	return wire.Response{Kind: wire.KindOK}
+}
+
+// execDropIndex drops a named index. The drop is logged DDL — the
+// registry removal and entry wipe replay from the WAL — so the index
+// stays dropped across recovery. Unknown names map to CodeNoIndex.
+func (s *Server) execDropIndex(op *wire.Op) wire.Response {
+	if err := s.db.DropIndex(op.Index); err != nil {
 		return errResponse(err)
 	}
 	return wire.Response{Kind: wire.KindOK}

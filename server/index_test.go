@@ -163,6 +163,56 @@ func TestCoveringIndexOverTheWire(t *testing.T) {
 	}
 }
 
+// TestDropIndexOverTheWire drives DROP_INDEX end to end: create an index,
+// drop it, and check that scans of the dropped name and a second drop both
+// surface the typed ErrNoIndex sentinel, that SCHEMA stops listing it, and
+// that the name is free for a later create with a different declaration.
+func TestDropIndexOverTheWire(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{}, client.Options{})
+
+	for i, city := range []string{"AMS", "BER"} {
+		if err := cl.Insert("users", []byte(fmt.Sprintf("u%d", i)), row(city, "pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := []wire.IndexSeg{{FromValue: true, Off: 0, Len: 4}}
+	if err := cl.CreateIndex("users_by_city", "users", false, spec); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := cl.IndexScan("users_by_city", nil, nil, 0, false); err != nil || len(entries) != 2 {
+		t.Fatalf("pre-drop iscan = %d entries, err %v", len(entries), err)
+	}
+
+	if err := cl.DropIndex("users_by_city"); err != nil {
+		t.Fatalf("drop index: %v", err)
+	}
+	if _, err := cl.IndexScan("users_by_city", nil, nil, 0, false); !errors.Is(err, client.ErrNoIndex) {
+		t.Fatalf("iscan of dropped index: %v", err)
+	}
+	if err := cl.DropIndex("users_by_city"); !errors.Is(err, client.ErrNoIndex) || !errors.Is(err, silo.ErrNoIndex) {
+		t.Fatalf("double drop: %v does not match both sentinels", err)
+	}
+	sch, err := cl.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sch.Indexes {
+		if sch.Indexes[i].Name == "users_by_city" {
+			t.Fatalf("SCHEMA still lists dropped index: %+v", sch.Indexes[i])
+		}
+	}
+
+	// The name is free again, even for a different declaration; the old
+	// entries were wiped, so the fresh backfill is all the new index sees.
+	if err := cl.CreateIndex("users_by_city", "users", false,
+		[]wire.IndexSeg{{FromValue: true, Off: 0, Len: 2}}); err != nil {
+		t.Fatalf("re-create after drop: %v", err)
+	}
+	if entries, err := cl.IndexScan("users_by_city", nil, nil, 0, false); err != nil || len(entries) != 2 {
+		t.Fatalf("post-recreate iscan = %d entries, err %v", len(entries), err)
+	}
+}
+
 // TestIndexSnapshotOverTheWire checks the snapshot flag: an ISCAN with
 // snapshot set reads a consistent past index state.
 func TestIndexSnapshotOverTheWire(t *testing.T) {

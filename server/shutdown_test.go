@@ -1,0 +1,65 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+
+	"silo"
+	"silo/client"
+	"silo/server"
+)
+
+// TestCleanServerStopRecoversAcknowledgedWrites asserts the server-level
+// clean-shutdown contract: every write a client saw acknowledged before the
+// server was stopped cleanly (connections closed, server closed, database
+// closed — the silo-server signal path) is present after recovery.
+func TestCleanServerStopRecoversAcknowledgedWrites(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*silo.DB, *server.Server, *client.Client) {
+		db, err := silo.Open(silo.Options{
+			Workers:    2,
+			Durability: &silo.DurabilityOptions{Dir: dir},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(db, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		cl, err := client.Dial(ln.Addr().String(), client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, srv, cl
+	}
+
+	db, srv, cl := open()
+	if err := cl.Insert("t", []byte("acked"), []byte("before-stop")); err != nil {
+		t.Fatal(err)
+	}
+	// Clean stop, mirroring silo-server's shutdown order. No durability
+	// wait: the put's epoch may not be durable yet, and must still survive.
+	cl.Close()
+	srv.Close()
+	db.Close()
+
+	db2, srv2, cl2 := open()
+	defer func() {
+		cl2.Close()
+		srv2.Close()
+		db2.Close()
+	}()
+	if _, err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl2.Get("t", []byte("acked"))
+	if err != nil {
+		t.Fatalf("acknowledged write lost across clean server stop: %v", err)
+	}
+	if string(v) != "before-stop" {
+		t.Fatalf("recovered %q", v)
+	}
+}

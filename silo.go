@@ -64,7 +64,6 @@ package silo
 import (
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -73,6 +72,7 @@ import (
 	"silo/internal/index"
 	"silo/internal/recovery"
 	"silo/internal/tid"
+	"silo/internal/vfs"
 	"silo/internal/wal"
 )
 
@@ -130,6 +130,13 @@ type Options struct {
 	// GlobalTID assigns commit TIDs from one shared counter (the paper's
 	// MemSilo+GlobalTID scalability strawman).
 	GlobalTID bool
+
+	// Clock drives every background ticker — the epoch advancer, the logger
+	// poll loops, and the checkpoint daemon. Nil means real time. The
+	// deterministic simulation harness (internal/sim) substitutes a manually
+	// stepped clock so background activity becomes explicit, replayable
+	// events.
+	Clock vfs.Clock
 }
 
 // DurabilityOptions configures the logging subsystem (§4.10 of the paper)
@@ -177,6 +184,19 @@ type DurabilityOptions struct {
 	// loading and log replay both fan out across this many goroutines.
 	// Default GOMAXPROCS; 1 recovers on a single goroutine.
 	RecoveryWorkers int
+
+	// FS is the filesystem the log, checkpoints, and recovery go through;
+	// nil means the real one. The simulation harness substitutes a
+	// fault-injecting in-memory filesystem.
+	FS vfs.FS
+
+	// LegacyStopDrain reverts Close's log drain to its historical behavior,
+	// which could silently discard the final epoch's acknowledged commits
+	// on a clean shutdown (the drain flushed buffers but never advanced the
+	// epoch, so the last durable-epoch marker stayed one epoch behind).
+	// It exists only so the simulation harness can reproduce the bug it
+	// was built to catch; never set it.
+	LegacyStopDrain bool
 }
 
 // DB is a Silo database.
@@ -210,6 +230,7 @@ func Open(opts Options) (*DB, error) {
 	copts.Overwrites = !opts.DisableOverwrites
 	copts.Arena = !opts.DisableArena
 	copts.GlobalTID = opts.GlobalTID
+	copts.Clock = opts.Clock
 
 	db := &DB{store: core.NewStore(copts), indexes: index.NewRegistry(), opts: opts}
 	// The schema catalog claims table id 0 before any user table exists;
@@ -235,10 +256,11 @@ func Open(opts Options) (*DB, error) {
 		// Before Attach creates this run's (empty) log files: does the
 		// directory already hold data to recover?
 		hadLogs := false
+		fs := vfs.DefaultFS(d.FS)
 		if !d.InMemory && d.Dir != "" {
-			if infos, err := wal.ListLogFiles(d.Dir); err == nil {
+			if infos, err := wal.ListLogFilesFS(fs, d.Dir); err == nil {
 				for _, fi := range infos {
-					if st, err := os.Stat(fi.Path); err == nil && st.Size() > 0 {
+					if size, isDir, err := fs.Stat(fi.Path); err == nil && !isDir && size > 0 {
 						hadLogs = true
 						break
 					}
@@ -246,13 +268,16 @@ func Open(opts Options) (*DB, error) {
 			}
 		}
 		m, err := wal.Attach(db.store, wal.Config{
-			Dir:          d.Dir,
-			Loggers:      d.Loggers,
-			Sync:         d.Sync,
-			InMemory:     d.InMemory,
-			Mode:         mode,
-			Compress:     d.Compress,
-			SegmentBytes: d.SegmentBytes,
+			Dir:             d.Dir,
+			Loggers:         d.Loggers,
+			Sync:            d.Sync,
+			InMemory:        d.InMemory,
+			Mode:            mode,
+			Compress:        d.Compress,
+			SegmentBytes:    d.SegmentBytes,
+			FS:              d.FS,
+			Clock:           opts.Clock,
+			LegacyStopDrain: d.LegacyStopDrain,
 		})
 		if err != nil {
 			db.store.Close()
@@ -291,6 +316,8 @@ func (db *DB) startDaemon() {
 		Partitions: d.CheckpointPartitions,
 		Keep:       d.KeepCheckpoints,
 		Catalog:    db.catalog.Table(),
+		FS:         d.FS,
+		Clock:      db.opts.Clock,
 	})
 	db.daemon.Start()
 }
@@ -652,6 +679,7 @@ func (db *DB) Recover() (RecoveryResult, error) {
 		Workers:    workers,
 		Compressed: d.Compress,
 		Schema:     db.catalog,
+		FS:         d.FS,
 	})
 	if err != nil {
 		return res, err
@@ -719,7 +747,7 @@ func (db *DB) Checkpoint(worker int) (CheckpointResult, error) {
 	if parts <= 0 {
 		parts = 4
 	}
-	return recovery.WriteCheckpointSchema(db.store, db.store.Worker(worker), db.opts.Durability.Dir, parts, db.catalog.Table())
+	return recovery.WriteCheckpointFS(vfs.DefaultFS(db.opts.Durability.FS), db.store, db.store.Worker(worker), db.opts.Durability.Dir, parts, db.catalog.Table())
 }
 
 // CheckpointDaemonStats is a snapshot of the background checkpoint

@@ -49,6 +49,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		}, Incs: []IndexSeg{
 			{FromValue: true, Off: 0, Len: 1, Xform: XformInvert},
 		}}}},
+		{Ops: []Op{{Kind: KindDropIndex, Index: "ix"}}},
 		{Ops: []Op{{Kind: KindSchema}}},
 	}
 	for i := range seedReqs {

@@ -71,7 +71,8 @@ type Kind byte
 // Request frame kinds. KindScan and KindIScan are not valid inside a TXN
 // frame (scans inside a multi-op transaction would make response frames
 // unbounded; run them as single serializable SCAN/ISCAN requests instead),
-// nor is KindCreateIndex (index creation is DDL, not transactional).
+// nor are KindCreateIndex and KindDropIndex (index DDL is not
+// transactional).
 const (
 	KindGet         Kind = 0x01
 	KindPut         Kind = 0x02
@@ -83,6 +84,7 @@ const (
 	KindCreateIndex Kind = 0x08
 	KindIScan       Kind = 0x09
 	KindSchema      Kind = 0x0A
+	KindDropIndex   Kind = 0x0B
 )
 
 // Response frame kinds.
@@ -118,6 +120,8 @@ func (k Kind) String() string {
 		return "ISCAN"
 	case KindSchema:
 		return "SCHEMA"
+	case KindDropIndex:
+		return "DROP_INDEX"
 	case KindOK:
 		return "OK"
 	case KindValue:
@@ -456,6 +460,17 @@ func appendSegs(dst []byte, segs []IndexSeg, what string) ([]byte, error) {
 	return dst, nil
 }
 
+// appendDropIndex encodes a DROP_INDEX body: u8 nameLen | name. Empty and
+// oversized names are rejected outright, mirroring appendCreateIndex.
+func appendDropIndex(dst []byte, op *Op) ([]byte, error) {
+	if len(op.Index) == 0 || len(op.Index) > MaxIndexName {
+		return dst, fmt.Errorf("wire: index name %d bytes long (1..%d allowed)", len(op.Index), MaxIndexName)
+	}
+	dst = append(dst, byte(len(op.Index)))
+	dst = append(dst, op.Index...)
+	return dst, nil
+}
+
 // appendIScan encodes an ISCAN body.
 func appendIScan(dst []byte, op *Op) ([]byte, error) {
 	if len(op.Index) == 0 || len(op.Index) > MaxIndexName {
@@ -502,7 +517,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		for i := range r.Ops {
 			op := &r.Ops[i]
 			switch op.Kind {
-			case KindScan, KindTxn, KindCreateIndex, KindIScan:
+			case KindScan, KindTxn, KindCreateIndex, KindDropIndex, KindIScan:
 				return dst[:at], fmt.Errorf("wire: %v not allowed inside txn", op.Kind)
 			}
 			dst = append(dst, byte(op.Kind))
@@ -525,6 +540,9 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case KindCreateIndex:
 		dst = append(dst, byte(op.Kind))
 		dst, err = appendCreateIndex(dst, op)
+	case KindDropIndex:
+		dst = append(dst, byte(op.Kind))
+		dst, err = appendDropIndex(dst, op)
 	case KindIScan:
 		dst = append(dst, byte(op.Kind))
 		dst, err = appendIScan(dst, op)
@@ -832,6 +850,10 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if err := decodeCreateIndex(&rd, &op); err != nil {
 			return Request{}, err
 		}
+	case KindDropIndex:
+		if err := decodeDropIndex(&rd, &op); err != nil {
+			return Request{}, err
+		}
 	case KindIScan:
 		if err := decodeIScan(&rd, &op); err != nil {
 			return Request{}, err
@@ -888,6 +910,18 @@ func decodeCreateIndex(rd *reader, op *Op) error {
 	}
 	op.Incs, err = decodeSegs(rd, "include list", 0)
 	return err
+}
+
+func decodeDropIndex(rd *reader, op *Op) error {
+	name, err := rd.bytes8()
+	if err != nil {
+		return err
+	}
+	if len(name) == 0 {
+		return malformed("empty index name")
+	}
+	op.Index = string(name)
+	return nil
 }
 
 // decodeSegs parses a segment list (u8 count | count × (src, off, len)),

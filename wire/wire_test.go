@@ -72,6 +72,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			{FromValue: true, Off: 4, Len: 8},
 			{Off: 0, Len: 2},
 		}}}},
+		{Ops: []Op{{Kind: KindDropIndex, Index: "by_city"}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS")}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS"), HasHi: true, Hi: []byte("AMT"), Limit: 100, Snapshot: true}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city_cov", Key: []byte("AMS"), Covering: true}}},
@@ -199,6 +200,9 @@ func TestEncodeRejects(t *testing.T) {
 		{Ops: []Op{{Kind: KindCreateIndex, Index: "i", Table: "t",
 			Segs: []IndexSeg{{Off: 0, Len: 1}},
 			Incs: []IndexSeg{{FromValue: true, Off: 9, Len: 0}}}}}, // zero-length include segment
+		{Ops: []Op{{Kind: KindDropIndex, Index: strings.Repeat("i", 256)}}},           // long index name
+		{Ops: []Op{{Kind: KindDropIndex, Index: ""}}},                                 // empty index name
+		{Txn: true, Ops: []Op{{Kind: KindDropIndex, Index: "i"}}},                     // drop-index in txn
 		{Ops: []Op{{Kind: KindIScan, Index: strings.Repeat("i", 256)}}},               // long index name
 		{Ops: []Op{{Kind: KindIScan, Index: ""}}},                                     // empty index name
 		{Ops: []Op{{Kind: KindIScan, Index: "i", Key: bytes.Repeat([]byte{1}, 256)}}}, // long lo bound
@@ -248,6 +252,11 @@ func TestDecodeRejects(t *testing.T) {
 			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0}},
 		{"create-index bad include src",
 			[]byte{byte(KindCreateIndex), 1, 'i', 1, 't', 0, 1, 0, 0, 0, 0, 1, 1, 7, 0, 0, 0, 1}},
+		{"drop-index truncated name", []byte{byte(KindDropIndex), 5, 'a'}},
+		{"drop-index empty name", []byte{byte(KindDropIndex), 0}},
+		{"drop-index missing count", []byte{byte(KindDropIndex)}},
+		{"drop-index trailing bytes", []byte{byte(KindDropIndex), 1, 'i', 0}},
+		{"drop-index in txn", []byte{byte(KindTxn), 0, 1, byte(KindDropIndex), 1, 'i'}},
 		{"iscan empty name", []byte{byte(KindIScan), 0, 0, 0, 0, 0, 0, 0, 0}},
 		{"iscan bad hasHi", []byte{byte(KindIScan), 1, 'i', 0, 7, 0, 0, 0, 0, 0}},
 		{"iscan bad snapshot", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 3, 0}},
