@@ -289,6 +289,27 @@ func (cl *Client) Schema() (*wire.Schema, error) {
 	return resp.Schema, nil
 }
 
+// Stats fetches one metrics snapshot from the server: engine commit and
+// abort counters (with abort-reason and per-table breakdowns), commit-phase
+// and WAL fsync latency histograms, group-commit batch sizes, index
+// scan-resolution modes, checkpoint and recovery figures, and the server's
+// own per-opcode request latencies. The snapshot arrives in the versioned
+// binary form of the STATSR frame, decoded with strict validation; use
+// its Value/Get accessors, or render it with WritePrometheus.
+func (cl *Client) Stats() (*silo.ObsSnapshot, error) {
+	resp, err := cl.roundTrip(&wire.Request{Ops: []wire.Op{{Kind: wire.KindStats}}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KindErr {
+		return nil, codeError(resp.Code, resp.Msg)
+	}
+	if resp.Kind != wire.KindStatsR || resp.Stats == nil {
+		return nil, unexpected(resp)
+	}
+	return resp.Stats, nil
+}
+
 // IndexScan returns up to limit index entries with entry keys in [lo, hi),
 // each resolved to its primary row, as one serializable transaction with
 // phantom protection on both the index and the table (snapshot true

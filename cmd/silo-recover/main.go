@@ -117,7 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		total := time.Since(start)
-		report(res, total)
+		res.WriteReport(os.Stdout, total)
 		fmt.Printf("recovered schema:\n")
 		for _, tbl := range s.Tables() {
 			kind := "table"
@@ -155,29 +155,6 @@ func main() {
 		}
 		fmt.Printf("truncated %d log files covered by checkpoint epoch %d: %v\n",
 			len(removed), *truncate, removed)
-	}
-}
-
-// report prints the recovery report: what was restored, stage timings, and
-// replay throughput.
-func report(res recovery.Result, total time.Duration) {
-	fmt.Printf("recovery report (%d workers):\n", res.Workers)
-	if res.CheckpointEpoch > 0 {
-		fmt.Printf("  checkpoint: CE=%d, %d rows, loaded in %v\n",
-			res.CheckpointEpoch, res.CheckpointRows, res.CheckpointLoad.Round(time.Microsecond))
-	} else {
-		fmt.Printf("  checkpoint: none (full log replay)\n")
-	}
-	fmt.Printf("  log: %d segments, %.1f MB, parsed in %v\n",
-		res.LogFiles, float64(res.LogBytes)/(1<<20), res.LogRead.Round(time.Microsecond))
-	fmt.Printf("  replay: D=%d, %d txns applied (%d beyond D, %d below checkpoint), %d entries, applied in %v\n",
-		res.DurableEpoch, res.TxnsApplied, res.TxnsSkipped, res.TxnsBelowCheckpoint,
-		res.EntriesApplied, res.LogApply.Round(time.Microsecond))
-	secs := total.Seconds()
-	if secs > 0 {
-		fmt.Printf("  throughput: %.0f txns/s, %.1f MB/s over %v total (checkpoint %.0f%%, log %.0f%%)\n",
-			float64(res.TxnsApplied)/secs, float64(res.LogBytes)/(1<<20)/secs, total.Round(time.Microsecond),
-			100*res.CheckpointLoad.Seconds()/secs, 100*(res.LogRead+res.LogApply).Seconds()/secs)
 	}
 }
 

@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +57,7 @@ func main() {
 		pipeline  = flag.Int("pipeline", 128, "per-connection in-flight request cap")
 		noCreate  = flag.Bool("no-auto-create", false, "reject unknown tables instead of creating them")
 		stats     = flag.Duration("stats", 0, "print stats every interval (0 = off)")
+		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -93,16 +95,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("recover: %w", err))
 		}
-		fmt.Printf("recovered %d transactions to epoch %d (%d workers: checkpoint CE=%d in %v, log %v)\n",
-			res.TxnsApplied, res.DurableEpoch, res.Workers,
-			res.CheckpointEpoch, res.CheckpointLoad.Round(time.Millisecond),
-			(res.LogRead + res.LogApply).Round(time.Millisecond))
-		for _, name := range res.IndexesRolledForward {
-			fmt.Printf("  finished interrupted creation of index %s\n", name)
-		}
-		for _, name := range res.IndexesRolledBack {
-			fmt.Printf("  rolled back interrupted creation of index %s\n", name)
-		}
+		res.WriteReport(os.Stdout, 0)
 		printSchema(db)
 	}
 	// Fresh tables (idempotent for names recovery already reconstructed);
@@ -119,17 +112,32 @@ func main() {
 		DisableAutoCreate: *noCreate || *logDir != "",
 	})
 
-	if *stats > 0 {
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: srv.AdminHandler()}
 		go func() {
-			for range time.Tick(*stats) {
-				ss, es := srv.Stats(), db.Stats()
-				line := fmt.Sprintf("conns=%d requests=%d errors=%d commits=%d aborts=%d",
-					ss.Conns, ss.Requests, ss.Errors, es.Commits, es.Aborts)
-				if ds, ok := db.CheckpointDaemon(); ok {
-					line += fmt.Sprintf(" checkpoints=%d last_ce=%d truncated=%d",
-						ds.Checkpoints, ds.LastEpoch, ds.TruncatedSegments)
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "silo-server: admin:", err)
+			}
+		}()
+		fmt.Printf("admin endpoint on %s (/metrics, /debug/vars, /debug/pprof)\n", *admin)
+	}
+
+	// The stats printer uses a stoppable Ticker tied to statsDone (a bare
+	// time.Tick would leak the goroutine — and keep printing — past
+	// srv.Close on shutdown).
+	statsDone := make(chan struct{})
+	if *stats > 0 {
+		tick := time.NewTicker(*stats)
+		go func() {
+			defer tick.Stop()
+			for {
+				select {
+				case <-statsDone:
+					return
+				case <-tick.C:
+					fmt.Println(statsLine(db, srv))
 				}
-				fmt.Println(line)
 			}
 		}()
 	}
@@ -144,12 +152,47 @@ func main() {
 
 	fmt.Printf("silo-server listening on %s (%d workers, durability=%v)\n",
 		*addr, *workers, *logDir != "")
-	if err := srv.ListenAndServe(); err != nil {
+	err = srv.ListenAndServe()
+	close(statsDone)
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	if err != nil {
 		fatal(err)
 	}
 	ss := srv.Stats()
 	fmt.Printf("served %d requests on %d connections (%d errors)\n",
 		ss.Requests, ss.Conns, ss.Errors)
+}
+
+// statsLine renders one periodic stats line from the same cross-layer
+// snapshot the STATS frame and the admin endpoint serve.
+func statsLine(db *silo.DB, srv *server.Server) string {
+	snap := db.Observe()
+	srv.CollectObs(snap)
+	var aborts uint64
+	for _, reason := range []string{"read_validation", "node_validation", "hook_poisoned", "explicit"} {
+		aborts += snap.Value("silo_core_aborts_total", reason)
+	}
+	line := fmt.Sprintf("conns=%d requests=%d errors=%d commits=%d aborts=%d",
+		snap.Value("silo_server_conns_total", ""),
+		snap.Value("silo_server_requests_total", ""),
+		snap.Value("silo_server_errors_total", ""),
+		snap.Value("silo_core_commits_total", ""), aborts)
+	if s := snap.Get("silo_wal_durable_epoch", ""); s != nil {
+		line += fmt.Sprintf(" durable_epoch=%d lag=%d",
+			s.Value, snap.Value("silo_wal_durable_lag_epochs", ""))
+		if h := snap.Get("silo_wal_fsync_ns", ""); h != nil && h.Hist.Count > 0 {
+			line += fmt.Sprintf(" fsync_p99=%v", time.Duration(h.Hist.Quantile(0.99)))
+		}
+	}
+	if _, ok := db.CheckpointDaemon(); ok {
+		line += fmt.Sprintf(" checkpoints=%d last_ce=%d truncated=%d",
+			snap.Value("silo_ckpt_completed_total", ""),
+			snap.Value("silo_ckpt_last_epoch", ""),
+			snap.Value("silo_ckpt_truncated_segments_total", ""))
+	}
+	return line
 }
 
 // printSchema prints the recovered schema: tables in id order, then index

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"silo/internal/obs"
+)
+
+func TestCollectObsCountsAndTables(t *testing.T) {
+	s := NewStore(Options{Workers: 1, ManualEpochs: true, GC: true, Snapshots: true})
+	defer s.Close()
+	a := s.CreateTable("alpha")
+	b := s.CreateTable("beta")
+	w := s.Worker(0)
+
+	for i := 0; i < 5; i++ {
+		if err := w.Run(func(tx *Tx) error {
+			if err := tx.Insert(a, []byte{byte(i + 1)}, []byte("v")); err != nil {
+				return err
+			}
+			return tx.Insert(b, []byte{byte(i + 1)}, []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Run(func(tx *Tx) error {
+		_, err := tx.Get(a, []byte{1})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One explicit abort and one hook-poisoned abort.
+	tx := w.Begin()
+	tx.Abort()
+	boom := errors.New("boom")
+	a.AddWriteHook(failingHook{err: boom})
+	tx = w.Begin()
+	if err := tx.Put(a, []byte{1}, []byte("x")); err != boom {
+		t.Fatalf("hooked put err = %v", err)
+	}
+	if err := tx.Commit(); err != boom {
+		t.Fatalf("poisoned commit err = %v", err)
+	}
+
+	var snap obs.Snapshot
+	s.CollectObs(&snap)
+	if got := snap.Value("silo_core_commits_total", ""); got != 6 {
+		t.Errorf("commits = %d, want 6", got)
+	}
+	if got := snap.Value("silo_core_aborts_total", "explicit"); got != 1 {
+		t.Errorf("explicit aborts = %d, want 1", got)
+	}
+	if got := snap.Value("silo_core_aborts_total", "hook_poisoned"); got != 1 {
+		t.Errorf("hook_poisoned aborts = %d, want 1", got)
+	}
+	// 5 committed inserts plus the poisoned Put's staged write: tallies
+	// flush on abort too, so staged-then-aborted writes are visible.
+	if got := snap.Value("silo_table_writes_total", "alpha"); got != 6 {
+		t.Errorf("alpha writes = %d, want 6", got)
+	}
+	if got := snap.Value("silo_table_writes_total", "beta"); got != 5 {
+		t.Errorf("beta writes = %d, want 5", got)
+	}
+	if got := snap.Value("silo_table_reads_total", "alpha"); got == 0 {
+		t.Error("alpha reads = 0, want > 0")
+	}
+	if s.Stats().Commits != 6 {
+		t.Errorf("legacy Stats.Commits = %d", s.Stats().Commits)
+	}
+}
+
+type failingHook struct{ err error }
+
+func (h failingHook) OnInsert(tx *Tx, pk, val []byte) error            { return h.err }
+func (h failingHook) OnUpdate(tx *Tx, pk, oldVal, newVal []byte) error { return h.err }
+func (h failingHook) OnDelete(tx *Tx, pk, oldVal []byte) error         { return h.err }
+
+func TestDisableObs(t *testing.T) {
+	s := NewStore(Options{Workers: 1, ManualEpochs: true, DisableObs: true})
+	defer s.Close()
+	tab := s.CreateTable("t")
+	w := s.Worker(0)
+	if err := w.Run(func(tx *Tx) error { return tx.Insert(tab, []byte{1}, []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	s.CollectObs(&snap)
+	if got := snap.Value("silo_core_commits_total", ""); got != 0 {
+		t.Errorf("commits with DisableObs = %d, want 0", got)
+	}
+	if s.Stats().Commits != 1 {
+		t.Errorf("legacy Stats.Commits = %d, want 1", s.Stats().Commits)
+	}
+}
+
+func TestAbortBreakdownValidation(t *testing.T) {
+	s := NewStore(Options{Workers: 2, ManualEpochs: true})
+	defer s.Close()
+	tab := s.CreateTable("t")
+	w0, w1 := s.Worker(0), s.Worker(1)
+	if err := w0.Run(func(tx *Tx) error { return tx.Insert(tab, []byte{1}, []byte("a")) }); err != nil {
+		t.Fatal(err)
+	}
+	// w0 reads key 1, w1 overwrites it, w0's commit must fail read
+	// validation.
+	tx := w0.Begin()
+	if _, err := tx.Get(tab, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Run(func(tx1 *Tx) error { return tx1.Put(tab, []byte{1}, []byte("b")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrConflict {
+		t.Fatalf("commit err = %v, want ErrConflict", err)
+	}
+	var snap obs.Snapshot
+	s.CollectObs(&snap)
+	if got := snap.Value("silo_core_aborts_total", "read_validation"); got != 1 {
+		t.Errorf("read_validation aborts = %d, want 1", got)
+	}
+}

@@ -72,6 +72,10 @@ type Options struct {
 	// ManualEpochs suppresses the epoch-advancing goroutine; tests drive
 	// epochs with Store.AdvanceEpoch.
 	ManualEpochs bool
+	// DisableObs turns off the per-worker observability shards (see
+	// internal/obs). It exists for the instrumentation-overhead
+	// benchmark baseline; production configurations leave it false.
+	DisableObs bool
 	// Clock drives the epoch-advancing thread; nil means real time. The
 	// deterministic simulation harness (internal/sim) substitutes a
 	// manually stepped clock.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"sort"
+	"time"
 
 	"silo/internal/btree"
 	"silo/internal/record"
@@ -60,9 +61,10 @@ type Tx struct {
 	reads  []readEntry
 	writes []writeEntry
 	nodes  []nodeEntry
-	rbuf   []byte // scratch buffer for record reads
-	hbuf   []byte // scratch buffer for hook old-value snapshots
-	fail   error  // set by a failed WriteHook; poisons Commit
+	rbuf   []byte       // scratch buffer for record reads
+	hbuf   []byte       // scratch buffer for hook old-value snapshots
+	tally  []tableTally // per-table read/write counts, flushed to the obs shard
+	fail   error        // set by a failed WriteHook; poisons Commit
 	active bool
 }
 
@@ -70,6 +72,7 @@ func (tx *Tx) reset() {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.nodes = tx.nodes[:0]
+	tx.tally = tx.tally[:0]
 	tx.fail = nil
 }
 
@@ -148,7 +151,7 @@ func (tx *Tx) pushWrite(t *Table, rec *record.Record, key, value []byte, kind wr
 	we.ours = ours
 	we.prelock = 0
 	we.seq = uint32(len(tx.writes) - 1)
-	tx.w.stats.Writes++
+	tx.tallyWrite(t)
 }
 
 // hookInsert, hookUpdate and hookDelete dispatch a table's registered
@@ -212,7 +215,7 @@ func (tx *Tx) Get(t *Table, key []byte) ([]byte, error) {
 	val, w := rec.Read(tx.rbuf)
 	tx.rbuf = val[:0]
 	tx.addRead(rec, w)
-	tx.w.stats.Reads++
+	tx.tallyRead(t)
 	if w.Absent() {
 		return nil, ErrNotFound
 	}
@@ -248,7 +251,7 @@ func (tx *Tx) GetAppend(t *Table, key, buf []byte) ([]byte, error) {
 	val, w := rec.Read(tx.rbuf)
 	tx.rbuf = val[:0]
 	tx.addRead(rec, w)
-	tx.w.stats.Reads++
+	tx.tallyRead(t)
 	if w.Absent() {
 		return buf, ErrNotFound
 	}
@@ -296,7 +299,7 @@ func (tx *Tx) GetBatch(t *Table, keys [][]byte, fn func(i int, val []byte, err e
 		val, w := rec.Read(tx.rbuf)
 		tx.rbuf = val[:0]
 		tx.addRead(rec, w)
-		tx.w.stats.Reads++
+		tx.tallyRead(t)
 		if w.Absent() {
 			return fn(i, nil, ErrNotFound)
 		}
@@ -492,7 +495,7 @@ func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) err
 			val, w := rec.Read(tx.rbuf)
 			tx.rbuf = val[:0]
 			tx.addRead(rec, w)
-			tx.w.stats.Reads++
+			tx.tallyRead(t)
 			if w.Absent() {
 				return true
 			}
@@ -515,6 +518,16 @@ func (tx *Tx) Abort() {
 	tx.abortCleanup()
 	tx.active = false
 	tx.w.stats.Aborts++
+	if o := tx.w.obs; o != nil {
+		// A poisoned transaction (failed WriteHook) aborts through here
+		// too — tx.fail distinguishes it from an application Abort.
+		if tx.fail != nil {
+			o.aborts[obsAbortHookPoisoned].Inc()
+		} else {
+			o.aborts[obsAbortExplicit].Inc()
+		}
+	}
+	tx.flushTally()
 	tx.w.finishTx()
 }
 
@@ -545,6 +558,20 @@ func (tx *Tx) Commit() error {
 	w := tx.w
 	s := w.store
 
+	// Sampled phase timing: 1 in phaseSampleInterval commits per worker
+	// reads the clock at the three phase boundaries; all others pay one
+	// plain increment and a mask test, keeping instrumented throughput
+	// within the no-obs baseline's noise.
+	var t0, t1, t2 time.Time
+	sample := false
+	if o := w.obs; o != nil {
+		o.tick++
+		if o.tick&(phaseSampleInterval-1) == 0 {
+			sample = true
+			t0 = time.Now()
+		}
+	}
+
 	// Phase 1: lock all written records, in the global order given by
 	// record addresses, to avoid deadlock (§4.4).
 	if len(tx.writes) > 1 {
@@ -554,6 +581,9 @@ func (tx *Tx) Commit() error {
 	}
 	for i := range tx.writes {
 		tx.writes[i].prelock = tx.writes[i].rec.Lock()
+	}
+	if sample {
+		t1 = time.Now()
 	}
 
 	// Serialization point: a single atomic read of the global epoch. Go's
@@ -597,6 +627,9 @@ func (tx *Tx) Commit() error {
 	} else {
 		commit = w.gen.Generate(e, maxObserved)
 	}
+	if sample {
+		t2 = time.Now()
+	}
 
 	// Phase 3: install the writes and release each lock as soon as its
 	// record is written. The new TID becomes visible atomically with the
@@ -631,6 +664,16 @@ func (tx *Tx) Commit() error {
 
 	tx.active = false
 	w.stats.Commits++
+	if o := w.obs; o != nil {
+		o.commits.Inc()
+		if sample {
+			t3 := time.Now()
+			o.phase[obsPhaseLock].ObserveDuration(t1.Sub(t0).Nanoseconds())
+			o.phase[obsPhaseValidate].ObserveDuration(t2.Sub(t1).Nanoseconds())
+			o.phase[obsPhaseInstall].ObserveDuration(t3.Sub(t2).Nanoseconds())
+		}
+	}
+	tx.flushTally()
 	w.finishTx()
 	return nil
 }
@@ -671,9 +714,18 @@ func (tx *Tx) abortCommit(reason abortReason) error {
 	case abortNodeValidation:
 		tx.w.stats.AbortsNodeValidation++
 	}
+	if o := tx.w.obs; o != nil {
+		switch reason {
+		case abortReadValidation:
+			o.aborts[obsAbortReadValidation].Inc()
+		case abortNodeValidation:
+			o.aborts[obsAbortNodeValidation].Inc()
+		}
+	}
 	tx.abortCleanup()
 	tx.active = false
 	tx.w.stats.Aborts++
+	tx.flushTally()
 	tx.w.finishTx()
 	return ErrConflict
 }

@@ -17,6 +17,7 @@ type Worker struct {
 	gc    gcState
 	arena arena
 	stats Stats
+	obs   *workerObs // nil when Options.DisableObs (benchmark baseline)
 	logFn LogFunc
 
 	tx   Tx     // reusable transaction
@@ -26,6 +27,9 @@ type Worker struct {
 
 func newWorker(s *Store, id int) *Worker {
 	w := &Worker{id: id, store: s, slot: s.epochs.Slot(id)}
+	if !s.opts.DisableObs {
+		w.obs = &workerObs{}
+	}
 	w.tx.w = w
 	w.stx.w = w
 	return w

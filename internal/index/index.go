@@ -79,6 +79,10 @@ type Index struct {
 	// total byte width of the projection (sum of Include segment lengths).
 	include KeyFunc
 	width   int
+
+	// obs counts scans by resolution mode; Registry.CollectObs aggregates
+	// it across the registry's indexes.
+	obs indexObs
 }
 
 // New declares an index named name over table on: it creates the entry

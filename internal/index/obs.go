@@ -1,0 +1,58 @@
+package index
+
+import (
+	"silo/internal/obs"
+)
+
+// indexObs counts how each index's reads resolve. The interesting signal
+// is the resolution-mode mix — per-entry point reads vs batched
+// multi-get descents vs covering (no resolution at all) — which tells an
+// operator whether workloads are hitting the scan shape the index was
+// declared for. One counter increment per scan or lookup call (not per
+// entry), on the index the call targets.
+type indexObs struct {
+	scanPerEntry    obs.Counter // Scan: one point read per entry
+	scanBatched     obs.Counter // ScanBatched: ordered multi-get resolution
+	scanCovering    obs.Counter // ScanCovering: served from entry values
+	scanEntries     obs.Counter // ScanEntries: no resolution, keys only
+	snapScan        obs.Counter // SnapScan: per-entry against a snapshot
+	snapCovering    obs.Counter // SnapScanCovering: covering at a snapshot
+	lookups         obs.Counter // Lookup: unique point resolution
+	lookupConflicts obs.Counter // Lookup/Scan resolutions that hit ErrConflict
+}
+
+// scanModes pairs each resolution-mode counter with its label, in the
+// order CollectObs emits them.
+var scanModeNames = [...]string{
+	"per_entry", "batched", "covering", "entries", "snapshot", "snapshot_covering",
+}
+
+func (o *indexObs) modeCounters() [6]*obs.Counter {
+	return [6]*obs.Counter{
+		&o.scanPerEntry, &o.scanBatched, &o.scanCovering,
+		&o.scanEntries, &o.snapScan, &o.snapCovering,
+	}
+}
+
+// CollectObs appends the registry's scan-resolution metrics to snap,
+// aggregated across registered indexes: silo_index_scans_total broken
+// down by resolution mode, total unique lookups, and resolutions that
+// surfaced ErrConflict (a writer got between the two trees and the
+// caller had to retry).
+func (r *Registry) CollectObs(snap *obs.Snapshot) {
+	var modes [6]uint64
+	var lookups, conflicts uint64
+	for _, ix := range r.All() {
+		cs := ix.obs.modeCounters()
+		for i, c := range cs {
+			modes[i] += c.Load()
+		}
+		lookups += ix.obs.lookups.Load()
+		conflicts += ix.obs.lookupConflicts.Load()
+	}
+	for i, name := range scanModeNames {
+		snap.Counter("silo_index_scans_total", "mode", name, modes[i])
+	}
+	snap.Counter("silo_index_lookups_total", "", "", lookups)
+	snap.Counter("silo_index_resolve_conflicts_total", "", "", conflicts)
+}

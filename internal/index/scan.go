@@ -36,6 +36,7 @@ var ErrNotCovering = errors.New("silo: index is not covering (declared without a
 // only need included fields a covering index skips resolution entirely
 // (ScanCovering).
 func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
+	ix.obs.scanPerEntry.Inc()
 	var inner error
 	var pkb, vbuf []byte
 	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
@@ -50,6 +51,7 @@ func Scan(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) boo
 		v, gerr := tx.GetAppend(ix.On, pkb, vbuf[:0])
 		vbuf = v
 		if gerr == core.ErrNotFound {
+			ix.obs.lookupConflicts.Inc()
 			inner = core.ErrConflict
 			return false
 		}
@@ -110,6 +112,7 @@ var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 // returning false saves callback work but not resolution work; pass max
 // when the caller wants a bounded prefix.
 func ScanBatched(tx *core.Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk, val []byte) bool) error {
+	ix.obs.scanBatched.Inc()
 	sc := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(sc)
 	sc.buf, sc.ents = sc.buf[:0], sc.ents[:0]
@@ -183,6 +186,7 @@ func ScanBatched(tx *core.Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk,
 		if err == core.ErrNotFound {
 			// Entry without its row: a concurrent writer got between the
 			// two trees; the caller retries.
+			ix.obs.lookupConflicts.Inc()
 			inner = core.ErrConflict
 			return false
 		}
@@ -234,6 +238,7 @@ func ScanCovering(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, fields 
 	if !ix.Covering() {
 		return ErrNotCovering
 	}
+	ix.obs.scanCovering.Inc()
 	var inner error
 	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
 		pk, fields, perr := ix.SplitEntryValue(ev)
@@ -257,6 +262,7 @@ func ScanCovering(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk, fields 
 // and alias transaction buffers: copy pk out before issuing further reads
 // on tx.
 func ScanEntries(tx *core.Tx, ix *Index, lo, hi []byte, fn func(sk, pk []byte) bool) error {
+	ix.obs.scanEntries.Inc()
 	var inner error
 	err := tx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
 		pk, perr := ix.EntryValuePK(ev)
@@ -280,6 +286,7 @@ func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
 	if !ix.Unique {
 		return nil, nil, ErrNotUnique
 	}
+	ix.obs.lookups.Inc()
 	ev, err := tx.Get(ix.Entries, sk)
 	if err != nil {
 		return nil, nil, err
@@ -292,6 +299,7 @@ func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
 	if err == core.ErrNotFound {
 		// The entry exists but its row is gone: a concurrent writer got
 		// between the two reads; retry.
+		ix.obs.lookupConflicts.Inc()
 		return nil, nil, core.ErrConflict
 	}
 	if err != nil {
@@ -307,6 +315,7 @@ func Lookup(tx *core.Tx, ix *Index, sk []byte) (pk, val []byte, err error) {
 // visible too; a missing row can only mean the index predates its table's
 // rows (no Backfill) and is skipped.
 func SnapScan(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk, val []byte) bool) error {
+	ix.obs.snapScan.Inc()
 	var inner error
 	var pkb []byte
 	err := stx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
@@ -341,6 +350,7 @@ func SnapScanCovering(stx *core.SnapTx, ix *Index, lo, hi []byte, fn func(sk, pk
 	if !ix.Covering() {
 		return ErrNotCovering
 	}
+	ix.obs.snapCovering.Inc()
 	var inner error
 	err := stx.Scan(ix.Entries, lo, hi, func(ek, ev []byte) bool {
 		pk, fields, perr := ix.SplitEntryValue(ev)

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SnapshotVersion is the current binary snapshot format version. The
+// STATS wire frame carries exactly this encoding, so the format is
+// versioned independently of the frame grammar: a future v2 can add
+// sample shapes without renumbering the frame.
+const SnapshotVersion = 1
+
+// ErrSnapshotMalformed reports a binary snapshot that violates the v1
+// grammar. Decoding is strict in the same way the wire decoder is:
+// every length claim is checked against the remaining payload before
+// use, truncated payloads never decode, and the canonical-form rules
+// (no empty names, label values only under label keys, histogram
+// buckets strictly ascending with nonzero counts) make decode∘encode
+// the identity on valid payloads.
+var ErrSnapshotMalformed = errors.New("obs: malformed snapshot")
+
+func snapMalformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotMalformed, fmt.Sprintf(format, args...))
+}
+
+// Binary layout (v1, all integers big-endian):
+//
+//	u8  version (=1)
+//	u32 sample count
+//	per sample:
+//	  u8 kind (1 counter, 2 gauge, 3 histogram)
+//	  u8 name length (nonzero) | name bytes
+//	  u8 label key length      | key bytes
+//	  u8 label value length    | value bytes (must be 0 when key is 0)
+//	  counter/gauge: u64 value
+//	  histogram:     u64 count, u64 sum,
+//	                 u8 nonzero bucket count | (u8 index, u64 count)...
+//	                 (indices strictly ascending < NumBuckets, counts nonzero)
+//
+// minSampleBytes is the smallest possible sample (unlabeled counter
+// with a one-byte name); the sample-count claim is validated against it
+// before any allocation, mirroring the wire decoder's
+// claim-vs-remaining discipline.
+const minSampleBytes = 1 + 2 + 1 + 1 + 8
+
+// AppendBinary appends the versioned binary encoding of s to dst and
+// returns the extended slice.
+func (s *Snapshot) AppendBinary(dst []byte) []byte {
+	dst = append(dst, SnapshotVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Samples)))
+	for i := range s.Samples {
+		m := &s.Samples[i]
+		dst = append(dst, byte(m.Kind))
+		dst = appendStr8(dst, m.Name)
+		dst = appendStr8(dst, m.LabelKey)
+		dst = appendStr8(dst, m.LabelValue)
+		switch m.Kind {
+		case KindHist:
+			dst = binary.BigEndian.AppendUint64(dst, m.Hist.Count)
+			dst = binary.BigEndian.AppendUint64(dst, m.Hist.Sum)
+			nz := 0
+			for _, b := range m.Hist.Buckets {
+				if b != 0 {
+					nz++
+				}
+			}
+			dst = append(dst, byte(nz))
+			for bi, b := range m.Hist.Buckets {
+				if b != 0 {
+					dst = append(dst, byte(bi))
+					dst = binary.BigEndian.AppendUint64(dst, b)
+				}
+			}
+		default:
+			dst = binary.BigEndian.AppendUint64(dst, m.Value)
+		}
+	}
+	return dst
+}
+
+func appendStr8(dst []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+// snapReader is a bounds-checked cursor over a snapshot payload.
+type snapReader struct {
+	b   []byte
+	off int
+}
+
+func (r *snapReader) remaining() int { return len(r.b) - r.off }
+
+func (r *snapReader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, snapMalformed("truncated at byte %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *snapReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, snapMalformed("truncated at byte %d", r.off)
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *snapReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, snapMalformed("truncated at byte %d", r.off)
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *snapReader) str8() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if r.remaining() < int(n) {
+		return "", snapMalformed("string length %d exceeds remaining %d", n, r.remaining())
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// DecodeSnapshot parses a v1 binary snapshot. It is strict: any
+// truncation, trailing bytes, unknown version or kind, or
+// non-canonical form fails with ErrSnapshotMalformed.
+func DecodeSnapshot(payload []byte) (*Snapshot, error) {
+	r := &snapReader{b: payload}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != SnapshotVersion {
+		return nil, snapMalformed("unsupported version %d", ver)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Claim-vs-remaining guard before allocating.
+	if int64(n) > int64(r.remaining()/minSampleBytes)+1 {
+		return nil, snapMalformed("sample count %d exceeds payload capacity", n)
+	}
+	s := &Snapshot{Samples: make([]Sample, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		var m Sample
+		k, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		m.Kind = MetricKind(k)
+		if m.Kind != KindCounter && m.Kind != KindGauge && m.Kind != KindHist {
+			return nil, snapMalformed("sample %d: unknown kind %d", i, k)
+		}
+		if m.Name, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if m.Name == "" {
+			return nil, snapMalformed("sample %d: empty name", i)
+		}
+		if m.LabelKey, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if m.LabelValue, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if m.LabelKey == "" && m.LabelValue != "" {
+			return nil, snapMalformed("sample %d: label value without key", i)
+		}
+		switch m.Kind {
+		case KindHist:
+			if m.Hist.Count, err = r.u64(); err != nil {
+				return nil, err
+			}
+			if m.Hist.Sum, err = r.u64(); err != nil {
+				return nil, err
+			}
+			nb, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			last := -1
+			for j := 0; j < int(nb); j++ {
+				idx, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				if int(idx) >= NumBuckets || int(idx) <= last {
+					return nil, snapMalformed("sample %d: bucket index %d out of order", i, idx)
+				}
+				last = int(idx)
+				c, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				if c == 0 {
+					return nil, snapMalformed("sample %d: zero bucket count", i)
+				}
+				m.Hist.Buckets[idx] = c
+			}
+		default:
+			if m.Value, err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
+		s.Samples = append(s.Samples, m)
+	}
+	if r.remaining() != 0 {
+		return nil, snapMalformed("%d trailing bytes", r.remaining())
+	}
+	return s, nil
+}

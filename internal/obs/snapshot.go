@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// MetricKind distinguishes the three sample shapes a Snapshot carries.
+type MetricKind uint8
+
+const (
+	// KindCounter is a monotonically increasing total.
+	KindCounter MetricKind = 1
+	// KindGauge is an instantaneous value.
+	KindGauge MetricKind = 2
+	// KindHist is a power-of-two-bucket distribution.
+	KindHist MetricKind = 3
+)
+
+// Sample is one named metric in a Snapshot. At most one label pair is
+// carried — every per-thing breakdown in the engine (per table, per
+// opcode, per abort reason, per scan mode) is one-dimensional, and a
+// single pair keeps the binary encoding and the wire frame small.
+type Sample struct {
+	Name       string
+	LabelKey   string // empty when unlabeled
+	LabelValue string
+	Kind       MetricKind
+	Value      uint64       // counters and gauges
+	Hist       HistSnapshot // histograms
+}
+
+// Snapshot is an ordered set of samples captured across the engine's
+// layers at (roughly) one instant. Layers append their families via the
+// Counter/Gauge/Histogram helpers; the result renders as Prometheus
+// text, expvar JSON, or the versioned binary form the STATS wire frame
+// carries.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Counter appends a counter sample.
+func (s *Snapshot) Counter(name, lk, lv string, v uint64) {
+	s.Samples = append(s.Samples, Sample{Name: name, LabelKey: lk, LabelValue: lv, Kind: KindCounter, Value: v})
+}
+
+// Gauge appends a gauge sample.
+func (s *Snapshot) Gauge(name, lk, lv string, v uint64) {
+	s.Samples = append(s.Samples, Sample{Name: name, LabelKey: lk, LabelValue: lv, Kind: KindGauge, Value: v})
+}
+
+// Histogram appends a histogram sample.
+func (s *Snapshot) Histogram(name, lk, lv string, h HistSnapshot) {
+	s.Samples = append(s.Samples, Sample{Name: name, LabelKey: lk, LabelValue: lv, Kind: KindHist, Hist: h})
+}
+
+// Get returns the first sample matching name (and label value, when lv
+// is non-empty), or nil.
+func (s *Snapshot) Get(name, lv string) *Sample {
+	for i := range s.Samples {
+		m := &s.Samples[i]
+		if m.Name == name && (lv == "" || m.LabelValue == lv) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Value returns the counter/gauge value of the first matching sample,
+// or 0 when absent.
+func (s *Snapshot) Value(name, lv string) uint64 {
+	if m := s.Get(name, lv); m != nil {
+		return m.Value
+	}
+	return 0
+}
+
+// Sort orders samples by (name, label key, label value); encoding after
+// a Sort makes two snapshots with the same contents byte-comparable,
+// which the simulation determinism oracle relies on.
+func (s *Snapshot) Sort() {
+	sort.SliceStable(s.Samples, func(i, j int) bool {
+		a, b := &s.Samples[i], &s.Samples[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.LabelKey != b.LabelKey {
+			return a.LabelKey < b.LabelKey
+		}
+		return a.LabelValue < b.LabelValue
+	})
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format. Histograms render cumulatively with `le` bucket
+// bounds (raw values — nanoseconds for latency families — not seconds),
+// plus _sum and _count series. Zero buckets are skipped; the +Inf
+// bucket is always present.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	types := map[MetricKind]string{KindCounter: "counter", KindGauge: "gauge", KindHist: "histogram"}
+	seen := map[string]bool{}
+	for i := range s.Samples {
+		m := &s.Samples[i]
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, types[m.Kind]); err != nil {
+				return err
+			}
+		}
+		label := ""
+		if m.LabelKey != "" {
+			label = fmt.Sprintf(`%s="%s"`, m.LabelKey, escapeLabel(m.LabelValue))
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			series := m.Name
+			if label != "" {
+				series += "{" + label + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, m.Value); err != nil {
+				return err
+			}
+		case KindHist:
+			sep := ""
+			if label != "" {
+				sep = label + ","
+			}
+			cum := uint64(0)
+			for b, n := range m.Hist.Buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", m.Name, sep, BucketUpper(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", m.Name, sep, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+				m.Name, suffixLabel(label), m.Hist.Sum, m.Name, suffixLabel(label), m.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func suffixLabel(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+// ExpvarMap flattens the snapshot into a JSON-encodable map for
+// /debug/vars: counters and gauges become numbers keyed by
+// name[.labelvalue], histograms become {count, sum, mean, p50, p99}.
+func (s *Snapshot) ExpvarMap() map[string]any {
+	out := make(map[string]any, len(s.Samples))
+	for i := range s.Samples {
+		m := &s.Samples[i]
+		key := m.Name
+		if m.LabelValue != "" {
+			key += "." + m.LabelValue
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			out[key] = m.Value
+		case KindHist:
+			out[key] = map[string]any{
+				"count": m.Hist.Count,
+				"sum":   m.Hist.Sum,
+				"mean":  m.Hist.Mean(),
+				"p50":   m.Hist.Quantile(0.50),
+				"p99":   m.Hist.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}

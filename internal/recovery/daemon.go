@@ -68,6 +68,8 @@ type Daemon struct {
 	mu     sync.Mutex
 	stats  DaemonStats
 	lastCE uint64
+
+	obs daemonObs
 }
 
 // NewDaemon creates a daemon without starting it; RunOnce drives it
@@ -163,6 +165,9 @@ func (d *Daemon) RunOnce() error {
 		removed, err = d.wal.TruncateCovered(res.Epoch)
 		truncated = len(removed)
 	}
+
+	d.obs.duration.ObserveDuration(res.Elapsed.Nanoseconds())
+	d.obs.bytes.Observe(uint64(res.Bytes))
 
 	d.mu.Lock()
 	d.lastCE = res.Epoch

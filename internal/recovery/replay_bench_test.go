@@ -96,6 +96,7 @@ func BenchmarkReplay(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var txns int
+			var logBytes int64
 			for i := 0; i < b.N; i++ {
 				s := core.NewStore(core.DefaultOptions(1))
 				s.CreateTable("a")
@@ -105,9 +106,14 @@ func BenchmarkReplay(b *testing.B) {
 					b.Fatal(err)
 				}
 				txns = res.TxnsApplied
+				logBytes = res.LogBytes
 				s.Close()
 			}
+			// txns/s and MB/s are the trajectory numbers BENCH_RECOVERY.json
+			// tracks (MB/s over the parsed log bytes, the same denominator
+			// as silo_recovery_replay_bytes_per_sec).
 			b.ReportMetric(float64(txns)*float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+			b.ReportMetric(float64(logBytes)*float64(b.N)/(1e6*b.Elapsed().Seconds()), "MB/s")
 		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"silo/internal/catalog"
 	"silo/internal/core"
 	"silo/internal/index"
+	"silo/internal/obs"
 	"silo/internal/recovery"
 	"silo/internal/tid"
 )
@@ -41,6 +42,16 @@ type Result struct {
 	// DurableEpoch and CheckpointEpoch are what recovery reported.
 	DurableEpoch    uint64
 	CheckpointEpoch uint64
+	// ObsCounters and ObsRecovered are canonical binary encodings of the
+	// deterministic metric samples — counters and gauges, with every
+	// wall-clock-valued series (timing histograms, _ns and _per_sec
+	// gauges) dropped. ObsCounters is the engine's snapshot just before
+	// shutdown or crash; ObsRecovered is the reopened engine's snapshot
+	// right after recovery, replay counters included. Under the sim clock
+	// all background activity is synchronous, so two runs of the same
+	// seed must produce both byte for byte.
+	ObsCounters  []byte
+	ObsRecovered []byte
 }
 
 // commitRec tracks one acknowledged commit for the exact-state oracle.
@@ -228,6 +239,7 @@ func ExploreConfig(seed int64, cfg Config) (Result, error) {
 		}
 	}
 	res.Commits = len(commits)
+	res.ObsCounters = counterFingerprint(db.Observe())
 
 	var lastCommitEpoch uint64
 	for _, c := range commits {
@@ -285,6 +297,7 @@ func ExploreConfig(seed int64, cfg Config) (Result, error) {
 	}
 	res.DurableEpoch = rres.DurableEpoch
 	res.CheckpointEpoch = rres.CheckpointEpoch
+	res.ObsRecovered = counterFingerprint(db2.Observe())
 	eff := rres.DurableEpoch
 	if rres.CheckpointEpoch > eff {
 		eff = rres.CheckpointEpoch
@@ -355,6 +368,26 @@ func ExploreConfig(seed int64, cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// counterFingerprint reduces a snapshot to its deterministic samples —
+// counters and gauges, minus anything timing-valued — sorted and rendered
+// in the canonical binary form, so two snapshots are comparable byte for
+// byte. Timing histograms and the _ns/_per_sec gauges measure wall-clock
+// durations, which no simulated clock makes reproducible; everything else
+// (commit, abort, table, WAL, checkpoint, and replay counters) is a pure
+// function of the seeded history.
+func counterFingerprint(snap *silo.ObsSnapshot) []byte {
+	var det obs.Snapshot
+	for _, m := range snap.Samples {
+		if m.Kind == obs.KindHist ||
+			strings.HasSuffix(m.Name, "_ns") || strings.HasSuffix(m.Name, "_per_sec") {
+			continue
+		}
+		det.Samples = append(det.Samples, m)
+	}
+	det.Sort()
+	return det.AppendBinary(nil)
 }
 
 func opName(del bool) string {

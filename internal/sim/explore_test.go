@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"silo/internal/obs"
 )
 
 // TestSeedCorpus runs the explorer over a fixed corpus of seeds. Every
@@ -18,8 +22,10 @@ func TestSeedCorpus(t *testing.T) {
 }
 
 // TestReplayDeterminism asserts the property every other test leans on:
-// running the same seed twice produces the identical op trace and the
-// identical disk image, bit for bit.
+// running the same seed twice produces the identical op trace, the
+// identical disk image, and the identical deterministic metric samples
+// (commit/abort/table counters before shutdown, replay counters after
+// recovery), bit for bit.
 func TestReplayDeterminism(t *testing.T) {
 	for seed := int64(1); seed <= 50; seed++ {
 		a, errA := Explore(seed)
@@ -33,7 +39,53 @@ func TestReplayDeterminism(t *testing.T) {
 		if a.FSHash != b.FSHash {
 			t.Fatalf("seed %d: disk image hash diverged: %016x vs %016x", seed, a.FSHash, b.FSHash)
 		}
+		if !bytes.Equal(a.ObsCounters, b.ObsCounters) {
+			t.Fatalf("seed %d: pre-shutdown counters diverged between runs:\n%s", seed, counterDiff(t, a.ObsCounters, b.ObsCounters))
+		}
+		if !bytes.Equal(a.ObsRecovered, b.ObsRecovered) {
+			t.Fatalf("seed %d: post-recovery counters diverged between runs:\n%s", seed, counterDiff(t, a.ObsRecovered, b.ObsRecovered))
+		}
+
+		// The fingerprints are real snapshots, not hashes: they decode,
+		// and their headline series bound the history's own bookkeeping.
+		pre, err := obs.DecodeSnapshot(a.ObsCounters)
+		if err != nil {
+			t.Fatalf("seed %d: pre-shutdown fingerprint does not decode: %v", seed, err)
+		}
+		if got := pre.Value("silo_core_commits_total", ""); got < uint64(a.Commits) {
+			t.Fatalf("seed %d: commit counter %d below the %d acknowledged commits", seed, got, a.Commits)
+		}
+		post, err := obs.DecodeSnapshot(a.ObsRecovered)
+		if err != nil {
+			t.Fatalf("seed %d: post-recovery fingerprint does not decode: %v", seed, err)
+		}
+		if post.Get("silo_recovery_txns_applied", "") == nil {
+			t.Fatalf("seed %d: post-recovery fingerprint missing replay counters", seed)
+		}
+		for _, m := range append(pre.Samples, post.Samples...) {
+			if m.Kind == obs.KindHist || strings.HasSuffix(m.Name, "_ns") {
+				t.Fatalf("seed %d: wall-clock series %s leaked into a determinism fingerprint", seed, m.Name)
+			}
+		}
 	}
+}
+
+// counterDiff names the samples that differ between two counter
+// fingerprints for a failure message.
+func counterDiff(t *testing.T, a, b []byte) string {
+	t.Helper()
+	sa, errA := obs.DecodeSnapshot(a)
+	sb, errB := obs.DecodeSnapshot(b)
+	if errA != nil || errB != nil {
+		return "fingerprints undecodable"
+	}
+	var out strings.Builder
+	for _, m := range sa.Samples {
+		if got := sb.Value(m.Name, m.LabelValue); got != m.Value {
+			fmt.Fprintf(&out, "%s{%s}: %d vs %d\n", m.Name, m.LabelValue, m.Value, got)
+		}
+	}
+	return out.String()
 }
 
 // TestShutdownDrainRegression pins the headline bug. Seed 1 with the

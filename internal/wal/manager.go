@@ -111,6 +111,7 @@ type Manager struct {
 	stopOnce sync.Once
 
 	stats ManagerStats
+	obs   managerObs
 }
 
 // ManagerStats aggregates logger-side counters.
@@ -189,7 +190,7 @@ func (m *Manager) Stop() {
 			}
 			lg.iterate()
 			if lg.file != nil {
-				lg.file.Sync()
+				lg.syncFile()
 				lg.file.Close()
 				lg.file = nil
 			}
@@ -279,6 +280,7 @@ type WorkerLog struct {
 	buf     []byte
 	bufEp   uint64 // epoch of the txns in buf (all equal), 0 if empty
 	ctid    atomic.Uint64
+	txns    atomic.Uint64 // transactions appended; loggers diff it per durable pass
 	queue   chan []byte
 	scratch []Entry
 }
@@ -310,6 +312,9 @@ func (wl *WorkerLog) onCommit(commit tid.Word, writes []core.LoggedWrite) {
 	}
 	wl.buf = appendTxn(wl.buf, commit.TID(), wl.scratch)
 	wl.bufEp = e
+	// Counted under mu so a logger pass that drained this worker (steal
+	// also takes mu) has observed every counted transaction's bytes.
+	wl.txns.Add(1)
 	if len(wl.buf) >= wl.m.cfg.BufferBytes {
 		wl.publishLocked()
 	}
@@ -391,6 +396,20 @@ type logger struct {
 	// rotation); the logger goroutine honours and clears it after its next
 	// durable-frame write.
 	rotateReq atomic.Bool
+
+	// passBytes accumulates bytes appended during the current pass (logger
+	// goroutine only); lastTxns remembers the worker txn total at the last
+	// durable publish, so each publish observes its group-commit batch.
+	passBytes int64
+	lastTxns  uint64
+}
+
+// syncFile is the instrumented fsync: every durability-critical Sync
+// goes through here so the fsync latency histogram sees them all.
+func (lg *logger) syncFile() {
+	t0 := time.Now()
+	lg.file.Sync()
+	lg.m.obs.fsync.ObserveDuration(time.Since(t0).Nanoseconds())
 }
 
 // SegmentName returns the file name of logger id's segment seq: the first
@@ -467,7 +486,7 @@ func (lg *logger) maybeRotate() {
 		return
 	}
 	lg.rotateReq.Store(false)
-	lg.file.Sync()
+	lg.syncFile()
 	lg.file.Close()
 	next := lg.seq.Load() + 1
 	f, _, err := lg.m.cfg.FS.OpenAppend(filepath.Join(lg.m.cfg.Dir, SegmentName(lg.id, next)))
@@ -489,10 +508,11 @@ func (lg *logger) maybeRotate() {
 	if d := lg.dl.Load(); d > 0 {
 		lg.writeDurable(d)
 		if lg.m.cfg.Sync {
-			lg.file.Sync()
+			lg.syncFile()
 			lg.wrote = false
 		}
 	}
+	lg.m.obs.rotations.Inc()
 }
 
 // iterate is one logger pass (§4.10, with one liveness refinement). The
@@ -513,6 +533,12 @@ func (lg *logger) maybeRotate() {
 //  4. d = min(E0 − 1, min over active workers of e_w − 1); append the
 //     durable frame and publish d_l.
 func (lg *logger) iterate() {
+	lg.passBytes = 0
+	defer func() {
+		if lg.passBytes > 0 {
+			lg.m.obs.passBytes.Observe(uint64(lg.passBytes))
+		}
+	}()
 	e0 := lg.m.epochs.Global()
 	if e0 == 0 {
 		return
@@ -545,18 +571,29 @@ func (lg *logger) iterate() {
 	}
 	if d == 0 || d <= lg.dl.Load() {
 		if lg.m.cfg.Sync && lg.file != nil && lg.wrote {
-			lg.file.Sync()
+			lg.syncFile()
 			lg.wrote = false
 		}
 		return
 	}
 	lg.writeDurable(d)
 	if lg.m.cfg.Sync && lg.file != nil && lg.wrote {
-		lg.file.Sync()
+		lg.syncFile()
 		lg.wrote = false
 	}
 	lg.dl.Store(d)
 	lg.m.publishDurable()
+	// One durable publish covers everything its workers committed since
+	// the last one: that delta is the group-commit batch size.
+	var committed uint64
+	for _, wl := range lg.workers {
+		committed += wl.txns.Load()
+	}
+	if delta := committed - lg.lastTxns; delta > 0 {
+		lg.lastTxns = committed
+		lg.m.obs.batchTxns.Observe(delta)
+		lg.m.stats.TxnsLogged.Add(delta)
+	}
 	// Rotate only right after a durable frame: the closed segment then ends
 	// with its final d_l, so recovery of any segment prefix sees a durable
 	// bound consistent with its contents.
@@ -587,6 +624,7 @@ func (lg *logger) writeBuffer(payload []byte) {
 	}
 	lg.wrote = true
 	lg.segBytes += int64(len(payload)) + 9
+	lg.passBytes += int64(len(payload)) + 9
 	lg.segHasData = true
 	lg.m.stats.BytesWritten.Add(uint64(len(payload)) + 9)
 	lg.m.stats.BuffersWritten.Add(1)
@@ -606,6 +644,7 @@ func (lg *logger) writeDurable(d uint64) {
 	}
 	lg.wrote = true
 	lg.segBytes += 13
+	lg.passBytes += 13
 	lg.m.stats.BytesWritten.Add(13)
 }
 

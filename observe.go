@@ -1,0 +1,50 @@
+package silo
+
+import (
+	"silo/internal/obs"
+)
+
+// ObsSnapshot is one point-in-time metrics snapshot: a flat list of
+// samples (counters, gauges, power-of-two-bucket histograms), renderable
+// as Prometheus text (WritePrometheus), an expvar map (ExpvarMap), or the
+// versioned binary form the STATS wire frame carries (AppendBinary /
+// obs.DecodeSnapshot via wire.DecodeResponse).
+type ObsSnapshot = obs.Snapshot
+
+// ObsSample is one sample of an ObsSnapshot.
+type ObsSample = obs.Sample
+
+// ObsHistSnapshot is a merged histogram snapshot: total count and sum plus
+// 64 power-of-two buckets, with Quantile and Mean estimators.
+type ObsHistSnapshot = obs.HistSnapshot
+
+// recoveryResultBox wraps the most recent successful Recover pass for
+// atomic publication; its figures (replay throughput, stage timings)
+// appear in Observe snapshots for the life of the process.
+type recoveryResultBox struct{ res RecoveryResult }
+
+// Observe collects one metrics snapshot across every layer of the
+// database: engine commit/abort/read/write counters with abort-reason and
+// per-table breakdowns plus commit-phase latencies, index scan-resolution
+// modes, and — when durability is on — WAL fsync latency, group-commit
+// batch sizes, durable-epoch lag, checkpoint daemon figures, and the last
+// recovery pass. Snapshots are safe to take while transactions run
+// (per-worker cells are read without coordination; totals may lag a
+// concurrent commit by a few increments) and are returned sorted, so two
+// quiesced snapshots of the same store are byte-identical in binary form.
+func (db *DB) Observe() *ObsSnapshot {
+	snap := &obs.Snapshot{}
+	db.store.CollectObs(snap)
+	db.indexes.CollectObs(snap)
+	if db.wal != nil {
+		db.wal.CollectObs(snap)
+	}
+	if db.daemon != nil {
+		db.daemon.CollectObs(snap)
+	}
+	if box := db.recovered.Load(); box != nil {
+		box.res.CollectObs(snap)
+	}
+	snap.Sort()
+	return snap
+}

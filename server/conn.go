@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"net"
+	"time"
 
 	"silo/wire"
 )
@@ -55,7 +56,8 @@ func (s *Server) handleConn(c net.Conn) {
 		// but never forever: the writer drains pending as long as
 		// executors run, and executors outlive every connection handler.
 		pending <- ch
-		s.jobs <- &job{req: req, done: ch}
+		s.obs.depth.Observe(uint64(len(pending)))
+		s.jobs <- &job{req: req, enq: time.Now(), done: ch}
 	}
 	close(pending)
 	<-writerDone

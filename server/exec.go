@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"silo"
 	"silo/wire"
@@ -15,8 +16,18 @@ import (
 // network and executing to completion on a worker core.
 func (s *Server) workerLoop(w int) {
 	defer s.workerWG.Done()
+	o := s.wobs[w]
 	for j := range s.jobs {
+		start := time.Now()
+		if !j.enq.IsZero() {
+			o.queue.ObserveDuration(start.Sub(j.enq).Nanoseconds())
+		}
+		kind := wire.KindTxn
+		if !j.req.Txn {
+			kind = j.req.Ops[0].Kind
+		}
 		resp := s.exec(w, &j.req)
+		o.latency[int(kind)&0x0F].ObserveDuration(time.Since(start).Nanoseconds())
 		if resp.Kind == wire.KindErr {
 			s.errors64.Add(1)
 		}
@@ -126,6 +137,8 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return s.execIScan(w, op)
 	case wire.KindSchema:
 		return s.execSchema()
+	case wire.KindStats:
+		return s.execStats()
 	}
 	t, err := s.table(op.Table)
 	if err != nil {

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"silo/internal/obs"
+	"silo/wire"
+)
+
+// workerObs is one executor's metrics shard: per-opcode request latency
+// (measured around exec, so it includes transaction retries) and the time
+// each job spent queued between its connection reader and this executor.
+// One shard per worker keeps the recording side uncontended.
+type workerObs struct {
+	latency [16]obs.Histogram // indexed by low nibble of the request kind
+	queue   obs.Histogram     // ns from enqueue to execution start
+}
+
+// serverObs holds the cells shared across connections: the per-connection
+// pipeline depth observed at each enqueue (how far readers run ahead of
+// their writers — the wire's analogue of queue length).
+type serverObs struct {
+	depth obs.Histogram
+}
+
+// statsKinds are the request kinds CollectObs reports latency series for.
+var statsKinds = [...]wire.Kind{
+	wire.KindGet, wire.KindPut, wire.KindInsert, wire.KindDelete,
+	wire.KindScan, wire.KindAdd, wire.KindTxn, wire.KindCreateIndex,
+	wire.KindIScan, wire.KindSchema, wire.KindDropIndex, wire.KindStats,
+}
+
+// CollectObs appends the server's own metric families to snap: connection
+// and request totals, per-opcode latency histograms merged across
+// executors (series with zero observations are skipped), queue time, and
+// pipeline depth.
+func (s *Server) CollectObs(snap *obs.Snapshot) {
+	snap.Counter("silo_server_conns_total", "", "", s.conns64.Load())
+	snap.Counter("silo_server_requests_total", "", "", s.requests64.Load())
+	snap.Counter("silo_server_errors_total", "", "", s.errors64.Load())
+	for _, k := range statsKinds {
+		var h obs.HistSnapshot
+		for _, o := range s.wobs {
+			h.Merge(o.latency[int(k)&0x0F].Snapshot())
+		}
+		if h.Count == 0 {
+			continue
+		}
+		snap.Histogram("silo_server_request_ns", "op", k.String(), h)
+	}
+	var q obs.HistSnapshot
+	for _, o := range s.wobs {
+		q.Merge(o.queue.Snapshot())
+	}
+	snap.Histogram("silo_server_queue_ns", "", "", q)
+	snap.Histogram("silo_server_pipeline_depth", "", "", s.obs.depth.Snapshot())
+}
+
+// snapshot collects the full cross-layer snapshot one STATS frame or
+// admin scrape serves: every database layer plus the server itself,
+// sorted into canonical order.
+func (s *Server) snapshot() *obs.Snapshot {
+	snap := s.db.Observe()
+	s.CollectObs(snap)
+	snap.Sort()
+	return snap
+}
+
+// execStats serves the STATS frame.
+func (s *Server) execStats() wire.Response {
+	return wire.Response{Kind: wire.KindStatsR, Stats: s.snapshot()}
+}
+
+// AdminHandler returns the server's admin HTTP handler, served by
+// cmd/silo-server's -admin listener (never on the data port):
+//
+//	/metrics     the snapshot in Prometheus text exposition format
+//	/debug/vars  the snapshot as expvar-style JSON (process vars included)
+//	/debug/pprof the standard runtime profiles
+//
+// Handlers take a fresh snapshot per request; scraping is safe while the
+// server executes transactions.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		vars := s.snapshot().ExpvarMap()
+		// Fold in the process-wide expvar vars (memstats, cmdline, and
+		// anything the embedding program published).
+		expvar.Do(func(kv expvar.KeyValue) {
+			vars[kv.Key] = json.RawMessage(kv.Value.String())
+		})
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

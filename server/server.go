@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"silo"
 	"silo/wire"
@@ -68,10 +69,18 @@ type Server struct {
 	conns64    atomic.Uint64
 	requests64 atomic.Uint64
 	errors64   atomic.Uint64
+
+	// wobs are the per-executor metrics shards; obs holds the shared
+	// cells. Both are scraped by STATS frames and the admin endpoint.
+	wobs []*workerObs
+	obs  serverObs
 }
 
 type job struct {
 	req wire.Request
+	// enq is when the connection reader dispatched the job; the executor
+	// records the difference as queue time.
+	enq time.Time
 	// done receives exactly one response; it is buffered so the executor
 	// never blocks on a connection that died.
 	done chan wire.Response
@@ -96,6 +105,10 @@ func New(db *silo.DB, opts Options) *Server {
 		jobs:      make(chan *job, db.Workers()),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	s.wobs = make([]*workerObs, db.Workers())
+	for i := range s.wobs {
+		s.wobs[i] = &workerObs{}
 	}
 	for i := 0; i < db.Workers(); i++ {
 		s.workerWG.Add(1)

@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"silo"
+	"silo/client"
+	"silo/server"
+)
+
+// TestE2EStatsLifecycle walks the STATS frame through a server's life:
+// a fresh snapshot is valid but quiet, a worked snapshot shows every
+// layer's families with plausible values, and totals are monotone across
+// consecutive snapshots.
+func TestE2EStatsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := silo.Open(silo.Options{
+		Workers:       2,
+		EpochInterval: time.Millisecond,
+		Durability:    &silo.DurabilityOptions{Dir: dir, Loggers: 1, Sync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("kv")
+	srv := server.New(db, server.Options{DisableAutoCreate: true})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := client.Dial(ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Before any data traffic: the snapshot decodes and carries the core
+	// families, with nothing committed over the wire yet.
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Get("silo_core_commits_total", "") == nil {
+		t.Fatal("fresh snapshot missing silo_core_commits_total")
+	}
+	if got := snap.Value("silo_table_writes_total", "kv"); got != 0 {
+		t.Fatalf("fresh kv writes = %d", got)
+	}
+
+	for i := 0; i < 32; i++ {
+		if err := cl.Insert("kv", []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Get("kv", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Scan("kv", []byte{0}, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	worked, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := worked.Value("silo_core_commits_total", ""); got < 32 {
+		t.Errorf("commits = %d, want >= 32", got)
+	}
+	if got := worked.Value("silo_table_writes_total", "kv"); got != 32 {
+		t.Errorf("kv writes = %d, want 32", got)
+	}
+	if got := worked.Value("silo_server_requests_total", ""); got < 35 {
+		t.Errorf("server requests = %d, want >= 35", got)
+	}
+	for _, op := range []string{"INSERT", "GET", "SCAN"} {
+		h := worked.Get("silo_server_request_ns", op)
+		if h == nil || h.Hist.Count == 0 {
+			t.Errorf("no %s latency series", op)
+		}
+	}
+	if worked.Get("silo_wal_durable_epoch", "") == nil {
+		t.Error("missing WAL families")
+	}
+	// The puts committed durably, so at least one logger pass fsynced.
+	waitFor(t, func() bool {
+		s, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := s.Get("silo_wal_fsync_ns", "")
+		return h != nil && h.Hist.Count > 0
+	}, "fsync histogram stayed empty")
+
+	again, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Value("silo_core_commits_total", "") < worked.Value("silo_core_commits_total", "") {
+		t.Error("commit total went backwards")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminHandler drives the admin mux the -admin listener serves:
+// /metrics speaks Prometheus text, /debug/vars is JSON with both snapshot
+// series and process vars, and the pprof index answers — all while the
+// server executes requests.
+func TestAdminHandler(t *testing.T) {
+	_, srv, cl := startServer(t, silo.Options{}, server.Options{}, client.Options{})
+	for i := 0; i < 8; i++ {
+		if err := cl.Insert("t", []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	admin := httptest.NewServer(srv.AdminHandler())
+	defer admin.Close()
+
+	body := httpGet(t, admin.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE silo_core_commits_total counter",
+		"silo_table_writes_total{table=\"t\"} 8",
+		"silo_server_request_ns_count{op=\"INSERT\"}",
+		"silo_index_scans_total{mode=\"batched\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, admin.URL+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["silo_core_commits_total"]; !ok {
+		t.Error("/debug/vars missing snapshot series")
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing process vars")
+	}
+
+	if !strings.Contains(httpGet(t, admin.URL+"/debug/pprof/"), "goroutine") {
+		t.Error("pprof index did not render")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -65,6 +65,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"silo/internal/catalog"
@@ -207,6 +208,9 @@ type DB struct {
 	catalog *catalog.Catalog
 	daemon  *recovery.Daemon
 	opts    Options
+
+	// recovered publishes the last successful Recover pass for Observe.
+	recovered atomic.Pointer[recoveryResultBox]
 }
 
 // Open creates a database. With Durability set, logging starts immediately.
@@ -715,6 +719,7 @@ func (db *DB) Recover() (RecoveryResult, error) {
 	if d.CheckpointInterval > 0 {
 		db.startDaemon()
 	}
+	db.recovered.Store(&recoveryResultBox{res: res})
 	return res, nil
 }
 

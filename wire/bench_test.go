@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"testing"
+)
+
+// bench_test.go prices the wire codec itself: encode+decode round trips
+// for the frames the server spends its time on (a mixed one-shot
+// transaction, a scan result page) and for the STATS snapshot frame the
+// observability layer added. CI runs these on every push and uploads the
+// raw output as the bench-wire artifact; BENCH_WIRE.json holds the
+// reference snapshot.
+
+func benchTxnRequest() *Request {
+	return &Request{Txn: true, Ops: []Op{
+		{Kind: KindGet, Table: "accounts", Key: []byte("acct-000017")},
+		{Kind: KindPut, Table: "accounts", Key: []byte("acct-000017"), Value: make([]byte, 100)},
+		{Kind: KindInsert, Table: "audit", Key: []byte("audit-0091"), Value: make([]byte, 100)},
+		{Kind: KindAdd, Table: "accounts", Key: []byte("acct-000018"), Delta: -250},
+	}}
+}
+
+func benchScanResponse() *Response {
+	pairs := make([]KV, 100)
+	for i := range pairs {
+		pairs[i] = KV{Key: []byte("acct-000017"), Value: make([]byte, 100)}
+	}
+	return &Response{Kind: KindScanR, Pairs: pairs}
+}
+
+// BenchmarkRequestRoundTrip encodes and decodes a 4-op transaction frame
+// (GET, PUT, INSERT, ADD), the shape a loadgen client pipelines.
+func BenchmarkRequestRoundTrip(b *testing.B) {
+	req := benchTxnRequest()
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if buf, err = AppendRequest(buf[:0], req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err = DecodeRequest(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkResponseRoundTrip encodes and decodes a 100-pair SCANR page of
+// 100-byte rows.
+func BenchmarkResponseRoundTrip(b *testing.B) {
+	resp := benchScanResponse()
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if buf, err = AppendResponse(buf[:0], resp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err = DecodeResponse(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkStatsRoundTrip encodes and decodes a STATSR frame carrying a
+// production-shaped snapshot (the seed corpus helper: counters, labeled
+// series, a populated histogram) — the marginal cost of polling STATS.
+func BenchmarkStatsRoundTrip(b *testing.B) {
+	resp := &Response{Kind: KindStatsR, Stats: statsSeed()}
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if buf, err = AppendResponse(buf[:0], resp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err = DecodeResponse(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -3,7 +3,25 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"silo/internal/obs"
 )
+
+// statsSeed builds a small but structurally complete metrics snapshot —
+// counter, labeled counter, gauge, and a histogram with populated buckets
+// — so the fuzzer starts from a valid STATSR body.
+func statsSeed() *obs.Snapshot {
+	var h obs.Histogram
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(1 << 20)
+	snap := &obs.Snapshot{}
+	snap.Counter("silo_core_commits_total", "", "", 42)
+	snap.Counter("silo_core_aborts_total", "reason", "read_validation", 7)
+	snap.Gauge("silo_wal_durable_epoch", "", "", 11)
+	snap.Histogram("silo_wal_fsync_ns", "", "", h.Snapshot())
+	return snap
+}
 
 // FuzzDecodeFrame feeds arbitrary payloads to both decoders: no input may
 // panic, over-allocate past its own size, or decode into a message that
@@ -51,6 +69,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		}}}},
 		{Ops: []Op{{Kind: KindDropIndex, Index: "ix"}}},
 		{Ops: []Op{{Kind: KindSchema}}},
+		{Ops: []Op{{Kind: KindStats}}},
 	}
 	for i := range seedReqs {
 		frame, err := AppendRequest(nil, &seedReqs[i])
@@ -81,6 +100,7 @@ func FuzzDecodeFrame(f *testing.F) {
 				{Name: "opq", Table: "t", Opaque: true},
 			},
 		}},
+		{Kind: KindStatsR, Stats: statsSeed()},
 	}
 	for i := range seedResps {
 		frame, err := AppendResponse(nil, &seedResps[i])

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStatsRequestRoundTrip(t *testing.T) {
+	req := Request{Ops: []Op{{Kind: KindStats}}}
+	frame, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Txn || len(got.Ops) != 1 || got.Ops[0].Kind != KindStats {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestStatsResponseRoundTrip(t *testing.T) {
+	snap := statsSeed()
+	resp := Response{Kind: KindStatsR, Stats: snap}
+	frame, err := AppendResponse(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindStatsR || got.Stats == nil {
+		t.Fatalf("decoded %+v", got)
+	}
+	if v := got.Stats.Value("silo_core_commits_total", ""); v != 42 {
+		t.Errorf("commits = %d, want 42", v)
+	}
+	if v := got.Stats.Value("silo_core_aborts_total", "read_validation"); v != 7 {
+		t.Errorf("aborts{read_validation} = %d, want 7", v)
+	}
+	h := got.Stats.Get("silo_wal_fsync_ns", "")
+	if h == nil || h.Hist.Count != 3 {
+		t.Fatalf("fsync hist = %+v", h)
+	}
+	// Re-encode must be byte-identical: the snapshot grammar is canonical.
+	again, err := AppendResponse(nil, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, again) {
+		t.Fatal("re-encode differs")
+	}
+	// A nil snapshot encodes as an empty (but valid, versioned) snapshot.
+	empty, err := AppendResponse(nil, &Response{Kind: KindStatsR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeResponse(empty[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || len(got.Stats.Samples) != 0 {
+		t.Fatalf("empty snapshot decoded to %+v", got.Stats)
+	}
+}
+
+func TestStatsResponseTruncationRejected(t *testing.T) {
+	resp := Response{Kind: KindStatsR, Stats: statsSeed()}
+	frame, err := AppendResponse(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	// Every strict prefix that still names the frame kind must be rejected,
+	// never silently decoded to fewer samples.
+	for n := 1; n < len(payload); n++ {
+		if _, err := DecodeResponse(payload[:n]); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrMalformed", n, len(payload), err)
+		}
+	}
+}

@@ -28,6 +28,7 @@
 //	TXN         u16 nops | nops × (u8 kind | body as above; SCAN, CREATE_INDEX
 //	            and ISCAN excluded)
 //	SCHEMA      (empty)
+//	STATS       (empty)
 //
 // CREATE_INDEX's nincs block is the covering include list: fixed-position
 // row segments projected into every entry value. nincs 0 declares an
@@ -56,6 +57,17 @@
 //	            u8 nincs | incs)
 //	ISCANR      u32 n | n × (u8 sklen | sk | u8 pklen | pk | u32 vlen | value)
 //	TXNR        u16 nresults | nresults × (u8 hasValue | [u32 vlen | value])
+//	STATSR      versioned metrics snapshot (internal/obs binary form: u8
+//	            version | u32 count | count samples), decoded with the same
+//	            strict validation as the rest of the grammar
+//
+// STATS asks the server for a metrics snapshot of every layer — commit and
+// abort counters with reason breakdowns, per-table read/write totals,
+// commit-phase and fsync latency histograms, group-commit batch sizes,
+// index scan-resolution modes, checkpoint and recovery figures, and the
+// server's own per-opcode latencies. The STATSR payload is the obs
+// package's canonical binary snapshot, so one encoding serves the wire,
+// the admin endpoint, and tooling alike.
 package wire
 
 import (
@@ -63,6 +75,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"silo/internal/obs"
 )
 
 // Kind identifies a frame or TXN sub-operation.
@@ -85,6 +99,7 @@ const (
 	KindIScan       Kind = 0x09
 	KindSchema      Kind = 0x0A
 	KindDropIndex   Kind = 0x0B
+	KindStats       Kind = 0x0C
 )
 
 // Response frame kinds.
@@ -96,6 +111,7 @@ const (
 	KindTxnR    Kind = 0x85
 	KindIScanR  Kind = 0x86
 	KindSchemaR Kind = 0x87
+	KindStatsR  Kind = 0x88
 )
 
 func (k Kind) String() string {
@@ -122,6 +138,8 @@ func (k Kind) String() string {
 		return "SCHEMA"
 	case KindDropIndex:
 		return "DROP_INDEX"
+	case KindStats:
+		return "STATS"
 	case KindOK:
 		return "OK"
 	case KindValue:
@@ -136,6 +154,8 @@ func (k Kind) String() string {
 		return "ISCANR"
 	case KindSchemaR:
 		return "SCHEMAR"
+	case KindStatsR:
+		return "STATSR"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }
@@ -308,13 +328,14 @@ type TxnResult struct {
 // Response is a decoded response frame.
 type Response struct {
 	Kind    Kind
-	Code    ErrCode      // ERR
-	Msg     string       // ERR
-	Value   []byte       // VALUE
-	Pairs   []KV         // SCANR
-	Results []TxnResult  // TXNR
-	Entries []IndexEntry // ISCANR
-	Schema  *Schema      // SCHEMAR
+	Code    ErrCode       // ERR
+	Msg     string        // ERR
+	Value   []byte        // VALUE
+	Pairs   []KV          // SCANR
+	Results []TxnResult   // TXNR
+	Entries []IndexEntry  // ISCANR
+	Schema  *Schema       // SCHEMAR
+	Stats   *obs.Snapshot // STATSR (silo.ObsSnapshot for embedders)
 }
 
 // Err builds an ERR response.
@@ -546,7 +567,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case KindIScan:
 		dst = append(dst, byte(op.Kind))
 		dst, err = appendIScan(dst, op)
-	case KindSchema:
+	case KindSchema, KindStats:
 		dst = append(dst, byte(op.Kind))
 	default:
 		return dst[:at], fmt.Errorf("wire: cannot encode request kind %v", op.Kind)
@@ -653,6 +674,12 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				return dst[:at], err
 			}
 		}
+	case KindStatsR:
+		snap := r.Stats
+		if snap == nil {
+			snap = &obs.Snapshot{}
+		}
+		dst = snap.AppendBinary(dst)
 	case KindTxnR:
 		if len(r.Results) > MaxTxnOps {
 			return dst[:at], fmt.Errorf("wire: txn response with %d results", len(r.Results))
@@ -858,7 +885,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if err := decodeIScan(&rd, &op); err != nil {
 			return Request{}, err
 		}
-	case KindSchema:
+	case KindSchema, KindStats:
 		// No body.
 	default:
 		return Request{}, malformed("request kind %v", kind)
@@ -1157,6 +1184,19 @@ func DecodeResponse(payload []byte) (Response, error) {
 			return Response{}, err
 		}
 		resp.Schema = sch
+	case KindStatsR:
+		// The snapshot decoder enforces its own strict grammar — versioned
+		// header, claim-vs-remaining bounds, canonical samples, no trailing
+		// bytes — so the rest of the payload is handed over whole.
+		rest, err := rd.take(rd.remaining())
+		if err != nil {
+			return Response{}, err
+		}
+		snap, err := obs.DecodeSnapshot(rest)
+		if err != nil {
+			return Response{}, malformed("stats snapshot: %v", err)
+		}
+		resp.Stats = snap
 	case KindTxnR:
 		nres, err := rd.u16()
 		if err != nil {
