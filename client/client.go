@@ -434,6 +434,29 @@ func (t *Txn) Exec() ([]Result, error) {
 	return resp.Results, nil
 }
 
+// Trace is Exec with span capture: the server executes the transaction
+// traced and the response carries its span timeline — queue wait,
+// statement execution across OCC retries, commit validation, log
+// handoff, group-commit fsync wait (on durable servers the transaction
+// is released only once its epoch is durable, so the timeline covers
+// the true client-visible commit point), and result assembly — plus
+// the commit TID and retry count. One TRACE round trip prices each
+// stage of exactly this transaction; sample a fraction of production
+// traffic through it to see where latency lives.
+func (t *Txn) Trace() ([]Result, *silo.TxnSpans, error) {
+	if len(t.ops) == 0 {
+		return nil, nil, nil
+	}
+	resp, err := t.cl.roundTrip(&wire.Request{Txn: true, Trace: true, Ops: t.ops})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Kind != wire.KindTraceR || resp.Spans == nil {
+		return nil, nil, unexpected(resp)
+	}
+	return resp.Results, resp.Spans, nil
+}
+
 // ---------------------------------------------------------------------------
 // Connection
 

@@ -27,20 +27,23 @@
 //
 // Reads map to GET, read-modify-writes to ADD (a server-side serializable
 // increment in one round trip); -txn batches each client's point ops into
-// multi-op one-shot transaction frames instead.
+// multi-op one-shot transaction frames instead. -trace-frac samples a
+// fraction of point ops as TRACE frames, and the report then includes the
+// average server-side span timeline (queue wait, execute, validate, log,
+// fsync wait, respond) plus the engine's abort-reason breakdown.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"silo"
 	"silo/client"
+	"silo/internal/obs"
 	"silo/internal/workload/ycsb"
 	"silo/wire"
 )
@@ -93,6 +96,7 @@ func main() {
 		embedded  = flag.Bool("embedded", false, "run against an in-process database instead of a server")
 		logDir    = flag.String("logdir", "", "embedded durability directory (default: a temp dir when -checkpoint-interval is set)")
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "run the checkpoint daemon under load (embedded; 0 = off)")
+		traceFrac = flag.Float64("trace-frac", 0, "fraction (0..1) of point ops issued as TRACE frames with span capture (wire mode)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -122,6 +126,12 @@ func main() {
 	if (*ckptEvery > 0 || *logDir != "") && !*embedded {
 		fatal(fmt.Errorf("-checkpoint-interval and -logdir drive an in-process database: add -embedded (use silo-server's flags for a remote daemon)"))
 	}
+	if *traceFrac < 0 || *traceFrac > 1 {
+		fatal(fmt.Errorf("-trace-frac must be in [0,1]"))
+	}
+	if *traceFrac > 0 && *embedded {
+		fatal(fmt.Errorf("-trace-frac samples TRACE frames over the wire; it has no embedded mode"))
+	}
 
 	scanMode := scanModeOf(*useIndex, *covering, *perEntry)
 	if *snapScan && scanMode == scanBatched {
@@ -131,33 +141,29 @@ func main() {
 		scanMode = scanPerEntry
 	}
 	var db *silo.DB
-	var run func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error)
+	var run func(c int, gen *ycsb.Generator, stop *atomic.Bool) (clientResult, error)
 	if *embedded {
 		db, run = setupEmbedded(cfg, *clients, scanMode, *snapScan, *logDir, *ckptEvery)
 	} else {
-		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, scanMode, *snapScan)
+		run = setupWire(cfg, *addr, *table, *conns, *txnOps, *load, scanMode, *snapScan, *traceFrac)
 	}
 
 	var (
-		wg      sync.WaitGroup
-		stop    atomic.Bool
-		totalOp atomic.Uint64
-		failed  atomic.Uint64
+		wg   sync.WaitGroup
+		stop atomic.Bool
 	)
-	lats := make([][]time.Duration, *clients)
+	results := make([]clientResult, *clients)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			gen := ycsb.NewGenerator(cfg, *seed+uint64(c)*7919)
-			samples, fails, err := run(c, gen, &stop)
+			res, err := run(c, gen, &stop)
 			if err != nil {
 				fatal(err)
 			}
-			lats[c] = samples
-			totalOp.Add(uint64(len(samples)))
-			failed.Add(fails)
+			results[c] = res
 		}(c)
 	}
 	time.Sleep(*duration)
@@ -165,12 +171,11 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	for _, s := range lats {
-		all = append(all, s...)
+	var agg clientResult
+	for i := range results {
+		agg.merge(&results[i])
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	n := totalOp.Load()
+	n := agg.lat.Count
 	unit := "txns"
 	if !*embedded && *txnOps > 1 {
 		unit = fmt.Sprintf("txns (%d ops each)", *txnOps)
@@ -192,11 +197,19 @@ func main() {
 	fmt.Printf("mode=%s clients=%d keyspace=%d mix=%d/%d read/rmw scans=%s\n",
 		mode, *clients, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct, scans)
 	fmt.Printf("throughput: %.0f %s/sec (%d in %v, %d failed)\n",
-		float64(n)/elapsed.Seconds(), unit, n, elapsed.Round(time.Millisecond), failed.Load())
-	if len(all) > 0 {
-		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
-			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+		float64(n)/elapsed.Seconds(), unit, n, elapsed.Round(time.Millisecond), agg.fails)
+	if agg.lat.Count > 0 {
+		fmt.Printf("latency: p50=%v p90=%v p99=%v p99.9=%v\n",
+			pctl(agg.lat, 0.50), pctl(agg.lat, 0.90), pctl(agg.lat, 0.99), pctl(agg.lat, 0.999))
 	}
+	if agg.traced > 0 {
+		d := time.Duration(agg.traced)
+		sp := &agg.spans
+		fmt.Printf("traced %d ops, avg: queue=%v exec=%v validate=%v log=%v fsync=%v respond=%v (%.2f retries/op)\n",
+			agg.traced, sp.Queue/d, sp.Exec/d, sp.Validate/d, sp.Log/d, sp.Fsync/d, sp.Respond/d,
+			float64(sp.Retries)/float64(agg.traced))
+	}
+	printAborts(db, *addr, *embedded)
 	if db != nil {
 		if ds, ok := db.CheckpointDaemon(); ok {
 			fmt.Printf("checkpoint daemon: %d checkpoints (last CE=%d, %d rows, %v), %d log segments truncated\n",
@@ -207,6 +220,77 @@ func main() {
 		}
 		db.Close()
 	}
+}
+
+// clientResult is one closed-loop client's tally: a latency histogram
+// (bounded memory regardless of run length, unlike the raw sample slice
+// it replaced), failure count, and — when TRACE sampling is on — the
+// summed span timeline across its traced ops.
+type clientResult struct {
+	lat    obs.HistSnapshot
+	fails  uint64
+	spans  silo.TxnSpans
+	traced uint64
+}
+
+func (r *clientResult) merge(o *clientResult) {
+	r.lat.Merge(o.lat)
+	r.fails += o.fails
+	r.traced += o.traced
+	r.spans.Queue += o.spans.Queue
+	r.spans.Exec += o.spans.Exec
+	r.spans.Validate += o.spans.Validate
+	r.spans.Log += o.spans.Log
+	r.spans.Fsync += o.spans.Fsync
+	r.spans.Respond += o.spans.Respond
+	r.spans.Retries += o.spans.Retries
+}
+
+func (r *clientResult) addSpans(sp *silo.TxnSpans) {
+	r.traced++
+	r.spans.Queue += sp.Queue
+	r.spans.Exec += sp.Exec
+	r.spans.Validate += sp.Validate
+	r.spans.Log += sp.Log
+	r.spans.Fsync += sp.Fsync
+	r.spans.Respond += sp.Respond
+	r.spans.Retries += sp.Retries
+}
+
+// pctl reads a latency percentile from the merged histogram.
+func pctl(s obs.HistSnapshot, q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+// printAborts reports the engine's abort-reason breakdown after the run:
+// embedded runs read the in-process snapshot, wire runs fetch one STATS
+// frame. Silence means the breakdown was unavailable (server gone), not
+// zero aborts.
+func printAborts(db *silo.DB, addr string, embedded bool) {
+	var snap *obs.Snapshot
+	if embedded {
+		if db == nil {
+			return
+		}
+		snap = db.Observe()
+	} else {
+		cl, err := client.Dial(addr, client.Options{Conns: 1})
+		if err != nil {
+			return
+		}
+		defer cl.Close()
+		if snap, err = cl.Stats(); err != nil {
+			return
+		}
+	}
+	var total uint64
+	line := "aborts:"
+	for _, reason := range []string{"read_validation", "node_validation", "hook_poisoned", "explicit"} {
+		v := snap.Value("silo_core_aborts_total", reason)
+		total += v
+		line += fmt.Sprintf(" %s=%d", reason, v)
+	}
+	fmt.Printf("%s (total %d)\n", line, total)
 }
 
 // scanMode names how -index scans resolve rows.
@@ -246,7 +330,7 @@ func scanModeOf(useIndex, covering, perEntry bool) scanMode {
 // ---------------------------------------------------------------------------
 // Over-the-wire mode
 
-func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load bool, mode scanMode, snapScan bool) func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error) {
+func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load bool, mode scanMode, snapScan bool, traceFrac float64) func(int, *ycsb.Generator, *atomic.Bool) (clientResult, error) {
 	if load {
 		if err := preload(addr, table, cfg, conns); err != nil {
 			fatal(fmt.Errorf("preload: %w", err))
@@ -268,34 +352,50 @@ func setupWire(cfg ycsb.Config, addr, table string, conns, txnOps int, load bool
 		}
 		cl.Close()
 	}
-	return func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
+	// Every 1/traceFrac-th point op goes out as a TRACE frame; the span
+	// timelines accumulate into the client's result.
+	traceEvery := 0
+	if traceFrac > 0 {
+		traceEvery = int(1 / traceFrac)
+		if traceEvery < 1 {
+			traceEvery = 1
+		}
+	}
+	return func(c int, gen *ycsb.Generator, stop *atomic.Bool) (clientResult, error) {
 		cl, err := client.Dial(addr, client.Options{Conns: conns})
 		if err != nil {
-			return nil, 0, fmt.Errorf("dial: %w", err)
+			return clientResult{}, fmt.Errorf("dial: %w", err)
 		}
 		defer cl.Close()
 		var kb []byte
-		var fails uint64
-		samples := make([]time.Duration, 0, 1<<18)
-		for !stop.Load() {
+		var res clientResult
+		var hist obs.Histogram
+		for i := 0; !stop.Load(); i++ {
 			t0 := time.Now()
 			var err error
 			op := gen.Next()
 			switch {
 			case op.Scan:
 				err = runWireScan(cl, table, op, &kb, mode, snapScan)
+			case traceEvery > 0 && i%traceEvery == 0:
+				var sp *silo.TxnSpans
+				sp, err = runTraced(cl, table, gen, op, txnOps, &kb)
+				if err == nil {
+					res.addSpans(sp)
+				}
 			case txnOps > 1:
-				err = runTxn(cl, table, gen, op, txnOps, &kb)
+				_, err = buildTxn(cl, table, gen, op, txnOps, &kb).Exec()
 			default:
 				err = runOp(cl, table, op, &kb)
 			}
 			if err != nil {
-				fails++
+				res.fails++
 				continue
 			}
-			samples = append(samples, time.Since(t0))
+			hist.ObserveDuration(time.Since(t0).Nanoseconds())
 		}
-		return samples, fails, nil
+		res.lat = hist.Snapshot()
+		return res, nil
 	}
 }
 
@@ -341,10 +441,13 @@ func runWireScan(cl *client.Client, table string, op ycsb.Op, kb *[]byte, mode s
 	return err
 }
 
-// runTxn batches generated point ops (starting with op) into one multi-op
-// transaction frame.
-func runTxn(cl *client.Client, table string, gen *ycsb.Generator, op ycsb.Op, n int, kb *[]byte) error {
+// buildTxn batches generated point ops (starting with op) into one
+// multi-op transaction builder, ready for Exec or Trace.
+func buildTxn(cl *client.Client, table string, gen *ycsb.Generator, op ycsb.Op, n int, kb *[]byte) *client.Txn {
 	txn := cl.Txn()
+	if n < 1 {
+		n = 1
+	}
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			for {
@@ -362,8 +465,14 @@ func runTxn(cl *client.Client, table string, gen *ycsb.Generator, op ycsb.Op, n 
 			txn.Add(table, key, 1)
 		}
 	}
-	_, err := txn.Exec()
-	return err
+	return txn
+}
+
+// runTraced issues the op (or txnOps-sized batch) as a TRACE frame and
+// returns the server's span timeline for it.
+func runTraced(cl *client.Client, table string, gen *ycsb.Generator, op ycsb.Op, txnOps int, kb *[]byte) (*silo.TxnSpans, error) {
+	_, sp, err := buildTxn(cl, table, gen, op, txnOps, kb).Trace()
+	return sp, err
 }
 
 // preload inserts the key space through the wire in batched TXN frames,
@@ -423,7 +532,7 @@ func preload(addr, table string, cfg ycsb.Config, conns int) error {
 // set, durability and the background checkpoint daemon run under the
 // load, so checkpointing's interference with p50/p99 latency shows up in
 // the standard report.
-func setupEmbedded(cfg ycsb.Config, clients int, mode scanMode, snapScan bool, logDir string, ckptEvery time.Duration) (*silo.DB, func(int, *ycsb.Generator, *atomic.Bool) ([]time.Duration, uint64, error)) {
+func setupEmbedded(cfg ycsb.Config, clients int, mode scanMode, snapScan bool, logDir string, ckptEvery time.Duration) (*silo.DB, func(int, *ycsb.Generator, *atomic.Bool) (clientResult, error)) {
 	opts := silo.Options{Workers: clients}
 	if ckptEvery > 0 || logDir != "" {
 		if logDir == "" {
@@ -459,11 +568,11 @@ func setupEmbedded(cfg ycsb.Config, clients int, mode scanMode, snapScan bool, l
 			fatal(fmt.Errorf("create index: %w", err))
 		}
 	}
-	return db, func(c int, gen *ycsb.Generator, stop *atomic.Bool) ([]time.Duration, uint64, error) {
+	return db, func(c int, gen *ycsb.Generator, stop *atomic.Bool) (clientResult, error) {
 		w := db.Store().Worker(c)
 		var kb []byte
-		var fails uint64
-		samples := make([]time.Duration, 0, 1<<18)
+		var res clientResult
+		var hist obs.Histogram
 		for !stop.Load() {
 			t0 := time.Now()
 			op := gen.Next()
@@ -475,12 +584,13 @@ func setupEmbedded(cfg ycsb.Config, clients int, mode scanMode, snapScan bool, l
 				ok, kb = ycsb.RunSiloOp(w, tbl, op, kb)
 			}
 			if !ok {
-				fails++
+				res.fails++
 				continue
 			}
-			samples = append(samples, time.Since(t0))
+			hist.ObserveDuration(time.Since(t0).Nanoseconds())
 		}
-		return samples, fails, nil
+		res.lat = hist.Snapshot()
+		return res, nil
 	}
 }
 
@@ -523,15 +633,6 @@ func runEmbeddedIndexScan(db *silo.DB, worker int, ix *silo.Index, lo []byte, n 
 		})
 	}
 	return err == nil
-}
-
-// pct returns the p-th percentile of sorted samples.
-func pct(sorted []time.Duration, p int) time.Duration {
-	i := len(sorted) * p / 100
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 func fatal(err error) {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"silo"
+	"silo/internal/trace"
 	"silo/internal/wal"
 	"silo/server"
 )
@@ -57,7 +58,8 @@ func main() {
 		pipeline  = flag.Int("pipeline", 128, "per-connection in-flight request cap")
 		noCreate  = flag.Bool("no-auto-create", false, "reject unknown tables instead of creating them")
 		stats     = flag.Duration("stats", 0, "print stats every interval (0 = off)")
-		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/flight, /debug/slow and /debug/pprof (empty = off)")
+		slowMs    = flag.Int("slow-ms", 0, "force-trace every request and capture ops slower than this many milliseconds at /debug/slow (0 = off)")
 	)
 	flag.Parse()
 
@@ -110,7 +112,18 @@ func main() {
 		Addr:              *addr,
 		Pipeline:          *pipeline,
 		DisableAutoCreate: *noCreate || *logDir != "",
+		SlowThreshold:     time.Duration(*slowMs) * time.Millisecond,
 	})
+
+	// The flight recorder's last seconds are the forensic record of how
+	// the process died: dump it on the way out of a panic, and on
+	// operator interrupt.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(db, "panic")
+			panic(r)
+		}
+	}()
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -120,7 +133,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "silo-server: admin:", err)
 			}
 		}()
-		fmt.Printf("admin endpoint on %s (/metrics, /debug/vars, /debug/pprof)\n", *admin)
+		fmt.Printf("admin endpoint on %s (/metrics, /debug/vars, /debug/flight, /debug/slow, /debug/pprof)\n", *admin)
 	}
 
 	// The stats printer uses a stoppable Ticker tied to statsDone (a bare
@@ -147,6 +160,7 @@ func main() {
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "shutting down")
+		dumpFlight(db, "shutdown")
 		srv.Close()
 	}()
 
@@ -163,6 +177,28 @@ func main() {
 	ss := srv.Stats()
 	fmt.Printf("served %d requests on %d connections (%d errors)\n",
 		ss.Requests, ss.Conns, ss.Errors)
+}
+
+// dumpFlight writes the flight recorder's merged event timeline — with
+// the hottest-conflicting-keys summary — to stderr; why labels the
+// occasion (shutdown, panic).
+func dumpFlight(db *silo.DB, why string) {
+	events := db.Flight().Dump()
+	if len(events) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- flight recorder dump (%s) ---\n", why)
+	trace.WriteText(os.Stderr, events, flightNamer(db))
+}
+
+// flightNamer resolves table ids against the live schema for flight
+// rendering.
+func flightNamer(db *silo.DB) trace.TableNamer {
+	m := map[uint32]string{}
+	for _, t := range db.Tables() {
+		m[t.ID] = t.Name
+	}
+	return func(id uint32) string { return m[id] }
 }
 
 // statsLine renders one periodic stats line from the same cross-layer
@@ -191,6 +227,22 @@ func statsLine(db *silo.DB, srv *server.Server) string {
 			snap.Value("silo_ckpt_completed_total", ""),
 			snap.Value("silo_ckpt_last_epoch", ""),
 			snap.Value("silo_ckpt_truncated_segments_total", ""))
+	}
+	// The flight recorder's abort forensics, folded down to the three
+	// hottest conflict sites still in the ring.
+	if hot := trace.TopConflicts(db.Flight().Dump(), 3); len(hot) > 0 {
+		namer := flightNamer(db)
+		line += " hot="
+		for i := range hot {
+			if i > 0 {
+				line += ","
+			}
+			name := namer(hot[i].Table)
+			if name == "" {
+				name = fmt.Sprintf("t%d", hot[i].Table)
+			}
+			line += fmt.Sprintf("%s:%q:%d", name, hot[i].PrefixString(), hot[i].Count)
+		}
 	}
 	return line
 }

@@ -6,6 +6,7 @@ import (
 
 	"silo/internal/core"
 	"silo/internal/index"
+	"silo/internal/trace"
 )
 
 // Catalog owns one store's schema lifecycle: the reserved catalog table,
@@ -189,6 +190,7 @@ func (c *Catalog) CreateIndex(w *core.Worker, on *core.Table, name string, uniqu
 		}
 		return nil, err
 	}
+	c.store.Flight().RecordShared(trace.EvDDL, trace.DDLCreateIndex, ix.Entries.ID, 0, []byte(name))
 	return ix, nil
 }
 
@@ -209,6 +211,7 @@ func (c *Catalog) DropIndex(name string) error {
 		}
 	}
 	c.reg.Remove(name)
+	c.store.Flight().RecordShared(trace.EvDDL, trace.DDLDropIndex, ix.Entries.ID, 0, []byte(name))
 	return index.WipeEntries(c.store.DDL(), ix.Entries)
 }
 

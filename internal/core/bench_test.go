@@ -174,6 +174,78 @@ func BenchmarkCommitObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitFlightRecorder prices the flight recorder on the commit
+// hot path: the same read-modify-write transaction with the recorder on
+// (one 32-byte ring event per commit or abort, plain stores plus one
+// atomic cursor publish, one clock read) and with Options.DisableTrace.
+// The instrumented/disabled ratio is the number BENCH_TRACE.json tracks;
+// the budget is 2%. workers=4 runs four workers over one shared keyspace
+// with interleaved strides, so commits contend and the abort path (with
+// its table-id/key-prefix forensic capture) is exercised too.
+func BenchmarkCommitFlightRecorder(b *testing.B) {
+	modes := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"Instrumented", nil},
+		{"DisableTrace", func(o *Options) { o.DisableTrace = true }},
+	}
+	for _, workers := range []int{1, 4} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode.name), func(b *testing.B) {
+				opts := DefaultOptions(workers)
+				opts.EpochInterval = 10 * time.Millisecond
+				if mode.mutate != nil {
+					mode.mutate(&opts)
+				}
+				s := NewStore(opts)
+				b.Cleanup(s.Close)
+				tbl := s.CreateTable("t")
+				w0 := s.Worker(0)
+				var kb [8]byte
+				val := make([]byte, 100)
+				for lo := 0; lo < 100000; lo += 512 {
+					w0.Run(func(tx *Tx) error {
+						for i := lo; i < lo+512 && i < 100000; i++ {
+							binary.BigEndian.PutUint64(kb[:], uint64(i))
+							if err := tx.Insert(tbl, kb[:], val); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				}
+				per := b.N / workers
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for wid := 0; wid < workers; wid++ {
+					wg.Add(1)
+					go func(wid int) {
+						defer wg.Done()
+						w := s.Worker(wid)
+						var kb [8]byte
+						val := make([]byte, 100)
+						for i := 0; i < per; i++ {
+							// Interleaved strides over one shared keyspace:
+							// workers collide on hot keys often enough to
+							// exercise the abort path under contention.
+							binary.BigEndian.PutUint64(kb[:], uint64((i*7+wid)%100000))
+							val[0] = byte(i)
+							w.Run(func(tx *Tx) error {
+								if _, err := tx.Get(tbl, kb[:]); err != nil {
+									return err
+								}
+								return tx.Put(tbl, kb[:], val)
+							})
+						}
+					}(wid)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
 // BenchmarkOverwriteModes isolates the +Overwrites factor at the record
 // level: same-size updates with and without in-place overwrite.
 func BenchmarkOverwriteModes(b *testing.B) {

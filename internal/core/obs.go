@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"silo/internal/obs"
+	"silo/internal/trace"
 )
 
 // Abort reasons for the observability breakdown. The first two mirror
@@ -20,10 +21,10 @@ const (
 )
 
 // ObsAbortReasonNames are the label values emitted for the abort
-// breakdown, indexed like the workerObs counters.
-var ObsAbortReasonNames = [numObsAbortReasons]string{
-	"read_validation", "node_validation", "hook_poisoned", "explicit",
-}
+// breakdown, indexed like the workerObs counters. They alias the flight
+// recorder's canonical vocabulary so the metric labels and the abort
+// events can never disagree on names.
+var ObsAbortReasonNames = trace.AbortReasonNames
 
 // Commit phases for the sampled latency histograms.
 const (

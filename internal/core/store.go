@@ -22,6 +22,7 @@ import (
 	"silo/internal/epoch"
 	"silo/internal/race"
 	"silo/internal/tid"
+	"silo/internal/trace"
 	"silo/internal/vfs"
 )
 
@@ -76,6 +77,10 @@ type Options struct {
 	// internal/obs). It exists for the instrumentation-overhead
 	// benchmark baseline; production configurations leave it false.
 	DisableObs bool
+	// DisableTrace turns off the flight recorder (see internal/trace).
+	// Like DisableObs it exists for the overhead-benchmark baseline;
+	// production configurations leave the recorder always on.
+	DisableTrace bool
 	// Clock drives the epoch-advancing thread; nil means real time. The
 	// deterministic simulation harness (internal/sim) substitutes a
 	// manually stepped clock.
@@ -203,6 +208,8 @@ func (t *Table) WriteHooks() []WriteHook {
 type Store struct {
 	opts   Options
 	epochs *epoch.Manager
+	clock  vfs.Clock
+	flight *trace.Recorder // nil when Options.DisableTrace
 
 	mu      sync.Mutex
 	tables  map[string]*Table
@@ -241,6 +248,10 @@ func NewStore(opts Options) *Store {
 	s := &Store{
 		opts:   opts,
 		tables: make(map[string]*Table),
+		clock:  vfs.DefaultClock(opts.Clock),
+	}
+	if !opts.DisableTrace {
+		s.flight = trace.New(s.clock)
 	}
 	// Two extra epoch slots back the hidden workers: background
 	// housekeeping (checkpointing) needs a snapshot pinned against
@@ -300,8 +311,25 @@ func (s *Store) CreateTable(name string) *Table {
 	t := &Table{ID: uint32(len(s.byID)), Name: name, Tree: btree.New()}
 	s.tables[name] = t
 	s.byID = append(s.byID, t)
+	s.flight.RecordShared(trace.EvDDL, trace.DDLCreateTable, t.ID, 0, []byte(name))
 	return t
 }
+
+// Flight returns the store's flight recorder, or nil when
+// Options.DisableTrace. Other layers (the WAL, the server front end,
+// the checkpoint daemon) register their own rings on it so one dump
+// covers the whole process.
+func (s *Store) Flight() *trace.Recorder { return s.flight }
+
+// now reads the store's clock (virtual under the simulation harness),
+// the time source for traced span timelines.
+func (s *Store) now() time.Duration { return s.clock.Now() }
+
+// Now reads the store's clock for callers outside the engine (the
+// server front end times queue wait and durability wait on the same
+// clock the commit phases use, so traced timelines stay coherent —
+// and deterministic under the simulation harness).
+func (s *Store) Now() time.Duration { return s.now() }
 
 // Table returns the named table or nil.
 func (s *Store) Table(name string) *Table {

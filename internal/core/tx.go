@@ -9,6 +9,7 @@ import (
 	"silo/internal/btree"
 	"silo/internal/record"
 	"silo/internal/tid"
+	"silo/internal/trace"
 )
 
 // ErrKeyInvalid reports an empty key or one longer than the index's
@@ -29,9 +30,18 @@ const (
 	writeDelete                  // mark a present record absent
 )
 
+// readEntry is one read-set observation. table and key identify the
+// record for abort forensics: when Phase 2 validation fails on the
+// entry, the flight recorder captures the conflicting table id and key
+// prefix/hash from here. key aliases the caller's slice — it is only
+// dereferenced at validation-failure time, and a caller mutating its
+// key buffer mid-transaction at worst smears the forensic label, never
+// correctness.
 type readEntry struct {
-	rec  *record.Record
-	word tid.Word
+	rec   *record.Record
+	word  tid.Word
+	table *Table
+	key   []byte
 }
 
 type writeEntry struct {
@@ -45,9 +55,13 @@ type writeEntry struct {
 	seq     uint32   // statement order, preserved across the Phase 1 sort
 }
 
+// nodeEntry is one node-set observation; table feeds abort forensics
+// (node conflicts have no single key, so the event carries the table
+// alone).
 type nodeEntry struct {
 	n       *btree.Node
 	version uint64
+	table   *Table
 }
 
 // Tx is a serializable read/write transaction (§4.4). It tracks a read-set
@@ -65,6 +79,7 @@ type Tx struct {
 	hbuf   []byte       // scratch buffer for hook old-value snapshots
 	tally  []tableTally // per-table read/write counts, flushed to the obs shard
 	fail   error        // set by a failed WriteHook; poisons Commit
+	spans  *trace.Spans // non-nil for traced transactions: Commit force-times its phases
 	active bool
 }
 
@@ -74,16 +89,17 @@ func (tx *Tx) reset() {
 	tx.nodes = tx.nodes[:0]
 	tx.tally = tx.tally[:0]
 	tx.fail = nil
+	tx.spans = nil
 }
 
 // Worker returns the executing worker.
 func (tx *Tx) Worker() *Worker { return tx.w }
 
-func (tx *Tx) addRead(rec *record.Record, w tid.Word) {
-	tx.reads = append(tx.reads, readEntry{rec: rec, word: w})
+func (tx *Tx) addRead(t *Table, key []byte, rec *record.Record, w tid.Word) {
+	tx.reads = append(tx.reads, readEntry{rec: rec, word: w, table: t, key: key})
 }
 
-func (tx *Tx) addNode(n *btree.Node, version uint64) {
+func (tx *Tx) addNode(t *Table, n *btree.Node, version uint64) {
 	for i := range tx.nodes {
 		if tx.nodes[i].n == n {
 			// Re-observation of a leaf we already depend on. If the version
@@ -92,7 +108,7 @@ func (tx *Tx) addNode(n *btree.Node, version uint64) {
 			return
 		}
 	}
-	tx.nodes = append(tx.nodes, nodeEntry{n: n, version: version})
+	tx.nodes = append(tx.nodes, nodeEntry{n: n, version: version, table: t})
 }
 
 // applyNodeChanges implements §4.6's node-set maintenance after an insert by
@@ -100,10 +116,10 @@ func (tx *Tx) addNode(n *btree.Node, version uint64) {
 // the new version; a mismatch means a concurrent transaction also modified
 // the node, so we must abort. Nodes created by the split are added to the
 // node-set so scanned ranges stay covered.
-func (tx *Tx) applyNodeChanges(changes []btree.VersionChange) error {
+func (tx *Tx) applyNodeChanges(t *Table, changes []btree.VersionChange) error {
 	for _, ch := range changes {
 		if ch.Created {
-			tx.nodes = append(tx.nodes, nodeEntry{n: ch.Node, version: ch.New})
+			tx.nodes = append(tx.nodes, nodeEntry{n: ch.Node, version: ch.New, table: t})
 			continue
 		}
 		for i := range tx.nodes {
@@ -209,12 +225,12 @@ func (tx *Tx) Get(t *Table, key []byte) ([]byte, error) {
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
-		tx.addNode(n, ver)
+		tx.addNode(t, n, ver)
 		return nil, ErrNotFound
 	}
 	val, w := rec.Read(tx.rbuf)
 	tx.rbuf = val[:0]
-	tx.addRead(rec, w)
+	tx.addRead(t, key, rec, w)
 	tx.tallyRead(t)
 	if w.Absent() {
 		return nil, ErrNotFound
@@ -245,12 +261,12 @@ func (tx *Tx) GetAppend(t *Table, key, buf []byte) ([]byte, error) {
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
-		tx.addNode(n, ver)
+		tx.addNode(t, n, ver)
 		return buf, ErrNotFound
 	}
 	val, w := rec.Read(tx.rbuf)
 	tx.rbuf = val[:0]
-	tx.addRead(rec, w)
+	tx.addRead(t, key, rec, w)
 	tx.tallyRead(t)
 	if w.Absent() {
 		return buf, ErrNotFound
@@ -293,12 +309,12 @@ func (tx *Tx) GetBatch(t *Table, keys [][]byte, fn func(i int, val []byte, err e
 			return fn(i, tx.writes[wi].value, nil)
 		}
 		if rec == nil {
-			tx.addNode(n, ver)
+			tx.addNode(t, n, ver)
 			return fn(i, nil, ErrNotFound)
 		}
 		val, w := rec.Read(tx.rbuf)
 		tx.rbuf = val[:0]
-		tx.addRead(rec, w)
+		tx.addRead(t, keys[i], rec, w)
 		tx.tallyRead(t)
 		if w.Absent() {
 			return fn(i, nil, ErrNotFound)
@@ -338,7 +354,7 @@ func (tx *Tx) Put(t *Table, key, value []byte) error {
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
-		tx.addNode(n, ver)
+		tx.addNode(t, n, ver)
 		return ErrNotFound
 	}
 	var w tid.Word
@@ -351,7 +367,7 @@ func (tx *Tx) Put(t *Table, key, value []byte) error {
 	} else {
 		w = rec.ReadWord()
 	}
-	tx.addRead(rec, w)
+	tx.addRead(t, key, rec, w)
 	if w.Absent() {
 		return ErrNotFound
 	}
@@ -393,10 +409,10 @@ func (tx *Tx) Insert(t *Table, key, value []byte) error {
 		placeholder := record.NewAbsent()
 		cur, inserted, changes := t.Tree.InsertIfAbsent(key, placeholder)
 		if inserted {
-			if err := tx.applyNodeChanges(changes); err != nil {
+			if err := tx.applyNodeChanges(t, changes); err != nil {
 				return err
 			}
-			tx.addRead(placeholder, placeholder.Word())
+			tx.addRead(t, key, placeholder, placeholder.Word())
 			tx.pushWrite(t, placeholder, key, value, writeInsert, true)
 			return tx.hookInsert(hooks, key, value)
 		}
@@ -405,7 +421,7 @@ func (tx *Tx) Insert(t *Table, key, value []byte) error {
 	// Key maps to some record: absent means we may supersede it, present
 	// means the insert fails.
 	w := rec.ReadWord()
-	tx.addRead(rec, w)
+	tx.addRead(t, key, rec, w)
 	if !w.Absent() {
 		return ErrKeyExists
 	}
@@ -445,7 +461,7 @@ func (tx *Tx) Delete(t *Table, key []byte) error {
 	}
 	rec, n, ver := t.Tree.Get(key)
 	if rec == nil {
-		tx.addNode(n, ver)
+		tx.addNode(t, n, ver)
 		return ErrNotFound
 	}
 	var w tid.Word
@@ -456,7 +472,7 @@ func (tx *Tx) Delete(t *Table, key []byte) error {
 	} else {
 		w = rec.ReadWord()
 	}
-	tx.addRead(rec, w)
+	tx.addRead(t, key, rec, w)
 	if w.Absent() {
 		return ErrNotFound
 	}
@@ -482,7 +498,7 @@ func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) err
 	}
 	var inner error
 	t.Tree.Scan(lo, hi,
-		func(n *btree.Node, version uint64) { tx.addNode(n, version) },
+		func(n *btree.Node, version uint64) { tx.addNode(t, n, version) },
 		func(key []byte, rec *record.Record) bool {
 			if i := tx.findWrite(t, key); i >= 0 {
 				switch tx.writes[i].kind {
@@ -494,7 +510,7 @@ func (tx *Tx) Scan(t *Table, lo, hi []byte, fn func(key, value []byte) bool) err
 			}
 			val, w := rec.Read(tx.rbuf)
 			tx.rbuf = val[:0]
-			tx.addRead(rec, w)
+			tx.addRead(t, key, rec, w)
 			tx.tallyRead(t)
 			if w.Absent() {
 				return true
@@ -527,6 +543,11 @@ func (tx *Tx) Abort() {
 			o.aborts[obsAbortExplicit].Inc()
 		}
 	}
+	reason := uint16(obsAbortExplicit)
+	if tx.fail != nil {
+		reason = uint16(obsAbortHookPoisoned)
+	}
+	tx.w.ring.Record(trace.EvAbort, reason, 0, 0, nil)
 	tx.flushTally()
 	tx.w.finishTx()
 }
@@ -571,6 +592,12 @@ func (tx *Tx) Commit() error {
 			t0 = time.Now()
 		}
 	}
+	// Traced transactions always time their phases, on the store clock so
+	// the timeline stays deterministic under the simulation harness.
+	var spStart, spMid time.Duration
+	if tx.spans != nil {
+		spStart = s.now()
+	}
 
 	// Phase 1: lock all written records, in the global order given by
 	// record addresses, to avoid deadlock (§4.4).
@@ -592,18 +619,21 @@ func (tx *Tx) Commit() error {
 	// all Phase 2 validation reads.
 	e := s.epochs.Global()
 
-	// Phase 2: validate the read-set and node-set.
+	// Phase 2: validate the read-set and node-set. A failure hands the
+	// conflicting entry's table and key to abortCommit, which captures
+	// them — reason, table id, key prefix, key hash — in the flight
+	// recorder at the moment the conflict is discovered.
 	for i := range tx.reads {
 		cur := tx.reads[i].rec.Word()
 		if cur.TID() != tx.reads[i].word.TID() ||
 			!cur.Latest() ||
 			(cur.Locked() && !tx.inWriteSet(tx.reads[i].rec)) {
-			return tx.abortCommit(abortReadValidation)
+			return tx.abortCommit(abortReadValidation, tx.reads[i].table, tx.reads[i].key)
 		}
 	}
 	for i := range tx.nodes {
 		if tx.nodes[i].n.Version() != tx.nodes[i].version {
-			return tx.abortCommit(abortNodeValidation)
+			return tx.abortCommit(abortNodeValidation, tx.nodes[i].table, nil)
 		}
 	}
 
@@ -629,6 +659,9 @@ func (tx *Tx) Commit() error {
 	}
 	if sample {
 		t2 = time.Now()
+	}
+	if tx.spans != nil {
+		spMid = s.now()
 	}
 
 	// Phase 3: install the writes and release each lock as soon as its
@@ -673,6 +706,17 @@ func (tx *Tx) Commit() error {
 			o.phase[obsPhaseInstall].ObserveDuration(t3.Sub(t2).Nanoseconds())
 		}
 	}
+	if tx.spans != nil {
+		end := s.now()
+		tx.spans.Validate += spMid - spStart
+		tx.spans.Log += end - spMid
+		tx.spans.TID = uint64(commit)
+	}
+	nw := len(tx.writes)
+	if nw > 0xFFFF {
+		nw = 0xFFFF
+	}
+	w.ring.Record(trace.EvCommit, uint16(nw), 0, uint64(commit), nil)
 	tx.flushTally()
 	w.finishTx()
 	return nil
@@ -703,8 +747,11 @@ const (
 )
 
 // abortCommit releases all Phase 1 locks (restoring pre-lock words) and
-// finishes the transaction as aborted.
-func (tx *Tx) abortCommit(reason abortReason) error {
+// finishes the transaction as aborted. t and key name the conflicting
+// entry (key nil for node-set conflicts and other keyless reasons); the
+// flight recorder captures them with the OCC reason so the abort is
+// attributable to a table and key after the fact.
+func (tx *Tx) abortCommit(reason abortReason, t *Table, key []byte) error {
 	for i := range tx.writes {
 		tx.writes[i].rec.Unlock(tx.writes[i].prelock)
 	}
@@ -721,6 +768,17 @@ func (tx *Tx) abortCommit(reason abortReason) error {
 		case abortNodeValidation:
 			o.aborts[obsAbortNodeValidation].Inc()
 		}
+	}
+	if tx.w.ring != nil {
+		var tableID uint32
+		if t != nil {
+			tableID = t.ID
+		}
+		var hash uint64
+		if len(key) > 0 {
+			hash = trace.HashKey(key)
+		}
+		tx.w.ring.Record(trace.EvAbort, uint16(reason), tableID, hash, key)
 	}
 	tx.abortCleanup()
 	tx.active = false

@@ -3,6 +3,7 @@ package core
 import (
 	"silo/internal/epoch"
 	"silo/internal/tid"
+	"silo/internal/trace"
 )
 
 // Worker is a per-"core" execution context: it owns a TID generator, an
@@ -17,7 +18,8 @@ type Worker struct {
 	gc    gcState
 	arena arena
 	stats Stats
-	obs   *workerObs // nil when Options.DisableObs (benchmark baseline)
+	obs   *workerObs  // nil when Options.DisableObs (benchmark baseline)
+	ring  *trace.Ring // flight-recorder shard; nil when Options.DisableTrace
 	logFn LogFunc
 
 	tx   Tx     // reusable transaction
@@ -30,6 +32,7 @@ func newWorker(s *Store, id int) *Worker {
 	if !s.opts.DisableObs {
 		w.obs = &workerObs{}
 	}
+	w.ring = s.flight.NewRing(uint8(id), trace.DefaultRingEvents)
 	w.tx.w = w
 	w.stx.w = w
 	return w
@@ -103,6 +106,24 @@ func (w *Worker) Run(fn func(tx *Tx) error) error {
 func (w *Worker) RunOnce(fn func(tx *Tx) error) error {
 	tx := w.Begin()
 	err := fn(tx)
+	if err == nil {
+		return tx.Commit()
+	}
+	tx.Abort()
+	return err
+}
+
+// RunOnceTraced is RunOnce with span capture: statement execution time
+// accumulates into sp.Exec, and Commit force-times its phases into
+// sp.Validate and sp.Log (the sampled histograms normally skip 63 of 64
+// commits; a traced transaction always pays the clock reads). Callers
+// wanting retry semantics loop and count the conflicts into sp.Retries.
+func (w *Worker) RunOnceTraced(fn func(tx *Tx) error, sp *trace.Spans) error {
+	tx := w.Begin()
+	tx.spans = sp
+	start := w.store.now()
+	err := fn(tx)
+	sp.Exec += w.store.now() - start
 	if err == nil {
 		return tx.Commit()
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"silo/internal/core"
+	"silo/internal/trace"
 	"silo/internal/vfs"
 	"silo/internal/wal"
 )
@@ -145,6 +146,11 @@ func (d *Daemon) RunOnce() error {
 		return nil
 	}
 
+	// Flight-recorder stage events bracket the tick: begin carries the
+	// snapshot epoch the checkpoint will be cut at, written and truncate
+	// carry the completed checkpoint's epoch.
+	d.store.Flight().RecordShared(trace.EvCheckpoint, trace.CkptStageBegin, 0, sew, nil)
+
 	res, err := WriteCheckpointFS(d.opts.FS, d.store, d.store.Maintenance(), d.opts.Dir, d.opts.Partitions, d.opts.Catalog)
 	if err != nil {
 		d.mu.Lock()
@@ -152,6 +158,7 @@ func (d *Daemon) RunOnce() error {
 		d.mu.Unlock()
 		return err
 	}
+	d.store.Flight().RecordShared(trace.EvCheckpoint, trace.CkptStageWritten, 0, res.Epoch, nil)
 
 	var truncated int
 	if _, err = PruneCheckpointsFS(d.opts.FS, d.opts.Dir, d.opts.Keep); err == nil && d.wal != nil {
@@ -164,6 +171,9 @@ func (d *Daemon) RunOnce() error {
 		var removed []string
 		removed, err = d.wal.TruncateCovered(res.Epoch)
 		truncated = len(removed)
+		if truncated > 0 {
+			d.store.Flight().RecordShared(trace.EvCheckpoint, trace.CkptStageTruncate, 0, res.Epoch, nil)
+		}
 	}
 
 	d.obs.duration.ObserveDuration(res.Elapsed.Nanoseconds())

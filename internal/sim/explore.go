@@ -14,6 +14,7 @@ import (
 	"silo/internal/obs"
 	"silo/internal/recovery"
 	"silo/internal/tid"
+	ftrace "silo/internal/trace"
 )
 
 // Config tweaks an exploration run. The zero value is the normal
@@ -52,6 +53,15 @@ type Result struct {
 	// seed must produce both byte for byte.
 	ObsCounters  []byte
 	ObsRecovered []byte
+	// FlightBinary and FlightRecovered are the canonical 32-byte-per-event
+	// encodings of the flight recorder's merged dumps, captured at the
+	// same two points as the metric fingerprints. Event timestamps come
+	// from the sim clock and the dump's merge order is a pure function of
+	// the seeded history, so two runs of the same seed must produce both
+	// byte for byte — any divergence means nondeterminism leaked into the
+	// recorder (or the engine paths that feed it).
+	FlightBinary    []byte
+	FlightRecovered []byte
 }
 
 // commitRec tracks one acknowledged commit for the exact-state oracle.
@@ -240,6 +250,7 @@ func ExploreConfig(seed int64, cfg Config) (Result, error) {
 	}
 	res.Commits = len(commits)
 	res.ObsCounters = counterFingerprint(db.Observe())
+	res.FlightBinary = ftrace.AppendBinary(nil, db.Flight().Dump())
 
 	var lastCommitEpoch uint64
 	for _, c := range commits {
@@ -298,6 +309,7 @@ func ExploreConfig(seed int64, cfg Config) (Result, error) {
 	res.DurableEpoch = rres.DurableEpoch
 	res.CheckpointEpoch = rres.CheckpointEpoch
 	res.ObsRecovered = counterFingerprint(db2.Observe())
+	res.FlightRecovered = ftrace.AppendBinary(nil, db2.Flight().Dump())
 	eff := rres.DurableEpoch
 	if rres.CheckpointEpoch > eff {
 		eff = rres.CheckpointEpoch

@@ -45,6 +45,23 @@ func TestReplayDeterminism(t *testing.T) {
 		if !bytes.Equal(a.ObsRecovered, b.ObsRecovered) {
 			t.Fatalf("seed %d: post-recovery counters diverged between runs:\n%s", seed, counterDiff(t, a.ObsRecovered, b.ObsRecovered))
 		}
+		if !bytes.Equal(a.FlightBinary, b.FlightBinary) {
+			t.Fatalf("seed %d: flight-recorder fingerprint diverged between runs (%d vs %d bytes)",
+				seed, len(a.FlightBinary), len(b.FlightBinary))
+		}
+		if !bytes.Equal(a.FlightRecovered, b.FlightRecovered) {
+			t.Fatalf("seed %d: post-recovery flight fingerprint diverged between runs (%d vs %d bytes)",
+				seed, len(a.FlightRecovered), len(b.FlightRecovered))
+		}
+		// A history always commits and runs DDL, so the pre-shutdown ring
+		// must hold events (32 bytes each); replay must not re-record live
+		// DDL or commits wholesale, but recovery's own table creation may.
+		if len(a.FlightBinary) == 0 || len(a.FlightBinary)%32 != 0 {
+			t.Fatalf("seed %d: flight fingerprint malformed: %d bytes", seed, len(a.FlightBinary))
+		}
+		if len(a.FlightRecovered)%32 != 0 {
+			t.Fatalf("seed %d: recovered flight fingerprint malformed: %d bytes", seed, len(a.FlightRecovered))
+		}
 
 		// The fingerprints are real snapshots, not hashes: they decode,
 		// and their headline series bound the history's own bookkeeping.

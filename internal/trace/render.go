@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HotKey is one aggregated conflict site: a (table, key) pair and how
+// many validation-failure aborts it caused within the dumped window.
+type HotKey struct {
+	Table  uint32
+	Hash   uint64
+	Prefix [8]byte
+	Count  uint64
+}
+
+// PrefixString renders the key prefix: printable bytes literally, the
+// rest hex-escaped, trailing zero padding trimmed.
+func (h *HotKey) PrefixString() string { return prefixString(h.Prefix) }
+
+func prefixString(p [8]byte) string {
+	b := p[:]
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	var sb strings.Builder
+	for _, c := range b {
+		if c >= 0x20 && c < 0x7F {
+			sb.WriteByte(c)
+		} else {
+			fmt.Fprintf(&sb, "\\x%02x", c)
+		}
+	}
+	return sb.String()
+}
+
+// TopConflicts folds the abort events in a dump into the hottest
+// conflicting keys, most aborted first (ties broken by table id then
+// key hash, so the ranking is deterministic). Aborts without a
+// conflicting record (hook_poisoned, explicit) are excluded.
+func TopConflicts(events []Event, n int) []HotKey {
+	type site struct {
+		table uint32
+		hash  uint64
+	}
+	agg := map[site]*HotKey{}
+	for i := range events {
+		e := &events[i]
+		if e.Kind != EvAbort || e.A == 0 && e.Table == 0 {
+			continue
+		}
+		s := site{e.Table, e.A}
+		h := agg[s]
+		if h == nil {
+			h = &HotKey{Table: e.Table, Hash: e.A, Prefix: e.Key}
+			agg[s] = h
+		}
+		h.Count++
+	}
+	out := make([]HotKey, 0, len(agg))
+	for _, h := range agg {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TableNamer resolves a table id to its name for rendering; nil falls
+// back to the numeric id.
+type TableNamer func(id uint32) string
+
+func tableName(f TableNamer, id uint32) string {
+	if f != nil {
+		if n := f(id); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("t%d", id)
+}
+
+// eventDetail renders an event's kind-specific fields.
+func eventDetail(e *Event, names TableNamer) string {
+	switch e.Kind {
+	case EvCommit:
+		return fmt.Sprintf("tid=%x writes=%d", e.A, e.Aux)
+	case EvAbort:
+		reason := "?"
+		if int(e.Aux) < len(AbortReasonNames) {
+			reason = AbortReasonNames[e.Aux]
+		}
+		if e.A == 0 && e.Table == 0 {
+			return "reason=" + reason
+		}
+		return fmt.Sprintf("reason=%s table=%s key=%q hash=%016x",
+			reason, tableName(names, e.Table), prefixString(e.Key), e.A)
+	case EvFsync:
+		return fmt.Sprintf("logger=%d bytes=%d", e.Aux, e.A)
+	case EvCheckpoint:
+		return fmt.Sprintf("stage=%s epoch=%d", CkptStageName(e.Aux), e.A)
+	case EvDDL:
+		return fmt.Sprintf("op=%s table=%s name=%q", DDLName(e.Aux), tableName(names, e.Table), prefixString(e.Key))
+	case EvConnOpen, EvConnClose:
+		return fmt.Sprintf("conn=%d", e.A)
+	}
+	return fmt.Sprintf("aux=%d table=%d a=%x", e.Aux, e.Table, e.A)
+}
+
+// WriteText renders a dump as one line per event, newest last, preceded
+// by the hottest-conflicting-keys summary — the forensic view the admin
+// endpoint serves and the server prints on SIGINT or panic.
+func WriteText(w io.Writer, events []Event, names TableNamer) {
+	fmt.Fprintf(w, "flight recorder: %d events\n", len(events))
+	if hot := TopConflicts(events, 10); len(hot) > 0 {
+		fmt.Fprintf(w, "hottest conflicting keys:\n")
+		for _, h := range hot {
+			fmt.Fprintf(w, "  %s %q (hash %016x): %d aborts\n",
+				tableName(names, h.Table), h.PrefixString(), h.Hash, h.Count)
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		fmt.Fprintf(w, "%12s src=%-3d %-10s %s\n", e.TS, e.Src, e.Kind, eventDetail(e, names))
+	}
+}
+
+// jsonEvent is the JSON shape of one event.
+type jsonEvent struct {
+	TS     int64  `json:"ts_ns"`
+	Kind   string `json:"kind"`
+	Src    uint8  `json:"src"`
+	Detail string `json:"detail"`
+}
+
+// jsonHotKey is the JSON shape of one aggregated conflict site.
+type jsonHotKey struct {
+	Table  string `json:"table"`
+	Key    string `json:"key_prefix"`
+	Hash   string `json:"key_hash"`
+	Aborts uint64 `json:"aborts"`
+}
+
+// WriteJSON renders a dump as a JSON document: the hottest-key summary
+// followed by the event timeline.
+func WriteJSON(w io.Writer, events []Event, names TableNamer) error {
+	doc := struct {
+		Events  int          `json:"events"`
+		HotKeys []jsonHotKey `json:"hottest_keys"`
+		Ring    []jsonEvent  `json:"ring"`
+	}{Events: len(events), HotKeys: []jsonHotKey{}, Ring: []jsonEvent{}}
+	for _, h := range TopConflicts(events, 10) {
+		doc.HotKeys = append(doc.HotKeys, jsonHotKey{
+			Table:  tableName(names, h.Table),
+			Key:    h.PrefixString(),
+			Hash:   fmt.Sprintf("%016x", h.Hash),
+			Aborts: h.Count,
+		})
+	}
+	for i := range events {
+		e := &events[i]
+		doc.Ring = append(doc.Ring, jsonEvent{
+			TS: int64(e.TS), Kind: e.Kind.String(), Src: e.Src, Detail: eventDetail(e, names),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

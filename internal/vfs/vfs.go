@@ -63,12 +63,18 @@ type FS interface {
 type Stopper interface{ Stop() }
 
 // Clock abstracts time for the periodic loops of the durability subsystem:
-// the epoch advancer, the logger passes, and the checkpoint daemon.
+// the epoch advancer, the logger passes, and the checkpoint daemon — and,
+// since the flight recorder, for event timestamps.
 type Clock interface {
 	// Ticker arranges for fn to run about every d until Stop. The real
 	// clock runs fn serially on a dedicated goroutine; the simulation
 	// clock runs it synchronously from its manual Step.
 	Ticker(d time.Duration, fn func()) Stopper
+	// Now reads the clock as an offset from an arbitrary but fixed
+	// origin. The real clock is monotonic from process start; the
+	// simulation clock returns its virtual time, which is what keeps
+	// flight-recorder timestamps byte-identical across replays.
+	Now() time.Duration
 }
 
 // OS is the real filesystem.
@@ -140,6 +146,12 @@ func (osFS) SyncDir(dir string) error {
 }
 
 type wallClock struct{}
+
+// processStart anchors wallClock.Now. Go's time.Since reads the
+// monotonic clock, so the offsets are immune to wall-time jumps.
+var processStart = time.Now()
+
+func (wallClock) Now() time.Duration { return time.Since(processStart) }
 
 func (wallClock) Ticker(d time.Duration, fn func()) Stopper {
 	t := &wallTicker{stop: make(chan struct{}), stopped: make(chan struct{})}

@@ -12,6 +12,7 @@ import (
 	"silo/internal/core"
 	"silo/internal/epoch"
 	"silo/internal/tid"
+	"silo/internal/trace"
 	"silo/internal/vfs"
 )
 
@@ -93,6 +94,7 @@ func (c *Config) fill() {
 type Manager struct {
 	cfg     Config
 	epochs  *epoch.Manager
+	flight  *trace.Recorder // the store's flight recorder; nil when disabled
 	loggers []*logger
 	byWkr   []*WorkerLog
 	ddlLog  *WorkerLog
@@ -126,7 +128,7 @@ type ManagerStats struct {
 // and halt them.
 func Attach(s *core.Store, cfg Config) (*Manager, error) {
 	cfg.fill()
-	m := &Manager{cfg: cfg, epochs: s.Epochs()}
+	m := &Manager{cfg: cfg, epochs: s.Epochs(), flight: s.Flight()}
 	m.dcond = sync.NewCond(&m.dmu)
 	for i := 0; i < cfg.Loggers; i++ {
 		lg, err := newLogger(m, i)
@@ -382,6 +384,7 @@ type logger struct {
 	dl      atomic.Uint64
 	ticker  vfs.Stopper
 	wrote   bool
+	ring    *trace.Ring // flight-recorder shard; nil when tracing is disabled
 
 	// seq is the open segment's sequence number; segments below it are
 	// closed and immutable (TruncateCovered reads this from other
@@ -405,11 +408,16 @@ type logger struct {
 }
 
 // syncFile is the instrumented fsync: every durability-critical Sync
-// goes through here so the fsync latency histogram sees them all.
+// goes through here so the fsync latency histogram sees them all, and
+// the flight recorder logs one EvFsync per sync (A = bytes appended in
+// the current pass). All callers run on the logger goroutine (iterate,
+// rotation, and Stop after the ticker has halted), so the single-writer
+// ring discipline holds.
 func (lg *logger) syncFile() {
 	t0 := time.Now()
 	lg.file.Sync()
 	lg.m.obs.fsync.ObserveDuration(time.Since(t0).Nanoseconds())
+	lg.ring.Record(trace.EvFsync, uint16(lg.id), 0, uint64(lg.passBytes), nil)
 }
 
 // SegmentName returns the file name of logger id's segment seq: the first
@@ -424,6 +432,7 @@ func SegmentName(id int, seq uint64) string {
 
 func newLogger(m *Manager, id int) (*logger, error) {
 	lg := &logger{m: m, id: id}
+	lg.ring = m.flight.NewRing(uint8(id), trace.DefaultRingEvents)
 	if m.cfg.InMemory {
 		lg.mem = &bytes.Buffer{}
 		return lg, nil

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"silo/internal/trace"
 	"silo/wire"
 )
 
@@ -14,13 +15,15 @@ import (
 // channel onto the in-order pending queue before dispatching it, so wire
 // order always matches request order even though jobs complete on
 // different workers.
-func (s *Server) handleConn(c net.Conn) {
+func (s *Server) handleConn(c net.Conn, id uint64) {
 	defer s.connWG.Done()
+	s.db.Flight().RecordShared(trace.EvConnOpen, 0, 0, id, nil)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
 		c.Close()
+		s.db.Flight().RecordShared(trace.EvConnClose, 0, 0, id, nil)
 	}()
 
 	if tc, ok := c.(*net.TCPConn); ok {
@@ -57,7 +60,7 @@ func (s *Server) handleConn(c net.Conn) {
 		// executors run, and executors outlive every connection handler.
 		pending <- ch
 		s.obs.depth.Observe(uint64(len(pending)))
-		s.jobs <- &job{req: req, enq: time.Now(), done: ch}
+		s.jobs <- &job{req: req, enq: time.Now(), enqTS: s.now(), done: ch}
 	}
 	close(pending)
 	<-writerDone

@@ -17,16 +17,65 @@ import (
 func (s *Server) workerLoop(w int) {
 	defer s.workerWG.Done()
 	o := s.wobs[w]
+	slowAt := s.opts.SlowThreshold
 	for j := range s.jobs {
 		start := time.Now()
 		if !j.enq.IsZero() {
 			o.queue.ObserveDuration(start.Sub(j.enq).Nanoseconds())
 		}
 		kind := wire.KindTxn
-		if !j.req.Txn {
+		switch {
+		case j.req.Trace:
+			kind = wire.KindTrace
+		case !j.req.Txn:
 			kind = j.req.Ops[0].Kind
 		}
-		resp := s.exec(w, &j.req)
+		// A TRACE frame is traced because the client asked; with slow-op
+		// capture armed, everything is traced so a slow op's timeline is
+		// already in hand when it crosses the threshold.
+		var tc *traceCtx
+		var t0 time.Duration
+		if j.req.Trace || slowAt > 0 {
+			tc = &traceCtx{sp: &silo.TxnSpans{}, durable: j.req.Trace}
+			t0 = s.now()
+			if q := t0 - j.enqTS; q > 0 && !j.enq.IsZero() {
+				tc.sp.Queue = q
+			}
+		}
+		resp := s.exec(w, &j.req, tc)
+		if tc != nil {
+			elapsed := s.now() - t0
+			sp := tc.sp
+			// The engine timed execute/validate/log/fsync-wait; what is
+			// left of the frame's wall time is table resolution and
+			// result assembly — the respond span.
+			if r := elapsed - (sp.Exec + sp.Validate + sp.Log + sp.Fsync); r > 0 {
+				sp.Respond = r
+			}
+			if j.req.Trace && resp.Kind == wire.KindTxnR {
+				resp.Kind = wire.KindTraceR
+				resp.Spans = sp
+			}
+			if total := sp.Queue + elapsed; slowAt > 0 && total >= slowAt {
+				op := slowOp{
+					At:    t0 + elapsed,
+					Kind:  kind,
+					Ops:   len(j.req.Ops),
+					Total: total,
+					Spans: *sp,
+				}
+				if len(j.req.Ops) > 0 {
+					op.Table = j.req.Ops[0].Table
+					if op.Table == "" {
+						op.Table = j.req.Ops[0].Index
+					}
+				}
+				if resp.Kind == wire.KindErr {
+					op.Err = resp.Msg
+				}
+				s.slow.add(op)
+			}
+		}
 		o.latency[int(kind)&0x0F].ObserveDuration(time.Since(start).Nanoseconds())
 		if resp.Kind == wire.KindErr {
 			s.errors64.Add(1)
@@ -121,10 +170,12 @@ func addValue(tx *silo.Tx, t *silo.Table, key []byte, delta int64) (uint64, erro
 
 // exec runs one decoded request on worker w and builds its response. All
 // byte slices placed in the response are freshly owned (transaction reads
-// copy out of the store), so encoding happens safely after commit.
-func (s *Server) exec(w int, req *wire.Request) wire.Response {
+// copy out of the store), so encoding happens safely after commit. With
+// tc set, transactional paths run traced; DDL, SCHEMA, STATS, and
+// snapshot reads have no commit phases to time and ignore it.
+func (s *Server) exec(w int, req *wire.Request, tc *traceCtx) wire.Response {
 	if req.Txn {
-		return s.execTxn(w, req.Ops)
+		return s.execTxn(w, req.Ops, tc)
 	}
 	op := &req.Ops[0]
 	// Index frames resolve an index name, not a table name.
@@ -134,7 +185,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 	case wire.KindDropIndex:
 		return s.execDropIndex(op)
 	case wire.KindIScan:
-		return s.execIScan(w, op)
+		return s.execIScan(w, op, tc)
 	case wire.KindSchema:
 		return s.execSchema()
 	case wire.KindStats:
@@ -153,7 +204,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 	switch op.Kind {
 	case wire.KindGet:
 		var val []byte
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			var err error
 			val, err = tx.Get(t, op.Key)
 			return err
@@ -164,7 +215,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return wire.Response{Kind: wire.KindValue, Value: val}
 
 	case wire.KindPut:
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			return tx.Put(t, op.Key, op.Value)
 		})
 		if err != nil {
@@ -173,7 +224,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return wire.Response{Kind: wire.KindOK}
 
 	case wire.KindInsert:
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			return tx.Insert(t, op.Key, op.Value)
 		})
 		if err != nil {
@@ -182,7 +233,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 		return wire.Response{Kind: wire.KindOK}
 
 	case wire.KindDelete:
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			return tx.Delete(t, op.Key)
 		})
 		if err != nil {
@@ -192,7 +243,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 
 	case wire.KindAdd:
 		var n uint64
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			var err error
 			n, err = addValue(tx, t, op.Key, op.Delta)
 			return err
@@ -210,7 +261,7 @@ func (s *Server) exec(w int, req *wire.Request) wire.Response {
 			limit = int(op.Limit)
 		}
 		var pairs []wire.KV
-		err := s.db.Run(w, func(tx *silo.Tx) error {
+		err := s.run(w, tc, func(tx *silo.Tx) error {
 			pairs = pairs[:0] // retried transactions restart the scan
 			return tx.Scan(t, op.Key, hiBound(op), func(k, v []byte) bool {
 				// Keys and values are only valid during the callback.
@@ -326,7 +377,7 @@ func (s *Server) execSchema() wire.Response {
 // (entries collected, primary keys sorted, rows fetched with ordered
 // multi-get descents) and phantom protection on both trees, or against a
 // recent consistent snapshot when the frame asks for one.
-func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
+func (s *Server) execIScan(w int, op *wire.Op, tc *traceCtx) wire.Response {
 	ix := s.db.Index(op.Index)
 	if ix == nil {
 		return errResponse(fmt.Errorf("%w: %q", silo.ErrNoIndex, op.Index))
@@ -364,7 +415,7 @@ func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
 			return silo.ScanIndexSnapshotCovering(stx, ix, lo, hiBound(op), collect)
 		})
 	case op.Covering:
-		err = s.db.Run(w, func(tx *silo.Tx) error {
+		err = s.run(w, tc, func(tx *silo.Tx) error {
 			entries = entries[:0] // retried transactions restart the scan
 			return silo.ScanIndexCovering(tx, ix, lo, hiBound(op), collect)
 		})
@@ -374,7 +425,7 @@ func (s *Server) execIScan(w int, op *wire.Op) wire.Response {
 			return silo.ScanIndexSnapshot(stx, ix, lo, hiBound(op), collect)
 		})
 	default:
-		err = s.db.Run(w, func(tx *silo.Tx) error {
+		err = s.run(w, tc, func(tx *silo.Tx) error {
 			entries = entries[:0] // retried transactions restart the scan
 			return silo.ScanIndexBatched(tx, ix, lo, hiBound(op), limit, collect)
 		})
@@ -401,7 +452,7 @@ func hiBound(op *wire.Op) []byte {
 // error aborts the whole transaction (no partial effects) and is reported
 // as a single ERR frame; on commit, GET and ADD ops report values
 // positionally in a TXNR frame.
-func (s *Server) execTxn(w int, ops []wire.Op) wire.Response {
+func (s *Server) execTxn(w int, ops []wire.Op, tc *traceCtx) wire.Response {
 	// Resolve tables outside the transaction: creation is not
 	// transactional and must not be retried into the log out of order.
 	tables := make([]*silo.Table, len(ops))
@@ -418,7 +469,7 @@ func (s *Server) execTxn(w int, ops []wire.Op) wire.Response {
 		tables[i] = t
 	}
 	results := make([]wire.TxnResult, len(ops))
-	err := s.db.Run(w, func(tx *silo.Tx) error {
+	err := s.run(w, tc, func(tx *silo.Tx) error {
 		for i := range results {
 			results[i] = wire.TxnResult{} // retried transactions restart
 		}

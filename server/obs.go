@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 
 	"silo/internal/obs"
+	"silo/internal/trace"
 	"silo/wire"
 )
 
@@ -31,6 +32,7 @@ var statsKinds = [...]wire.Kind{
 	wire.KindGet, wire.KindPut, wire.KindInsert, wire.KindDelete,
 	wire.KindScan, wire.KindAdd, wire.KindTxn, wire.KindCreateIndex,
 	wire.KindIScan, wire.KindSchema, wire.KindDropIndex, wire.KindStats,
+	wire.KindTrace,
 }
 
 // CollectObs appends the server's own metric families to snap: connection
@@ -77,9 +79,12 @@ func (s *Server) execStats() wire.Response {
 // AdminHandler returns the server's admin HTTP handler, served by
 // cmd/silo-server's -admin listener (never on the data port):
 //
-//	/metrics     the snapshot in Prometheus text exposition format
-//	/debug/vars  the snapshot as expvar-style JSON (process vars included)
-//	/debug/pprof the standard runtime profiles
+//	/metrics      the snapshot in Prometheus text exposition format
+//	/debug/vars   the snapshot as expvar-style JSON (process vars included)
+//	/debug/flight the flight recorder: hottest conflicting keys and the
+//	              recent event timeline (text; ?format=json for JSON)
+//	/debug/slow   recent slow-op captures (requires -slow-ms)
+//	/debug/pprof  the standard runtime profiles
 //
 // Handlers take a fresh snapshot per request; scraping is safe while the
 // server executes transactions.
@@ -100,6 +105,27 @@ func (s *Server) AdminHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		events := s.db.Flight().Dump()
+		names := s.tableNamer()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			trace.WriteJSON(w, events, names)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trace.WriteText(w, events, names)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		ops, total := s.slow.snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			writeSlowJSON(w, ops, total, s.opts.SlowThreshold)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeSlowText(w, ops, total, s.opts.SlowThreshold)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -43,6 +43,12 @@ type Options struct {
 	// deployments should pre-create tables (table IDs are part of the log
 	// format) and set this.
 	DisableAutoCreate bool
+	// SlowThreshold force-traces every request when set: any op whose
+	// client-visible latency (queue wait included) meets or exceeds it is
+	// captured — span timeline, table, outcome — into a bounded
+	// recent-slow buffer served at /debug/slow. Zero disables capture
+	// (and its tracing overhead).
+	SlowThreshold time.Duration
 }
 
 // Stats are cumulative server counters, readable while serving.
@@ -74,6 +80,10 @@ type Server struct {
 	// cells. Both are scraped by STATS frames and the admin endpoint.
 	wobs []*workerObs
 	obs  serverObs
+
+	// slow is the bounded ring of recent slow-op captures (see
+	// Options.SlowThreshold), served at /debug/slow.
+	slow slowBuf
 }
 
 type job struct {
@@ -81,6 +91,9 @@ type job struct {
 	// enq is when the connection reader dispatched the job; the executor
 	// records the difference as queue time.
 	enq time.Time
+	// enqTS is the same instant on the store clock, so a traced job's
+	// queue-wait span shares a clock with its commit-phase spans.
+	enqTS time.Duration
 	// done receives exactly one response; it is buffered so the executor
 	// never blocks on a connection that died.
 	done chan wire.Response
@@ -160,8 +173,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
 		s.mu.Unlock()
-		s.conns64.Add(1)
-		go s.handleConn(c)
+		id := s.conns64.Add(1)
+		go s.handleConn(c, id)
 	}
 }
 

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"silo"
+	"silo/internal/trace"
+	"silo/wire"
+)
+
+// traceCtx carries span capture through one request's execution. A nil
+// context means the request runs untraced on the plain fast path; a
+// non-nil context routes transactional work through DB.RunTraced, which
+// times the commit phases into sp. durable is set for TRACE frames,
+// whose timeline must cover the group-commit fsync wait (the true
+// client-visible commit point on a durable server); slow-op capture
+// traces everything else without the durability wait, so it prices the
+// phases a normal request actually pays.
+type traceCtx struct {
+	sp      *silo.TxnSpans
+	durable bool
+}
+
+// now reads the database's clock — the same clock the commit phases are
+// timed on, so server-side spans (queue wait, respond) and engine-side
+// spans (execute, validate, log) form one coherent timeline.
+func (s *Server) now() time.Duration { return s.db.Store().Now() }
+
+// run executes fn as a one-shot transaction on worker w, traced when tc
+// is set.
+func (s *Server) run(w int, tc *traceCtx, fn func(tx *silo.Tx) error) error {
+	if tc != nil {
+		return s.db.RunTraced(w, tc.sp, tc.durable, fn)
+	}
+	return s.db.Run(w, fn)
+}
+
+// slowOp is one captured slow operation: what ran, how long each stage
+// took, and how it ended.
+type slowOp struct {
+	At    time.Duration // store-clock time the op completed
+	Kind  wire.Kind     // frame kind (TXN for multi-op frames)
+	Table string        // first op's table (or index) name
+	Ops   int           // ops in the frame
+	Total time.Duration // queue wait + execution, the client-visible latency
+	Spans silo.TxnSpans // stage timeline (zero stages for untraceable kinds)
+	Err   string        // error text when the op failed, else ""
+}
+
+// slowCap bounds the recent-slow buffer; older captures are overwritten.
+const slowCap = 64
+
+// slowBuf is the bounded ring of recent slow operations. Captures are
+// rare by construction (only ops beyond the threshold land here), so a
+// mutex is fine.
+type slowBuf struct {
+	mu  sync.Mutex
+	buf [slowCap]slowOp
+	n   uint64 // total captured; buf[(n-1)%slowCap] is the newest
+}
+
+func (b *slowBuf) add(op slowOp) {
+	b.mu.Lock()
+	b.buf[b.n%slowCap] = op
+	b.n++
+	b.mu.Unlock()
+}
+
+// snapshot returns the surviving captures oldest first, plus the total
+// ever captured (total − len(ops) were overwritten).
+func (b *slowBuf) snapshot() (ops []slowOp, total uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.n
+	keep := n
+	if keep > slowCap {
+		keep = slowCap
+	}
+	ops = make([]slowOp, 0, keep)
+	for i := n - keep; i < n; i++ {
+		ops = append(ops, b.buf[i%slowCap])
+	}
+	return ops, n
+}
+
+// tableNamer resolves table ids to names for flight-recorder rendering.
+// It snapshots the current table set; ids created after the snapshot
+// render numerically, which is fine for a debug view.
+func (s *Server) tableNamer() trace.TableNamer {
+	m := map[uint32]string{}
+	for _, t := range s.db.Tables() {
+		m[t.ID] = t.Name
+	}
+	return func(id uint32) string { return m[id] }
+}
+
+// writeSlowText renders the slow buffer for /debug/slow.
+func writeSlowText(w io.Writer, ops []slowOp, total uint64, threshold time.Duration) {
+	fmt.Fprintf(w, "slow ops: %d captured (threshold %s), newest last\n", total, threshold)
+	if total > uint64(len(ops)) {
+		fmt.Fprintf(w, "oldest %d overwritten\n", total-uint64(len(ops)))
+	}
+	for i := range ops {
+		op := &ops[i]
+		fmt.Fprintf(w, "at=%-12s %-6s table=%s ops=%d total=%s", op.At, op.Kind, op.Table, op.Ops, op.Total)
+		if sp := &op.Spans; sp.Total() > 0 {
+			fmt.Fprintf(w, " [%s]", sp)
+			if sp.Retries > 0 {
+				fmt.Fprintf(w, " retries=%d", sp.Retries)
+			}
+		}
+		if op.Err != "" {
+			fmt.Fprintf(w, " err=%q", op.Err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// jsonSlowOp is the JSON shape of one slow-op capture.
+type jsonSlowOp struct {
+	AtNs      int64  `json:"at_ns"`
+	Kind      string `json:"kind"`
+	Table     string `json:"table,omitempty"`
+	Ops       int    `json:"ops"`
+	TotalNs   int64  `json:"total_ns"`
+	QueueNs   int64  `json:"queue_ns"`
+	ExecNs    int64  `json:"exec_ns"`
+	ValidNs   int64  `json:"validate_ns"`
+	LogNs     int64  `json:"log_ns"`
+	FsyncNs   int64  `json:"fsync_ns"`
+	RespondNs int64  `json:"respond_ns"`
+	Retries   uint32 `json:"retries,omitempty"`
+	TID       string `json:"tid,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+// writeSlowJSON renders the slow buffer as a JSON document.
+func writeSlowJSON(w io.Writer, ops []slowOp, total uint64, threshold time.Duration) error {
+	doc := struct {
+		Captured    uint64       `json:"captured"`
+		ThresholdNs int64        `json:"threshold_ns"`
+		Ops         []jsonSlowOp `json:"ops"`
+	}{Captured: total, ThresholdNs: threshold.Nanoseconds(), Ops: []jsonSlowOp{}}
+	for i := range ops {
+		op := &ops[i]
+		sp := &op.Spans
+		j := jsonSlowOp{
+			AtNs: op.At.Nanoseconds(), Kind: op.Kind.String(), Table: op.Table,
+			Ops: op.Ops, TotalNs: op.Total.Nanoseconds(),
+			QueueNs: sp.Queue.Nanoseconds(), ExecNs: sp.Exec.Nanoseconds(),
+			ValidNs: sp.Validate.Nanoseconds(), LogNs: sp.Log.Nanoseconds(),
+			FsyncNs: sp.Fsync.Nanoseconds(), RespondNs: sp.Respond.Nanoseconds(),
+			Retries: sp.Retries, Err: op.Err,
+		}
+		if sp.TID != 0 {
+			j.TID = fmt.Sprintf("%x", sp.TID)
+		}
+		doc.Ops = append(doc.Ops, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -73,6 +73,7 @@ import (
 	"silo/internal/index"
 	"silo/internal/recovery"
 	"silo/internal/tid"
+	"silo/internal/trace"
 	"silo/internal/vfs"
 	"silo/internal/wal"
 )
@@ -131,6 +132,11 @@ type Options struct {
 	// GlobalTID assigns commit TIDs from one shared counter (the paper's
 	// MemSilo+GlobalTID scalability strawman).
 	GlobalTID bool
+	// DisableTrace disables the always-on flight recorder (per-shard event
+	// rings recording commits, aborts with conflict forensics, fsync
+	// passes, checkpoint stages, DDL, and connection lifecycle). Exists to
+	// price the recorder in benchmarks; leave false in normal use.
+	DisableTrace bool
 
 	// Clock drives every background ticker — the epoch advancer, the logger
 	// poll loops, and the checkpoint daemon. Nil means real time. The
@@ -234,6 +240,7 @@ func Open(opts Options) (*DB, error) {
 	copts.Overwrites = !opts.DisableOverwrites
 	copts.Arena = !opts.DisableArena
 	copts.GlobalTID = opts.GlobalTID
+	copts.DisableTrace = opts.DisableTrace
 	copts.Clock = opts.Clock
 
 	db := &DB{store: core.NewStore(copts), indexes: index.NewRegistry(), opts: opts}
@@ -588,6 +595,46 @@ func (db *DB) RunSnapshot(worker int, fn func(stx *SnapTx) error) error {
 	db.heartbeat(worker)
 	return err
 }
+
+// TxnSpans is one traced transaction's span timeline — queue wait,
+// statement execution across OCC retries, commit validation, log
+// handoff, group-commit fsync wait, result assembly — plus the commit
+// TID and retry count. It is what DB.RunTraced fills, what TRACER
+// frames carry, and what client.Txn.Trace returns.
+type TxnSpans = trace.Spans
+
+// RunTraced is Run with span capture: statement execution and the
+// commit phases are force-timed into sp (Exec accumulates across
+// conflict retries, which sp.Retries counts). With waitDurable set and
+// durability configured it also waits for the transaction's epoch to
+// become durable, timing the wait into sp.Fsync — the traced equivalent
+// of RunDurable's client-visible commit point.
+func (db *DB) RunTraced(worker int, sp *TxnSpans, waitDurable bool, fn func(tx *Tx) error) error {
+	w := db.store.Worker(worker)
+	var err error
+	for {
+		err = w.RunOnceTraced(fn, sp)
+		if err != ErrConflict {
+			break
+		}
+		sp.Retries++
+	}
+	if err == nil && waitDurable && db.wal != nil {
+		t0 := db.store.Now()
+		wl := db.wal.WorkerLog(worker)
+		wl.Heartbeat() // flush our own buffer so we never wait on ourselves
+		db.wal.WaitDurable(tidEpoch(w.LastCommitTID()))
+		sp.Fsync += db.store.Now() - t0
+	}
+	db.heartbeat(worker)
+	return err
+}
+
+// Flight returns the database's flight recorder, or nil when
+// Options.DisableTrace is set. Dump it for the recent event timeline —
+// commits, aborts with conflicting table and key forensics, fsync
+// passes, checkpoint stages, DDL, connection lifecycle.
+func (db *DB) Flight() *trace.Recorder { return db.store.Flight() }
 
 // RunDurable is Run followed by a wait until the transaction's epoch is
 // durable — the point at which the paper releases results to clients. It

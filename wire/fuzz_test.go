@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"silo/internal/obs"
+	"silo/internal/trace"
 )
 
 // statsSeed builds a small but structurally complete metrics snapshot —
@@ -70,6 +71,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Ops: []Op{{Kind: KindDropIndex, Index: "ix"}}},
 		{Ops: []Op{{Kind: KindSchema}}},
 		{Ops: []Op{{Kind: KindStats}}},
+		{Txn: true, Trace: true, Ops: []Op{
+			{Kind: KindGet, Table: "t", Key: []byte("a")},
+			{Kind: KindPut, Table: "t", Key: []byte("a"), Value: []byte("v")},
+		}},
 	}
 	for i := range seedReqs {
 		frame, err := AppendRequest(nil, &seedReqs[i])
@@ -101,6 +106,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			},
 		}},
 		{Kind: KindStatsR, Stats: statsSeed()},
+		{Kind: KindTraceR, Spans: &trace.Spans{
+			Queue: 100, Exec: 2000, Validate: 300, Log: 40, Fsync: 50000, Respond: 6,
+			Retries: 1, TID: 0x1234,
+		}, Results: []TxnResult{{HasValue: true, Value: []byte("v")}, {}}},
 	}
 	for i := range seedResps {
 		frame, err := AppendResponse(nil, &seedResps[i])

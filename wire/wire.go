@@ -27,6 +27,8 @@
 //	            u32 limit | u8 snapshot | u8 covering
 //	TXN         u16 nops | nops × (u8 kind | body as above; SCAN, CREATE_INDEX
 //	            and ISCAN excluded)
+//	TRACE       identical to TXN; the server executes it traced and answers
+//	            with TRACER instead of TXNR
 //	SCHEMA      (empty)
 //	STATS       (empty)
 //
@@ -57,9 +59,18 @@
 //	            u8 nincs | incs)
 //	ISCANR      u32 n | n × (u8 sklen | sk | u8 pklen | pk | u32 vlen | value)
 //	TXNR        u16 nresults | nresults × (u8 hasValue | [u32 vlen | value])
+//	TRACER      span block (internal/trace fixed binary form: six u64 stage
+//	            nanosecond values, u64 tid, u32 retries) | TXNR body
 //	STATSR      versioned metrics snapshot (internal/obs binary form: u8
 //	            version | u32 count | count samples), decoded with the same
 //	            strict validation as the rest of the grammar
+//
+// TRACE is the per-transaction tracing entry point: the same one-shot
+// transaction a TXN frame carries, but executed with span capture. The
+// TRACER response prefixes the TXNR result list with the transaction's
+// span timeline — queue wait, statement execution across all OCC
+// retries, commit validation, log handoff, group-commit fsync wait, and
+// result assembly — plus the commit TID and the retry count.
 //
 // STATS asks the server for a metrics snapshot of every layer — commit and
 // abort counters with reason breakdowns, per-table read/write totals,
@@ -77,6 +88,7 @@ import (
 	"io"
 
 	"silo/internal/obs"
+	"silo/internal/trace"
 )
 
 // Kind identifies a frame or TXN sub-operation.
@@ -100,6 +112,7 @@ const (
 	KindSchema      Kind = 0x0A
 	KindDropIndex   Kind = 0x0B
 	KindStats       Kind = 0x0C
+	KindTrace       Kind = 0x0D
 )
 
 // Response frame kinds.
@@ -112,6 +125,7 @@ const (
 	KindIScanR  Kind = 0x86
 	KindSchemaR Kind = 0x87
 	KindStatsR  Kind = 0x88
+	KindTraceR  Kind = 0x89
 )
 
 func (k Kind) String() string {
@@ -140,6 +154,8 @@ func (k Kind) String() string {
 		return "DROP_INDEX"
 	case KindStats:
 		return "STATS"
+	case KindTrace:
+		return "TRACE"
 	case KindOK:
 		return "OK"
 	case KindValue:
@@ -156,6 +172,8 @@ func (k Kind) String() string {
 		return "SCHEMAR"
 	case KindStatsR:
 		return "STATSR"
+	case KindTraceR:
+		return "TRACER"
 	}
 	return fmt.Sprintf("Kind(0x%02x)", byte(k))
 }
@@ -308,6 +326,9 @@ type Schema struct {
 type Request struct {
 	// Txn marks a multi-op one-shot transaction frame.
 	Txn bool
+	// Trace marks a TRACE frame: a transaction (Txn is set too) executed
+	// with span capture and answered with TRACER.
+	Trace bool
 	// Ops holds the operations: exactly one unless Txn is set.
 	Ops []Op
 }
@@ -332,10 +353,11 @@ type Response struct {
 	Msg     string        // ERR
 	Value   []byte        // VALUE
 	Pairs   []KV          // SCANR
-	Results []TxnResult   // TXNR
+	Results []TxnResult   // TXNR, TRACER
 	Entries []IndexEntry  // ISCANR
 	Schema  *Schema       // SCHEMAR
 	Stats   *obs.Snapshot // STATSR (silo.ObsSnapshot for embedders)
+	Spans   *trace.Spans  // TRACER span timeline
 }
 
 // Err builds an ERR response.
@@ -529,11 +551,15 @@ func boolByte(b bool) byte {
 // AppendRequest appends a complete frame (length prefix included) for r.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	dst, at := beginFrame(dst)
-	if r.Txn {
+	if r.Txn || r.Trace {
 		if len(r.Ops) == 0 || len(r.Ops) > MaxTxnOps {
 			return dst[:at], fmt.Errorf("wire: txn with %d ops", len(r.Ops))
 		}
-		dst = append(dst, byte(KindTxn))
+		kind := KindTxn
+		if r.Trace {
+			kind = KindTrace
+		}
+		dst = append(dst, byte(kind))
 		dst = appendU16(dst, uint16(len(r.Ops)))
 		for i := range r.Ops {
 			op := &r.Ops[i]
@@ -681,24 +707,43 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		}
 		dst = snap.AppendBinary(dst)
 	case KindTxnR:
-		if len(r.Results) > MaxTxnOps {
-			return dst[:at], fmt.Errorf("wire: txn response with %d results", len(r.Results))
+		var err error
+		if dst, err = appendTxnResults(dst, r.Results); err != nil {
+			return dst[:at], err
 		}
-		dst = appendU16(dst, uint16(len(r.Results)))
-		for i := range r.Results {
-			res := &r.Results[i]
-			if res.HasValue {
-				dst = append(dst, 1)
-				dst = appendU32(dst, uint32(len(res.Value)))
-				dst = append(dst, res.Value...)
-			} else {
-				dst = append(dst, 0)
-			}
+	case KindTraceR:
+		sp := r.Spans
+		if sp == nil {
+			sp = &trace.Spans{}
+		}
+		dst = trace.AppendSpans(dst, sp)
+		var err error
+		if dst, err = appendTxnResults(dst, r.Results); err != nil {
+			return dst[:at], err
 		}
 	default:
 		return dst[:at], fmt.Errorf("wire: cannot encode response kind %v", r.Kind)
 	}
 	return endFrame(dst, at), nil
+}
+
+// appendTxnResults encodes the shared TXNR/TRACER result list.
+func appendTxnResults(dst []byte, results []TxnResult) ([]byte, error) {
+	if len(results) > MaxTxnOps {
+		return dst, fmt.Errorf("wire: txn response with %d results", len(results))
+	}
+	dst = appendU16(dst, uint16(len(results)))
+	for i := range results {
+		res := &results[i]
+		if res.HasValue {
+			dst = append(dst, 1)
+			dst = appendU32(dst, uint32(len(res.Value)))
+			dst = append(dst, res.Value...)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -832,7 +877,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 		return Request{}, err
 	}
 	kind := Kind(kb)
-	if kind == KindTxn {
+	if kind == KindTxn || kind == KindTrace {
 		nops, err := rd.u16()
 		if err != nil {
 			return Request{}, err
@@ -845,7 +890,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if int(nops) > rd.remaining()/3+1 {
 			return Request{}, malformed("txn claims %d ops in %d bytes", nops, rd.remaining())
 		}
-		req := Request{Txn: true, Ops: make([]Op, 0, nops)}
+		req := Request{Txn: true, Trace: kind == KindTrace, Ops: make([]Op, 0, nops)}
 		for i := 0; i < int(nops); i++ {
 			kb, err := rd.byte()
 			if err != nil {
@@ -1198,31 +1243,21 @@ func DecodeResponse(payload []byte) (Response, error) {
 		}
 		resp.Stats = snap
 	case KindTxnR:
-		nres, err := rd.u16()
+		if resp.Results, err = decodeTxnResults(&rd); err != nil {
+			return Response{}, err
+		}
+	case KindTraceR:
+		block, err := rd.take(trace.SpansEncodedLen)
 		if err != nil {
 			return Response{}, err
 		}
-		if int(nres) > rd.remaining()+1 {
-			return Response{}, malformed("txn response claims %d results in %d bytes", nres, rd.remaining())
+		sp, _, ok := trace.DecodeSpans(block)
+		if !ok {
+			return Response{}, malformed("trace span block")
 		}
-		resp.Results = make([]TxnResult, 0, nres)
-		for i := 0; i < int(nres); i++ {
-			hv, err := rd.byte()
-			if err != nil {
-				return Response{}, err
-			}
-			var res TxnResult
-			switch hv {
-			case 0:
-			case 1:
-				res.HasValue = true
-				if res.Value, err = rd.bytes32(); err != nil {
-					return Response{}, err
-				}
-			default:
-				return Response{}, malformed("txn result flag %d", hv)
-			}
-			resp.Results = append(resp.Results, res)
+		resp.Spans = &sp
+		if resp.Results, err = decodeTxnResults(&rd); err != nil {
+			return Response{}, err
 		}
 	default:
 		return Response{}, malformed("response kind %v", resp.Kind)
@@ -1231,4 +1266,35 @@ func DecodeResponse(payload []byte) (Response, error) {
 		return Response{}, malformed("%d trailing bytes", rd.remaining())
 	}
 	return resp, nil
+}
+
+// decodeTxnResults parses the shared TXNR/TRACER result list.
+func decodeTxnResults(rd *reader) ([]TxnResult, error) {
+	nres, err := rd.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(nres) > rd.remaining()+1 {
+		return nil, malformed("txn response claims %d results in %d bytes", nres, rd.remaining())
+	}
+	results := make([]TxnResult, 0, nres)
+	for i := 0; i < int(nres); i++ {
+		hv, err := rd.byte()
+		if err != nil {
+			return nil, err
+		}
+		var res TxnResult
+		switch hv {
+		case 0:
+		case 1:
+			res.HasValue = true
+			if res.Value, err = rd.bytes32(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, malformed("txn result flag %d", hv)
+		}
+		results = append(results, res)
+	}
+	return results, nil
 }

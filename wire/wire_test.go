@@ -7,6 +7,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"silo/internal/trace"
 )
 
 func encodeReq(t *testing.T, r *Request) []byte {
@@ -77,6 +80,11 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city", Key: []byte("AMS"), HasHi: true, Hi: []byte("AMT"), Limit: 100, Snapshot: true}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city_cov", Key: []byte("AMS"), Covering: true}}},
 		{Ops: []Op{{Kind: KindIScan, Index: "by_city_cov", Key: nil, Limit: 5, Snapshot: true, Covering: true}}},
+		{Txn: true, Trace: true, Ops: []Op{
+			{Kind: KindGet, Table: "accounts", Key: []byte("alice")},
+			{Kind: KindPut, Table: "accounts", Key: []byte("alice"), Value: []byte("v")},
+		}},
+		{Txn: true, Trace: true, Ops: []Op{{Kind: KindAdd, Table: "t", Key: []byte("k"), Delta: 1}}},
 	}
 	for i, want := range cases {
 		frame := encodeReq(t, &want)
@@ -131,6 +139,15 @@ func TestResponseRoundTrip(t *testing.T) {
 			{SK: []byte("AMS"), PK: []byte("u2"), Value: nil},
 		}},
 		{Kind: KindIScanR},
+		{Kind: KindTraceR, Spans: &trace.Spans{
+			Queue: 120, Exec: 84000, Validate: 910, Log: 3000,
+			Fsync: 4 * time.Millisecond, Respond: 77,
+			Retries: 2, TID: 0xDEADBEEF,
+		}, Results: []TxnResult{
+			{HasValue: true, Value: []byte("got")},
+			{},
+		}},
+		{Kind: KindTraceR},
 	}
 	for i, want := range cases {
 		frame := encodeResp(t, &want)
@@ -160,6 +177,11 @@ func TestResponseRoundTrip(t *testing.T) {
 				if len(r.Entries[j].Value) == 0 {
 					r.Entries[j].Value = nil
 				}
+			}
+			// A nil span block encodes as all-zero spans, so it decodes
+			// back to the zero Spans value.
+			if r.Kind == KindTraceR && r.Spans == nil {
+				r.Spans = &trace.Spans{}
 			}
 		}
 		canon(&want)
@@ -263,6 +285,9 @@ func TestDecodeRejects(t *testing.T) {
 		{"iscan truncated", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0}},
 		{"iscan truncated before covering", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 1}},
 		{"iscan bad covering", []byte{byte(KindIScan), 1, 'i', 0, 0, 0, 0, 0, 0, 1, 2}},
+		{"trace zero ops", []byte{byte(KindTrace), 0, 0}},
+		{"trace op count beyond payload", []byte{byte(KindTrace), 0xff, 0xff, byte(KindGet), 0, 0}},
+		{"trace scan op", []byte{byte(KindTrace), 0, 1, byte(KindScan), 1, 't', 0, 0, 0, 0, 0, 0}},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.payload); err == nil {
@@ -285,6 +310,11 @@ func TestDecodeRejects(t *testing.T) {
 		{"iscanr entry count beyond payload", []byte{byte(KindIScanR), 0xff, 0xff, 0xff, 0xff}},
 		{"iscanr truncated entry", []byte{byte(KindIScanR), 0, 0, 0, 1, 2, 's'}},
 		{"trailing bytes", []byte{byte(KindOK), 0}},
+		{"tracer truncated span block", append([]byte{byte(KindTraceR)}, make([]byte, trace.SpansEncodedLen-1)...)},
+		{"tracer span overflows duration", append([]byte{byte(KindTraceR), 0x80, 0, 0, 0, 0, 0, 0, 0},
+			append(make([]byte, trace.SpansEncodedLen-8), 0, 0)...)},
+		{"tracer missing result count", append([]byte{byte(KindTraceR)}, make([]byte, trace.SpansEncodedLen)...)},
+		{"tracer bad result flag", append(append([]byte{byte(KindTraceR)}, make([]byte, trace.SpansEncodedLen)...), 0, 1, 3)},
 	}
 	for _, tc := range respCases {
 		if _, err := DecodeResponse(tc.payload); err == nil {
