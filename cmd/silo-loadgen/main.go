@@ -265,7 +265,10 @@ func pctl(s obs.HistSnapshot, q float64) time.Duration {
 // printAborts reports the engine's abort-reason breakdown after the run:
 // embedded runs read the in-process snapshot, wire runs fetch one STATS
 // frame. Silence means the breakdown was unavailable (server gone), not
-// zero aborts.
+// zero aborts. Wire runs against a durable-group-ack server additionally
+// report the release pipeline's view of the run — when that line is
+// present, the throughput number above is durable throughput: every
+// counted write was epoch-durable before its ack arrived.
 func printAborts(db *silo.DB, addr string, embedded bool) {
 	var snap *obs.Snapshot
 	if embedded {
@@ -291,6 +294,17 @@ func printAborts(db *silo.DB, addr string, embedded bool) {
 		line += fmt.Sprintf(" %s=%d", reason, v)
 	}
 	fmt.Printf("%s (total %d)\n", line, total)
+	if h := snap.Get("silo_server_release_lag_ns", ""); h != nil {
+		dline := fmt.Sprintf("durable acks: %d writes released at D=%d (parked now=%d)",
+			snap.Value("silo_server_released_total", ""),
+			snap.Value("silo_wal_durable_epoch", ""),
+			snap.Value("silo_server_parked_responses", ""))
+		if h.Hist.Count > 0 {
+			dline += fmt.Sprintf(", release lag p50=%v p99=%v",
+				time.Duration(h.Hist.Quantile(0.50)), time.Duration(h.Hist.Quantile(0.99)))
+		}
+		fmt.Println(dline)
+	}
 }
 
 // scanMode names how -index scans resolve rows.

@@ -60,6 +60,7 @@ func main() {
 		stats     = flag.Duration("stats", 0, "print stats every interval (0 = off)")
 		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/flight, /debug/slow and /debug/pprof (empty = off)")
 		slowMs    = flag.Int("slow-ms", 0, "force-trace every request and capture ops slower than this many milliseconds at /debug/slow (0 = off)")
+		ackMode   = flag.String("ack-mode", "auto", "when write responses are released to clients: auto (group under -sync, immediate otherwise), group (park each response until its commit epoch is durable — an OK frame then guarantees the write survives a crash), immediate (ack at in-memory commit; the pre-pipeline behavior, opt-out for -sync), request (block the executing worker per write; the naive baseline group release is benchmarked against)")
 	)
 	flag.Parse()
 
@@ -108,11 +109,35 @@ func main() {
 		}
 	}
 
+	// -sync promises clients durability, so it implies durable acks: an
+	// OK frame is withheld until the write's epoch is durable (group
+	// release keeps the workers pipelined). -ack-mode immediate opts back
+	// into the historical ack-at-memory-commit behavior.
+	var acks server.AckMode
+	switch *ackMode {
+	case "auto":
+		if *doSync && *logDir != "" {
+			acks = server.AckGroup
+		}
+	case "group":
+		acks = server.AckGroup
+	case "immediate":
+		acks = server.AckImmediate
+	case "request":
+		acks = server.AckPerRequest
+	default:
+		fatal(fmt.Errorf("unknown -ack-mode %q (auto, group, immediate, request)", *ackMode))
+	}
+	if acks != server.AckImmediate && *logDir == "" {
+		fatal(fmt.Errorf("-ack-mode %s requires -logdir (durable acks need a log)", acks))
+	}
+
 	srv := server.New(db, server.Options{
 		Addr:              *addr,
 		Pipeline:          *pipeline,
 		DisableAutoCreate: *noCreate || *logDir != "",
 		SlowThreshold:     time.Duration(*slowMs) * time.Millisecond,
+		Acks:              acks,
 	})
 
 	// The flight recorder's last seconds are the forensic record of how
@@ -164,8 +189,8 @@ func main() {
 		srv.Close()
 	}()
 
-	fmt.Printf("silo-server listening on %s (%d workers, durability=%v)\n",
-		*addr, *workers, *logDir != "")
+	fmt.Printf("silo-server listening on %s (%d workers, durability=%v, acks=%s)\n",
+		*addr, *workers, *logDir != "", srv.AckMode())
 	err = srv.ListenAndServe()
 	close(statsDone)
 	if adminSrv != nil {
@@ -220,6 +245,15 @@ func statsLine(db *silo.DB, srv *server.Server) string {
 			s.Value, snap.Value("silo_wal_durable_lag_epochs", ""))
 		if h := snap.Get("silo_wal_fsync_ns", ""); h != nil && h.Hist.Count > 0 {
 			line += fmt.Sprintf(" fsync_p99=%v", time.Duration(h.Hist.Quantile(0.99)))
+		}
+	}
+	// Group-release pipeline health (present only under durable group
+	// acks): responses parked awaiting their epoch and the wait released
+	// ones paid.
+	if s := snap.Get("silo_server_parked_responses", ""); s != nil {
+		line += fmt.Sprintf(" parked=%d", s.Value)
+		if h := snap.Get("silo_server_release_lag_ns", ""); h != nil && h.Hist.Count > 0 {
+			line += fmt.Sprintf(" release_p99=%v", time.Duration(h.Hist.Quantile(0.99)))
 		}
 	}
 	if _, ok := db.CheckpointDaemon(); ok {

@@ -102,6 +102,11 @@ type Manager struct {
 	durable atomic.Uint64 // D = min d_l
 	dmu     sync.Mutex
 	dcond   *sync.Cond
+	// subs are durable-epoch subscription channels (SubscribeDurable);
+	// subsDown marks the post-Stop state in which new subscriptions are
+	// returned already closed. Both guarded by dmu.
+	subs     []chan uint64
+	subsDown bool
 
 	// segEpochs caches each closed segment's maximum transaction epoch
 	// (closed segments are immutable), so repeated TruncateCovered calls
@@ -197,6 +202,19 @@ func (m *Manager) Stop() {
 				lg.file = nil
 			}
 		}
+		// Close the durable subscriptions after the final pass: D now
+		// covers every committed epoch (the advance above plus the final
+		// iterate), so close is an accurate "everything is durable"
+		// signal. Clearing subs first keeps any straggling ticker pass
+		// from pinging a closed channel.
+		m.dmu.Lock()
+		m.subsDown = true
+		subs := m.subs
+		m.subs = nil
+		m.dmu.Unlock()
+		for _, ch := range subs {
+			close(ch)
+		}
 	})
 }
 
@@ -241,6 +259,49 @@ func (m *Manager) WaitDurable(e uint64) {
 	m.dmu.Unlock()
 }
 
+// SubscribeDurable registers a durable-epoch subscription: the returned
+// channel carries D after each advance, coalesced to the newest value (a
+// slow receiver only ever misses intermediate epochs, never the latest),
+// and is closed by Stop after the final drain — at which point every
+// committed epoch is durable, so a receiver may treat close as "release
+// everything". Subscriptions live for the manager's lifetime; there is
+// no unsubscribe. After Stop, new subscriptions return already closed.
+func (m *Manager) SubscribeDurable() <-chan uint64 {
+	ch := make(chan uint64, 1)
+	m.dmu.Lock()
+	if m.subsDown {
+		close(ch)
+	} else {
+		m.subs = append(m.subs, ch)
+		// Seed the current D so a subscriber never waits a full logger
+		// pass to learn about epochs that are already durable.
+		if d := m.durable.Load(); d > 0 {
+			ch <- d
+		}
+	}
+	m.dmu.Unlock()
+	return ch
+}
+
+// notifySubsLocked pushes the new D to every subscription, replacing a
+// stale undelivered value rather than blocking. Caller holds dmu.
+func (m *Manager) notifySubsLocked(d uint64) {
+	for _, ch := range m.subs {
+		select {
+		case ch <- d:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- d:
+			default:
+			}
+		}
+	}
+}
+
 // Stats returns logger-side counters.
 func (m *Manager) Stats() *ManagerStats { return &m.stats }
 
@@ -263,6 +324,7 @@ func (m *Manager) publishDurable() {
 		if m.durable.CompareAndSwap(cur, min) {
 			m.dmu.Lock()
 			m.dcond.Broadcast()
+			m.notifySubsLocked(min)
 			m.dmu.Unlock()
 			return
 		}

@@ -32,11 +32,15 @@ func (s *Server) workerLoop(w int) {
 		}
 		// A TRACE frame is traced because the client asked; with slow-op
 		// capture armed, everything is traced so a slow op's timeline is
-		// already in hand when it crosses the threshold.
+		// already in hand when it crosses the threshold. With the group
+		// release pipeline active a traced write must not block this
+		// worker on durability — the releaser accounts the park-to-release
+		// wait to the Fsync span instead, so the timeline still covers the
+		// client-visible commit point.
 		var tc *traceCtx
 		var t0 time.Duration
 		if j.req.Trace || slowAt > 0 {
-			tc = &traceCtx{sp: &silo.TxnSpans{}, durable: j.req.Trace}
+			tc = &traceCtx{sp: &silo.TxnSpans{}, durable: j.req.Trace && s.rel == nil}
 			t0 = s.now()
 			if q := t0 - j.enqTS; q > 0 && !j.enq.IsZero() {
 				tc.sp.Queue = q
@@ -64,25 +68,136 @@ func (s *Server) workerLoop(w int) {
 					Total: total,
 					Spans: *sp,
 				}
-				if len(j.req.Ops) > 0 {
-					op.Table = j.req.Ops[0].Table
-					if op.Table == "" {
-						op.Table = j.req.Ops[0].Index
-					}
-				}
+				op.Table, op.Tables, op.Counts = slowAttr(j.req.Ops)
 				if resp.Kind == wire.KindErr {
 					op.Err = resp.Msg
 				}
 				s.slow.add(op)
 			}
 		}
-		o.latency[int(kind)&0x0F].ObserveDuration(time.Since(start).Nanoseconds())
+		// Latency and counters are recorded at execution time: the
+		// latency histogram prices the exec path (queue wait excluded,
+		// retries included), while the wait from commit to durable
+		// release is the releaser's own release-lag histogram.
+		o.latency[latIdx(kind)].ObserveDuration(time.Since(start).Nanoseconds())
 		if resp.Kind == wire.KindErr {
 			s.errors64.Add(1)
 		}
 		s.requests64.Add(1)
-		j.done <- resp
+		s.respond(w, &j.req, resp, j.done)
 	}
+}
+
+// respond releases one completed response according to the server's ack
+// mode. Write responses carry their commit epoch to the release pipeline
+// (or, in the per-request baseline, block this worker until it is
+// durable); reads, snapshot scans, and errors release immediately — an
+// ERR frame acknowledges nothing (the transaction aborted), and reads
+// have nothing to make durable. Auto-created tables are covered by the
+// data epoch: the catalog record commits (on the DDL worker) before the
+// data write's commit, and epochs are monotone, so a durable data epoch
+// implies the creation record is durable too.
+func (s *Server) respond(w int, req *wire.Request, resp wire.Response, done chan<- wire.Response) {
+	if s.ackMode == AckImmediate || resp.Kind == wire.KindErr || !writesData(req) {
+		done <- resp
+		return
+	}
+	var e uint64
+	if isDDLFrame(req) {
+		// DDL commits on the hidden catalog worker, whose commit epoch is
+		// not visible here; it committed before this point, so the current
+		// global epoch is a conservative upper bound.
+		e = s.db.Epoch()
+	} else {
+		e = s.db.LastCommitEpoch(w)
+	}
+	if s.ackMode == AckPerRequest {
+		s.db.FlushLog(w)
+		s.db.WaitDurable(e)
+		done <- resp
+		return
+	}
+	s.rel.park(resp, done, e)
+}
+
+// writesData reports whether a frame's success implies a committed write
+// whose durability gates the response. Pure reads — GET, SCAN, ISCAN,
+// SCHEMA, STATS, and TXN/TRACE frames containing only GETs — have
+// nothing to wait for.
+func writesData(req *wire.Request) bool {
+	for i := range req.Ops {
+		switch req.Ops[i].Kind {
+		case wire.KindPut, wire.KindInsert, wire.KindDelete, wire.KindAdd,
+			wire.KindCreateIndex, wire.KindDropIndex:
+			return true
+		}
+	}
+	return false
+}
+
+// isDDLFrame reports a single-op index-DDL frame (CREATE_INDEX /
+// DROP_INDEX), which commits on the hidden catalog worker rather than the
+// executing one.
+func isDDLFrame(req *wire.Request) bool {
+	if req.Txn || len(req.Ops) == 0 {
+		return false
+	}
+	k := req.Ops[0].Kind
+	return k == wire.KindCreateIndex || k == wire.KindDropIndex
+}
+
+// latIdx maps a request kind to its latency histogram slot: every
+// assigned request kind gets its own slot (TestLatencySlotsDistinct
+// enforces it statically), and anything out of range — a malformed kind
+// that still reached execution — shares slot 0 instead of aliasing a
+// real opcode the way the historical low-nibble mask did for kinds ≥ 16.
+func latIdx(k wire.Kind) int {
+	if k > wire.KindRequestMax {
+		return 0
+	}
+	return int(k)
+}
+
+// slowAttr summarizes a frame's ops for slow capture: per-kind counts,
+// the number of distinct tables touched, and the attributed table — the
+// one the frame wrote the most ops against (ties break toward the
+// earliest op), falling back to the first op's table or index name for
+// read-only frames. Multi-op TXN frames previously reported Ops[0]'s
+// table unconditionally, misattributing any transaction whose first op
+// happened to touch a side table.
+func slowAttr(ops []wire.Op) (table string, tables int, counts opCounts) {
+	// Allocation is fine here: captures only happen past the slow
+	// threshold.
+	writes := make(map[string]int)
+	seen := make(map[string]struct{})
+	var domWrites int
+	for i := range ops {
+		op := &ops[i]
+		if k := int(op.Kind); k >= 0 && k < len(counts) {
+			counts[k]++
+		}
+		name := op.Table
+		if name == "" {
+			name = op.Index
+		}
+		seen[name] = struct{}{}
+		switch op.Kind {
+		case wire.KindPut, wire.KindInsert, wire.KindDelete, wire.KindAdd,
+			wire.KindCreateIndex, wire.KindDropIndex:
+			writes[name]++
+			if writes[name] > domWrites {
+				domWrites = writes[name]
+				table = name
+			}
+		}
+	}
+	if table == "" && len(ops) > 0 {
+		table = ops[0].Table
+		if table == "" {
+			table = ops[0].Index
+		}
+	}
+	return table, len(seen), counts
 }
 
 // table resolves a table name, creating the table on first use unless
@@ -256,8 +371,16 @@ func (s *Server) exec(w int, req *wire.Request, tc *traceCtx) wire.Response {
 		return wire.Response{Kind: wire.KindValue, Value: v[:]}
 
 	case wire.KindScan:
+		// Like ISCAN, a limit beyond the server's cap is rejected rather
+		// than silently clamped (the historical behavior): truncating to
+		// fewer results than requested is indistinguishable from the
+		// range really ending.
+		if op.Limit != 0 && int64(op.Limit) > int64(s.opts.MaxScan) {
+			return wire.Err(wire.CodeInvalid,
+				fmt.Sprintf("server: scan limit %d exceeds server maximum %d", op.Limit, s.opts.MaxScan))
+		}
 		limit := s.opts.MaxScan
-		if op.Limit != 0 && int(op.Limit) < limit {
+		if op.Limit != 0 {
 			limit = int(op.Limit)
 		}
 		var pairs []wire.KV
@@ -382,9 +505,9 @@ func (s *Server) execIScan(w int, op *wire.Op, tc *traceCtx) wire.Response {
 	if ix == nil {
 		return errResponse(fmt.Errorf("%w: %q", silo.ErrNoIndex, op.Index))
 	}
-	// Unlike SCAN's historical silent clamp, an ISCAN limit beyond the
-	// server's cap is rejected outright: truncating to fewer results than
-	// requested would be indistinguishable from the range really ending.
+	// A limit beyond the server's cap is rejected outright (SCAN rejects
+	// identically): truncating to fewer results than requested would be
+	// indistinguishable from the range really ending.
 	if op.Limit != 0 && int64(op.Limit) > int64(s.opts.MaxScan) {
 		return wire.Err(wire.CodeInvalid,
 			fmt.Sprintf("server: iscan limit %d exceeds server maximum %d", op.Limit, s.opts.MaxScan))

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"silo/wire"
+)
+
+// TestLatIdxDistinctSlots proves the latency array gives every request
+// kind its own slot. The historical [16] array indexed by the kind's low
+// nibble, so any opcode ≥ 0x10 would have silently aliased onto an
+// existing kind's histogram; sizing from wire.KindRequestMax and checking
+// injectivity here turns that into a compile-or-test-time failure the day
+// a new kind is added past the array.
+func TestLatIdxDistinctSlots(t *testing.T) {
+	bound := int(wire.KindRequestMax) + 1
+	seen := make(map[int]wire.Kind)
+	for k := wire.Kind(1); k <= wire.KindRequestMax; k++ {
+		i := latIdx(k)
+		if i < 0 || i >= bound {
+			t.Fatalf("latIdx(%v) = %d, out of [0,%d)", k, i, bound)
+		}
+		if prev, dup := seen[i]; dup {
+			t.Fatalf("latIdx aliases %v and %v onto slot %d", prev, k, i)
+		}
+		seen[i] = k
+	}
+	// Out-of-range kinds must not panic and must land in bounds.
+	for _, k := range []wire.Kind{0, wire.KindRequestMax + 1, 0x81, 0xFF} {
+		if i := latIdx(k); i < 0 || i >= bound {
+			t.Fatalf("latIdx(%#x) = %d, out of [0,%d)", byte(k), i, bound)
+		}
+	}
+}
+
+// TestStatsKindsCoverNamedKinds keeps the STATS latency series in sync
+// with the opcode space: every named request kind must be listed in
+// statsKinds, or its latencies are recorded but never reported.
+func TestStatsKindsCoverNamedKinds(t *testing.T) {
+	listed := make(map[wire.Kind]bool, len(statsKinds))
+	for _, k := range statsKinds {
+		listed[k] = true
+	}
+	for k := wire.Kind(1); k <= wire.KindRequestMax; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			continue // unnamed gap in the opcode space
+		}
+		if !listed[k] {
+			t.Errorf("request kind %v has no statsKinds entry; its latency histogram would be invisible", k)
+		}
+	}
+}

@@ -14,10 +14,13 @@ import (
 // workerObs is one executor's metrics shard: per-opcode request latency
 // (measured around exec, so it includes transaction retries) and the time
 // each job spent queued between its connection reader and this executor.
-// One shard per worker keeps the recording side uncontended.
+// One shard per worker keeps the recording side uncontended. The latency
+// array is sized from the real request-kind space (the historical [16]
+// low-nibble indexing silently aliased any opcode ≥ 16 onto an existing
+// slot); latIdx maps kinds to slots.
 type workerObs struct {
-	latency [16]obs.Histogram // indexed by low nibble of the request kind
-	queue   obs.Histogram     // ns from enqueue to execution start
+	latency [int(wire.KindRequestMax) + 1]obs.Histogram // indexed by latIdx
+	queue   obs.Histogram                               // ns from enqueue to execution start
 }
 
 // serverObs holds the cells shared across connections: the per-connection
@@ -46,7 +49,7 @@ func (s *Server) CollectObs(snap *obs.Snapshot) {
 	for _, k := range statsKinds {
 		var h obs.HistSnapshot
 		for _, o := range s.wobs {
-			h.Merge(o.latency[int(k)&0x0F].Snapshot())
+			h.Merge(o.latency[latIdx(k)].Snapshot())
 		}
 		if h.Count == 0 {
 			continue
@@ -59,6 +62,15 @@ func (s *Server) CollectObs(snap *obs.Snapshot) {
 	}
 	snap.Histogram("silo_server_queue_ns", "", "", q)
 	snap.Histogram("silo_server_pipeline_depth", "", "", s.obs.depth.Snapshot())
+	if s.rel != nil {
+		// The release pipeline's health: how many write responses are
+		// parked awaiting their epoch right now, how many have been
+		// released durably, and the park-to-release wait (the group-commit
+		// latency each acknowledged write actually paid).
+		snap.Gauge("silo_server_parked_responses", "", "", uint64(s.rel.parked.Load()))
+		snap.Counter("silo_server_released_total", "", "", s.rel.released.Load())
+		snap.Histogram("silo_server_release_lag_ns", "", "", s.rel.lag.Snapshot())
+	}
 }
 
 // snapshot collects the full cross-layer snapshot one STATS frame or

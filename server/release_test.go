@@ -1,0 +1,306 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"silo"
+	"silo/client"
+	"silo/server"
+	"silo/wire"
+)
+
+// durableOpts is a durability config tuned for tests: short epochs so
+// group release cycles fast, honest fsync so a copied log directory is a
+// valid crash image.
+func durableOpts(dir string) silo.Options {
+	return silo.Options{
+		Workers:       2,
+		EpochInterval: 2 * time.Millisecond,
+		Durability:    &silo.DurabilityOptions{Dir: dir, Loggers: 2, Sync: true},
+	}
+}
+
+// copyDir snapshots a log directory mid-run. Because every acked write's
+// bytes were written and fsynced before its response was released, the
+// copy is a valid crash image for everything acknowledged before the
+// copy started (a torn tail beyond the last durable frame is fine —
+// recovery skips it).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "crash-image")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue // checkpoints are not taken in these tests
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// recoverInto opens a fresh database over dir and recovers it.
+func recoverInto(t *testing.T, dir string) *silo.DB {
+	t.Helper()
+	db, err := silo.Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Recover(); err != nil {
+		db.Close()
+		t.Fatalf("recover: %v", err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+// TestGroupAcksAreDurable hammers a durable group-ack server with
+// concurrent writers, then treats a point-in-time copy of the log
+// directory as a crash image: every acknowledged write must recover from
+// it. This is the wire-level §4.10 contract — an OK frame means the
+// write's epoch was already durable — checked without any clean
+// shutdown.
+func TestGroupAcksAreDurable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	db, srv, cl := startServer(t, durableOpts(dir),
+		server.Options{Acks: server.AckGroup, DisableAutoCreate: true},
+		client.Options{Conns: 2})
+	db.CreateTable("t")
+	if got := srv.AckMode(); got != server.AckGroup {
+		t.Fatalf("AckMode = %v, want group", got)
+	}
+
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-k%d", g, i)
+				if err := cl.Insert("t", []byte(k), []byte(k)); err != nil {
+					errs <- fmt.Errorf("insert %s: %w", k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every insert above is acknowledged: a crash image taken now must
+	// contain all of them.
+	img := copyDir(t, dir)
+	db2 := recoverInto(t, img)
+	tbl := db2.Table("t")
+	if tbl == nil {
+		t.Fatal("table t not recovered")
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perWriter; i++ {
+			k := fmt.Sprintf("w%d-k%d", g, i)
+			err := db2.Run(0, func(tx *silo.Tx) error {
+				v, err := tx.Get(tbl, []byte(k))
+				if err != nil {
+					return err
+				}
+				if string(v) != k {
+					return fmt.Errorf("value = %q", v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("acknowledged write %s lost in crash image: %v", k, err)
+			}
+		}
+	}
+}
+
+// TestPerRequestAcksAreDurable is the same contract through the naive
+// baseline path: the worker blocks per write until its epoch is durable.
+func TestPerRequestAcksAreDurable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	db, srv, cl := startServer(t, durableOpts(dir),
+		server.Options{Acks: server.AckPerRequest, DisableAutoCreate: true},
+		client.Options{})
+	db.CreateTable("t")
+	if got := srv.AckMode(); got != server.AckPerRequest {
+		t.Fatalf("AckMode = %v, want per-request", got)
+	}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := cl.Insert("t", []byte(k), []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2 := recoverInto(t, copyDir(t, dir))
+	tbl := db2.Table("t")
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := db2.Run(0, func(tx *silo.Tx) error {
+			_, err := tx.Get(tbl, []byte(k))
+			return err
+		}); err != nil {
+			t.Fatalf("acknowledged write %s lost: %v", k, err)
+		}
+	}
+}
+
+// TestGroupAcksPreserveWireOrder pipelines a parked write followed by an
+// immediately-releasable read on one raw connection: the read's response
+// must wait behind the write's durable release, never overtake it.
+func TestGroupAcksPreserveWireOrder(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "log")
+	db, err := silo.Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("t")
+	srv := server.New(db, server.Options{Acks: server.AckGroup, DisableAutoCreate: true})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// Phase 1: a pipelined burst of inserts. Every response parks until
+	// its epoch is durable, and they must still drain in request order.
+	const n = 20
+	var out []byte
+	for i := 0; i < n; i++ {
+		out, err = wire.AppendRequest(out, &wire.Request{Ops: []wire.Op{{
+			Kind: wire.KindInsert, Table: "t",
+			Key: []byte{byte(i)}, Value: []byte{byte(i)},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		payload, err := wire.ReadFrame(nc, 0)
+		if err != nil {
+			t.Fatalf("insert response %d: %v", i, err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil || resp.Kind != wire.KindOK {
+			t.Fatalf("insert response %d = %+v, %v", i, resp, err)
+		}
+	}
+
+	// Phase 2: interleave parked writes with immediately-releasable
+	// reads on the same connection. Execution may reorder across workers,
+	// but each read's response must still queue behind the parked write
+	// sent before it — strict alternation OK, VALUE. (The reads hit the
+	// phase-1 keys so both execution orders yield a value, old or new.)
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out, err = wire.AppendRequest(out, &wire.Request{Ops: []wire.Op{{
+			Kind: wire.KindPut, Table: "t",
+			Key: []byte{byte(i)}, Value: []byte{byte(i), byte(i)},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = wire.AppendRequest(out, &wire.Request{Ops: []wire.Op{{
+			Kind: wire.KindGet, Table: "t", Key: []byte{byte(i)},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		payload, err := wire.ReadFrame(nc, 0)
+		if err != nil {
+			t.Fatalf("put response %d: %v", i, err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil || resp.Kind != wire.KindOK {
+			t.Fatalf("put response %d = %+v, %v; a read's response overtook a parked write", i, resp, err)
+		}
+		payload, err = wire.ReadFrame(nc, 0)
+		if err != nil {
+			t.Fatalf("get response %d: %v", i, err)
+		}
+		resp, err = wire.DecodeResponse(payload)
+		if err != nil || resp.Kind != wire.KindValue || len(resp.Value) == 0 || resp.Value[0] != byte(i) {
+			t.Fatalf("get response %d = %+v, %v", i, resp, err)
+		}
+	}
+}
+
+// TestAckModesDegradeWithoutDurability: group and per-request acks need a
+// durable epoch to wait for; on a MemSilo database the server falls back
+// to immediate acks rather than wedging every write forever.
+func TestAckModesDegradeWithoutDurability(t *testing.T) {
+	for _, mode := range []server.AckMode{server.AckGroup, server.AckPerRequest} {
+		_, srv, cl := startServer(t, silo.Options{}, server.Options{Acks: mode}, client.Options{})
+		if got := srv.AckMode(); got != server.AckImmediate {
+			t.Fatalf("AckMode(%v without durability) = %v, want immediate", mode, got)
+		}
+		if err := cl.Insert("t", []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScanLimitOverCapRejected: a SCAN limit beyond the server's MaxScan
+// is rejected with CodeInvalid, exactly like ISCAN, instead of the
+// historical silent clamp (which returned fewer pairs than requested with
+// no indication the range had more).
+func TestScanLimitOverCapRejected(t *testing.T) {
+	_, _, cl := startServer(t, silo.Options{}, server.Options{MaxScan: 4}, client.Options{})
+	for i := 0; i < 8; i++ {
+		if err := cl.Insert("s", []byte{byte('a' + i)}, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At or under the cap: fine.
+	if pairs, err := cl.Scan("s", nil, nil, 4); err != nil || len(pairs) != 4 {
+		t.Fatalf("scan at cap: %d pairs, %v", len(pairs), err)
+	}
+	// Over the cap: rejected, not clamped.
+	if _, err := cl.Scan("s", nil, nil, 5); !errors.Is(err, client.ErrInvalid) {
+		t.Fatalf("scan over cap: %v, want ErrInvalid", err)
+	}
+	// No explicit limit still means "server cap", not an error.
+	if pairs, err := cl.Scan("s", nil, nil, 0); err != nil || len(pairs) != 4 {
+		t.Fatalf("uncapped scan: %d pairs, %v", len(pairs), err)
+	}
+}

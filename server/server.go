@@ -49,6 +49,14 @@ type Options struct {
 	// recent-slow buffer served at /debug/slow. Zero disables capture
 	// (and its tracing overhead).
 	SlowThreshold time.Duration
+	// Acks selects when write responses are released to clients (see
+	// AckMode). The zero value, AckImmediate, keeps the historical
+	// ack-at-memory-commit behavior; AckGroup gives the paper's §4.10
+	// guarantee — an OK frame means the write's epoch is durable —
+	// without blocking workers. AckGroup and AckPerRequest require the
+	// database to have durability; without it they degrade to
+	// AckImmediate (there is no durable epoch to wait for).
+	Acks AckMode
 }
 
 // Stats are cumulative server counters, readable while serving.
@@ -84,6 +92,12 @@ type Server struct {
 	// slow is the bounded ring of recent slow-op captures (see
 	// Options.SlowThreshold), served at /debug/slow.
 	slow slowBuf
+
+	// ackMode is the effective ack mode (Options.Acks degraded to
+	// AckImmediate when the database has no durability); rel is the
+	// group-commit release pipeline, non-nil only under AckGroup.
+	ackMode AckMode
+	rel     *releaser
 }
 
 type job struct {
@@ -122,6 +136,16 @@ func New(db *silo.DB, opts Options) *Server {
 	s.wobs = make([]*workerObs, db.Workers())
 	for i := range s.wobs {
 		s.wobs[i] = &workerObs{}
+	}
+	s.ackMode = opts.Acks
+	if s.ackMode == AckGroup {
+		if ch, ok := db.DurableNotify(); ok {
+			s.rel = newReleaser(s, ch)
+		} else {
+			s.ackMode = AckImmediate
+		}
+	} else if s.ackMode == AckPerRequest && !db.HasDurability() {
+		s.ackMode = AckImmediate
 	}
 	for i := 0; i < db.Workers(); i++ {
 		s.workerWG.Add(1)
@@ -209,8 +233,21 @@ func (s *Server) Close() error {
 	s.connWG.Wait()
 	close(s.jobs)
 	s.workerWG.Wait()
+	// Stop the release pipeline after the executors: nothing can park
+	// anymore, and the flush hands any still-parked responses to their
+	// (buffered, possibly dead) result channels. The database is still
+	// open here, so in the normal close order those epochs were already
+	// durable and released; the flush matters only when the caller closed
+	// the database first.
+	if s.rel != nil {
+		s.rel.stop()
+	}
 	return nil
 }
+
+// AckMode reports the server's effective ack mode (Options.Acks, degraded
+// to AckImmediate when the database has no durability).
+func (s *Server) AckMode() AckMode { return s.ackMode }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {

@@ -143,7 +143,12 @@ func TestScanOverTheWire(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pairs, err = cl2.Scan("s", nil, nil, 100)
+	// A limit beyond the cap is rejected (see TestScanLimitOverCapRejected);
+	// omitting the limit scans up to the cap.
+	if _, err := cl2.Scan("s", nil, nil, 100); !errors.Is(err, client.ErrInvalid) {
+		t.Fatalf("over-cap scan: %v, want ErrInvalid", err)
+	}
+	pairs, err = cl2.Scan("s", nil, nil, 0)
 	if err != nil || len(pairs) != 2 {
 		t.Fatalf("capped scan: %d pairs, %v", len(pairs), err)
 	}

@@ -39,16 +39,42 @@ func (s *Server) run(w int, tc *traceCtx, fn func(tx *silo.Tx) error) error {
 	return s.db.Run(w, fn)
 }
 
+// opCounts is a frame's per-kind op breakdown, indexed by request kind.
+type opCounts [int(wire.KindRequestMax) + 1]uint32
+
+// String renders the non-zero counts, e.g. "{GET:3,PUT:2}"; empty when
+// nothing was counted.
+func (c *opCounts) String() string {
+	var b []byte
+	for k, n := range c {
+		if n == 0 {
+			continue
+		}
+		if b == nil {
+			b = append(b, '{')
+		} else {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, "%s:%d", wire.Kind(k), n)
+	}
+	if b == nil {
+		return ""
+	}
+	return string(append(b, '}'))
+}
+
 // slowOp is one captured slow operation: what ran, how long each stage
 // took, and how it ended.
 type slowOp struct {
-	At    time.Duration // store-clock time the op completed
-	Kind  wire.Kind     // frame kind (TXN for multi-op frames)
-	Table string        // first op's table (or index) name
-	Ops   int           // ops in the frame
-	Total time.Duration // queue wait + execution, the client-visible latency
-	Spans silo.TxnSpans // stage timeline (zero stages for untraceable kinds)
-	Err   string        // error text when the op failed, else ""
+	At     time.Duration // store-clock time the op completed
+	Kind   wire.Kind     // frame kind (TXN for multi-op frames)
+	Table  string        // table (or index) the frame wrote most; see slowAttr
+	Tables int           // distinct tables (or indexes) the frame touched
+	Ops    int           // ops in the frame
+	Counts opCounts      // per-kind op breakdown
+	Total  time.Duration // queue wait + execution, the client-visible latency
+	Spans  silo.TxnSpans // stage timeline (zero stages for untraceable kinds)
+	Err    string        // error text when the op failed, else ""
 }
 
 // slowCap bounds the recent-slow buffer; older captures are overwritten.
@@ -106,7 +132,17 @@ func writeSlowText(w io.Writer, ops []slowOp, total uint64, threshold time.Durat
 	}
 	for i := range ops {
 		op := &ops[i]
-		fmt.Fprintf(w, "at=%-12s %-6s table=%s ops=%d total=%s", op.At, op.Kind, op.Table, op.Ops, op.Total)
+		table := op.Table
+		if op.Tables > 1 {
+			// A multi-table frame names its dominant write table plus how
+			// many more tables rode along.
+			table = fmt.Sprintf("%s(+%d)", table, op.Tables-1)
+		}
+		fmt.Fprintf(w, "at=%-12s %-6s table=%s ops=%d", op.At, op.Kind, table, op.Ops)
+		if breakdown := op.Counts.String(); breakdown != "" && (op.Ops > 1 || op.Kind == wire.KindTxn || op.Kind == wire.KindTrace) {
+			fmt.Fprint(w, breakdown)
+		}
+		fmt.Fprintf(w, " total=%s", op.Total)
 		if sp := &op.Spans; sp.Total() > 0 {
 			fmt.Fprintf(w, " [%s]", sp)
 			if sp.Retries > 0 {
@@ -122,20 +158,22 @@ func writeSlowText(w io.Writer, ops []slowOp, total uint64, threshold time.Durat
 
 // jsonSlowOp is the JSON shape of one slow-op capture.
 type jsonSlowOp struct {
-	AtNs      int64  `json:"at_ns"`
-	Kind      string `json:"kind"`
-	Table     string `json:"table,omitempty"`
-	Ops       int    `json:"ops"`
-	TotalNs   int64  `json:"total_ns"`
-	QueueNs   int64  `json:"queue_ns"`
-	ExecNs    int64  `json:"exec_ns"`
-	ValidNs   int64  `json:"validate_ns"`
-	LogNs     int64  `json:"log_ns"`
-	FsyncNs   int64  `json:"fsync_ns"`
-	RespondNs int64  `json:"respond_ns"`
-	Retries   uint32 `json:"retries,omitempty"`
-	TID       string `json:"tid,omitempty"`
-	Err       string `json:"err,omitempty"`
+	AtNs      int64             `json:"at_ns"`
+	Kind      string            `json:"kind"`
+	Table     string            `json:"table,omitempty"`
+	Tables    int               `json:"tables,omitempty"`
+	Ops       int               `json:"ops"`
+	OpCounts  map[string]uint32 `json:"op_counts,omitempty"`
+	TotalNs   int64             `json:"total_ns"`
+	QueueNs   int64             `json:"queue_ns"`
+	ExecNs    int64             `json:"exec_ns"`
+	ValidNs   int64             `json:"validate_ns"`
+	LogNs     int64             `json:"log_ns"`
+	FsyncNs   int64             `json:"fsync_ns"`
+	RespondNs int64             `json:"respond_ns"`
+	Retries   uint32            `json:"retries,omitempty"`
+	TID       string            `json:"tid,omitempty"`
+	Err       string            `json:"err,omitempty"`
 }
 
 // writeSlowJSON renders the slow buffer as a JSON document.
@@ -150,7 +188,8 @@ func writeSlowJSON(w io.Writer, ops []slowOp, total uint64, threshold time.Durat
 		sp := &op.Spans
 		j := jsonSlowOp{
 			AtNs: op.At.Nanoseconds(), Kind: op.Kind.String(), Table: op.Table,
-			Ops: op.Ops, TotalNs: op.Total.Nanoseconds(),
+			Tables: op.Tables,
+			Ops:    op.Ops, TotalNs: op.Total.Nanoseconds(),
 			QueueNs: sp.Queue.Nanoseconds(), ExecNs: sp.Exec.Nanoseconds(),
 			ValidNs: sp.Validate.Nanoseconds(), LogNs: sp.Log.Nanoseconds(),
 			FsyncNs: sp.Fsync.Nanoseconds(), RespondNs: sp.Respond.Nanoseconds(),
@@ -158,6 +197,14 @@ func writeSlowJSON(w io.Writer, ops []slowOp, total uint64, threshold time.Durat
 		}
 		if sp.TID != 0 {
 			j.TID = fmt.Sprintf("%x", sp.TID)
+		}
+		for k, n := range op.Counts {
+			if n > 0 {
+				if j.OpCounts == nil {
+					j.OpCounts = make(map[string]uint32)
+				}
+				j.OpCounts[wire.Kind(k).String()] = n
+			}
 		}
 		doc.Ops = append(doc.Ops, j)
 	}

@@ -668,6 +668,54 @@ func (db *DB) DurableEpoch() uint64 {
 	return db.wal.DurableEpoch()
 }
 
+// HasDurability reports whether the database logs commits
+// (Options.Durability was set).
+func (db *DB) HasDurability() bool { return db.wal != nil }
+
+// DurableNotify subscribes to durable-epoch advances. The returned channel
+// carries D after each advance, coalesced to the newest value (a slow
+// receiver only ever misses intermediate epochs, never the latest), and is
+// closed when durability stops (DB.Close) — after the final log drain, at
+// which point every committed epoch is durable. ok is false without
+// Options.Durability. It is the hook for group-commit response release:
+// park a committed transaction's result keyed by its commit epoch and
+// hand it out once a received D covers it (§4.10), without ever blocking
+// a worker. Subscriptions live for the database's lifetime.
+func (db *DB) DurableNotify() (<-chan uint64, bool) {
+	if db.wal == nil {
+		return nil, false
+	}
+	return db.wal.SubscribeDurable(), true
+}
+
+// LastCommitEpoch returns the epoch of the worker's most recent commit.
+// Called on the worker's own goroutine right after a successful Run, it
+// is the commit epoch of that transaction — the epoch whose durability
+// gates releasing the result to the client.
+func (db *DB) LastCommitEpoch(worker int) uint64 {
+	return tidEpoch(db.store.Worker(worker).LastCommitTID())
+}
+
+// WaitDurable blocks until the durable epoch D covers e; without
+// durability it returns immediately. Combined with FlushLog and
+// LastCommitEpoch it is a per-request durability wait (RunDurable is
+// exactly that composition); the group-commit release path uses
+// DurableNotify instead so workers never block.
+func (db *DB) WaitDurable(e uint64) {
+	if db.wal != nil {
+		db.wal.WaitDurable(e)
+	}
+}
+
+// FlushLog pushes the worker's open log buffer to its logger so a
+// durability wait for its last commit cannot stall on the worker's own
+// unpublished buffer. Safe from any goroutine; no-op without durability.
+func (db *DB) FlushLog(worker int) {
+	if db.wal != nil {
+		db.wal.WorkerLog(worker).Heartbeat()
+	}
+}
+
 // Epoch returns the current global epoch E.
 func (db *DB) Epoch() uint64 { return db.store.Epochs().Global() }
 

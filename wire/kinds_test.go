@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindRequestMaxCoversNamedKinds enforces the KindRequestMax
+// contract: every named request kind fits at or below it. Server-side
+// arrays (per-opcode latency, op-count breakdowns) are sized from this
+// constant, so a new request kind added beyond it would alias or be
+// dropped — this test makes that an immediate failure instead.
+func TestKindRequestMaxCoversNamedKinds(t *testing.T) {
+	named := 0
+	for k := Kind(1); k < 0x80; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			continue // unassigned opcode
+		}
+		named++
+		if k > KindRequestMax {
+			t.Errorf("request kind %v (%#x) exceeds KindRequestMax (%#x); bump the constant", k, byte(k), byte(KindRequestMax))
+		}
+	}
+	if named == 0 {
+		t.Fatal("no named request kinds found; Kind.String is broken")
+	}
+	if s := KindRequestMax.String(); strings.HasPrefix(s, "Kind(") {
+		t.Errorf("KindRequestMax (%#x) is not itself a named kind: %s", byte(KindRequestMax), s)
+	}
+}

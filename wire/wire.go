@@ -113,6 +113,13 @@ const (
 	KindDropIndex   Kind = 0x0B
 	KindStats       Kind = 0x0C
 	KindTrace       Kind = 0x0D
+
+	// KindRequestMax is the highest assigned request kind. Per-opcode
+	// tables (like the server's latency histograms) size from it, so it
+	// must move whenever a request kind is added above it; the static
+	// tests in this package and in package server enforce that every
+	// named request kind fits below it.
+	KindRequestMax = KindTrace
 )
 
 // Response frame kinds.
