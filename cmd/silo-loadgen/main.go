@@ -86,6 +86,8 @@ func main() {
 		readPct   = flag.Int("readpct", 80, "percentage of point ops that are reads (paper: 80)")
 		scanFrac  = flag.Float64("scan-frac", 0, "fraction (0..1) of ops that are scans (YCSB-E style)")
 		scanLen   = flag.Int("scan-len", 100, "keys per scan")
+		hotFrac   = flag.Float64("hot-frac", 0, "fraction (0..1) of point ops directed at the hot key set (0 = uniform, the paper's distribution)")
+		hotKeys   = flag.Int("hot-keys", 8, "size of the hot key set -hot-frac draws from")
 		useIndex  = flag.Bool("index", false, "route scans through a secondary index on the counter field")
 		covering  = flag.Bool("covering", false, "make the scan index covering and serve scans from entry values only (implies -index)")
 		perEntry  = flag.Bool("per-entry-resolve", false, "resolve embedded index scans with per-entry point reads instead of batched multi-get (comparison baseline)")
@@ -104,6 +106,10 @@ func main() {
 	cfg := ycsb.Config{
 		Keys: *keys, ValueSize: *valSize, ReadPct: *readPct,
 		ScanFrac: *scanFrac, ScanLen: *scanLen,
+		HotFrac: *hotFrac, HotKeys: *hotKeys,
+	}
+	if *hotFrac < 0 || *hotFrac > 1 {
+		fatal(fmt.Errorf("-hot-frac must be in [0,1]"))
 	}
 	if *covering {
 		*useIndex = true
@@ -194,8 +200,12 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("mode=%s clients=%d keyspace=%d mix=%d/%d read/rmw scans=%s\n",
-		mode, *clients, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct, scans)
+	skew := ""
+	if cfg.HotFrac > 0 {
+		skew = fmt.Sprintf(" hot=%.0f%%/%d", cfg.HotFrac*100, cfg.HotKeys)
+	}
+	fmt.Printf("mode=%s clients=%d keyspace=%d mix=%d/%d read/rmw scans=%s%s\n",
+		mode, *clients, cfg.Keys, cfg.ReadPct, 100-cfg.ReadPct, scans, skew)
 	fmt.Printf("throughput: %.0f %s/sec (%d in %v, %d failed)\n",
 		float64(n)/elapsed.Seconds(), unit, n, elapsed.Round(time.Millisecond), agg.fails)
 	if agg.lat.Count > 0 {

@@ -61,6 +61,7 @@ func main() {
 		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/flight, /debug/slow and /debug/pprof (empty = off)")
 		slowMs    = flag.Int("slow-ms", 0, "force-trace every request and capture ops slower than this many milliseconds at /debug/slow (0 = off)")
 		ackMode   = flag.String("ack-mode", "auto", "when write responses are released to clients: auto (group under -sync, immediate otherwise), group (park each response until its commit epoch is durable — an OK frame then guarantees the write survives a crash), immediate (ack at in-memory commit; the pre-pipeline behavior, opt-out for -sync), request (block the executing worker per write; the naive baseline group release is benchmarked against)")
+		backoff   = flag.Bool("backoff", false, "contention-aware retry backoff: retries against keys the flight recorder calls hot wait exponentially (with jitter) instead of spinning")
 	)
 	flag.Parse()
 
@@ -138,6 +139,7 @@ func main() {
 		DisableAutoCreate: *noCreate || *logDir != "",
 		SlowThreshold:     time.Duration(*slowMs) * time.Millisecond,
 		Acks:              acks,
+		Backoff:           *backoff,
 	})
 
 	// The flight recorder's last seconds are the forensic record of how

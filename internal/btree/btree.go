@@ -779,6 +779,14 @@ type scanEntry struct {
 	rec *record.Record
 }
 
+// scanBufPool recycles Scan's per-leaf entry buffer. The buffer cannot
+// live on Scan's stack: key slices handed to the callback alias the
+// inline key storage of its entries, so escape analysis (correctly)
+// heap-allocates it — one allocation per scan that this pool turns into
+// none. Re-entrant callbacks (a read on another table mid-scan) simply
+// draw a second buffer.
+var scanBufPool = sync.Pool{New: func() any { return new([fanout]scanEntry) }}
+
 // Scan visits keys in [lo, hi) in order (hi nil means +∞). For every leaf
 // examined — including leaves that contribute no keys, which still guard
 // the range against phantoms — nodeFn receives the leaf and its validated
@@ -788,7 +796,8 @@ func (t *Tree) Scan(lo, hi []byte, nodeFn func(n *Node, version uint64), fn func
 	t.raceRLock()
 	defer t.raceRUnlock()
 	checkKey(lo)
-	var entries [fanout]scanEntry
+	entries := scanBufPool.Get().(*[fanout]scanEntry)
+	defer scanBufPool.Put(entries)
 	lf, v := t.descend(lo)
 	first := true
 	for lf != nil {

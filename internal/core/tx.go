@@ -2,8 +2,9 @@ package core
 
 import (
 	"bytes"
+	"cmp"
 	"errors"
-	"sort"
+	"slices"
 	"time"
 
 	"silo/internal/btree"
@@ -600,10 +601,12 @@ func (tx *Tx) Commit() error {
 	}
 
 	// Phase 1: lock all written records, in the global order given by
-	// record addresses, to avoid deadlock (§4.4).
+	// record addresses, to avoid deadlock (§4.4). slices.SortFunc rather
+	// than sort.Slice: the reflection-based swapper allocates per call,
+	// which is the difference between a zero-allocation commit and not.
 	if len(tx.writes) > 1 {
-		sort.Slice(tx.writes, func(i, j int) bool {
-			return tx.writes[i].rec.Addr() < tx.writes[j].rec.Addr()
+		slices.SortFunc(tx.writes, func(a, b writeEntry) int {
+			return cmp.Compare(a.rec.Addr(), b.rec.Addr())
 		})
 	}
 	for i := range tx.writes {
@@ -769,15 +772,18 @@ func (tx *Tx) abortCommit(reason abortReason, t *Table, key []byte) error {
 			o.aborts[obsAbortNodeValidation].Inc()
 		}
 	}
+	var tableID uint32
+	if t != nil {
+		tableID = t.ID
+	}
+	var hash uint64
+	if len(key) > 0 {
+		hash = trace.HashKey(key)
+	}
+	if len(key) > 0 {
+		tx.w.lastAbortTable, tx.w.lastAbortHash, tx.w.lastAbortSet = tableID, hash, true
+	}
 	if tx.w.ring != nil {
-		var tableID uint32
-		if t != nil {
-			tableID = t.ID
-		}
-		var hash uint64
-		if len(key) > 0 {
-			hash = trace.HashKey(key)
-		}
 		tx.w.ring.Record(trace.EvAbort, uint16(reason), tableID, hash, key)
 	}
 	tx.abortCleanup()

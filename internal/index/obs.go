@@ -13,6 +13,7 @@ import (
 type indexObs struct {
 	scanPerEntry    obs.Counter // Scan: one point read per entry
 	scanBatched     obs.Counter // ScanBatched: ordered multi-get resolution
+	scanStreamed    obs.Counter // ScanBatched calls that fell back to streaming (scattered pks)
 	scanCovering    obs.Counter // ScanCovering: served from entry values
 	scanEntries     obs.Counter // ScanEntries: no resolution, keys only
 	snapScan        obs.Counter // SnapScan: per-entry against a snapshot
@@ -24,12 +25,13 @@ type indexObs struct {
 // scanModes pairs each resolution-mode counter with its label, in the
 // order CollectObs emits them.
 var scanModeNames = [...]string{
-	"per_entry", "batched", "covering", "entries", "snapshot", "snapshot_covering",
+	"per_entry", "batched", "batched_streamed", "covering", "entries",
+	"snapshot", "snapshot_covering",
 }
 
-func (o *indexObs) modeCounters() [6]*obs.Counter {
-	return [6]*obs.Counter{
-		&o.scanPerEntry, &o.scanBatched, &o.scanCovering,
+func (o *indexObs) modeCounters() [7]*obs.Counter {
+	return [7]*obs.Counter{
+		&o.scanPerEntry, &o.scanBatched, &o.scanStreamed, &o.scanCovering,
 		&o.scanEntries, &o.snapScan, &o.snapCovering,
 	}
 }
@@ -40,7 +42,7 @@ func (o *indexObs) modeCounters() [6]*obs.Counter {
 // surfaced ErrConflict (a writer got between the two trees and the
 // caller had to retry).
 func (r *Registry) CollectObs(snap *obs.Snapshot) {
-	var modes [6]uint64
+	var modes [7]uint64
 	var lookups, conflicts uint64
 	for _, ix := range r.All() {
 		cs := ix.obs.modeCounters()

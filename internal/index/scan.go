@@ -101,7 +101,11 @@ var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 // tree, then resolves their primary keys in sorted order with a single
 // ordered multi-get pass over the primary tree (one descent per leaf run
 // instead of one per entry), and finally emits results to fn in entry-key
-// order. OCC semantics are identical to Scan: collected entries and
+// order. The batched pass is adaptive: a sample of the first collected
+// primary keys estimates whether the range clusters in the primary tree,
+// and a scattered range (hash-like pks, nothing for sorted descents to
+// share) falls back to streaming per-entry resolution of the collected
+// entries instead — same results, same OCC guarantees, no wasted sort. OCC semantics are identical to Scan: collected entries and
 // resolved rows join the read-set, entry leaves join the node-set, and a
 // concurrent write landing between collection and resolution either
 // surfaces as ErrConflict here (a resolved row gone missing) or aborts
@@ -156,9 +160,22 @@ func ScanBatched(tx *core.Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk,
 		testHookAfterCollect()
 	}
 
+	pkOf := func(i int) []byte { return sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd] }
+
+	// The ordered multi-get only beats per-entry resolution when the
+	// sorted primary keys actually cluster into shared leaf descents.
+	// Sample the first collected pks: a clustered range (TPC-C composites,
+	// sequential ids) shares most of its key prefix, while hash-like pks
+	// scattered across the primary key space share almost none — there the
+	// sort and permutation buy nothing, so resolve the collected entries
+	// one point read each instead, already in emission order.
+	if !clusteredSample(pkOf, n) {
+		ix.obs.scanStreamed.Inc()
+		return streamResolve(tx, ix, sc, n, fn)
+	}
+
 	// Phase 2: resolve primary keys in sorted order; order maps sorted
 	// positions back to collected entries (identity when already sorted).
-	pkOf := func(i int) []byte { return sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd] }
 	sc.order = sc.order[:0]
 	if !sorted {
 		for i := 0; i < n; i++ {
@@ -217,6 +234,72 @@ func ScanBatched(tx *core.Tx, ix *Index, lo, hi []byte, max int, fn func(sk, pk,
 		pk := sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd]
 		prev = sc.ents[i].pkEnd
 		v := sc.vals[sc.valAt[i][0]:sc.valAt[i][1]]
+		if !fn(ix.SecondaryKey(ek, pk), pk, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// clusterSample bounds how many collected pks clusteredSample inspects.
+const clusterSample = 16
+
+// clusteredSample guesses whether a collected primary-key set clusters in
+// the primary tree, from the shared prefix of its first clusterSample
+// keys: clustered ranges share at least half of their shortest sampled
+// key. Batches too small to amortize a wrong guess are always called
+// clustered (the batched path is the well-tested default).
+func clusteredSample(pkOf func(int) []byte, n int) bool {
+	if n <= 8 {
+		return true
+	}
+	s := n
+	if s > clusterSample {
+		s = clusterSample
+	}
+	p := pkOf(0)
+	lcp, minLen := len(p), len(p)
+	for i := 1; i < s; i++ {
+		q := pkOf(i)
+		if len(q) < minLen {
+			minLen = len(q)
+		}
+		// The set's common prefix is the shortest prefix any key shares
+		// with the first.
+		c, m := 0, len(p)
+		if len(q) < m {
+			m = len(q)
+		}
+		for c < m && p[c] == q[c] {
+			c++
+		}
+		if c < lcp {
+			lcp = c
+		}
+	}
+	return lcp*2 >= minLen
+}
+
+// streamResolve is ScanBatched's scattered-range fallback: the collected
+// entries resolve with one point read each, in collection (= emission)
+// order, skipping the sort and the multi-get descent. OCC semantics are
+// unchanged — each resolved row joins the read-set, and a missing row
+// still surfaces as ErrConflict.
+func streamResolve(tx *core.Tx, ix *Index, sc *batchScratch, n int, fn func(sk, pk, val []byte) bool) error {
+	prev := 0
+	for i := 0; i < n; i++ {
+		ek := sc.buf[prev:sc.ents[i].ekEnd]
+		pk := sc.buf[sc.ents[i].ekEnd:sc.ents[i].pkEnd]
+		prev = sc.ents[i].pkEnd
+		v, gerr := tx.GetAppend(ix.On, pk, sc.vals[:0])
+		sc.vals = v[:0]
+		if gerr == core.ErrNotFound {
+			ix.obs.lookupConflicts.Inc()
+			return core.ErrConflict
+		}
+		if gerr != nil {
+			return gerr
+		}
 		if !fn(ix.SecondaryKey(ek, pk), pk, v) {
 			return nil
 		}

@@ -31,6 +31,15 @@ type Config struct {
 	// ScanLen is the number of keys per scan (default 100 when ScanFrac is
 	// set).
 	ScanLen int
+	// HotFrac is the fraction (0..1) of point operations directed at the
+	// hot head of the key space — the first HotKeys keys — instead of a
+	// uniform choice. Zero keeps the paper's uniform distribution. The
+	// skew manufactures write contention (e.g. HotFrac=0.5, HotKeys=8 on
+	// an RMW-heavy mix) for exercising conflict handling; scans ignore it.
+	HotFrac float64
+	// HotKeys is the size of the hot set HotFrac draws from (default 8
+	// when HotFrac is set).
+	HotKeys int
 }
 
 // DefaultConfig returns the paper's parameters at a laptop-scale key count.
@@ -102,6 +111,8 @@ type Generator struct {
 	rng     *RNG
 	scanBps int // ScanFrac in basis points, precomputed
 	scanLen int
+	hotBps  int // HotFrac in basis points, precomputed
+	hotKeys uint64
 }
 
 // NewGenerator returns a per-worker generator.
@@ -110,11 +121,20 @@ func NewGenerator(cfg Config, seed uint64) *Generator {
 	if scanLen <= 0 {
 		scanLen = 100
 	}
+	hotKeys := uint64(cfg.HotKeys)
+	if hotKeys == 0 {
+		hotKeys = 8
+	}
+	if hotKeys > uint64(cfg.Keys) {
+		hotKeys = uint64(cfg.Keys)
+	}
 	return &Generator{
 		cfg:     cfg,
 		rng:     NewRNG(seed),
 		scanBps: int(cfg.ScanFrac * 10000),
 		scanLen: scanLen,
+		hotBps:  int(cfg.HotFrac * 10000),
+		hotKeys: hotKeys,
 	}
 }
 
@@ -123,6 +143,9 @@ func (g *Generator) Next() Op {
 	key := g.rng.Next() % uint64(g.cfg.Keys)
 	if g.scanBps > 0 && g.rng.Intn(10000) < g.scanBps {
 		return Op{Scan: true, Key: key, Len: g.scanLen}
+	}
+	if g.hotBps > 0 && g.rng.Intn(10000) < g.hotBps {
+		key = g.rng.Next() % g.hotKeys
 	}
 	return Op{
 		Read: g.rng.Intn(100) < g.cfg.ReadPct,

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"silo"
+	"silo/internal/trace"
+)
+
+// backoffPolicy is the contention-aware retry policy (Options.Backoff).
+// DB.Run retries conflicts in a tight loop — the right call when a
+// conflict was incidental, and the worst one when a key is genuinely
+// hot: every immediate retry re-reads the same contended record, aborts
+// again, and burns the CPU other workers need to make the conflicting
+// commits finish ("On the Cost of Concurrency in Transactional Memory":
+// under contention, aborts compound). The policy replaces the tight
+// loop with per-attempt decisions:
+//
+//   - A conflict whose blamed key (DB.LastAbort, fed by the commit
+//     protocol's validation forensics) is in the current hot set — the
+//     flight recorder's TopConflicts, refreshed every refreshEvery —
+//     waits an exponentially growing, jittered delay before retrying.
+//   - A conflict off the hot set retries immediately, like DB.Run,
+//     until escalateAfter consecutive aborts prove the contention is
+//     real even if the hot set has not caught up yet.
+//
+// Uncontended transactions pay nothing: the fast path in Server.run is
+// one nil check, and the first attempt of every transaction is
+// unchanged. State is sharded per worker (each worker goroutine touches
+// only its own shard; CollectObs sums the shards).
+type backoffPolicy struct {
+	s *Server
+
+	// hot is the current hot-key set, published by the refresher and
+	// read lock-free by workers between attempts.
+	hot atomic.Pointer[map[uint64]struct{}]
+
+	workers []backoffShard
+
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// backoffShard is one worker's policy state, padded so neighbouring
+// workers' counters do not false-share.
+type backoffShard struct {
+	rng      uint64        // SplitMix64 state for jitter
+	retries  atomic.Uint64 // conflicts the policy observed
+	sleeps   atomic.Uint64 // retries that waited
+	sleepNs  atomic.Uint64 // total ns spent waiting
+	_padding [64 - 8*4]byte
+}
+
+const (
+	// backoffBase and backoffCap bound the delay ladder: the first
+	// backed-off retry waits ~backoffBase, each further abort doubles
+	// it, and no retry ever waits more than backoffCap (a fraction of
+	// the group-commit interval, so backoff never dominates latency).
+	backoffBase = 2 * time.Microsecond
+	backoffCap  = time.Millisecond
+	// escalateAfter is how many consecutive aborts engage backoff even
+	// when the blamed key is not (yet) in the hot set.
+	escalateAfter = 4
+	// refreshEvery is the hot-set refresh cadence; hotSetSize and
+	// hotMinAborts bound what counts as hot (a key must account for
+	// several recent aborts — a single recorded conflict is noise).
+	refreshEvery = 250 * time.Millisecond
+	hotSetSize   = 16
+	hotMinAborts = 4
+)
+
+func newBackoffPolicy(s *Server) *backoffPolicy {
+	p := &backoffPolicy{
+		s:       s,
+		workers: make([]backoffShard, s.db.Workers()),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := range p.workers {
+		p.workers[i].rng = uint64(i)*0x9E3779B97F4A7C15 + 1
+	}
+	go p.refreshLoop()
+	return p
+}
+
+// run executes fn with the policy's retry schedule; semantics otherwise
+// match DB.Run.
+func (p *backoffPolicy) run(w int, fn func(tx *silo.Tx) error) error {
+	sh := &p.workers[w]
+	for attempt := 0; ; attempt++ {
+		err := p.s.db.RunNoRetry(w, fn)
+		if err != silo.ErrConflict {
+			return err
+		}
+		sh.retries.Add(1)
+		if d := p.delay(sh, w, attempt); d > 0 {
+			sh.sleeps.Add(1)
+			sh.sleepNs.Add(uint64(d))
+			time.Sleep(d)
+		}
+	}
+}
+
+// delay decides how long attempt's retry should wait: zero off the hot
+// set (below the escalation threshold), else an exponential step with
+// ±50% jitter so colliding workers do not re-collide in lockstep.
+func (p *backoffPolicy) delay(sh *backoffShard, w, attempt int) time.Duration {
+	contended := false
+	if _, hash, ok := p.s.db.LastAbort(w); ok {
+		if hot := p.hot.Load(); hot != nil {
+			_, contended = (*hot)[hash]
+		}
+	}
+	if !contended && attempt < escalateAfter {
+		return 0
+	}
+	d := backoffBase << min(attempt, 16)
+	if d > backoffCap {
+		d = backoffCap
+	}
+	// SplitMix64 step; jitter uniform in [d/2, d).
+	sh.rng += 0x9E3779B97F4A7C15
+	z := sh.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	half := uint64(d / 2)
+	return time.Duration(half + z%half)
+}
+
+// refreshLoop republishes the hot set every refreshEvery: fold the
+// flight recorder's recent abort events into TopConflicts and keep the
+// keys with enough aborts to matter. Dumping the recorder is O(ring
+// sizes) — microseconds at this cadence.
+func (p *backoffPolicy) refreshLoop() {
+	defer close(p.done)
+	tick := time.NewTicker(refreshEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.refresh()
+		case <-p.stopc:
+			return
+		}
+	}
+}
+
+func (p *backoffPolicy) refresh() {
+	fl := p.s.db.Flight()
+	if fl == nil {
+		return
+	}
+	hot := trace.TopConflicts(fl.Dump(), hotSetSize)
+	m := make(map[uint64]struct{}, len(hot))
+	for i := range hot {
+		if hot[i].Count >= hotMinAborts {
+			m[hot[i].Hash] = struct{}{}
+		}
+	}
+	p.hot.Store(&m)
+}
+
+func (p *backoffPolicy) stop() {
+	close(p.stopc)
+	<-p.done
+}
+
+// hotKeys reports the size of the current hot set (a gauge for
+// CollectObs).
+func (p *backoffPolicy) hotKeys() int {
+	if hot := p.hot.Load(); hot != nil {
+		return len(*hot)
+	}
+	return 0
+}

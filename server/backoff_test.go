@@ -1,0 +1,158 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"silo"
+)
+
+// backoff_test.go pins the contention-aware retry policy's decisions:
+// when a retry waits at all, how the wait grows, where it caps, and how
+// the hot set and the commit protocol's abort forensics feed it.
+
+func backoffFixture(t *testing.T) (*silo.DB, *backoffPolicy) {
+	t.Helper()
+	db, err := silo.Open(silo.Options{Workers: 2, EpochInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	s := New(db, Options{Backoff: true})
+	t.Cleanup(func() { s.Close() })
+	return db, s.bo
+}
+
+// conflictOn forces a real commit-time conflict on key for worker 0 and
+// returns the blamed key hash from DB.LastAbort — the same forensics the
+// policy's delay decision reads.
+func conflictOn(t *testing.T, db *silo.DB, tbl *silo.Table, key []byte) uint64 {
+	t.Helper()
+	err := db.RunNoRetry(0, func(tx *silo.Tx) error {
+		if _, err := tx.Get(tbl, key); err != nil {
+			return err
+		}
+		// A concurrent committed write between worker 0's read and its
+		// commit fails read validation with key as the blamed key.
+		if err := db.Run(1, func(tx2 *silo.Tx) error {
+			return tx2.Put(tbl, key, []byte("conflicting write"))
+		}); err != nil {
+			return err
+		}
+		return tx.Put(tbl, key, []byte("losing write"))
+	})
+	if err != silo.ErrConflict {
+		t.Fatalf("manufactured conflict returned %v, want ErrConflict", err)
+	}
+	_, hash, ok := db.LastAbort(0)
+	if !ok {
+		t.Fatal("commit-time conflict left no LastAbort forensics")
+	}
+	return hash
+}
+
+// TestBackoffDelaySchedule pins the ladder: incidental conflicts (not
+// hot, early attempts) wait nothing; past escalateAfter the wait is an
+// exponential step with jitter in [d/2, d); the cap bounds every wait.
+func TestBackoffDelaySchedule(t *testing.T) {
+	_, bo := backoffFixture(t)
+	sh := &bo.workers[0]
+
+	for attempt := 0; attempt < escalateAfter; attempt++ {
+		if d := bo.delay(sh, 0, attempt); d != 0 {
+			t.Errorf("attempt %d off the hot set waited %v, want 0", attempt, d)
+		}
+	}
+	for attempt := escalateAfter; attempt < 24; attempt++ {
+		nominal := backoffBase << min(attempt, 16)
+		if nominal > backoffCap {
+			nominal = backoffCap
+		}
+		for trial := 0; trial < 8; trial++ {
+			d := bo.delay(sh, 0, attempt)
+			if d < nominal/2 || d >= nominal {
+				t.Fatalf("attempt %d waited %v, want jitter in [%v, %v)", attempt, d, nominal/2, nominal)
+			}
+			if d > backoffCap {
+				t.Fatalf("attempt %d waited %v past the %v cap", attempt, d, backoffCap)
+			}
+		}
+	}
+}
+
+// TestBackoffHotKeyEngagesEarly: a conflict blamed on a key in the hot
+// set waits from the first retry, before the escalation threshold.
+func TestBackoffHotKeyEngagesEarly(t *testing.T) {
+	db, bo := backoffFixture(t)
+	tbl := db.CreateTable("hot")
+	if err := db.Run(0, func(tx *silo.Tx) error {
+		return tx.Insert(tbl, []byte("contended"), []byte("v0"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hash := conflictOn(t, db, tbl, []byte("contended"))
+
+	sh := &bo.workers[0]
+	if d := bo.delay(sh, 0, 0); d != 0 {
+		t.Fatalf("blamed key not yet hot, first retry waited %v", d)
+	}
+
+	hot := map[uint64]struct{}{hash: {}}
+	bo.hot.Store(&hot)
+	d := bo.delay(sh, 0, 0)
+	if d < backoffBase/2 || d >= backoffBase {
+		t.Errorf("hot-key first retry waited %v, want jitter in [%v, %v)", d, backoffBase/2, backoffBase)
+	}
+	if bo.hotKeys() != 1 {
+		t.Errorf("hotKeys() = %d, want 1", bo.hotKeys())
+	}
+}
+
+// TestBackoffRunRetriesToCommit: run keeps retrying conflicts (counting
+// them) and returns the eventual commit's nil — the policy changes
+// pacing, never outcomes.
+func TestBackoffRunRetriesToCommit(t *testing.T) {
+	db, bo := backoffFixture(t)
+	tbl := db.CreateTable("retry")
+	if err := db.Run(0, func(tx *silo.Tx) error {
+		return tx.Insert(tbl, []byte("k"), []byte("v0"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fails := 2
+	before := bo.workers[0].retries.Load()
+	err := bo.run(0, func(tx *silo.Tx) error {
+		if _, err := tx.Get(tbl, []byte("k")); err != nil {
+			return err
+		}
+		if fails > 0 {
+			fails--
+			// A concurrent commit on the read key makes this attempt's
+			// validation fail, exactly like live contention.
+			if err := db.Run(1, func(tx2 *silo.Tx) error {
+				return tx2.Put(tbl, []byte("k"), []byte("bump"))
+			}); err != nil {
+				return err
+			}
+		}
+		return tx.Put(tbl, []byte("k"), []byte("winner"))
+	})
+	if err != nil {
+		t.Fatalf("run = %v, want eventual commit", err)
+	}
+	if got := bo.workers[0].retries.Load() - before; got != 2 {
+		t.Errorf("policy counted %d retries, want 2", got)
+	}
+	var v []byte
+	if err := db.Run(0, func(tx *silo.Tx) error {
+		b, err := tx.Get(tbl, []byte("k"))
+		v = append(v[:0], b...)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "winner" {
+		t.Errorf("final value %q, want %q", v, "winner")
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"silo"
+	"silo/internal/race"
+	"silo/wire"
+)
+
+// bench_exec_test.go prices the server's steady-state request lifecycle
+// — decode into per-connection scratch, execute on the worker's recycled
+// exec state, encode into a pooled response buffer — without a socket in
+// the way. The claim under test is the zero-allocation wire hot path:
+// after warmup, a non-DDL GET/PUT/TXN/SCAN costs 0 allocs/op end to end
+// (TestServerExecAllocs enforces it; CI's bench-exec job gates on the
+// benchmark output). BENCH_EXEC.json holds the reference snapshot.
+
+// benchExec builds a paused-executor server over an in-memory database:
+// the server's own executors idle on the dispatch queue while the
+// benchmark drives worker 0's exec state directly, exactly the code a
+// dispatched job runs minus the channel hops.
+func benchExec(tb testing.TB) (*Server, *execState, func()) {
+	tb.Helper()
+	db, err := silo.Open(silo.Options{Workers: 2, EpochInterval: 2 * time.Millisecond})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := New(db, Options{})
+	t := db.CreateTable("bench")
+	if err := db.Run(0, func(tx *silo.Tx) error {
+		for i := 0; i < 256; i++ {
+			k := []byte{'k', byte(i >> 4), byte(i & 15)}
+			v := make([]byte, 100)
+			v[0] = byte(i)
+			if err := tx.Insert(t, k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	st := newExecState(s, 0)
+	return s, st, func() {
+		s.Close()
+		db.Close()
+	}
+}
+
+// encodeFrame is the decode → exec → encode cycle one request pays on a
+// worker; the returned length keeps the compiler honest.
+func execEncode(s *Server, st *execState, req *wire.Request, rb *respBuf) int {
+	resp := s.exec(0, st, req, nil)
+	b, err := wire.AppendResponse(rb.b[:0], &resp)
+	if err != nil {
+		panic(err)
+	}
+	rb.b = b
+	return len(b)
+}
+
+func benchLoop(b *testing.B, s *Server, st *execState, frame []byte) {
+	var sc wire.DecodeScratch
+	var req wire.Request
+	rb := &respBuf{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeRequestInto(frame[4:], &req, &sc); err != nil {
+			b.Fatal(err)
+		}
+		execEncode(s, st, &req, rb)
+	}
+}
+
+func BenchmarkServerExecGet(b *testing.B) {
+	s, st, stop := benchExec(b)
+	defer stop()
+	frame, _ := wire.AppendRequest(nil, &wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindGet, Table: "bench", Key: []byte{'k', 3, 7}},
+	}})
+	benchLoop(b, s, st, frame)
+}
+
+func BenchmarkServerExecPut(b *testing.B) {
+	s, st, stop := benchExec(b)
+	defer stop()
+	frame, _ := wire.AppendRequest(nil, &wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindPut, Table: "bench", Key: []byte{'k', 3, 7}, Value: make([]byte, 100)},
+	}})
+	benchLoop(b, s, st, frame)
+}
+
+func BenchmarkServerExecTxn(b *testing.B) {
+	s, st, stop := benchExec(b)
+	defer stop()
+	frame, _ := wire.AppendRequest(nil, &wire.Request{Txn: true, Ops: []wire.Op{
+		{Kind: wire.KindGet, Table: "bench", Key: []byte{'k', 1, 2}},
+		{Kind: wire.KindPut, Table: "bench", Key: []byte{'k', 1, 2}, Value: make([]byte, 100)},
+		{Kind: wire.KindAdd, Table: "bench", Key: []byte{'k', 2, 4}, Delta: 1},
+		{Kind: wire.KindGet, Table: "bench", Key: []byte{'k', 9, 9}},
+	}})
+	benchLoop(b, s, st, frame)
+}
+
+func BenchmarkServerExecScan(b *testing.B) {
+	s, st, stop := benchExec(b)
+	defer stop()
+	frame, _ := wire.AppendRequest(nil, &wire.Request{Ops: []wire.Op{
+		{Kind: wire.KindScan, Table: "bench", Key: []byte{'k', 2, 0}, HasHi: true, Hi: []byte{'k', 8, 0}, Limit: 64},
+	}})
+	benchLoop(b, s, st, frame)
+}
+
+// TestServerExecAllocs is the allocation gate behind the benchmarks:
+// after one warmup pass, the full decode→exec→encode cycle of each
+// steady-state shape must allocate nothing. It runs in ordinary test
+// sweeps, so an allocation regression fails `go test` long before
+// anyone reads a benchmark artifact.
+func TestServerExecAllocs(t *testing.T) {
+	if race.Enabled {
+		// Race builds allocate on every write by design: in-place record
+		// overwrites are off so the seqlock read protocol stays clean
+		// under the detector (see internal/race). The zero-alloc claim is
+		// about normal builds.
+		t.Skip("race builds trade allocations for detector-clean reads")
+	}
+	s, st, stop := benchExec(t)
+	defer stop()
+	shapes := []struct {
+		name string
+		req  wire.Request
+	}{
+		{"get", wire.Request{Ops: []wire.Op{
+			{Kind: wire.KindGet, Table: "bench", Key: []byte{'k', 3, 7}}}}},
+		{"put", wire.Request{Ops: []wire.Op{
+			{Kind: wire.KindPut, Table: "bench", Key: []byte{'k', 3, 7}, Value: make([]byte, 100)}}}},
+		{"add", wire.Request{Ops: []wire.Op{
+			{Kind: wire.KindAdd, Table: "bench", Key: []byte{'k', 2, 4}, Delta: 1}}}},
+		{"scan", wire.Request{Ops: []wire.Op{
+			{Kind: wire.KindScan, Table: "bench", Key: []byte{'k', 2, 0}, HasHi: true, Hi: []byte{'k', 8, 0}, Limit: 64}}}},
+		{"txn", wire.Request{Txn: true, Ops: []wire.Op{
+			{Kind: wire.KindGet, Table: "bench", Key: []byte{'k', 1, 2}},
+			{Kind: wire.KindPut, Table: "bench", Key: []byte{'k', 1, 2}, Value: make([]byte, 100)},
+			{Kind: wire.KindAdd, Table: "bench", Key: []byte{'k', 2, 4}, Delta: 1}}}},
+	}
+	var sc wire.DecodeScratch
+	var req wire.Request
+	rb := &respBuf{}
+	for _, sh := range shapes {
+		frame, err := wire.AppendRequest(nil, &sh.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle := func() {
+			if err := wire.DecodeRequestInto(frame[4:], &req, &sc); err != nil {
+				t.Fatal(err)
+			}
+			execEncode(s, st, &req, rb)
+		}
+		for i := 0; i < 32; i++ {
+			cycle() // warm scratch, arenas, and engine-side buffers
+		}
+		if n := testing.AllocsPerRun(200, cycle); n != 0 {
+			t.Errorf("%s: %.1f allocs/op on the steady-state exec path, want 0", sh.name, n)
+		}
+	}
+}

@@ -11,10 +11,9 @@ import (
 
 // handleConn runs one connection: a reader loop (this goroutine) that
 // decodes frames and dispatches jobs, and a writer goroutine that sends
-// responses back in request order. The reader pushes each job's result
-// channel onto the in-order pending queue before dispatching it, so wire
-// order always matches request order even though jobs complete on
-// different workers.
+// responses back in request order. The reader pushes each job onto the
+// in-order pending queue before dispatching it, so wire order always
+// matches request order even though jobs complete on different workers.
 func (s *Server) handleConn(c net.Conn, id uint64) {
 	defer s.connWG.Done()
 	s.db.Flight().RecordShared(trace.EvConnOpen, 0, 0, id, nil)
@@ -30,7 +29,7 @@ func (s *Server) handleConn(c net.Conn, id uint64) {
 		tc.SetNoDelay(true)
 	}
 
-	pending := make(chan chan wire.Response, s.opts.Pipeline)
+	pending := make(chan *job, s.opts.Pipeline)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -39,18 +38,20 @@ func (s *Server) handleConn(c net.Conn, id uint64) {
 
 	br := bufio.NewReaderSize(c, 64<<10)
 	for {
-		payload, err := wire.ReadFrame(br, s.opts.MaxFrame)
+		j := s.getJob()
+		payload, err := wire.ReadFrameInto(br, s.opts.MaxFrame, j.payload)
 		if err != nil {
+			s.putJob(j)
 			break
 		}
-		req, derr := wire.DecodeRequest(payload)
-		ch := make(chan wire.Response, 1)
-		if derr != nil {
+		j.payload = payload
+		if derr := wire.DecodeRequestInto(payload, &j.req, &j.scratch); derr != nil {
 			// A malformed frame poisons the stream (framing may be lost):
 			// answer it and hang up.
-			ch <- wire.Err(wire.CodeProto, derr.Error())
 			s.errors64.Add(1)
-			pending <- ch
+			er := wire.Err(wire.CodeProto, derr.Error())
+			j.done <- s.encodeResp(&er)
+			pending <- j
 			break
 		}
 		// Order matters: enqueue on pending (FIFO with the writer) before
@@ -58,48 +59,81 @@ func (s *Server) handleConn(c net.Conn, id uint64) {
 		// per-connection backpressure, jobs when all workers are busy —
 		// but never forever: the writer drains pending as long as
 		// executors run, and executors outlive every connection handler.
-		pending <- ch
+		j.enq = time.Now()
+		j.enqTS = s.now()
+		pending <- j
 		s.obs.depth.Observe(uint64(len(pending)))
-		s.jobs <- &job{req: req, enq: time.Now(), enqTS: s.now(), done: ch}
+		s.jobs <- j
 	}
 	close(pending)
 	<-writerDone
 }
 
-// writeLoop drains the pending queue in order, encoding each response as
-// its result arrives. The output buffer is flushed only when no further
-// response is immediately ready, so pipelined bursts coalesce into few
-// writes. On a write error it keeps draining so executors and the reader
-// never block on a dead connection.
-func (s *Server) writeLoop(c net.Conn, pending chan chan wire.Response) {
-	bw := bufio.NewWriterSize(c, 64<<10)
-	var buf []byte
-	broken := false
-	for ch := range pending {
-		resp := <-ch
-		if broken {
-			continue
-		}
-		var err error
-		buf, err = wire.AppendResponse(buf[:0], &resp)
-		if err != nil {
-			// Encoding failure is a server bug; degrade to an ERR frame
-			// rather than desynchronizing the stream.
-			buf, _ = wire.AppendResponse(buf[:0], &wire.Response{
-				Kind: wire.KindErr, Code: wire.CodeInternal, Msg: err.Error(),
-			})
-		}
-		if _, err := bw.Write(buf); err != nil {
-			broken = true
-			continue
-		}
-		if len(pending) == 0 {
-			if err := bw.Flush(); err != nil {
+// flushBytes caps how many encoded bytes the writer queues before
+// forcing a writev even while more responses are ready: a pipeline of
+// large SCANR pages flushes in bounded chunks instead of accumulating
+// the whole burst in memory.
+const flushBytes = 1 << 20
+
+// writeLoop drains the pending queue in order. Each response arrives
+// already encoded in a recycled buffer (TRACER frames, patched at
+// release time, are encoded here) and is queued as one scatter-gather
+// segment; the batch is flushed with a single writev when no further
+// response is immediately ready, so a pipelined burst costs one syscall
+// and large pages go to the socket without a coalescing copy. Buffers
+// return to the pool only after the writev that covered them. On a
+// write error it keeps draining so executors and the reader never block
+// on a dead connection.
+func (s *Server) writeLoop(c net.Conn, pending chan *job) {
+	var (
+		segs   = make([][]byte, 0, 64)
+		owned  = make([]*respBuf, 0, 64)
+		queued int
+		broken bool
+	)
+	flush := func() {
+		if len(segs) > 0 && !broken {
+			bufs := net.Buffers(segs)
+			if _, err := bufs.WriteTo(c); err != nil {
 				broken = true
 			}
 		}
+		for i, rb := range owned {
+			s.putBuf(rb)
+			owned[i] = nil
+		}
+		segs = segs[:0]
+		owned = owned[:0]
+		queued = 0
 	}
-	if !broken {
-		bw.Flush()
+	for j := range pending {
+		m := <-j.done
+		s.putJob(j)
+		if m.resp != nil {
+			// Late-encoded path: the response stayed decoded past the
+			// executor (a TRACER whose Fsync span the releaser patched).
+			rb := s.getBuf()
+			b, err := wire.AppendResponse(rb.b[:0], m.resp)
+			if err != nil {
+				// Encoding failure is a server bug; degrade to an ERR frame
+				// rather than desynchronizing the stream.
+				b, _ = wire.AppendResponse(rb.b[:0], &wire.Response{
+					Kind: wire.KindErr, Code: wire.CodeInternal, Msg: err.Error(),
+				})
+			}
+			rb.b = b
+			m = outMsg{rb: rb}
+		}
+		if broken {
+			s.putBuf(m.rb)
+			continue
+		}
+		segs = append(segs, m.rb.b)
+		owned = append(owned, m.rb)
+		queued += len(m.rb.b)
+		if len(pending) == 0 || queued >= flushBytes {
+			flush()
+		}
 	}
+	flush()
 }

@@ -18,6 +18,10 @@ func (s *Server) workerLoop(w int) {
 	defer s.workerWG.Done()
 	o := s.wobs[w]
 	slowAt := s.opts.SlowThreshold
+	var st *execState
+	if !s.opts.noReuse {
+		st = newExecState(s, w)
+	}
 	for j := range s.jobs {
 		start := time.Now()
 		if !j.enq.IsZero() {
@@ -46,7 +50,7 @@ func (s *Server) workerLoop(w int) {
 				tc.sp.Queue = q
 			}
 		}
-		resp := s.exec(w, &j.req, tc)
+		resp := s.exec(w, st, &j.req, tc)
 		if tc != nil {
 			elapsed := s.now() - t0
 			sp := tc.sp
@@ -88,18 +92,23 @@ func (s *Server) workerLoop(w int) {
 	}
 }
 
-// respond releases one completed response according to the server's ack
-// mode. Write responses carry their commit epoch to the release pipeline
-// (or, in the per-request baseline, block this worker until it is
-// durable); reads, snapshot scans, and errors release immediately — an
-// ERR frame acknowledges nothing (the transaction aborted), and reads
-// have nothing to make durable. Auto-created tables are covered by the
-// data epoch: the catalog record commits (on the DDL worker) before the
-// data write's commit, and epochs are monotone, so a durable data epoch
-// implies the creation record is durable too.
-func (s *Server) respond(w int, req *wire.Request, resp wire.Response, done chan<- wire.Response) {
+// respond encodes and releases one completed response according to the
+// server's ack mode. Encoding happens here, on the executor, into a
+// recycled buffer — the response may alias the worker's exec state and
+// the job's payload, both reused for the next job, so the bytes must be
+// captured before this function returns (TRACER responses are the one
+// exception, see encodeResp). Write responses carry their commit epoch
+// to the release pipeline (or, in the per-request baseline, block this
+// worker until it is durable); reads, snapshot scans, and errors release
+// immediately — an ERR frame acknowledges nothing (the transaction
+// aborted), and reads have nothing to make durable. Auto-created tables
+// are covered by the data epoch: the catalog record commits (on the DDL
+// worker) before the data write's commit, and epochs are monotone, so a
+// durable data epoch implies the creation record is durable too.
+func (s *Server) respond(w int, req *wire.Request, resp wire.Response, done chan<- outMsg) {
+	m := s.encodeResp(&resp)
 	if s.ackMode == AckImmediate || resp.Kind == wire.KindErr || !writesData(req) {
-		done <- resp
+		done <- m
 		return
 	}
 	var e uint64
@@ -114,10 +123,36 @@ func (s *Server) respond(w int, req *wire.Request, resp wire.Response, done chan
 	if s.ackMode == AckPerRequest {
 		s.db.FlushLog(w)
 		s.db.WaitDurable(e)
-		done <- resp
+		done <- m
 		return
 	}
-	s.rel.park(resp, done, e)
+	s.rel.park(m, done, e)
+}
+
+// encodeResp turns an executor's response into the writer-bound outMsg.
+// The steady state encodes into a pooled buffer immediately; a response
+// carrying spans (a TRACER) instead travels decoded in a private copy,
+// because the group-commit releaser patches its Fsync span between park
+// and release — encoding it now would freeze a lie. Traced execution
+// uses the allocating paths, so the copy shares nothing with the
+// worker's recycled exec state.
+func (s *Server) encodeResp(resp *wire.Response) outMsg {
+	if resp.Spans != nil {
+		rp := new(wire.Response)
+		*rp = *resp
+		return outMsg{resp: rp}
+	}
+	rb := s.getBuf()
+	b, err := wire.AppendResponse(rb.b[:0], resp)
+	if err != nil {
+		// Encoding failure is a server bug; degrade to an ERR frame rather
+		// than desynchronizing the stream.
+		b, _ = wire.AppendResponse(rb.b[:0], &wire.Response{
+			Kind: wire.KindErr, Code: wire.CodeInternal, Msg: err.Error(),
+		})
+	}
+	rb.b = b
+	return outMsg{rb: rb}
 }
 
 // writesData reports whether a frame's success implies a committed write
@@ -283,14 +318,19 @@ func addValue(tx *silo.Tx, t *silo.Table, key []byte, delta int64) (uint64, erro
 	return n, tx.Put(t, key, v)
 }
 
-// exec runs one decoded request on worker w and builds its response. All
-// byte slices placed in the response are freshly owned (transaction reads
-// copy out of the store), so encoding happens safely after commit. With
-// tc set, transactional paths run traced; DDL, SCHEMA, STATS, and
-// snapshot reads have no commit phases to time and ignore it.
-func (s *Server) exec(w int, req *wire.Request, tc *traceCtx) wire.Response {
+// exec runs one decoded request on worker w and builds its response.
+// Untraced data ops (tc nil) run on the worker's recycled exec state —
+// the allocation-free steady state, whose response slices alias st and
+// stay valid only until the next exec on this worker; respond encodes
+// them before that. Traced requests and everything below the first
+// switch use the historical allocating paths, whose response slices are
+// freshly owned (required for TRACER responses, which outlive the
+// executor while parked). With tc set, transactional paths run traced;
+// DDL, SCHEMA, STATS, and snapshot reads have no commit phases to time
+// and ignore it.
+func (s *Server) exec(w int, st *execState, req *wire.Request, tc *traceCtx) wire.Response {
 	if req.Txn {
-		return s.execTxn(w, req.Ops, tc)
+		return s.execTxn(w, st, req.Ops, tc)
 	}
 	op := &req.Ops[0]
 	// Index frames resolve an index name, not a table name.
@@ -315,6 +355,9 @@ func (s *Server) exec(w int, req *wire.Request, tc *traceCtx) wire.Response {
 		if err := s.writable(op.Table); err != nil {
 			return errResponse(err)
 		}
+	}
+	if st != nil && tc == nil {
+		return s.execFast(st, op, t)
 	}
 	switch op.Kind {
 	case wire.KindGet:
@@ -574,8 +617,13 @@ func hiBound(op *wire.Op) []byte {
 // execTxn runs a multi-op frame as one serializable transaction. Any op
 // error aborts the whole transaction (no partial effects) and is reported
 // as a single ERR frame; on commit, GET and ADD ops report values
-// positionally in a TXNR frame.
-func (s *Server) execTxn(w int, ops []wire.Op, tc *traceCtx) wire.Response {
+// positionally in a TXNR frame. Untraced frames run on the worker's
+// recycled exec state (execTxnFast); traced ones take the allocating
+// path below.
+func (s *Server) execTxn(w int, st *execState, ops []wire.Op, tc *traceCtx) wire.Response {
+	if st != nil && tc == nil {
+		return s.execTxnFast(st, ops)
+	}
 	// Resolve tables outside the transaction: creation is not
 	// transactional and must not be retried into the log out of order.
 	tables := make([]*silo.Table, len(ops))

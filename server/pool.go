@@ -1,0 +1,141 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"silo/internal/race"
+	"silo/wire"
+)
+
+// This file owns the hot path's recycled memory: pooled jobs (frame
+// payload, decode scratch, result channel) and pooled response buffers
+// (encoded frames on their way to a connection writer). The lifecycle is
+// strict single-ownership passed along the pipeline:
+//
+//	reader  — takes a job from the pool, reads the frame into its payload,
+//	          decodes into its request/scratch, enqueues it on the
+//	          connection's pending queue and the dispatch queue
+//	worker  — executes the request, encodes the response into a pooled
+//	          respBuf (steady state) and sends it on the job's done
+//	          channel, possibly via the group-commit releaser
+//	writer  — queues the buffer as one writev segment, and after the
+//	          segments are flushed returns buffers and job to their pools
+//
+// Race-enabled builds poison recycled memory on return to the pool, so
+// any stage that holds a view past its release reads garbage and the
+// byte-exact e2e tests fail loudly instead of silently serving another
+// request's bytes.
+
+// outMsg is one response travelling from executor to connection writer:
+// either an encoded frame in a recycled buffer (the steady-state path)
+// or a still-decoded Response the writer must encode. TRACER responses
+// stay decoded because the group-commit releaser patches their Fsync
+// span at release time — after the worker moved on, before the writer
+// encodes.
+type outMsg struct {
+	rb   *respBuf
+	resp *wire.Response
+}
+
+// job is one in-flight request. The reader owns it until dispatch, the
+// executor until the done send, the writer until it returns it to the
+// pool; the pooled pieces (payload backing, decode scratch, the buffered
+// done channel) are recycled across requests and connections.
+type job struct {
+	req wire.Request
+	// payload is the frame payload backing req; key/value/table slices in
+	// req alias it until the response is encoded.
+	payload []byte
+	// scratch recycles the request's op-slice backing and table-name
+	// interning across frames decoded into this job.
+	scratch wire.DecodeScratch
+	// enq is when the connection reader dispatched the job; the executor
+	// records the difference as queue time.
+	enq time.Time
+	// enqTS is the same instant on the store clock, so a traced job's
+	// queue-wait span shares a clock with its commit-phase spans.
+	enqTS time.Duration
+	// done receives exactly one response; it is buffered so the executor
+	// never blocks on a connection that died.
+	done chan outMsg
+}
+
+// respBuf is a pooled response-frame buffer. The wrapper (rather than a
+// bare []byte) keeps pool round trips allocation-free: the same *respBuf
+// travels worker → writer → pool with the byte slice updated in place.
+type respBuf struct{ b []byte }
+
+// maxPooled caps the capacity a recycled payload or response buffer may
+// keep: a single huge frame (a multi-megabyte SCANR page, a bulk-load
+// TXN) should not pin its buffer in the pool forever. Oversized buffers
+// are dropped and the next use re-allocates.
+const maxPooled = 256 << 10
+
+var jobPool = sync.Pool{New: func() any { return &job{done: make(chan outMsg, 1)} }}
+
+var respBufPool = sync.Pool{New: func() any { return new(respBuf) }}
+
+// getJob returns a recycled job (noReuse builds get a fresh one, the
+// golden baseline the recycling e2e test compares against).
+func (s *Server) getJob() *job {
+	if s.opts.noReuse {
+		return &job{done: make(chan outMsg, 1)}
+	}
+	return jobPool.Get().(*job)
+}
+
+// putJob recycles a fully consumed job: its response was encoded (or
+// copied) and handed to the writer, so nothing references the payload,
+// the scratch, or the request anymore.
+func (s *Server) putJob(j *job) {
+	if s.opts.noReuse {
+		return
+	}
+	if race.Enabled {
+		poison(j.payload)
+	}
+	if cap(j.payload) > maxPooled {
+		j.payload = nil
+		// The scratch's op backing aliases the dropped payload; release it
+		// too so the pool does not pin the oversized buffer.
+		j.scratch.Drop()
+	}
+	j.req = wire.Request{}
+	j.enq = time.Time{}
+	j.enqTS = 0
+	jobPool.Put(j)
+}
+
+func (s *Server) getBuf() *respBuf {
+	if s.opts.noReuse {
+		return new(respBuf)
+	}
+	return respBufPool.Get().(*respBuf)
+}
+
+// putBuf recycles an encoded-frame buffer after the writer flushed it
+// (or dropped it on a broken connection).
+func (s *Server) putBuf(rb *respBuf) {
+	if s.opts.noReuse {
+		return
+	}
+	if race.Enabled {
+		poison(rb.b)
+	}
+	if cap(rb.b) > maxPooled {
+		rb.b = nil
+	}
+	respBufPool.Put(rb)
+}
+
+// poisonByte is what race-enabled builds overwrite recycled buffers
+// with; a stage reading a buffer it already released sees frames full of
+// 0xDB instead of plausibly stale bytes.
+const poisonByte = 0xDB
+
+func poison(b []byte) {
+	for i := range b {
+		b[i] = poisonByte
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"silo/internal/obs"
-	"silo/wire"
 )
 
 // AckMode selects when a write's response is released to the connection
@@ -49,10 +48,12 @@ func (m AckMode) String() string {
 }
 
 // parkedResp is one completed write response waiting for its commit epoch
-// to become durable.
+// to become durable. The steady state parks encoded frames (outMsg.rb);
+// TRACER responses park decoded (outMsg.resp) so releaseUpTo can patch
+// their Fsync span with the wait the client actually experienced.
 type parkedResp struct {
-	resp wire.Response
-	done chan<- wire.Response
+	m    outMsg
+	done chan<- outMsg
 	at   time.Duration // store clock at park, for the release-lag histogram
 }
 
@@ -97,17 +98,17 @@ func newReleaser(s *Server, notify <-chan uint64) *releaser {
 // channel coalesces but never drops the newest value), so the notifier's
 // next drain — which must acquire r.mu after this insert — releases the
 // entry. Nothing can park forever behind an already-durable epoch.
-func (r *releaser) park(resp wire.Response, done chan<- wire.Response, e uint64) {
+func (r *releaser) park(m outMsg, done chan<- outMsg, e uint64) {
 	at := r.s.now()
 	r.mu.Lock()
 	if r.s.db.DurableEpoch() >= e {
 		r.mu.Unlock()
 		r.lag.ObserveDuration(0)
 		r.released.Add(1)
-		done <- resp
+		done <- m
 		return
 	}
-	r.queue[e] = append(r.queue[e], parkedResp{resp: resp, done: done, at: at})
+	r.queue[e] = append(r.queue[e], parkedResp{m: m, done: done, at: at})
 	r.parked.Add(1)
 	r.mu.Unlock()
 }
@@ -165,14 +166,14 @@ func (r *releaser) releaseUpTo(d uint64) {
 			lag = 0
 		}
 		r.lag.ObserveDuration(lag.Nanoseconds())
-		if p.resp.Spans != nil {
+		if p.m.resp != nil && p.m.resp.Spans != nil {
 			// The park-to-release wait is the group-commit fsync wait as
 			// the client experiences it: account it to the Fsync span, so
 			// a traced write's timeline covers its true commit point even
 			// though no worker ever blocked on it.
-			p.resp.Spans.Fsync += lag
+			p.m.resp.Spans.Fsync += lag
 		}
-		p.done <- p.resp
+		p.done <- p.m
 		r.parked.Add(-1)
 		r.released.Add(1)
 	}

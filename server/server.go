@@ -57,6 +57,18 @@ type Options struct {
 	// database to have durability; without it they degrade to
 	// AckImmediate (there is no durable epoch to wait for).
 	Acks AckMode
+	// Backoff enables the contention-aware retry policy: conflicted
+	// transactions whose blamed key is in the flight recorder's current
+	// hot set (or whose aborts compound) wait an exponentially growing,
+	// jittered delay before retrying instead of spinning. Uncontended
+	// transactions never consult it past a nil check. See backoff.go.
+	Backoff bool
+	// noReuse disables every recycling path — pooled jobs, response
+	// buffers, decode scratch, per-worker exec state — so each request
+	// allocates fresh memory end to end. It exists for the recycling
+	// safety tests, which compare a recycled server's response bytes
+	// against this build's, and is deliberately unexported.
+	noReuse bool
 }
 
 // Stats are cumulative server counters, readable while serving.
@@ -98,19 +110,10 @@ type Server struct {
 	// group-commit release pipeline, non-nil only under AckGroup.
 	ackMode AckMode
 	rel     *releaser
-}
 
-type job struct {
-	req wire.Request
-	// enq is when the connection reader dispatched the job; the executor
-	// records the difference as queue time.
-	enq time.Time
-	// enqTS is the same instant on the store clock, so a traced job's
-	// queue-wait span shares a clock with its commit-phase spans.
-	enqTS time.Duration
-	// done receives exactly one response; it is buffered so the executor
-	// never blocks on a connection that died.
-	done chan wire.Response
+	// bo is the contention-aware retry policy, non-nil only when
+	// Options.Backoff is set.
+	bo *backoffPolicy
 }
 
 // New creates a server for db and starts its per-worker executors. The
@@ -146,6 +149,9 @@ func New(db *silo.DB, opts Options) *Server {
 		}
 	} else if s.ackMode == AckPerRequest && !db.HasDurability() {
 		s.ackMode = AckImmediate
+	}
+	if opts.Backoff {
+		s.bo = newBackoffPolicy(s)
 	}
 	for i := 0; i < db.Workers(); i++ {
 		s.workerWG.Add(1)
@@ -241,6 +247,9 @@ func (s *Server) Close() error {
 	// the database first.
 	if s.rel != nil {
 		s.rel.stop()
+	}
+	if s.bo != nil {
+		s.bo.stop()
 	}
 	return nil
 }

@@ -31,10 +31,15 @@ type traceCtx struct {
 func (s *Server) now() time.Duration { return s.db.Store().Now() }
 
 // run executes fn as a one-shot transaction on worker w, traced when tc
-// is set.
+// is set. Untraced transactions go through the contention-aware backoff
+// policy when one is configured (traced ones keep DB.RunTraced's own
+// retry loop, which counts retries into the span timeline).
 func (s *Server) run(w int, tc *traceCtx, fn func(tx *silo.Tx) error) error {
 	if tc != nil {
 		return s.db.RunTraced(w, tc.sp, tc.durable, fn)
+	}
+	if s.bo != nil {
+		return s.bo.run(w, fn)
 	}
 	return s.db.Run(w, fn)
 }

@@ -696,6 +696,17 @@ func (db *DB) LastCommitEpoch(worker int) uint64 {
 	return tidEpoch(db.store.Worker(worker).LastCommitTID())
 }
 
+// LastAbort reports the conflict forensics of the worker's most recent
+// aborted commit: the table ID and key hash (trace.HashKey) validation
+// blamed, with ok false when the last transaction committed or the
+// abort carried no key. Called on the worker's own goroutine right
+// after a conflicted RunNoRetry, it describes exactly the attempt that
+// failed; retry policies use it to tell a hot-key collision from
+// incidental interleaving.
+func (db *DB) LastAbort(worker int) (table uint32, keyHash uint64, ok bool) {
+	return db.store.Worker(worker).LastAbort()
+}
+
 // WaitDurable blocks until the durable epoch D covers e; without
 // durability it returns immediately. Combined with FlushLog and
 // LastCommitEpoch it is a per-request durability wait (RunDurable is

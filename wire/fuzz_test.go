@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"silo/internal/obs"
@@ -119,6 +120,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(frame[4:])
 	}
 
+	var sc DecodeScratch
+	var into Request
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err == nil {
@@ -131,6 +134,16 @@ func FuzzDecodeFrame(f *testing.F) {
 			if !bytes.Equal(frame[4:], payload) {
 				t.Fatalf("re-encode mismatch:\n in  %x\n out %x", payload, frame[4:])
 			}
+		}
+		// The scratch-reusing decoder must agree with the allocating one
+		// bit for bit — same error/success, same decoded request — even
+		// with the scratch carrying state from every previous input.
+		ierr := DecodeRequestInto(payload, &into, &sc)
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("DecodeRequestInto err = %v, DecodeRequest err = %v", ierr, err)
+		}
+		if err == nil && !reflect.DeepEqual(req, into) {
+			t.Fatalf("DecodeRequestInto mismatch:\n got %+v\nwant %+v", into, req)
 		}
 		_, _ = DecodeResponse(payload)
 	})

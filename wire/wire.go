@@ -378,6 +378,14 @@ func Err(code ErrCode, msg string) Response {
 // ReadFrame reads one length-prefixed frame from r and returns its payload
 // in a fresh buffer. max caps the accepted payload size (0 means MaxFrame).
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	return ReadFrameInto(r, max, nil)
+}
+
+// ReadFrameInto is ReadFrame reusing buf's capacity for the payload when it
+// suffices (a fresh buffer is allocated otherwise). The returned slice
+// aliases buf on reuse, so the caller must not read the next frame into the
+// same buffer while decoded views of this one are still live.
+func ReadFrameInto(r io.Reader, max int, buf []byte) ([]byte, error) {
 	if max <= 0 {
 		max = MaxFrame
 	}
@@ -392,7 +400,12 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	if int64(n) > int64(max) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint64(cap(buf)) >= uint64(n) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -829,12 +842,64 @@ func (rd *reader) bytes32() ([]byte, error) {
 	return rd.take(int(n))
 }
 
-func decodeOpBody(rd *reader, op *Op) error {
+// DecodeScratch is reusable decoding state for DecodeRequestInto: the
+// request's op-slice backing and a small table-name intern cache, both
+// recycled across frames so steady-state decoding allocates nothing. A
+// scratch belongs to one decoder goroutine (typically one per connection)
+// and must not be shared.
+type DecodeScratch struct {
+	ops []Op
+	// names is a tiny direct-scan intern cache: connections touch few
+	// distinct tables, so a linear probe over recent names beats a map and
+	// allocates only on first sight of a name. next is the ring-eviction
+	// cursor.
+	names [internNames]string
+	next  int
+}
+
+// Drop returns the scratch to its zero state, releasing its references
+// into previously decoded payloads (the op backing's key/value slices
+// alias the frame buffer). Pools that recycle a scratch alongside its
+// frame buffer call it when discarding an oversized buffer, so the
+// scratch does not pin the buffer's memory; a dropped scratch remains
+// usable and simply re-grows.
+func (sc *DecodeScratch) Drop() { *sc = DecodeScratch{} }
+
+// internNames sizes the scratch's table-name cache. Eight covers every
+// workload in the tree (TPC-C touches nine tables but per-frame locality
+// is far tighter); misses are correct, just one allocation slower.
+const internNames = 8
+
+// intern returns tbl as a string, reusing a cached copy when the same name
+// was seen recently.
+func (sc *DecodeScratch) intern(tbl []byte) string {
+	for i := range sc.names {
+		s := sc.names[i]
+		if len(s) == len(tbl) && s == string(tbl) { // comparison does not allocate
+			return s
+		}
+	}
+	s := string(tbl)
+	sc.names[sc.next] = s
+	sc.next = (sc.next + 1) % internNames
+	return s
+}
+
+// tableString converts a decoded table name, interning through sc when the
+// caller supplied one.
+func tableString(tbl []byte, sc *DecodeScratch) string {
+	if sc != nil {
+		return sc.intern(tbl)
+	}
+	return string(tbl)
+}
+
+func decodeOpBody(rd *reader, op *Op, sc *DecodeScratch) error {
 	tbl, err := rd.bytes8()
 	if err != nil {
 		return err
 	}
-	op.Table = string(tbl)
+	op.Table = tableString(tbl, sc)
 	if op.Key, err = rd.bytes8(); err != nil {
 		return err
 	}
@@ -878,74 +943,111 @@ func decodeOpBody(rd *reader, op *Op) error {
 // length prefix). Byte-slice fields alias payload. It never panics on
 // malformed input; errors wrap ErrMalformed.
 func DecodeRequest(payload []byte) (Request, error) {
+	var req Request
+	if err := decodeRequestInto(payload, &req, nil); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// DecodeRequestInto is DecodeRequest decoding into req with sc's reusable
+// state: the op slice reuses sc's backing and table names intern through
+// sc's cache, so a steady stream of frames decodes with zero allocations.
+// Byte-slice fields still alias payload. On error req is reset to the zero
+// Request.
+func DecodeRequestInto(payload []byte, req *Request, sc *DecodeScratch) error {
+	if err := decodeRequestInto(payload, req, sc); err != nil {
+		*req = Request{}
+		return err
+	}
+	return nil
+}
+
+// appendOp appends a zeroed op to the request's op list, drawing backing
+// from sc when present, and returns it for in-place decoding.
+func appendOp(req *Request, sc *DecodeScratch, kind Kind) *Op {
+	req.Ops = append(req.Ops, Op{Kind: kind})
+	if sc != nil {
+		sc.ops = req.Ops // keep grown backing for the next frame
+	}
+	return &req.Ops[len(req.Ops)-1]
+}
+
+func decodeRequestInto(payload []byte, req *Request, sc *DecodeScratch) error {
+	*req = Request{}
+	if sc != nil {
+		req.Ops = sc.ops[:0]
+	}
 	rd := reader{buf: payload}
 	kb, err := rd.byte()
 	if err != nil {
-		return Request{}, err
+		return err
 	}
 	kind := Kind(kb)
 	if kind == KindTxn || kind == KindTrace {
 		nops, err := rd.u16()
 		if err != nil {
-			return Request{}, err
+			return err
 		}
 		if nops == 0 {
-			return Request{}, malformed("txn with zero ops")
+			return malformed("txn with zero ops")
 		}
 		// Every op costs at least 3 bytes (kind + two empty strings), so a
 		// hostile count cannot out-allocate its own payload.
 		if int(nops) > rd.remaining()/3+1 {
-			return Request{}, malformed("txn claims %d ops in %d bytes", nops, rd.remaining())
+			return malformed("txn claims %d ops in %d bytes", nops, rd.remaining())
 		}
-		req := Request{Txn: true, Trace: kind == KindTrace, Ops: make([]Op, 0, nops)}
+		req.Txn, req.Trace = true, kind == KindTrace
+		if req.Ops == nil {
+			req.Ops = make([]Op, 0, nops)
+		}
 		for i := 0; i < int(nops); i++ {
 			kb, err := rd.byte()
 			if err != nil {
-				return Request{}, err
+				return err
 			}
-			op := Op{Kind: Kind(kb)}
-			switch op.Kind {
+			opKind := Kind(kb)
+			switch opKind {
 			case KindGet, KindPut, KindInsert, KindDelete, KindAdd:
 			default:
-				return Request{}, malformed("txn op kind %v", op.Kind)
+				return malformed("txn op kind %v", opKind)
 			}
-			if err := decodeOpBody(&rd, &op); err != nil {
-				return Request{}, err
+			if err := decodeOpBody(&rd, appendOp(req, sc, opKind), sc); err != nil {
+				return err
 			}
-			req.Ops = append(req.Ops, op)
 		}
 		if rd.remaining() != 0 {
-			return Request{}, malformed("%d trailing bytes", rd.remaining())
+			return malformed("%d trailing bytes", rd.remaining())
 		}
-		return req, nil
+		return nil
 	}
-	op := Op{Kind: kind}
+	op := appendOp(req, sc, kind)
 	switch kind {
 	case KindGet, KindPut, KindInsert, KindDelete, KindScan, KindAdd:
-		if err := decodeOpBody(&rd, &op); err != nil {
-			return Request{}, err
+		if err := decodeOpBody(&rd, op, sc); err != nil {
+			return err
 		}
 	case KindCreateIndex:
-		if err := decodeCreateIndex(&rd, &op); err != nil {
-			return Request{}, err
+		if err := decodeCreateIndex(&rd, op); err != nil {
+			return err
 		}
 	case KindDropIndex:
-		if err := decodeDropIndex(&rd, &op); err != nil {
-			return Request{}, err
+		if err := decodeDropIndex(&rd, op); err != nil {
+			return err
 		}
 	case KindIScan:
-		if err := decodeIScan(&rd, &op); err != nil {
-			return Request{}, err
+		if err := decodeIScan(&rd, op); err != nil {
+			return err
 		}
 	case KindSchema, KindStats:
 		// No body.
 	default:
-		return Request{}, malformed("request kind %v", kind)
+		return malformed("request kind %v", kind)
 	}
 	if rd.remaining() != 0 {
-		return Request{}, malformed("%d trailing bytes", rd.remaining())
+		return malformed("%d trailing bytes", rd.remaining())
 	}
-	return Request{Ops: []Op{op}}, nil
+	return nil
 }
 
 // decodeBool reads a canonical boolean byte; anything but 0 or 1 is

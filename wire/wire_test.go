@@ -116,6 +116,94 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeRequestIntoReuse decodes a stream of different frames through
+// one scratch, checking each result matches the allocating decoder: stale
+// op fields from a previous (larger) frame must never leak into a later
+// one, and interned table names must come back correct even past the
+// cache's capacity.
+func TestDecodeRequestIntoReuse(t *testing.T) {
+	cases := []Request{
+		// A wide TXN first so the scratch's op backing carries stale
+		// values, bounds, and deltas into the smaller frames after it.
+		{Txn: true, Ops: []Op{
+			{Kind: KindPut, Table: "alpha", Key: []byte("k1"), Value: bytes.Repeat([]byte{1}, 64)},
+			{Kind: KindAdd, Table: "beta", Key: []byte("k2"), Delta: -7},
+			{Kind: KindInsert, Table: "gamma", Key: []byte("k3"), Value: []byte("v")},
+			{Kind: KindDelete, Table: "delta", Key: []byte("k4")},
+		}},
+		{Ops: []Op{{Kind: KindGet, Table: "alpha", Key: []byte("k")}}},
+		{Ops: []Op{{Kind: KindScan, Table: "beta", Key: []byte("a"), HasHi: true, Hi: []byte("z"), Limit: 3}}},
+		{Ops: []Op{{Kind: KindScan, Table: "beta", Key: []byte("a")}}}, // no Hi: stale bound must clear
+		// More distinct tables than the intern cache holds.
+		{Txn: true, Ops: []Op{
+			{Kind: KindGet, Table: "t1", Key: []byte("k")}, {Kind: KindGet, Table: "t2", Key: []byte("k")},
+			{Kind: KindGet, Table: "t3", Key: []byte("k")}, {Kind: KindGet, Table: "t4", Key: []byte("k")},
+			{Kind: KindGet, Table: "t5", Key: []byte("k")}, {Kind: KindGet, Table: "t6", Key: []byte("k")},
+			{Kind: KindGet, Table: "t7", Key: []byte("k")}, {Kind: KindGet, Table: "t8", Key: []byte("k")},
+			{Kind: KindGet, Table: "t9", Key: []byte("k")}, {Kind: KindGet, Table: "t1", Key: []byte("k")},
+		}},
+		{Ops: []Op{{Kind: KindIScan, Index: "ix", Key: []byte("a"), Limit: 9, Snapshot: true}}},
+		{Ops: []Op{{Kind: KindStats}}},
+		{Txn: true, Trace: true, Ops: []Op{{Kind: KindAdd, Table: "alpha", Key: []byte("k"), Delta: 1}}},
+	}
+	var sc DecodeScratch
+	var got Request
+	for i := range cases {
+		frame := encodeReq(t, &cases[i])
+		want, err := DecodeRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("case %d: DecodeRequest: %v", i, err)
+		}
+		if err := DecodeRequestInto(frame[4:], &got, &sc); err != nil {
+			t.Fatalf("case %d: DecodeRequestInto: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: scratch decode mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	// A malformed frame must reset the request and leave the scratch usable.
+	if err := DecodeRequestInto([]byte{0xFF, 1, 2}, &got, &sc); err == nil {
+		t.Fatal("malformed frame decoded")
+	}
+	if !reflect.DeepEqual(got, Request{}) {
+		t.Errorf("failed decode left request %+v", got)
+	}
+	frame := encodeReq(t, &cases[1])
+	want, _ := DecodeRequest(frame[4:])
+	if err := DecodeRequestInto(frame[4:], &got, &sc); err != nil {
+		t.Fatalf("decode after failure: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decode after failure mismatch\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReadFrameInto checks buffer reuse: a large-enough buffer is reused
+// (same backing array), a too-small one is replaced, and the payload is
+// identical either way.
+func TestReadFrameInto(t *testing.T) {
+	frame := encodeReq(t, &Request{Ops: []Op{{Kind: KindPut, Table: "t", Key: []byte("k"), Value: bytes.Repeat([]byte{9}, 100)}}})
+	big := make([]byte, 0, 4096)
+	got, err := ReadFrameInto(bytes.NewReader(frame), 0, big)
+	if err != nil {
+		t.Fatalf("ReadFrameInto: %v", err)
+	}
+	if !bytes.Equal(got, frame[4:]) {
+		t.Fatalf("payload mismatch")
+	}
+	if &got[0] != &big[:1][0] {
+		t.Error("large buffer was not reused")
+	}
+	small := make([]byte, 0, 8)
+	got, err = ReadFrameInto(bytes.NewReader(frame), 0, small)
+	if err != nil {
+		t.Fatalf("ReadFrameInto (small buf): %v", err)
+	}
+	if !bytes.Equal(got, frame[4:]) {
+		t.Fatalf("payload mismatch with small buffer")
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	cases := []Response{
 		{Kind: KindOK},
